@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Extension bench: the Sec. V-F economics behind Fig. 17, made
+ * quantitative — platform price and throughput-per-dollar for Hermes
+ * vs the 5x A100 TensorRT-LLM node on LLaMA2-70B.
+ *
+ * Paper: "Hermes only costs approximately $2,500, whereas
+ * TensorRT-LLM requires $50,000"; competitive inference at ~5 % of
+ * the budget.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "runtime/cost_model.hh"
+#include "runtime/hermes_engine.hh"
+#include "runtime/tensorrt_engine.hh"
+
+int
+main()
+{
+    using namespace hermes;
+    using namespace hermes::bench;
+    using namespace hermes::runtime;
+
+    banner("Cost efficiency", "Hermes vs TensorRT-LLM, LLaMA2-70B");
+
+    const SystemConfig config = benchPlatform();
+    const double hermes_price =
+        platformPriceUsd(EngineKind::Hermes, config);
+    const double trt_price =
+        platformPriceUsd(EngineKind::TensorRtLlm, config, 5);
+
+    std::printf("platform price: Hermes $%.0f, TensorRT-LLM(5xA100) "
+                "$%.0f -> %.1f%% of the budget (paper: ~5%%)\n\n",
+                hermes_price, trt_price,
+                100.0 * hermes_price / trt_price);
+
+    TextTable table({"batch", "Hermes tok/s", "TRT tok/s",
+                     "Hermes tok/s/k$", "TRT tok/s/k$",
+                     "value ratio"});
+    for (const std::uint32_t batch : {1u, 4u, 16u}) {
+        const auto request = benchRequest("LLaMA2-70B", batch);
+        runtime::HermesEngine hermes_engine(config);
+        runtime::TensorRtLlmEngine trt(config, 5);
+        const double hermes_rate =
+            hermes_engine.run(request).tokensPerSecond;
+        const double trt_rate = trt.run(request).tokensPerSecond;
+        const double hermes_value =
+            hermes_rate / (hermes_price / 1000.0);
+        const double trt_value = trt_rate / (trt_price / 1000.0);
+        table.addRow({std::to_string(batch),
+                      TextTable::num(hermes_rate, 2),
+                      TextTable::num(trt_rate, 2),
+                      TextTable::num(hermes_value, 1),
+                      TextTable::num(trt_value, 1),
+                      TextTable::num(hermes_value / trt_value, 1) +
+                          "x"});
+    }
+    table.print();
+    std::printf("paper shape: Hermes wins throughput-per-dollar by "
+                "an order of magnitude at local-deployment batch "
+                "sizes\n");
+    return 0;
+}

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Fig. 9 reproduction: end-to-end tokens/s of Accelerate, FlexGen,
+ * Deja Vu, Hermes-host and Hermes on the OPT family at batch 1.
+ *
+ * Paper reference values (tokens/s):
+ *   OPT-13B: 0.16 / 0.46 / 1.37 / 20.39 / 135.64
+ *   OPT-30B: 0.11 / 0.20 / 0.34 /  9.07 /  46.16
+ *   OPT-66B: 0.04 / 0.09 / 0.16 /  4.24 /  20.37
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+
+int
+main()
+{
+    using namespace hermes;
+    using namespace hermes::bench;
+
+    banner("Fig. 9", "offloading-system comparison, OPT, batch 1");
+    const SystemConfig config = benchPlatform();
+    System system(config);
+
+    const std::vector<EngineKind> engines = {
+        EngineKind::Accelerate, EngineKind::FlexGen,
+        EngineKind::DejaVu, EngineKind::HermesHost,
+        EngineKind::Hermes};
+
+    TextTable table({"model", "Accelerate", "FlexGen", "DejaVu",
+                     "Hermes-host", "Hermes", "Hermes/DejaVu"});
+    for (const char *name : {"OPT-13B", "OPT-30B", "OPT-66B"}) {
+        const auto results =
+            system.compare(benchRequest(name), engines);
+        std::vector<std::string> row = {name};
+        for (const auto &result : results)
+            row.push_back(rate(result));
+        const double hermes = results[4].tokensPerSecond;
+        const double dejavu = results[2].tokensPerSecond;
+        row.push_back(dejavu > 0
+                          ? TextTable::num(hermes / dejavu, 1) + "x"
+                          : "-");
+        table.addRow(row);
+    }
+    table.print();
+    std::printf("paper shape: Accelerate < FlexGen < DejaVu << "
+                "Hermes-host < Hermes\n");
+    return 0;
+}

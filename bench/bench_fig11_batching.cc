@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Fig. 11 reproduction: end-to-end throughput for batch sizes 1-16
+ * on Falcon-40B, OPT-66B and LLaMA2-70B across all six systems
+ * (N.P. where a system does not support the model).
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+
+int
+main()
+{
+    using namespace hermes;
+    using namespace hermes::bench;
+
+    banner("Fig. 11", "batching 1-16, three large models");
+    System system(benchPlatform());
+    const std::vector<EngineKind> engines = {
+        EngineKind::Accelerate, EngineKind::FlexGen,
+        EngineKind::DejaVu,     EngineKind::HermesHost,
+        EngineKind::HermesBase, EngineKind::Hermes};
+
+    for (const char *name :
+         {"Falcon-40B", "OPT-66B", "LLaMA2-70B"}) {
+        std::printf("\n-- %s --\n", name);
+        TextTable table({"batch", "Accelerate", "FlexGen", "DejaVu",
+                         "Hermes-host", "Hermes-base", "Hermes"});
+        for (const std::uint32_t batch : {1u, 2u, 4u, 8u, 16u}) {
+            const auto results =
+                system.compare(benchRequest(name, batch), engines);
+            std::vector<std::string> row = {std::to_string(batch)};
+            for (const auto &result : results)
+                row.push_back(rate(result));
+            table.addRow(row);
+        }
+        table.print();
+    }
+    std::printf("\npaper shape: Hermes throughput grows with batch; "
+                "the Hermes/Hermes-host gap widens with batch; the\n"
+                "Hermes/Hermes-base gap is smallest at batch ~2\n");
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Fig. 13 reproduction: ablation of the scheduling stack on
+ * LLaMA2-13B and LLaMA2-70B (batches 1, 4, 16), normalized to
+ * Hermes-random.
+ *
+ * Variants: random mapping / offline partition only / + token-wise
+ * adjustment / + layer-wise adjustment / + both (adjustment) / full
+ * Hermes (adds window-based rebalancing).
+ *
+ * Paper factors: partition 1.63x over random; adjustment 1.33x over
+ * partition; full 1.29x over adjustment; token- or layer-only
+ * adjustment gives 1.08x / 1.11x over partition.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "runtime/hermes_engine.hh"
+
+namespace {
+
+using namespace hermes;
+using namespace hermes::bench;
+
+SystemConfig
+variantConfig(bool partition, bool token, bool layer, bool rebalance)
+{
+    SystemConfig config = benchPlatform();
+    config.sched.offlinePartition = partition;
+    config.sched.onlineAdjustment = token || layer;
+    config.sched.tokenWisePrediction = token;
+    config.sched.layerWisePrediction = layer;
+    config.sched.windowRebalance = rebalance;
+    return config;
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Fig. 13", "scheduling ablation (speedup over random)");
+
+    struct Variant
+    {
+        const char *name;
+        SystemConfig config;
+    };
+    const std::vector<Variant> variants = {
+        {"Hermes-random", variantConfig(false, false, false, false)},
+        {"Hermes-partition", variantConfig(true, false, false, false)},
+        {"Hermes-token-adj", variantConfig(true, true, false, false)},
+        {"Hermes-layer-adj", variantConfig(true, false, true, false)},
+        {"Hermes-adjustment", variantConfig(true, true, true, false)},
+        {"Hermes (full)", variantConfig(true, true, true, true)},
+    };
+
+    for (const char *model : {"LLaMA2-13B", "LLaMA2-70B"}) {
+        std::printf("\n-- %s --\n", model);
+        TextTable table({"variant", "b=1", "b=4", "b=16"});
+        std::vector<double> baseline;
+        for (const auto &variant : variants) {
+            std::vector<std::string> row = {variant.name};
+            std::size_t column = 0;
+            for (const std::uint32_t batch : {1u, 4u, 16u}) {
+                runtime::HermesEngine engine(variant.config,
+                                             variant.name);
+                const auto result =
+                    engine.run(benchRequest(model, batch));
+                const double rate = result.tokensPerSecond;
+                if (baseline.size() <= column)
+                    baseline.push_back(rate);
+                row.push_back(
+                    TextTable::num(rate / baseline[column], 2) + "x");
+                ++column;
+            }
+            table.addRow(row);
+        }
+        table.print();
+    }
+    std::printf("\npaper shape: partition > random; adjustment > "
+                "partition; full > adjustment; single-signal\n"
+                "adjustment (token/layer only) sits between partition "
+                "and full adjustment\n");
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Fig. 15 reproduction: Hermes throughput on OPT-13B and OPT-30B
+ * with Tesla T4, RTX 3090 and RTX 4090 (batches 1, 4, 16).
+ *
+ * Paper: RTX 4090 averages 2.02x over T4 and 1.34x over RTX 3090.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "runtime/hermes_engine.hh"
+
+int
+main()
+{
+    using namespace hermes;
+    using namespace hermes::bench;
+
+    banner("Fig. 15", "GPU sensitivity (Hermes throughput)");
+    TextTable table({"model", "batch", "TeslaT4", "RTX3090",
+                     "RTX4090", "4090/T4"});
+    for (const char *name : {"OPT-13B", "OPT-30B"}) {
+        for (const std::uint32_t batch : {1u, 4u, 16u}) {
+            std::vector<double> rates;
+            for (const auto &spec :
+                 {gpu::teslaT4(), gpu::rtx3090(), gpu::rtx4090()}) {
+                SystemConfig config = benchPlatform();
+                config.gpu = spec;
+                runtime::HermesEngine engine(config);
+                rates.push_back(
+                    engine.run(benchRequest(name, batch))
+                        .tokensPerSecond);
+            }
+            table.addRow({name, std::to_string(batch),
+                          TextTable::num(rates[0], 2),
+                          TextTable::num(rates[1], 2),
+                          TextTable::num(rates[2], 2),
+                          TextTable::num(rates[2] / rates[0], 2) +
+                              "x"});
+        }
+    }
+    table.print();
+    std::printf("paper shape: 4090 > 3090 > T4; average 4090/T4 "
+                "~2x\n");
+    return 0;
+}

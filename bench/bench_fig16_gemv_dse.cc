@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Fig. 16 reproduction: design-space exploration of the GEMV-unit
+ * width (32-512 multipliers per DIMM) across batch sizes 1-16 on
+ * OPT-13B, normalized to the 32-multiplier design.
+ *
+ * Paper shape: batch 1 stabilizes by ~64 multipliers (memory
+ * bound); batch 16 keeps improving to 512 (up to ~3.86x), which is
+ * why 256 is the chosen balance point.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+#include "runtime/hermes_engine.hh"
+
+int
+main()
+{
+    using namespace hermes;
+    using namespace hermes::bench;
+
+    banner("Fig. 16", "GEMV multipliers per DIMM (speedup over 32)");
+    TextTable table({"batch", "M=32", "M=64", "M=128", "M=256",
+                     "M=512"});
+    for (const std::uint32_t batch : {1u, 2u, 4u, 8u, 16u}) {
+        std::vector<std::string> row = {std::to_string(batch)};
+        double baseline = 0.0;
+        for (const std::uint32_t multipliers :
+             {32u, 64u, 128u, 256u, 512u}) {
+            SystemConfig config = benchPlatform();
+            config.dimm.gemv.multipliers = multipliers;
+            runtime::HermesEngine engine(config);
+            const double rate =
+                engine.run(benchRequest("OPT-13B", batch))
+                    .tokensPerSecond;
+            if (baseline == 0.0)
+                baseline = rate;
+            row.push_back(TextTable::num(rate / baseline, 2) + "x");
+        }
+        table.addRow(row);
+    }
+    table.print();
+    std::printf("paper shape: batch 1 flat after 64; batch 16 scales "
+                "to 512 (~3.9x)\n");
+    return 0;
+}

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Microbenchmarks of the DDR4 command-level model (google-benchmark):
+ * sustained bandwidth per access pattern, plus the FR-FCFS vs FCFS
+ * scheduling ablation called out in DESIGN.md.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "dram/bandwidth_probe.hh"
+#include "dram/controller.hh"
+
+namespace {
+
+using namespace hermes;
+using namespace hermes::dram;
+
+std::vector<RowRead>
+pattern(const DimmConfig &config, AccessPattern kind,
+        std::uint64_t rows)
+{
+    AddressMapper mapper(config);
+    Rng rng(7);
+    const auto bursts = static_cast<std::uint32_t>(
+        config.rowBytes / config.burstBytes);
+    std::vector<RowRead> reads;
+    const std::uint64_t space =
+        config.rowsPerBank() * config.banksPerRank();
+    for (std::uint64_t i = 0; i < rows; ++i) {
+        const std::uint64_t idx =
+            kind == AccessPattern::SequentialRows ? i
+                                                  : rng.below(space);
+        reads.push_back(mapper.mapRowChunk(
+            idx, kind == AccessPattern::ScatteredBursts ? 1 : bursts));
+    }
+    return reads;
+}
+
+void
+BM_RankSequentialStream(benchmark::State &state)
+{
+    const DimmConfig config;
+    RankController controller(config);
+    const auto reads =
+        pattern(config, AccessPattern::SequentialRows, 256);
+    double bandwidth = 0.0;
+    for (auto _ : state)
+        bandwidth = controller.measuredBandwidth(reads);
+    state.counters["GB/s"] = bandwidth / 1e9;
+    state.counters["peak%"] =
+        100.0 * bandwidth / config.rankPeakBandwidth();
+}
+BENCHMARK(BM_RankSequentialStream);
+
+void
+BM_RankScatteredRows(benchmark::State &state)
+{
+    const DimmConfig config;
+    RankController controller(config);
+    const auto reads =
+        pattern(config, AccessPattern::ScatteredRows, 256);
+    double bandwidth = 0.0;
+    for (auto _ : state)
+        bandwidth = controller.measuredBandwidth(reads);
+    state.counters["GB/s"] = bandwidth / 1e9;
+}
+BENCHMARK(BM_RankScatteredRows);
+
+void
+BM_RankScatteredBursts(benchmark::State &state)
+{
+    const DimmConfig config;
+    RankController controller(config);
+    const auto reads =
+        pattern(config, AccessPattern::ScatteredBursts, 2048);
+    double bandwidth = 0.0;
+    for (auto _ : state)
+        bandwidth = controller.measuredBandwidth(reads);
+    state.counters["GB/s"] = bandwidth / 1e9;
+}
+BENCHMARK(BM_RankScatteredBursts);
+
+/** DESIGN.md ablation: FR-FCFS vs plain FCFS scheduling. */
+void
+BM_FrFcfsVsFcfs(benchmark::State &state)
+{
+    const DimmConfig config;
+    const auto reads =
+        pattern(config, AccessPattern::ScatteredRows, 256);
+    RankController frfcfs(config);
+    RankController fcfs(config);
+    fcfs.setFcfs(true);
+    double ratio = 0.0;
+    for (auto _ : state) {
+        const double fast = frfcfs.measuredBandwidth(reads);
+        const double slow = fcfs.measuredBandwidth(reads);
+        ratio = fast / slow;
+    }
+    state.counters["frfcfs_speedup"] = ratio;
+}
+BENCHMARK(BM_FrFcfsVsFcfs);
+
+} // namespace
+
+BENCHMARK_MAIN();

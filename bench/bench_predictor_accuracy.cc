@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Sec. IV-C1 claims: the lightweight predictor reaches ~98% accuracy
+ * in under 1 MB, and its host-side scan is negligible next to the
+ * MLP-based predictors of prior work.  Also sweeps the FSM step s
+ * and threshold T (DESIGN.md ablation).
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "model/llm_config.hh"
+#include "sched/predictor.hh"
+
+int
+main()
+{
+    using namespace hermes;
+    using namespace hermes::sched;
+
+    std::printf("=== Predictor accuracy & footprint (Sec. IV-C1) "
+                "===\n");
+    TextTable table({"model", "accuracy", "recall", "precision",
+                     "state-KB", "total-KB"});
+    for (const char *name : {"OPT-13B", "LLaMA2-13B", "Falcon-40B"}) {
+        model::LlmConfig llm = model::modelByName(name);
+        llm.layers = 8;
+        sparsity::ActivationTrace trace(llm,
+                                        sparsity::SparsityConfig{}, 1);
+        ModelPredictor predictor(llm, PredictorConfig{});
+        predictor.calibrate(trace, 96);
+        trace.reset(1);
+        std::vector<std::vector<std::uint8_t>> attn_masks, mlp_masks;
+        for (int t = 0; t < 96; ++t) {
+            trace.nextToken();
+            predictor.stepToken(trace, attn_masks, mlp_masks);
+        }
+        // Scale footprint back to the full model depth.
+        const double depth_scale =
+            static_cast<double>(model::modelByName(name).layers) /
+            llm.layers;
+        table.addRow(
+            {name, TextTable::num(predictor.metrics().accuracy(), 4),
+             TextTable::num(predictor.metrics().recall(), 4),
+             TextTable::num(predictor.metrics().precision(), 4),
+             TextTable::num(predictor.stateTableBytes() *
+                                depth_scale / 1024.0,
+                            0),
+             TextTable::num(predictor.totalBytes() * depth_scale /
+                                1024.0,
+                            0)});
+    }
+    table.print();
+    std::printf("paper: ~98%% accuracy, <1 MB of predictor state\n");
+
+    std::printf("\n=== FSM parameter sweep (ablation) ===\n");
+    TextTable sweep({"step s", "threshold T", "accuracy", "recall"});
+    model::LlmConfig llm = model::modelByName("LLaMA2-13B");
+    llm.layers = 6;
+    for (const std::uint32_t step : {2u, 4u, 8u}) {
+        for (const std::uint32_t threshold : {12u, 15u}) {
+            PredictorConfig config;
+            config.activateStep = step;
+            config.threshold = threshold;
+            sparsity::ActivationTrace trace(
+                llm, sparsity::SparsityConfig{}, 1);
+            ModelPredictor predictor(llm, config);
+            predictor.calibrate(trace, 64);
+            trace.reset(1);
+            std::vector<std::vector<std::uint8_t>> attn_masks,
+                mlp_masks;
+            for (int t = 0; t < 64; ++t) {
+                trace.nextToken();
+                predictor.stepToken(trace, attn_masks, mlp_masks);
+            }
+            sweep.addRow(
+                {std::to_string(step), std::to_string(threshold),
+                 TextTable::num(predictor.metrics().accuracy(), 4),
+                 TextTable::num(predictor.metrics().recall(), 4)});
+        }
+    }
+    sweep.print();
+    std::printf("paper default: s=4, T=15\n");
+    return 0;
+}

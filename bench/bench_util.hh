@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction benches.
+ *
+ * Every bench prints the rows/series of one paper figure.  Absolute
+ * tokens/s will not match the authors' testbed (see DESIGN.md), but
+ * orderings and ratios should.  Benches run on a reduced layer
+ * sample (statistics are per-layer i.i.d.) so the whole suite
+ * finishes in minutes.
+ */
+
+#ifndef HERMES_BENCH_BENCH_UTIL_HH
+#define HERMES_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+
+#include "core/hermes.hh"
+
+namespace hermes::bench {
+
+/** Platform for bench runs: Sec. V-A1 defaults, 6-layer sample. */
+inline SystemConfig
+benchPlatform()
+{
+    SystemConfig config;
+    config.simulatedLayers = 6;
+    return config;
+}
+
+/** Workload for bench runs: 128/128 tokens, trimmed generation. */
+inline InferenceRequest
+benchRequest(const std::string &model, std::uint32_t batch = 1)
+{
+    InferenceRequest request =
+        defaultRequest(model::modelByName(model), batch);
+    request.generateTokens = 48; // Steady state reached by ~10 tokens.
+    request.profileTokens = 32;
+    return request;
+}
+
+/** Print a figure banner. */
+inline void
+banner(const char *figure, const char *title)
+{
+    std::printf("\n=== %s: %s ===\n", figure, title);
+}
+
+/** tokens/s or "N.P." for an unsupported (model, system) pair. */
+inline std::string
+rate(const InferenceResult &result)
+{
+    if (!result.supported)
+        return "N.P.";
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.2f",
+                  result.tokensPerSecond);
+    return buffer;
+}
+
+} // namespace hermes::bench
+
+#endif // HERMES_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Capacity planner: size an NDP-DIMM pool and pick a GPU for a
+ * target model, the way a systems integrator would use this library.
+ *
+ * For each model it finds the smallest DIMM count that fits weights
+ * plus KV cache, then reports the throughput of sensible upgrade
+ * steps (more DIMMs, better GPU) so the knee of the scaling curve
+ * (Figs. 14-15) is visible as a purchasing decision.
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "core/hermes.hh"
+#include "runtime/hermes_engine.hh"
+
+namespace {
+
+using namespace hermes;
+
+double
+throughput(SystemConfig config, const InferenceRequest &request)
+{
+    runtime::HermesEngine engine(std::move(config));
+    const auto result = engine.run(request);
+    return result.supported ? result.tokensPerSecond : 0.0;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace hermes;
+
+    TextTable table({"model", "min DIMMs", "tok/s @min",
+                     "tok/s @2x DIMMs", "tok/s @4090->T4"});
+    for (const char *name :
+         {"OPT-13B", "OPT-30B", "Falcon-40B", "LLaMA2-70B"}) {
+        InferenceRequest request =
+            defaultRequest(model::modelByName(name), 1);
+        request.generateTokens = 48;
+        request.profileTokens = 32;
+
+        // Smallest pool that holds weights + KV.
+        std::uint32_t min_dimms = 0;
+        for (std::uint32_t dimms = 1; dimms <= 16; dimms *= 2) {
+            SystemConfig config = fastConfig(6);
+            config.numDimms = dimms;
+            runtime::HermesEngine engine(config);
+            if (engine.supports(request)) {
+                min_dimms = dimms;
+                break;
+            }
+        }
+        if (min_dimms == 0) {
+            table.addRow({name, ">16", "-", "-", "-"});
+            continue;
+        }
+
+        SystemConfig at_min = fastConfig(6);
+        at_min.numDimms = min_dimms;
+        SystemConfig doubled = at_min;
+        doubled.numDimms = min_dimms * 2;
+        SystemConfig downgraded = at_min;
+        downgraded.gpu = gpu::teslaT4();
+
+        table.addRow(
+            {name, std::to_string(min_dimms),
+             TextTable::num(throughput(at_min, request), 2),
+             TextTable::num(throughput(doubled, request), 2),
+             TextTable::num(throughput(downgraded, request), 2)});
+    }
+    table.print();
+
+    std::printf("\nReading the table: doubling DIMMs helps until "
+                "the NDP side catches the GPU (Fig. 14); the GPU\n"
+                "tier matters even though cold neurons never touch "
+                "it (Fig. 15) because prompting and hot neurons\n"
+                "run there.\n");
+    return 0;
+}

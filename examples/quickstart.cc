@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Quickstart: simulate LLaMA2-70B on the default Hermes platform
+ * (one RTX 4090 + eight 32 GB NDP-DIMMs) and print the end-to-end
+ * throughput and latency breakdown.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "core/hermes.hh"
+
+int
+main()
+{
+    using namespace hermes;
+
+    // The default platform matches Sec. V-A1 of the paper.  The
+    // fastConfig() helper simulates a representative sample of
+    // layers; drop it for a full-depth run.
+    System system(fastConfig(8));
+
+    InferenceRequest request =
+        defaultRequest(model::llama2_70b(), /*batch=*/1);
+
+    if (!system.supports(request)) {
+        std::printf("model does not fit this platform\n");
+        return 1;
+    }
+
+    const InferenceResult result = system.infer(request);
+
+    std::printf("model:        %s\n", request.llm.name.c_str());
+    std::printf("weights:      %.1f GB across %u NDP-DIMMs\n",
+                request.llm.totalBytes() / 1e9,
+                system.config().numDimms);
+    std::printf("throughput:   %.2f tokens/s (paper: 13.75)\n",
+                result.tokensPerSecond);
+    std::printf("prefill:      %.2f s for %u prompt tokens\n",
+                result.prefillTime, request.promptTokens);
+    std::printf("generation:   %.2f s for %u tokens\n",
+                result.generateTime, request.generateTokens);
+
+    const auto &b = result.breakdown;
+    const double total = b.total();
+    std::printf("\nlatency breakdown:\n");
+    std::printf("  FC operators   %5.1f%%\n", 100.0 * b.fc / total);
+    std::printf("  attention      %5.1f%%\n",
+                100.0 * b.attention / total);
+    std::printf("  predictor      %5.1f%%\n",
+                100.0 * b.predictor / total);
+    std::printf("  prefill        %5.1f%%\n",
+                100.0 * b.prefill / total);
+    std::printf("  communication  %5.1f%%\n",
+                100.0 * b.communication / total);
+    std::printf("  others         %5.1f%%\n",
+                100.0 * b.others / total);
+
+    std::printf("\npredictor accuracy: %.1f%% (paper: ~98%%)\n",
+                100.0 * result.stats.counterValue(
+                            "predictor.accuracy"));
+    return 0;
+}

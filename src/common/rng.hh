@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Deterministic random number generation for reproducible simulation.
+ *
+ * Every stochastic component (trace generator, workload sampler) takes an
+ * explicit seed so whole-system runs are bit-reproducible.  The engine is
+ * xoshiro256** which is fast, tiny, and has no licensing constraints
+ * (public domain reference implementation re-derived here).
+ */
+
+#ifndef HERMES_COMMON_RNG_HH
+#define HERMES_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace hermes {
+
+/**
+ * xoshiro256** pseudo random generator with helpers for the
+ * distributions used by the sparsity substrate.
+ */
+class Rng
+{
+  public:
+    /** Seed via splitmix64 expansion of a single 64-bit seed. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+    {
+        std::uint64_t x = seed;
+        for (auto &word : state_) {
+            // splitmix64 step.
+            x += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit draw. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform integer in [0, bound). bound must be > 0. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Rejection-free Lemire-style bounded draw; the tiny modulo bias
+        // of the naive approach is irrelevant for bounds << 2^64 but we
+        // use the multiply-shift reduction anyway.
+        unsigned __int128 product =
+            static_cast<unsigned __int128>(next()) * bound;
+        return static_cast<std::uint64_t>(product >> 64);
+    }
+
+    /** Bernoulli draw with probability p of returning true. */
+    bool chance(double p) { return uniform() < p; }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace hermes
+
+#endif // HERMES_COMMON_RNG_HH

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Unit helpers shared across the simulator.
+ *
+ * All device models agree on the following conventions:
+ *  - time is carried in double-precision seconds,
+ *  - DRAM/NDP device-internal timing is carried in integer cycles of the
+ *    owning clock domain,
+ *  - sizes are carried in bytes (uint64_t),
+ *  - bandwidth is carried in bytes per second.
+ */
+
+#ifndef HERMES_COMMON_UNITS_HH
+#define HERMES_COMMON_UNITS_HH
+
+#include <cstdint>
+
+namespace hermes {
+
+/** Integer cycle count within one clock domain. */
+using Cycles = std::uint64_t;
+
+/** Time in seconds. */
+using Seconds = double;
+
+/** Size in bytes. */
+using Bytes = std::uint64_t;
+
+/** Bandwidth in bytes per second. */
+using BytesPerSecond = double;
+
+/** Floating point operations. */
+using Flops = double;
+
+/** Floating point operation rate (FLOP/s). */
+using FlopsPerSecond = double;
+
+constexpr double kKilo = 1e3;
+constexpr double kMega = 1e6;
+constexpr double kGiga = 1e9;
+constexpr double kTera = 1e12;
+
+constexpr Bytes kKiB = 1024ULL;
+constexpr Bytes kMiB = 1024ULL * kKiB;
+constexpr Bytes kGiB = 1024ULL * kMiB;
+
+/** Convert gigabytes-per-second (decimal) to bytes-per-second. */
+constexpr BytesPerSecond
+gbps(double gigabytes_per_second)
+{
+    return gigabytes_per_second * kGiga;
+}
+
+/** Convert TFLOPS to FLOP/s. */
+constexpr FlopsPerSecond
+tflops(double teraflops)
+{
+    return teraflops * kTera;
+}
+
+/** Convert a cycle count at the given frequency (Hz) to seconds. */
+constexpr Seconds
+cyclesToSeconds(Cycles cycles, double frequency_hz)
+{
+    return static_cast<double>(cycles) / frequency_hz;
+}
+
+/** Convert seconds to cycles at the given frequency (Hz), rounding up. */
+constexpr Cycles
+secondsToCycles(Seconds seconds, double frequency_hz)
+{
+    double cycles = seconds * frequency_hz;
+    auto floor_cycles = static_cast<Cycles>(cycles);
+    return (cycles > static_cast<double>(floor_cycles)) ? floor_cycles + 1
+                                                        : floor_cycles;
+}
+
+/** Bytes occupied by one FP16 value. */
+constexpr Bytes kFp16Bytes = 2;
+
+} // namespace hermes
+
+#endif // HERMES_COMMON_UNITS_HH

@@ -1,0 +1,59 @@
+#include "core/hermes.hh"
+
+#include "runtime/hermes_engine.hh"
+
+namespace hermes {
+
+InferenceRequest
+defaultRequest(const model::LlmConfig &llm, std::uint32_t batch)
+{
+    InferenceRequest request;
+    request.llm = llm;
+    request.batch = batch;
+    request.promptTokens = 128;
+    request.generateTokens = 128;
+    return request;
+}
+
+System::System() : System(SystemConfig{}) {}
+
+System::System(SystemConfig config)
+    : config_(std::move(config)),
+      engine_(std::make_unique<runtime::HermesEngine>(config_))
+{
+}
+
+bool
+System::supports(const InferenceRequest &request) const
+{
+    return engine_->supports(request);
+}
+
+InferenceResult
+System::infer(const InferenceRequest &request)
+{
+    return engine_->run(request);
+}
+
+std::vector<InferenceResult>
+System::compare(const InferenceRequest &request,
+                const std::vector<EngineKind> &engines)
+{
+    std::vector<InferenceResult> results;
+    results.reserve(engines.size() + 1);
+    for (const EngineKind kind : engines) {
+        auto engine = runtime::makeEngine(kind, config_);
+        results.push_back(engine->run(request));
+    }
+    return results;
+}
+
+SystemConfig
+fastConfig(std::uint32_t simulated_layers)
+{
+    SystemConfig config;
+    config.simulatedLayers = simulated_layers;
+    return config;
+}
+
+} // namespace hermes

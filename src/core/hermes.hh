@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Public facade of the Hermes library.
+ *
+ * Typical use:
+ * @code
+ *   hermes::System system;                       // RTX 4090 + 8 DIMMs
+ *   auto request = hermes::defaultRequest(
+ *       hermes::model::llama2_70b());
+ *   auto result = system.infer(request);
+ *   std::cout << result.tokensPerSecond << " tokens/s\n";
+ * @endcode
+ *
+ * The facade wraps the Hermes engine; the baselines of the paper's
+ * evaluation are reachable through `compare()` or directly via
+ * runtime::makeEngine.
+ */
+
+#ifndef HERMES_CORE_HERMES_HH
+#define HERMES_CORE_HERMES_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "model/llm_config.hh"
+#include "runtime/engine.hh"
+#include "runtime/factory.hh"
+#include "runtime/system_config.hh"
+
+namespace hermes {
+
+using runtime::EngineKind;
+using runtime::InferenceRequest;
+using runtime::InferenceResult;
+using runtime::SystemConfig;
+
+/** Build the Sec. V-A1 default request for a model. */
+InferenceRequest defaultRequest(const model::LlmConfig &llm,
+                                std::uint32_t batch = 1);
+
+/**
+ * The Hermes system: one consumer-grade GPU plus NDP-DIMMs, with the
+ * full scheduling stack of Sec. IV.
+ */
+class System
+{
+  public:
+    /** Construct with the Sec. V-A1 default platform. */
+    System();
+
+    /** Construct with a custom platform. */
+    explicit System(SystemConfig config);
+
+    const SystemConfig &config() const { return config_; }
+
+    /** Whether the platform can serve the request at all. */
+    bool supports(const InferenceRequest &request) const;
+
+    /** Run one inference workload on Hermes. */
+    InferenceResult infer(const InferenceRequest &request);
+
+    /** Run the same workload on Hermes and a set of baselines. */
+    std::vector<InferenceResult>
+    compare(const InferenceRequest &request,
+            const std::vector<EngineKind> &engines);
+
+  private:
+    SystemConfig config_;
+    std::unique_ptr<runtime::InferenceEngine> engine_;
+};
+
+/**
+ * A platform config with `speed` times fewer simulated layers, for
+ * fast exploratory runs (statistics are per-layer i.i.d.).
+ */
+SystemConfig fastConfig(std::uint32_t simulated_layers = 8);
+
+} // namespace hermes
+
+#endif // HERMES_CORE_HERMES_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Derives sustained bandwidth figures from the cycle-level rank model.
+ *
+ * The NDP GEMV unit streams neuron weight chunks whose placement in the
+ * DIMM is scattered (cold neurons are remapped over time), so the
+ * relevant figure is the bandwidth of reading many row-sized chunks at
+ * effectively random row addresses, with bank-group interleaving
+ * provided by the address mapper.  Probes run the command-level
+ * simulation once per distinct access shape and memoize the result, so
+ * engine-level simulations stay fast.
+ */
+
+#ifndef HERMES_DRAM_BANDWIDTH_PROBE_HH
+#define HERMES_DRAM_BANDWIDTH_PROBE_HH
+
+#include <cstdint>
+#include <map>
+#include <tuple>
+
+#include "common/rng.hh"
+#include "common/units.hh"
+#include "dram/config.hh"
+#include "dram/controller.hh"
+
+namespace hermes::dram {
+
+/** Access-pattern families the probe can measure. */
+enum class AccessPattern
+{
+    SequentialRows,   ///< Dense streaming of consecutive rows.
+    ScatteredRows,    ///< Full-row reads at random row addresses.
+    ScatteredBursts,  ///< Single-burst reads at random addresses.
+};
+
+/**
+ * Measures and memoizes sustained per-rank bandwidth for a DIMM
+ * configuration and access pattern.
+ */
+class BandwidthProbe
+{
+  public:
+    explicit BandwidthProbe(const DimmConfig &config) : config_(config) {}
+
+    /**
+     * Sustained bandwidth of one rank for the given pattern.
+     *
+     * @param pattern      Access-pattern family.
+     * @param sample_rows  Number of row-chunks to simulate (larger
+     *                     values amortize the cold-start transient).
+     */
+    BytesPerSecond rankBandwidth(AccessPattern pattern,
+                                 std::uint64_t sample_rows = 512);
+
+    /**
+     * Sustained internal bandwidth visible to the NDP core: the
+     * per-rank figure scaled by the configured rank parallelism.
+     */
+    BytesPerSecond internalBandwidth(AccessPattern pattern);
+
+    /**
+     * Time for the NDP core to stream `bytes` of weight data laid out
+     * as scattered rows across all parallel ranks.
+     */
+    Seconds streamTime(Bytes bytes, AccessPattern pattern);
+
+    const DimmConfig &config() const { return config_; }
+
+  private:
+    std::vector<RowRead> buildPattern(AccessPattern pattern,
+                                      std::uint64_t sample_rows);
+
+    DimmConfig config_;
+    std::map<std::pair<int, std::uint64_t>, BytesPerSecond> cache_;
+};
+
+} // namespace hermes::dram
+
+#endif // HERMES_DRAM_BANDWIDTH_PROBE_HH

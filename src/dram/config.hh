@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Geometry of one DIMM as seen by the NDP center buffer.
+ *
+ * Table II: 32 GB/DIMM, 4 ranks/DIMM, 2 bank groups/rank,
+ * 4 banks/bank-group.  Each rank presents a 64-bit (8-byte) data bus;
+ * one BL8 burst moves 64 bytes.  The center-buffer NDP design taps the
+ * per-rank data buses through the buffer chip, so ranks can stream
+ * concurrently (rankParallelism).
+ */
+
+#ifndef HERMES_DRAM_CONFIG_HH
+#define HERMES_DRAM_CONFIG_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+#include "common/units.hh"
+#include "dram/timing.hh"
+
+namespace hermes::dram {
+
+/** Static geometry and timing of one DIMM. */
+struct DimmConfig
+{
+    TimingParams timing{};
+
+    Bytes capacity = 32ULL * kGiB; ///< Whole-DIMM capacity.
+    std::uint32_t ranks = 4;
+    std::uint32_t bankGroups = 2;        ///< Per rank.
+    std::uint32_t banksPerGroup = 4;
+    Bytes rowBytes = 8 * kKiB;           ///< Row-buffer page per bank.
+    Bytes burstBytes = 64;               ///< One BL8 burst (8 B x 8).
+
+    /**
+     * How many ranks the NDP center buffer can stream from
+     * concurrently.  4 models the buffer-chip tap of the Hermes paper;
+     * 1 models a conventional host-side channel where ranks share the
+     * DIMM bus.
+     */
+    std::uint32_t rankParallelism = 4;
+
+    std::uint32_t banksPerRank() const { return bankGroups * banksPerGroup; }
+
+    /** Rows per bank implied by the capacity and geometry. */
+    std::uint64_t
+    rowsPerBank() const
+    {
+        const std::uint64_t banks =
+            static_cast<std::uint64_t>(ranks) * banksPerRank();
+        hermes_assert(banks > 0 && rowBytes > 0);
+        return capacity / (banks * rowBytes);
+    }
+
+    /** Theoretical peak bandwidth of one rank's data bus. */
+    BytesPerSecond
+    rankPeakBandwidth() const
+    {
+        // One burst of burstBytes occupies tBL command clocks.
+        return static_cast<double>(burstBytes) /
+               (static_cast<double>(timing.tBL) * timing.clockPeriod());
+    }
+
+    /** Peak internal bandwidth visible to the NDP core. */
+    BytesPerSecond
+    internalPeakBandwidth() const
+    {
+        return rankPeakBandwidth() * rankParallelism;
+    }
+
+    /** Bursts needed to move the given number of bytes. */
+    std::uint64_t
+    burstsFor(Bytes bytes) const
+    {
+        return (bytes + burstBytes - 1) / burstBytes;
+    }
+};
+
+} // namespace hermes::dram
+
+#endif // HERMES_DRAM_CONFIG_HH

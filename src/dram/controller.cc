@@ -1,0 +1,230 @@
+#include "dram/controller.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace hermes::dram {
+
+namespace {
+
+constexpr Cycles kNever = std::numeric_limits<Cycles>::max();
+
+} // namespace
+
+RankController::RankController(const DimmConfig &config) : config_(config)
+{
+    hermes_assert(config_.bankGroups > 0 && config_.banksPerGroup > 0);
+}
+
+std::uint32_t
+RankController::flatBank(std::uint32_t bg, std::uint32_t bank) const
+{
+    return bg * config_.banksPerGroup + bank;
+}
+
+ControllerStats
+RankController::simulate(const std::vector<RowRead> &reads)
+{
+    const TimingParams &t = config_.timing;
+    const std::uint32_t num_banks = config_.banksPerRank();
+
+    std::vector<BankState> banks(num_banks);
+    std::deque<PendingRead> queue;
+    for (const auto &read : reads) {
+        hermes_assert(read.bankGroup < config_.bankGroups &&
+                      read.bank < config_.banksPerGroup,
+                      "request outside rank geometry");
+        queue.push_back(PendingRead{read, 0});
+    }
+
+    ControllerStats stats;
+    Cycles now = 0;
+
+    // Rank-wide constraint trackers.
+    std::deque<Cycles> act_window;       // Last ACT times, for tFAW.
+    Cycles last_act = 0;                 // For tRRD_S.
+    bool any_act = false;
+    std::vector<Cycles> last_act_group(config_.bankGroups, 0);
+    std::vector<bool> any_act_group(config_.bankGroups, false);
+    Cycles last_read = 0;                // For tCCD.
+    std::uint32_t last_read_group = 0;
+    bool any_read = false;
+    Cycles bus_free = 0;                 // Data bus availability.
+    Cycles next_refresh = t.tREFI;
+    Cycles last_data = 0;
+
+    auto apply_refresh = [&](Cycles upto) {
+        while (next_refresh <= upto) {
+            // All-bank refresh: close every row and stall the rank.
+            const Cycles resume = next_refresh + t.tRFC;
+            for (auto &bank : banks) {
+                bank.openRow = -1;
+                bank.nextActivate = std::max(bank.nextActivate, resume);
+                bank.nextRead = std::max(bank.nextRead, resume);
+                bank.nextPrecharge = std::max(bank.nextPrecharge, resume);
+            }
+            ++stats.refreshes;
+            next_refresh += t.tREFI;
+        }
+    };
+
+    // Earliest cycle an ACT may issue to the given bank group, given
+    // rank-wide activate constraints.
+    auto act_ready = [&](std::uint32_t bg, Cycles bank_ready) {
+        Cycles ready = std::max(now, bank_ready);
+        if (any_act)
+            ready = std::max(ready, last_act + t.tRRD_S);
+        if (any_act_group[bg])
+            ready = std::max(ready, last_act_group[bg] + t.tRRD_L);
+        if (act_window.size() >= 4)
+            ready = std::max(ready, act_window.front() + t.tFAW);
+        return ready;
+    };
+
+    auto read_ready = [&](std::uint32_t bg, Cycles bank_ready) {
+        Cycles ready = std::max(now, bank_ready);
+        if (any_read) {
+            const Cycles ccd =
+                (bg == last_read_group) ? t.tCCD_L : t.tCCD_S;
+            ready = std::max(ready, last_read + ccd);
+        }
+        // Data bus: next burst's data window must not overlap the
+        // previous one.  All reads share tCL, so spacing the command by
+        // the remaining bus occupancy is exact.
+        if (bus_free > t.tCL)
+            ready = std::max(ready, bus_free - t.tCL);
+        return ready;
+    };
+
+    while (!queue.empty()) {
+        const std::size_t scan =
+            fcfs_ ? 1 : std::min<std::size_t>(queue.size(), window_);
+
+        // Pass 1: find the best issuable command in the window.
+        // FR-FCFS: row-hit reads first (earliest ready; ties to the
+        // oldest), otherwise the oldest request's next command.
+        std::size_t best_idx = scan;
+        Cycles best_time = kNever;
+        bool best_is_hit = false;
+
+        for (std::size_t i = 0; i < scan; ++i) {
+            const PendingRead &pending = queue[i];
+            const RowRead &req = pending.request;
+            const BankState &bank =
+                banks[flatBank(req.bankGroup, req.bank)];
+            const bool hit =
+                bank.openRow == static_cast<std::int64_t>(req.row);
+
+            Cycles when;
+            if (hit) {
+                when = read_ready(req.bankGroup, bank.nextRead);
+            } else if (bank.openRow < 0) {
+                when = act_ready(req.bankGroup, bank.nextActivate);
+            } else {
+                // Row conflict: only precharge if no younger window
+                // entry still wants the open row in this bank.
+                bool wanted = false;
+                for (std::size_t j = 0; j < scan && !wanted; ++j) {
+                    const RowRead &other = queue[j].request;
+                    wanted = j != i &&
+                             other.bankGroup == req.bankGroup &&
+                             other.bank == req.bank &&
+                             static_cast<std::int64_t>(other.row) ==
+                                 bank.openRow;
+                }
+                if (wanted && !fcfs_)
+                    continue;
+                when = std::max(now, bank.nextPrecharge);
+            }
+
+            // Issue the command that is ready soonest so ACTs to idle
+            // banks overlap with in-flight column reads; among commands
+            // ready at the same cycle, prefer row hits (FR-FCFS), then
+            // the oldest request.
+            const bool better =
+                when < best_time ||
+                (when == best_time && hit && !best_is_hit);
+            if (better) {
+                best_idx = i;
+                best_time = when;
+                best_is_hit = hit;
+            }
+        }
+
+        hermes_assert(best_idx < scan, "scheduler deadlock");
+
+        PendingRead &pending = queue[best_idx];
+        const RowRead &req = pending.request;
+        BankState &bank = banks[flatBank(req.bankGroup, req.bank)];
+        const bool hit =
+            bank.openRow == static_cast<std::int64_t>(req.row);
+
+        apply_refresh(best_time);
+
+        if (hit) {
+            const Cycles issue = read_ready(req.bankGroup, bank.nextRead);
+            now = std::max(now, issue) + 1; // Command bus: 1 cmd/cycle.
+            last_read = issue;
+            last_read_group = req.bankGroup;
+            any_read = true;
+            bus_free = issue + t.tCL + t.tBL;
+            last_data = std::max(last_data, bus_free);
+            bank.nextPrecharge =
+                std::max(bank.nextPrecharge, issue + t.tRTP);
+            ++stats.reads;
+            if (++pending.burstsDone >= req.bursts)
+                queue.erase(queue.begin() +
+                            static_cast<std::ptrdiff_t>(best_idx));
+        } else if (bank.openRow < 0) {
+            const Cycles issue =
+                act_ready(req.bankGroup, bank.nextActivate);
+            now = std::max(now, issue) + 1;
+            bank.openRow = static_cast<std::int64_t>(req.row);
+            bank.nextRead = issue + t.tRCD;
+            bank.nextPrecharge = issue + t.tRAS;
+            bank.nextActivate = issue + t.tRC;
+            last_act = issue;
+            any_act = true;
+            last_act_group[req.bankGroup] = issue;
+            any_act_group[req.bankGroup] = true;
+            act_window.push_back(issue);
+            while (act_window.size() > 4)
+                act_window.pop_front();
+            ++stats.activates;
+        } else {
+            const Cycles issue = std::max(now, bank.nextPrecharge);
+            now = std::max(now, issue) + 1;
+            bank.openRow = -1;
+            bank.nextActivate =
+                std::max(bank.nextActivate, issue + t.tRP);
+            ++stats.precharges;
+        }
+    }
+
+    // Every RD issues against an open row; reads that did not require a
+    // fresh ACT of their row are the row-buffer hits.
+    stats.rowHits = stats.reads >= stats.activates
+                        ? stats.reads - stats.activates
+                        : 0;
+    stats.finishCycle = last_data;
+    return stats;
+}
+
+BytesPerSecond
+RankController::measuredBandwidth(const std::vector<RowRead> &reads)
+{
+    if (reads.empty())
+        return 0.0;
+    Bytes total = 0;
+    for (const auto &read : reads)
+        total += static_cast<Bytes>(read.bursts) * config_.burstBytes;
+    const ControllerStats stats = simulate(reads);
+    if (stats.finishCycle == 0)
+        return 0.0;
+    return static_cast<double>(total) /
+           config_.timing.toSeconds(stats.finishCycle);
+}
+
+} // namespace hermes::dram

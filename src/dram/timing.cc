@@ -1,0 +1,33 @@
+#include "dram/timing.hh"
+
+namespace hermes::dram {
+
+TimingParams
+ddr4_3200()
+{
+    return TimingParams{};
+}
+
+TimingParams
+ddr4_2400()
+{
+    TimingParams t;
+    t.clockHz = 1200.0e6;
+    t.tRC = 57;
+    t.tRCD = 18;
+    t.tCL = 18;
+    t.tRP = 18;
+    t.tBL = 4;
+    t.tCCD_S = 4;
+    t.tCCD_L = 6;
+    t.tRRD_S = 4;
+    t.tRRD_L = 5;
+    t.tFAW = 21;
+    t.tRAS = 39;
+    t.tRTP = 9;
+    t.tREFI = 9360;
+    t.tRFC = 420;
+    return t;
+}
+
+} // namespace hermes::dram

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * DDR4 device timing parameters.
+ *
+ * All values are in DRAM command-clock cycles.  For DDR4-3200 the
+ * command clock runs at 1600 MHz (0.625 ns per cycle, two data
+ * transfers per cycle on the DQ pins).  The default values reproduce
+ * Table II of the Hermes paper, with the handful of parameters the
+ * table omits (tRAS, tWR, tRTP, refresh) filled in from the JEDEC
+ * DDR4-3200AA speed bin.
+ */
+
+#ifndef HERMES_DRAM_TIMING_HH
+#define HERMES_DRAM_TIMING_HH
+
+#include <cstdint>
+
+#include "common/units.hh"
+
+namespace hermes::dram {
+
+/** DDR4 timing parameters, in command-clock cycles. */
+struct TimingParams
+{
+    /** Command clock frequency in Hz (1600 MHz for DDR4-3200). */
+    double clockHz = 1600.0e6;
+
+    Cycles tRC = 76;    ///< ACT -> ACT, same bank.
+    Cycles tRCD = 24;   ///< ACT -> RD/WR, same bank.
+    Cycles tCL = 24;    ///< RD -> first data.
+    Cycles tRP = 24;    ///< PRE -> ACT, same bank.
+    Cycles tBL = 4;     ///< Burst length on the bus (BL8, DDR).
+    Cycles tCCD_S = 4;  ///< RD -> RD, different bank group.
+    Cycles tCCD_L = 8;  ///< RD -> RD, same bank group.
+    Cycles tRRD_S = 4;  ///< ACT -> ACT, different bank group.
+    Cycles tRRD_L = 6;  ///< ACT -> ACT, same bank group.
+    Cycles tFAW = 26;   ///< Four-activate window per rank.
+
+    // Parameters not listed in Table II, JEDEC DDR4-3200 values.
+    Cycles tRAS = 52;     ///< ACT -> PRE, same bank (tRC - tRP).
+    Cycles tRTP = 12;     ///< RD -> PRE, same bank.
+    Cycles tREFI = 12480; ///< Average refresh interval (7.8 us).
+    Cycles tRFC = 560;    ///< Refresh cycle time (350 ns, 16 Gb dies).
+
+    /** Seconds per command-clock cycle. */
+    double clockPeriod() const { return 1.0 / clockHz; }
+
+    /** Convert cycles of this clock domain to seconds. */
+    Seconds
+    toSeconds(Cycles cycles) const
+    {
+        return cyclesToSeconds(cycles, clockHz);
+    }
+};
+
+/** Table II DDR4-3200 timings (the defaults). */
+TimingParams ddr4_3200();
+
+/** Slower DDR4-2400 bin, used by sensitivity tests. */
+TimingParams ddr4_2400();
+
+} // namespace hermes::dram
+
+#endif // HERMES_DRAM_TIMING_HH

@@ -1,0 +1,49 @@
+#include "gpu/gpu_spec.hh"
+
+namespace hermes::gpu {
+
+GpuSpec
+rtx4090()
+{
+    GpuSpec spec;
+    spec.name = "RTX4090";
+    spec.tensorFp16 = tflops(330.0);
+    spec.memBandwidth = gbps(936.0);
+    spec.memCapacity = 24ULL * kGiB;
+    return spec;
+}
+
+GpuSpec
+rtx3090()
+{
+    GpuSpec spec;
+    spec.name = "RTX3090";
+    spec.tensorFp16 = tflops(142.0);
+    spec.memBandwidth = gbps(936.0);
+    spec.memCapacity = 24ULL * kGiB;
+    return spec;
+}
+
+GpuSpec
+teslaT4()
+{
+    GpuSpec spec;
+    spec.name = "TeslaT4";
+    spec.tensorFp16 = tflops(65.0);
+    spec.memBandwidth = gbps(320.0);
+    spec.memCapacity = 16ULL * kGiB;
+    return spec;
+}
+
+GpuSpec
+a100_40gb()
+{
+    GpuSpec spec;
+    spec.name = "A100-40GB";
+    spec.tensorFp16 = tflops(312.0);
+    spec.memBandwidth = gbps(1555.0);
+    spec.memCapacity = 40ULL * kGiB;
+    return spec;
+}
+
+} // namespace hermes::gpu

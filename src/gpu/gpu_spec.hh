@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Specifications of the GPUs evaluated in the paper.
+ *
+ * The paper measures real kernels with Nsight Compute; this repo
+ * substitutes an analytic roofline model (see DESIGN.md), so a GPU is
+ * fully described by its peak tensor FP16 throughput, memory bandwidth,
+ * memory capacity, and two efficiency factors that capture how close
+ * real GEMM/GEMV kernels get to the roofline.
+ */
+
+#ifndef HERMES_GPU_GPU_SPEC_HH
+#define HERMES_GPU_GPU_SPEC_HH
+
+#include <string>
+
+#include "common/units.hh"
+
+namespace hermes::gpu {
+
+/** Static description of one GPU. */
+struct GpuSpec
+{
+    std::string name;
+
+    /** Peak dense tensor-core FP16 throughput. */
+    FlopsPerSecond tensorFp16 = 0.0;
+
+    /** Peak DRAM bandwidth. */
+    BytesPerSecond memBandwidth = 0.0;
+
+    /** Graphics memory capacity. */
+    Bytes memCapacity = 0;
+
+    /**
+     * Fraction of peak compute a tuned GEMM reaches (cuBLAS-class
+     * kernels land at 60-75 % of tensor peak for LLM shapes).
+     */
+    double computeEfficiency = 0.70;
+
+    /**
+     * Fraction of peak bandwidth a streaming GEMV reaches (~80-85 %
+     * for large rows).
+     */
+    double bandwidthEfficiency = 0.82;
+
+    /** Fixed cost of launching one kernel from the host. */
+    Seconds kernelLaunchOverhead = 5.0e-6;
+
+    FlopsPerSecond
+    effectiveCompute() const
+    {
+        return tensorFp16 * computeEfficiency;
+    }
+
+    BytesPerSecond
+    effectiveBandwidth() const
+    {
+        return memBandwidth * bandwidthEfficiency;
+    }
+};
+
+/** NVIDIA RTX 4090: 330 tensor TFLOPS FP16, 936 GB/s, 24 GB (Sec. V-A). */
+GpuSpec rtx4090();
+
+/** NVIDIA RTX 3090: 142 tensor TFLOPS FP16, 936 GB/s, 24 GB (Sec. V-E2). */
+GpuSpec rtx3090();
+
+/** NVIDIA Tesla T4: 65 tensor TFLOPS FP16, 320 GB/s, 16 GB (Sec. V-E2). */
+GpuSpec teslaT4();
+
+/** NVIDIA A100-40GB-SXM4: 312 tensor TFLOPS FP16, 1555 GB/s, 40 GB. */
+GpuSpec a100_40gb();
+
+} // namespace hermes::gpu
+
+#endif // HERMES_GPU_GPU_SPEC_HH

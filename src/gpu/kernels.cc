@@ -1,0 +1,61 @@
+#include "gpu/kernels.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace hermes::gpu {
+
+Seconds
+GpuModel::roofline(Flops flops, Bytes bytes) const
+{
+    if (flops <= 0.0 && bytes == 0)
+        return 0.0;
+    const Seconds compute = flops / spec_.effectiveCompute();
+    const Seconds memory =
+        static_cast<double>(bytes) / spec_.effectiveBandwidth();
+    return std::max(compute, memory) + spec_.kernelLaunchOverhead;
+}
+
+Seconds
+GpuModel::gemm(std::uint64_t m, std::uint64_t n, std::uint64_t k) const
+{
+    if (m == 0 || n == 0 || k == 0)
+        return 0.0;
+    const Flops flops = 2.0 * static_cast<double>(m) *
+                        static_cast<double>(n) * static_cast<double>(k);
+    const Bytes bytes = (m * k + k * n + m * n) * kFp16Bytes;
+    return roofline(flops, bytes);
+}
+
+Seconds
+GpuModel::sparseGemv(std::uint64_t rows, std::uint64_t cols,
+                     std::uint32_t batch) const
+{
+    if (rows == 0 || cols == 0 || batch == 0)
+        return 0.0;
+    const Flops flops = 2.0 * static_cast<double>(rows) *
+                        static_cast<double>(cols) * batch;
+    const Bytes weight_bytes = rows * cols * kFp16Bytes;
+    const Bytes io_bytes = (cols + rows) * batch * kFp16Bytes;
+    return roofline(flops, weight_bytes + io_bytes);
+}
+
+Seconds
+GpuModel::attention(std::uint32_t batch, std::uint32_t heads,
+                    std::uint32_t kv_heads, std::uint32_t head_dim,
+                    std::uint64_t seq_len) const
+{
+    if (batch == 0 || heads == 0 || seq_len == 0)
+        return 0.0;
+    hermes_assert(kv_heads > 0 && kv_heads <= heads);
+    // QK^T and PV: 2 GEMVs of length seq_len per head per sequence.
+    const Flops flops = 2.0 * 2.0 * static_cast<double>(batch) * heads *
+                        static_cast<double>(seq_len) * head_dim;
+    // KV cache read dominates traffic (GQA shrinks it).
+    const Bytes kv_bytes = 2ULL * batch * kv_heads * seq_len * head_dim *
+                           kFp16Bytes;
+    return roofline(flops, kv_bytes);
+}
+
+} // namespace hermes::gpu

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Roofline latency model for the GPU kernels Hermes launches.
+ *
+ * A kernel's latency is max(compute time, memory time) plus the launch
+ * overhead.  During token generation the relevant kernels are
+ * weight-streaming (GEMV-like) and therefore bandwidth-bound for small
+ * batches; the roofline reproduces the compute/bandwidth crossover as
+ * the batch grows, which is what the paper's batch-scaling figures
+ * depend on.
+ */
+
+#ifndef HERMES_GPU_KERNELS_HH
+#define HERMES_GPU_KERNELS_HH
+
+#include <cstdint>
+
+#include "common/units.hh"
+#include "gpu/gpu_spec.hh"
+
+namespace hermes::gpu {
+
+/** Analytic latency model for one GPU. */
+class GpuModel
+{
+  public:
+    explicit GpuModel(GpuSpec spec) : spec_(std::move(spec)) {}
+
+    const GpuSpec &spec() const { return spec_; }
+
+    /**
+     * Dense GEMM C[m,n] += A[m,k] * B[k,n] in FP16.
+     * Weights (B) and activations are read from GPU memory.
+     */
+    Seconds gemm(std::uint64_t m, std::uint64_t n, std::uint64_t k) const;
+
+    /**
+     * Row-sparse matrix-vector product against `rows` active weight
+     * rows of `cols` values each, batched over `batch` tokens.  The
+     * weight bytes dominate traffic; activations/outputs are small.
+     */
+    Seconds sparseGemv(std::uint64_t rows, std::uint64_t cols,
+                       std::uint32_t batch) const;
+
+    /**
+     * Self-attention over the KV cache (token generation step).
+     *
+     * @param batch    Sequences in the batch.
+     * @param heads    Query heads.
+     * @param kv_heads KV heads (GQA when < heads).
+     * @param head_dim Per-head dimension.
+     * @param seq_len  Current context length.
+     */
+    Seconds attention(std::uint32_t batch, std::uint32_t heads,
+                      std::uint32_t kv_heads, std::uint32_t head_dim,
+                      std::uint64_t seq_len) const;
+
+    /** Generic roofline: max of compute and memory time, plus launch. */
+    Seconds roofline(Flops flops, Bytes bytes) const;
+
+  private:
+    GpuSpec spec_;
+};
+
+} // namespace hermes::gpu
+
+#endif // HERMES_GPU_KERNELS_HH

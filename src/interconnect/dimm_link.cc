@@ -1,0 +1,77 @@
+#include "interconnect/dimm_link.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace hermes::interconnect {
+
+DimmLinkNetwork::DimmLinkNetwork(std::uint32_t num_dimms,
+                                 DimmLinkConfig config)
+    : numDimms_(num_dimms), config_(config)
+{
+    hermes_assert(num_dimms > 0, "need at least one DIMM");
+}
+
+Seconds
+DimmLinkNetwork::migrationTime(
+    const std::vector<Transfer> &transfers) const
+{
+    if (transfers.empty())
+        return 0.0;
+
+    // Bytes each DIMM bridge must source or sink; the batch finishes
+    // when the busiest bridge drains.
+    std::vector<Bytes> bridge_bytes(numDimms_, 0);
+    bool any = false;
+    for (const auto &transfer : transfers) {
+        hermes_assert(transfer.fromDimm < numDimms_ &&
+                      transfer.toDimm < numDimms_,
+                      "transfer endpoint out of range");
+        if (transfer.bytes == 0 || transfer.fromDimm == transfer.toDimm)
+            continue;
+        bridge_bytes[transfer.fromDimm] += transfer.bytes;
+        bridge_bytes[transfer.toDimm] += transfer.bytes;
+        any = true;
+    }
+    if (!any)
+        return 0.0;
+
+    const Bytes busiest =
+        *std::max_element(bridge_bytes.begin(), bridge_bytes.end());
+    return config_.hopLatency +
+           static_cast<double>(busiest) / config_.linkBandwidth;
+}
+
+Seconds
+DimmLinkNetwork::hostMediatedTime(
+    const std::vector<Transfer> &transfers) const
+{
+    Seconds total = 0.0;
+    for (const auto &transfer : transfers) {
+        if (transfer.bytes == 0 || transfer.fromDimm == transfer.toDimm)
+            continue;
+        // Read out of the source DIMM and write into the target DIMM
+        // serialize through the host CPU.
+        total += config_.hostBatchOverhead +
+                 2.0 * static_cast<double>(transfer.bytes) /
+                     config_.hostCopyBandwidth;
+    }
+    return total;
+}
+
+double
+DimmLinkNetwork::migrationEnergyJoules(
+    const std::vector<Transfer> &transfers) const
+{
+    double joules = 0.0;
+    for (const auto &transfer : transfers) {
+        if (transfer.fromDimm == transfer.toDimm)
+            continue;
+        joules += static_cast<double>(transfer.bytes) * 8.0 *
+                  config_.energyPerBitJoules;
+    }
+    return joules;
+}
+
+} // namespace hermes::interconnect

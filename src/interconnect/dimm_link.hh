@@ -1,0 +1,91 @@
+/**
+ * @file
+ * DIMM-link inter-DIMM interconnect (Zhou et al., HPCA'23), as adopted
+ * by Hermes for cold-neuron remapping.
+ *
+ * Each DIMM owns one bidirectional point-to-point link bridge
+ * (25 GB/s per direction, Table II).  Transfers between disjoint DIMM
+ * pairs proceed in parallel; transfers sharing an endpoint serialize
+ * on that endpoint's bridge.
+ *
+ * The model also provides the host-mediated alternative (the path the
+ * paper's 62x comparison uses): without DIMM-link the host CPU copies
+ * neurons DIMM-to-DIMM through its own load/store path, paying driver
+ * invocation per migration batch plus uncacheable-copy bandwidth, and
+ * all pairs serialize behind one CPU.
+ */
+
+#ifndef HERMES_INTERCONNECT_DIMM_LINK_HH
+#define HERMES_INTERCONNECT_DIMM_LINK_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hh"
+
+namespace hermes::interconnect {
+
+/** Static DIMM-link parameters (Table II). */
+struct DimmLinkConfig
+{
+    /** Per-link, per-direction bandwidth: 8 lanes x 25 Gb/s. */
+    BytesPerSecond linkBandwidth = gbps(25.0);
+
+    /** Link traversal latency per transfer. */
+    Seconds hopLatency = 200.0e-9;
+
+    /** Energy per bit moved (1.17 pJ/b, Table II). */
+    double energyPerBitJoules = 1.17e-12;
+
+    /**
+     * Host-mediated copy path used when DIMM-link is absent: the CPU
+     * streams through both DIMMs with cache-bypassing accesses; the
+     * sustained copy rate observed for such flows is a small fraction
+     * of channel bandwidth.
+     */
+    BytesPerSecond hostCopyBandwidth = gbps(1.6);
+
+    /** Driver/syscall overhead per host-mediated migration batch. */
+    Seconds hostBatchOverhead = 30.0e-6;
+};
+
+/** One neuron-migration transfer between two DIMMs. */
+struct Transfer
+{
+    std::uint32_t fromDimm = 0;
+    std::uint32_t toDimm = 0;
+    Bytes bytes = 0;
+};
+
+/** Timing model for a set of DIMMs joined by DIMM-links. */
+class DimmLinkNetwork
+{
+  public:
+    DimmLinkNetwork(std::uint32_t num_dimms,
+                    DimmLinkConfig config = DimmLinkConfig{});
+
+    std::uint32_t numDimms() const { return numDimms_; }
+    const DimmLinkConfig &config() const { return config_; }
+
+    /**
+     * Completion time of a migration batch over DIMM-links.  Each
+     * DIMM's bridge serializes the bytes it sources or sinks; disjoint
+     * pairs overlap fully.
+     */
+    Seconds migrationTime(const std::vector<Transfer> &transfers) const;
+
+    /** Completion time of the same batch copied through the host. */
+    Seconds hostMediatedTime(const std::vector<Transfer> &transfers) const;
+
+    /** Energy spent moving the batch over DIMM-links. */
+    double migrationEnergyJoules(
+        const std::vector<Transfer> &transfers) const;
+
+  private:
+    std::uint32_t numDimms_;
+    DimmLinkConfig config_;
+};
+
+} // namespace hermes::interconnect
+
+#endif // HERMES_INTERCONNECT_DIMM_LINK_HH

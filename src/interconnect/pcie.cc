@@ -1,0 +1,37 @@
+#include "interconnect/pcie.hh"
+
+#include "common/logging.hh"
+
+namespace hermes::interconnect {
+
+BytesPerSecond
+PcieBus::effectiveBandwidth(bool pinned) const
+{
+    return pinned ? config_.peakBandwidth * config_.pinnedEfficiency
+                  : config_.pageableBandwidth;
+}
+
+Seconds
+PcieBus::transferTime(Bytes bytes, bool pinned) const
+{
+    if (bytes == 0)
+        return 0.0;
+    return config_.transferLatency +
+           static_cast<double>(bytes) / effectiveBandwidth(pinned);
+}
+
+Seconds
+PcieBus::chunkedTransferTime(Bytes bytes, Bytes chunk_bytes,
+                             bool pinned) const
+{
+    if (bytes == 0)
+        return 0.0;
+    hermes_assert(chunk_bytes > 0, "chunk size must be positive");
+    const std::uint64_t chunks =
+        (bytes + chunk_bytes - 1) / chunk_bytes;
+    return config_.transferLatency +
+           static_cast<double>(chunks) * config_.perChunkOverhead +
+           static_cast<double>(bytes) / effectiveBandwidth(pinned);
+}
+
+} // namespace hermes::interconnect

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * PCIe 4.0 x16 transfer model between host (DIMM) memory and the GPU.
+ *
+ * Three effects matter for reproducing the paper's baselines:
+ *  1. peak link bandwidth (64 GB/s),
+ *  2. pinned vs. pageable host buffers — pageable copies bounce
+ *     through a driver staging buffer and land near 6 GB/s on PCIe 4.0
+ *     systems, which is why HuggingFace Accelerate (no pinning) is so
+ *     far below FlexGen (pinned, double-buffered),
+ *  3. per-transfer setup cost — gathering many small tensors (Deja
+ *     Vu's per-neuron loads) pays a DMA/launch overhead per chunk that
+ *     large streaming transfers amortize away.
+ */
+
+#ifndef HERMES_INTERCONNECT_PCIE_HH
+#define HERMES_INTERCONNECT_PCIE_HH
+
+#include <cstdint>
+
+#include "common/units.hh"
+
+namespace hermes::interconnect {
+
+/** Static PCIe link parameters. */
+struct PcieConfig
+{
+    /** Peak link bandwidth (PCIe 4.0 x16). */
+    BytesPerSecond peakBandwidth = gbps(64.0);
+
+    /** Achievable fraction of peak with pinned host memory. */
+    double pinnedEfficiency = 0.88;
+
+    /** Effective bandwidth for pageable (unpinned) host buffers. */
+    BytesPerSecond pageableBandwidth = gbps(6.0);
+
+    /** Base latency of one transfer (submission + completion). */
+    Seconds transferLatency = 8.0e-6;
+
+    /** Extra per-chunk setup when a transfer is split into chunks. */
+    Seconds perChunkOverhead = 2.5e-6;
+};
+
+/** Latency/bandwidth model of one PCIe link. */
+class PcieBus
+{
+  public:
+    explicit PcieBus(PcieConfig config = PcieConfig{})
+        : config_(config)
+    {
+    }
+
+    const PcieConfig &config() const { return config_; }
+
+    /** Time to move `bytes` in one contiguous transfer. */
+    Seconds transferTime(Bytes bytes, bool pinned = true) const;
+
+    /**
+     * Time to move `bytes` as ceil(bytes/chunk) separate transfers
+     * (models per-tensor or per-neuron gathers).
+     */
+    Seconds chunkedTransferTime(Bytes bytes, Bytes chunk_bytes,
+                                bool pinned = true) const;
+
+    /** Effective streaming bandwidth for the given buffer type. */
+    BytesPerSecond effectiveBandwidth(bool pinned) const;
+
+  private:
+    PcieConfig config_;
+};
+
+} // namespace hermes::interconnect
+
+#endif // HERMES_INTERCONNECT_PCIE_HH

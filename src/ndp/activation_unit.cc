@@ -1,0 +1,29 @@
+#include "ndp/activation_unit.hh"
+
+namespace hermes::ndp {
+
+Cycles
+ActivationUnit::reluCycles(std::uint64_t values) const
+{
+    if (values == 0)
+        return 0;
+    return (values + config_.lanes - 1) / config_.lanes + 1;
+}
+
+Cycles
+ActivationUnit::softmaxCycles(std::uint64_t rows,
+                              std::uint64_t width) const
+{
+    if (rows == 0 || width == 0)
+        return 0;
+    const Cycles lanes_passes = (width + config_.lanes - 1) /
+                                config_.lanes;
+    // Pass 1: running max (comparator tree), pass 2: exp + sum (adder
+    // tree), pass 3: divide by the accumulated denominator.
+    const Cycles per_row = lanes_passes      // max
+                           + lanes_passes + config_.treeDepth  // exp+sum
+                           + lanes_passes + config_.dividerLatency;
+    return rows * per_row;
+}
+
+} // namespace hermes::ndp

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The activation unit inside each NDP-DIMM (Sec. IV-A1).
+ *
+ * 256 FP16 exponentiation, addition and multiplication lanes plus a
+ * comparator tree, an adder tree and one divider.  ReLU is a single
+ * comparator pass; softmax is the classic three-pass max / exp-sum /
+ * divide pipeline.
+ */
+
+#ifndef HERMES_NDP_ACTIVATION_UNIT_HH
+#define HERMES_NDP_ACTIVATION_UNIT_HH
+
+#include <cstdint>
+
+#include "common/units.hh"
+
+namespace hermes::ndp {
+
+/** Static configuration of one activation unit. */
+struct ActivationUnitConfig
+{
+    std::uint32_t lanes = 256;
+    double frequencyHz = 1.0e9;
+
+    /** Latency of the single FP16 divider. */
+    Cycles dividerLatency = 12;
+
+    /** Depth of the comparator / adder trees (log2 of 256 lanes). */
+    Cycles treeDepth = 8;
+};
+
+/** Cycle model of the activation datapath. */
+class ActivationUnit
+{
+  public:
+    explicit ActivationUnit(
+        ActivationUnitConfig config = ActivationUnitConfig{})
+        : config_(config)
+    {
+    }
+
+    const ActivationUnitConfig &config() const { return config_; }
+
+    /** Cycles for an elementwise ReLU over `values` elements. */
+    Cycles reluCycles(std::uint64_t values) const;
+
+    /**
+     * Cycles for `rows` independent softmaxes of `width` elements
+     * each (one per attention head per sequence).
+     */
+    Cycles softmaxCycles(std::uint64_t rows, std::uint64_t width) const;
+
+    Seconds
+    reluTime(std::uint64_t values) const
+    {
+        return cyclesToSeconds(reluCycles(values), config_.frequencyHz);
+    }
+
+    Seconds
+    softmaxTime(std::uint64_t rows, std::uint64_t width) const
+    {
+        return cyclesToSeconds(softmaxCycles(rows, width),
+                               config_.frequencyHz);
+    }
+
+  private:
+    ActivationUnitConfig config_;
+};
+
+} // namespace hermes::ndp
+
+#endif // HERMES_NDP_ACTIVATION_UNIT_HH

@@ -1,0 +1,35 @@
+#include "ndp/gemv_unit.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace hermes::ndp {
+
+Cycles
+GemvUnit::computeCycles(std::uint64_t macs) const
+{
+    if (macs == 0)
+        return 0;
+    const double cycles =
+        static_cast<double>(macs) / config_.macsPerCycle();
+    return static_cast<Cycles>(std::ceil(cycles)) +
+           config_.pipelineDepth;
+}
+
+Seconds
+GemvUnit::computeTime(std::uint64_t macs) const
+{
+    return cyclesToSeconds(computeCycles(macs), config_.frequencyHz);
+}
+
+Bytes
+GemvUnit::spillBytes(Bytes output_bytes) const
+{
+    if (output_bytes <= config_.bufferBytes)
+        return 0;
+    // Spilled portion is written to DRAM and read back for the merge.
+    return 2 * (output_bytes - config_.bufferBytes);
+}
+
+} // namespace hermes::ndp

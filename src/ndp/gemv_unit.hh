@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The GEMV unit inside each NDP-DIMM (Sec. IV-A1, Table II).
+ *
+ * 256 multipliers, each handling one 128-bit beat (eight FP16 values)
+ * in a bit-serial fashion, feed a reduction-tree accumulator and a
+ * 256 KB scratch buffer, all clocked at 1 GHz.  Bit-serial FP16 takes
+ * one pass over the 16 value bits, so a multiplier retires its eight
+ * lanes every 16 cycles; at the default width the unit sustains
+ * 256 * 8 / 16 = 128 MACs/cycle = 256 GFLOP/s, i.e. the "hundreds of
+ * GFLOPS" the paper quotes for DIMM-NDP.
+ */
+
+#ifndef HERMES_NDP_GEMV_UNIT_HH
+#define HERMES_NDP_GEMV_UNIT_HH
+
+#include <cstdint>
+
+#include "common/units.hh"
+
+namespace hermes::ndp {
+
+/** Static configuration of one GEMV unit. */
+struct GemvUnitConfig
+{
+    std::uint32_t multipliers = 256;        ///< Fig. 16 sweeps 32-512.
+    std::uint32_t lanesPerMultiplier = 8;   ///< 128-bit beat of FP16.
+    std::uint32_t bitSerialCycles = 16;     ///< One pass per FP16 bit.
+    Bytes bufferBytes = 256 * kKiB;         ///< Intermediate buffer.
+    double frequencyHz = 1.0e9;
+
+    /** Reduction tree + accumulator pipeline depth (fill cycles). */
+    Cycles pipelineDepth = 16;
+
+    /** Sustained multiply-accumulates per cycle. */
+    double
+    macsPerCycle() const
+    {
+        return static_cast<double>(multipliers) * lanesPerMultiplier /
+               bitSerialCycles;
+    }
+
+    /** Sustained FLOP/s (one MAC = 2 FLOPs). */
+    FlopsPerSecond
+    sustainedFlops() const
+    {
+        return 2.0 * macsPerCycle() * frequencyHz;
+    }
+
+    /**
+     * Weight-byte consumption rate when compute-bound: each MAC
+     * consumes one fresh FP16 weight.
+     */
+    BytesPerSecond
+    weightDemandBandwidth() const
+    {
+        return macsPerCycle() * frequencyHz *
+               static_cast<double>(kFp16Bytes);
+    }
+};
+
+/** Cycle model of the GEMV datapath (excluding DRAM time). */
+class GemvUnit
+{
+  public:
+    explicit GemvUnit(GemvUnitConfig config = GemvUnitConfig{})
+        : config_(config)
+    {
+    }
+
+    const GemvUnitConfig &config() const { return config_; }
+
+    /** Datapath cycles to execute `macs` multiply-accumulates. */
+    Cycles computeCycles(std::uint64_t macs) const;
+
+    /** Datapath time for `macs` multiply-accumulates. */
+    Seconds computeTime(std::uint64_t macs) const;
+
+    /**
+     * Buffer spill traffic: output bytes beyond the on-unit buffer
+     * must round-trip to DRAM.
+     */
+    Bytes spillBytes(Bytes output_bytes) const;
+
+  private:
+    GemvUnitConfig config_;
+};
+
+} // namespace hermes::ndp
+
+#endif // HERMES_NDP_GEMV_UNIT_HH

@@ -1,0 +1,77 @@
+#include "runtime/accelerate_engine.hh"
+
+#include <algorithm>
+
+#include "gpu/kernels.hh"
+#include "interconnect/pcie.hh"
+#include "runtime/common_costs.hh"
+
+namespace hermes::runtime {
+
+InferenceResult
+AccelerateEngine::run(const InferenceRequest &request)
+{
+    InferenceResult result;
+    result.engine = name();
+
+    const model::LlmConfig &llm = request.llm;
+    const gpu::GpuModel gpu_model(config_.gpu);
+    const interconnect::PcieBus pcie(config_.pcie);
+
+    // Accelerate's auto device map reserves GPU memory for
+    // activations and the KV cache and dispatches every transformer
+    // layer from host memory (the conservative placement users get in
+    // practice); only the embeddings stay resident.
+    const Bytes streamed_per_pass =
+        static_cast<Bytes>(llm.layers) * llm.layerBytes();
+
+    // Python-level module hooks add a fixed dispatch cost per layer.
+    const Seconds dispatch_per_layer = 2.0e-3;
+
+    // Prompting: weights stream once (no overlap, pageable buffers),
+    // compute follows.
+    result.prefillTime =
+        streamingPrefill(config_, llm, request.batch,
+                         request.promptTokens, streamed_per_pass,
+                         /*pinned=*/false, /*overlap=*/false);
+    result.breakdown.prefill = result.prefillTime;
+
+    // Token generation: per token, every non-resident layer's weights
+    // cross PCIe in per-tensor chunks (4 weight tensors per layer).
+    const Bytes chunk = llm.layerBytes() / 4;
+    const Seconds transfer_per_token = pcie.chunkedTransferTime(
+        streamed_per_pass, std::max<Bytes>(chunk, 1), false);
+
+    // Dense compute of one token on the GPU.
+    Seconds fc_time = 0.0;
+    Seconds attn_time = 0.0;
+    const std::uint64_t h = llm.hidden;
+    for (std::uint32_t l = 0; l < llm.layers; ++l) {
+        fc_time += gpu_model.sparseGemv(h + 2ULL * llm.kvDim(), h,
+                                        request.batch);
+        fc_time += gpu_model.gemm(request.batch, h, h);
+        fc_time += gpu_model.sparseGemv(
+            static_cast<std::uint64_t>(llm.mlpMatrices) * llm.ffnHidden,
+            h, request.batch);
+        attn_time += gpu_model.attention(request.batch, llm.heads,
+                                         llm.kvHeads, llm.headDim(),
+                                         request.promptTokens);
+    }
+    const Seconds lm_head = lmHeadTime(gpu_model, llm, request.batch);
+
+    const Seconds dispatch = dispatch_per_layer * llm.layers;
+    const Seconds per_token =
+        transfer_per_token + dispatch + fc_time + attn_time + lm_head;
+    result.generateTime = per_token * request.generateTokens;
+    result.breakdown.communication =
+        transfer_per_token * request.generateTokens;
+    result.breakdown.fc = fc_time * request.generateTokens;
+    result.breakdown.attention = attn_time * request.generateTokens;
+    result.breakdown.others =
+        (lm_head + dispatch) * request.generateTokens;
+
+    finalize(result, request);
+    return result;
+}
+
+} // namespace hermes::runtime

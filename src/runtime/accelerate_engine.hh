@@ -1,0 +1,38 @@
+/**
+ * @file
+ * HuggingFace-Accelerate-style offloading baseline (Sec. II-C).
+ *
+ * Accelerate maps as many whole layers as fit into GPU memory and
+ * streams the rest from host memory per token.  Two properties make
+ * it the slowest baseline: transfers use pageable (unpinned) host
+ * buffers, and each tensor is fetched synchronously with no
+ * overlap between transfer and compute.
+ */
+
+#ifndef HERMES_RUNTIME_ACCELERATE_ENGINE_HH
+#define HERMES_RUNTIME_ACCELERATE_ENGINE_HH
+
+#include "runtime/engine.hh"
+#include "runtime/system_config.hh"
+
+namespace hermes::runtime {
+
+/** HuggingFace Accelerate baseline. */
+class AccelerateEngine : public InferenceEngine
+{
+  public:
+    explicit AccelerateEngine(SystemConfig config)
+        : config_(std::move(config))
+    {
+    }
+
+    std::string name() const override { return "Accelerate"; }
+    InferenceResult run(const InferenceRequest &request) override;
+
+  private:
+    SystemConfig config_;
+};
+
+} // namespace hermes::runtime
+
+#endif // HERMES_RUNTIME_ACCELERATE_ENGINE_HH

@@ -1,0 +1,80 @@
+#include "runtime/common_costs.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace hermes::runtime {
+
+GpuResidency
+computeResidency(const SystemConfig &config, const model::LlmConfig &llm,
+                 Bytes extra)
+{
+    GpuResidency residency;
+    residency.denseBytes =
+        static_cast<Bytes>(llm.layers) * llm.projectionBytesPerLayer() +
+        llm.embeddingBytes();
+    const Bytes needed =
+        residency.denseBytes + config.gpuReservedBytes + extra;
+    residency.hotBudget = config.gpu.memCapacity > needed
+                              ? config.gpu.memCapacity - needed
+                              : 0;
+    return residency;
+}
+
+Seconds
+gpuPromptCompute(const gpu::GpuModel &gpu, const model::LlmConfig &llm,
+                 std::uint32_t batch, std::uint32_t prompt_tokens)
+{
+    const std::uint64_t positions =
+        static_cast<std::uint64_t>(batch) * prompt_tokens;
+    // Per layer: QKV + projection + MLP as one batched GEMM over all
+    // positions; attention over the (growing) causal context, charged
+    // at its full final length for every head (upper bound within a
+    // factor of 2, which the roofline absorbs).
+    Seconds total = 0.0;
+    const auto h = static_cast<std::uint64_t>(llm.hidden);
+    const std::uint64_t qkv_out = h + 2ULL * llm.kvDim();
+    const std::uint64_t mlp_out =
+        static_cast<std::uint64_t>(llm.mlpMatrices) * llm.ffnHidden;
+    for (std::uint32_t l = 0; l < llm.layers; ++l) {
+        total += gpu.gemm(positions, qkv_out, h);
+        total += gpu.gemm(positions, h, h);
+        total += gpu.gemm(positions, mlp_out, h);
+        total += gpu.attention(batch, llm.heads, llm.kvHeads,
+                               llm.headDim(), prompt_tokens);
+    }
+    total += gpu.gemm(positions, llm.vocab, h); // LM head.
+    return total;
+}
+
+Seconds
+streamingPrefill(const SystemConfig &config, const model::LlmConfig &llm,
+                 std::uint32_t batch, std::uint32_t prompt_tokens,
+                 Bytes non_resident_bytes, bool pinned, bool overlap)
+{
+    const gpu::GpuModel gpu(config.gpu);
+    const interconnect::PcieBus pcie(config.pcie);
+    const Seconds compute =
+        gpuPromptCompute(gpu, llm, batch, prompt_tokens);
+    const Seconds transfer =
+        pcie.transferTime(non_resident_bytes, pinned);
+    return overlap ? std::max(compute, transfer) : compute + transfer;
+}
+
+Seconds
+lmHeadTime(const gpu::GpuModel &gpu, const model::LlmConfig &llm,
+           std::uint32_t batch)
+{
+    return gpu.sparseGemv(llm.vocab, llm.hidden, batch);
+}
+
+Seconds
+activationSyncTime(const interconnect::PcieBus &pcie,
+                   const model::LlmConfig &llm, std::uint32_t batch)
+{
+    return pcie.transferTime(static_cast<Bytes>(batch) * llm.hidden *
+                             kFp16Bytes);
+}
+
+} // namespace hermes::runtime

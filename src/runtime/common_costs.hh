@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Cost helpers shared by the engines: GPU residency accounting,
+ * prompting-stage (prefill) models, and small per-token kernels.
+ */
+
+#ifndef HERMES_RUNTIME_COMMON_COSTS_HH
+#define HERMES_RUNTIME_COMMON_COSTS_HH
+
+#include "common/units.hh"
+#include "gpu/kernels.hh"
+#include "interconnect/pcie.hh"
+#include "model/llm_config.hh"
+#include "runtime/system_config.hh"
+
+namespace hermes::runtime {
+
+/** GPU-memory accounting for one engine setup. */
+struct GpuResidency
+{
+    Bytes denseBytes = 0;  ///< Projections + embeddings (always on GPU).
+    Bytes hotBudget = 0;   ///< Bytes left for hot-neuron replicas.
+};
+
+/**
+ * GPU residency when the dense components (attention projections,
+ * embeddings, LM head) are pinned in GPU memory and `extra` bytes are
+ * consumed by other state (KV cache, predictor weights, ...).
+ */
+GpuResidency computeResidency(const SystemConfig &config,
+                              const model::LlmConfig &llm, Bytes extra);
+
+/**
+ * GPU compute time of the whole prompting stage: every transformer
+ * layer over batch * prompt_tokens positions, roofline per kernel
+ * class (weights are read once per layer regardless of positions).
+ */
+Seconds gpuPromptCompute(const gpu::GpuModel &gpu,
+                         const model::LlmConfig &llm,
+                         std::uint32_t batch,
+                         std::uint32_t prompt_tokens);
+
+/**
+ * Prompting stage of a streaming-offload system: non-resident weights
+ * cross PCIe once, overlapped with GPU compute when `overlap`.
+ */
+Seconds streamingPrefill(const SystemConfig &config,
+                         const model::LlmConfig &llm,
+                         std::uint32_t batch,
+                         std::uint32_t prompt_tokens,
+                         Bytes non_resident_bytes, bool pinned,
+                         bool overlap);
+
+/** LM head GEMV on the GPU (per generated token). */
+Seconds lmHeadTime(const gpu::GpuModel &gpu, const model::LlmConfig &llm,
+                   std::uint32_t batch);
+
+/** One-direction activation sync over PCIe (Tsync of Eq. 3). */
+Seconds activationSyncTime(const interconnect::PcieBus &pcie,
+                           const model::LlmConfig &llm,
+                           std::uint32_t batch);
+
+} // namespace hermes::runtime
+
+#endif // HERMES_RUNTIME_COMMON_COSTS_HH

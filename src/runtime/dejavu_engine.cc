@@ -1,0 +1,154 @@
+#include "runtime/dejavu_engine.hh"
+
+#include <algorithm>
+
+#include "gpu/kernels.hh"
+#include "interconnect/pcie.hh"
+#include "runtime/common_costs.hh"
+#include "sparsity/trace.hh"
+
+namespace hermes::runtime {
+
+bool
+DejaVuEngine::supports(const InferenceRequest &request) const
+{
+    return request.llm.name.rfind("OPT", 0) == 0;
+}
+
+InferenceResult
+DejaVuEngine::run(const InferenceRequest &request)
+{
+    InferenceResult result;
+    result.engine = name();
+    if (!supports(request)) {
+        result.supported = false;
+        result.unsupportedReason = "Deja Vu supports OPT models only";
+        return result;
+    }
+
+    const model::LlmConfig &llm = request.llm;
+    const gpu::GpuModel gpu_model(config_.gpu);
+    // Per-neuron gathers issue one async copy each; the driver-side
+    // submission cost dominates the paper's measured Deja Vu rates.
+    interconnect::PcieConfig gather_config = config_.pcie;
+    gather_config.perChunkOverhead = 5.0e-6;
+    const interconnect::PcieBus pcie(gather_config);
+
+    // Per-layer MLP predictors: two dense matrices per block pair.
+    const Bytes predictor_bytes =
+        static_cast<Bytes>(llm.layers) *
+        (static_cast<Bytes>(llm.hidden) * kPredictorRank +
+         static_cast<Bytes>(kPredictorRank) *
+             (llm.hidden + llm.ffnHidden)) *
+        kFp16Bytes;
+
+    // "Since the activated neurons are dynamic and cannot be
+    // pre-loaded into the limited consumer-grade GPU memory, data
+    // still need to be loaded from host memory" (Sec. II-C): the
+    // sparse weights live in host memory; the dense projections,
+    // embeddings and the MLP predictors stay resident when they fit.
+    const Bytes kv_bytes =
+        static_cast<Bytes>(request.batch) *
+        (request.promptTokens + request.generateTokens) *
+        llm.kvBytesPerToken();
+    const Bytes overhead = config_.gpuReservedBytes + kv_bytes +
+                           llm.embeddingBytes() + predictor_bytes;
+    const Bytes available = config_.gpu.memCapacity > overhead
+                                ? config_.gpu.memCapacity - overhead
+                                : 0;
+    const Bytes dense_bytes = static_cast<Bytes>(llm.layers) *
+                              llm.projectionBytesPerLayer();
+    const bool dense_resident = dense_bytes <= available;
+    const double resident_fraction = 0.0; // Sparse weights stream.
+
+    result.prefillTime = streamingPrefill(
+        config_, llm, request.batch, request.promptTokens,
+        static_cast<Bytes>(llm.layers) * llm.sparseBytesPerLayer() +
+            (dense_resident ? 0 : dense_bytes),
+        /*pinned=*/true, /*overlap=*/true);
+    result.breakdown.prefill = result.prefillTime;
+
+    // A short trace determines how many neurons activate per token
+    // (union over the batch), which is what must be gathered.
+    model::LlmConfig sim_llm = llm;
+    sim_llm.layers = std::min<std::uint32_t>(llm.layers, 4);
+    sparsity::SparsityConfig sparsity_config = config_.sparsity;
+    sparsity_config.seed = request.seed;
+    sparsity::ActivationTrace trace(sim_llm, sparsity_config,
+                                    request.batch);
+    double active_fraction = 0.0;
+    const std::uint32_t probe_tokens = 16;
+    for (std::uint32_t t = 0; t < probe_tokens; ++t) {
+        trace.nextToken();
+        active_fraction += trace.currentActiveFraction();
+    }
+    active_fraction /= probe_tokens;
+
+    // Per token: gather the activated neurons that are not resident,
+    // in per-neuron chunks; the projection (dense) streams too.
+    const Bytes active_sparse_bytes = static_cast<Bytes>(
+        active_fraction *
+        static_cast<double>(llm.layers * llm.sparseBytesPerLayer()));
+    const Bytes nonresident_gather = static_cast<Bytes>(
+        (1.0 - resident_fraction) *
+        static_cast<double>(active_sparse_bytes));
+    const Bytes nonresident_proj =
+        dense_resident ? 0 : dense_bytes;
+    const Bytes mean_neuron_bytes =
+        (llm.attnNeuronBytes() + llm.mlpNeuronBytes()) / 2;
+    const Seconds gather_time =
+        pcie.chunkedTransferTime(nonresident_gather, mean_neuron_bytes,
+                                 true) +
+        pcie.transferTime(nonresident_proj, true);
+
+    // GPU compute: sparse FC on activated neurons + dense projection
+    // + attention + the MLP predictors themselves.
+    Seconds fc_time = 0.0;
+    Seconds attn_time = 0.0;
+    Seconds predictor_time = 0.0;
+    const std::uint64_t h = llm.hidden;
+    const auto active_attn = static_cast<std::uint64_t>(
+        active_fraction * llm.attnNeuronsPerLayer());
+    const auto active_mlp = static_cast<std::uint64_t>(
+        active_fraction * llm.mlpNeuronsPerLayer());
+    for (std::uint32_t l = 0; l < llm.layers; ++l) {
+        fc_time += gpu_model.sparseGemv(active_attn,
+                                        h + 2ULL * llm.kvDim(),
+                                        request.batch);
+        fc_time += gpu_model.gemm(request.batch, h, h);
+        fc_time += gpu_model.sparseGemv(
+            active_mlp,
+            static_cast<std::uint64_t>(llm.mlpMatrices) * h,
+            request.batch);
+        attn_time += gpu_model.attention(request.batch, llm.heads,
+                                         llm.kvHeads, llm.headDim(),
+                                         request.promptTokens);
+        predictor_time += gpu_model.sparseGemv(kPredictorRank, h,
+                                               request.batch);
+        predictor_time += gpu_model.sparseGemv(
+            h + llm.ffnHidden, kPredictorRank, request.batch);
+    }
+    const Seconds lm_head = lmHeadTime(gpu_model, llm, request.batch);
+
+    // Gathers cannot overlap compute: the predictor must run first,
+    // then the gather, then the sparse kernels (data dependence).
+    const Seconds per_token = gather_time + fc_time + attn_time +
+                              predictor_time + lm_head;
+    result.generateTime = per_token * request.generateTokens;
+    result.breakdown.communication =
+        gather_time * request.generateTokens;
+    result.breakdown.fc = fc_time * request.generateTokens;
+    result.breakdown.attention = attn_time * request.generateTokens;
+    result.breakdown.predictor =
+        predictor_time * request.generateTokens;
+    result.breakdown.others = lm_head * request.generateTokens;
+
+    result.stats.counter("active.fraction").set(active_fraction);
+    result.stats.counter("predictor.bytes").set(
+        static_cast<double>(predictor_bytes));
+
+    finalize(result, request);
+    return result;
+}
+
+} // namespace hermes::runtime

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Deja Vu adapted to offloading (Liu et al., ICML'23; Sec. II-C, V-A2).
+ *
+ * Deja Vu predicts contextual sparsity with per-layer MLP predictors
+ * and loads/computes only the activated neurons.  Adapted to a
+ * single-GPU offloading setting (as the paper does), the activated
+ * cold neurons still cross PCIe every token as many small per-neuron
+ * gathers, and the MLP predictors consume GPU memory and compute.
+ */
+
+#ifndef HERMES_RUNTIME_DEJAVU_ENGINE_HH
+#define HERMES_RUNTIME_DEJAVU_ENGINE_HH
+
+#include "runtime/engine.hh"
+#include "runtime/system_config.hh"
+
+namespace hermes::runtime {
+
+/** Deja Vu offloading baseline (OPT models only). */
+class DejaVuEngine : public InferenceEngine
+{
+  public:
+    explicit DejaVuEngine(SystemConfig config)
+        : config_(std::move(config))
+    {
+    }
+
+    std::string name() const override { return "DejaVu"; }
+    bool supports(const InferenceRequest &request) const override;
+    InferenceResult run(const InferenceRequest &request) override;
+
+    /** Hidden width of each per-layer MLP predictor. */
+    static constexpr std::uint32_t kPredictorRank = 1024;
+
+  private:
+    SystemConfig config_;
+};
+
+} // namespace hermes::runtime
+
+#endif // HERMES_RUNTIME_DEJAVU_ENGINE_HH

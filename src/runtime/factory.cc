@@ -1,0 +1,67 @@
+#include "runtime/factory.hh"
+
+#include "common/logging.hh"
+#include "runtime/accelerate_engine.hh"
+#include "runtime/dejavu_engine.hh"
+#include "runtime/flexgen_engine.hh"
+#include "runtime/hermes_base_engine.hh"
+#include "runtime/hermes_engine.hh"
+#include "runtime/hermes_host_engine.hh"
+#include "runtime/tensorrt_engine.hh"
+
+namespace hermes::runtime {
+
+std::unique_ptr<InferenceEngine>
+makeEngine(EngineKind kind, const SystemConfig &config)
+{
+    switch (kind) {
+      case EngineKind::Accelerate:
+        return std::make_unique<AccelerateEngine>(config);
+      case EngineKind::FlexGen:
+        return std::make_unique<FlexGenEngine>(config);
+      case EngineKind::DejaVu:
+        return std::make_unique<DejaVuEngine>(config);
+      case EngineKind::HermesHost:
+        return std::make_unique<HermesHostEngine>(config);
+      case EngineKind::HermesBase:
+        return std::make_unique<HermesBaseEngine>(config);
+      case EngineKind::Hermes:
+        return std::make_unique<HermesEngine>(config);
+      case EngineKind::TensorRtLlm:
+        return std::make_unique<TensorRtLlmEngine>(config);
+    }
+    hermes_panic("unknown engine kind");
+}
+
+std::vector<EngineKind>
+allEngineKinds()
+{
+    return {EngineKind::Accelerate, EngineKind::FlexGen,
+            EngineKind::DejaVu,     EngineKind::HermesHost,
+            EngineKind::HermesBase, EngineKind::Hermes,
+            EngineKind::TensorRtLlm};
+}
+
+std::string
+engineKindName(EngineKind kind)
+{
+    switch (kind) {
+      case EngineKind::Accelerate:
+        return "Accelerate";
+      case EngineKind::FlexGen:
+        return "FlexGen";
+      case EngineKind::DejaVu:
+        return "DejaVu";
+      case EngineKind::HermesHost:
+        return "Hermes-host";
+      case EngineKind::HermesBase:
+        return "Hermes-base";
+      case EngineKind::Hermes:
+        return "Hermes";
+      case EngineKind::TensorRtLlm:
+        return "TensorRT-LLM";
+    }
+    hermes_panic("unknown engine kind");
+}
+
+} // namespace hermes::runtime

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Engine factory: build any of the paper's seven systems by name.
+ */
+
+#ifndef HERMES_RUNTIME_FACTORY_HH
+#define HERMES_RUNTIME_FACTORY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/engine.hh"
+#include "runtime/system_config.hh"
+
+namespace hermes::runtime {
+
+/** The systems evaluated in Sec. V. */
+enum class EngineKind
+{
+    Accelerate,
+    FlexGen,
+    DejaVu,
+    HermesHost,
+    HermesBase,
+    Hermes,
+    TensorRtLlm,
+};
+
+/** Instantiate an engine on the given platform. */
+std::unique_ptr<InferenceEngine> makeEngine(EngineKind kind,
+                                            const SystemConfig &config);
+
+/** All engine kinds in the order the figures list them. */
+std::vector<EngineKind> allEngineKinds();
+
+/** Display name used in the figures. */
+std::string engineKindName(EngineKind kind);
+
+} // namespace hermes::runtime
+
+#endif // HERMES_RUNTIME_FACTORY_HH

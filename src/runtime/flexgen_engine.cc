@@ -1,0 +1,94 @@
+#include "runtime/flexgen_engine.hh"
+
+#include <algorithm>
+
+#include "gpu/kernels.hh"
+#include "interconnect/pcie.hh"
+#include "runtime/common_costs.hh"
+
+namespace hermes::runtime {
+
+bool
+FlexGenEngine::supports(const InferenceRequest &request) const
+{
+    // FlexGen's released runtime targets the OPT family (Sec. V-A2).
+    return request.llm.name.rfind("OPT", 0) == 0;
+}
+
+InferenceResult
+FlexGenEngine::run(const InferenceRequest &request)
+{
+    InferenceResult result;
+    result.engine = name();
+    if (!supports(request)) {
+        result.supported = false;
+        result.unsupportedReason = "FlexGen supports OPT models only";
+        return result;
+    }
+
+    const model::LlmConfig &llm = request.llm;
+    const gpu::GpuModel gpu_model(config_.gpu);
+    const interconnect::PcieBus pcie(config_.pcie);
+
+    // FlexGen's offloading policy places transformer weights in host
+    // memory at these model-to-GPU size ratios (its GPU share goes to
+    // the working set and double buffers); all layers stream per
+    // token.
+    const Bytes streamed_per_pass =
+        static_cast<Bytes>(llm.layers) * llm.layerBytes();
+
+    // Prompting overlaps prefetch with the (large) prompt compute.
+    result.prefillTime =
+        streamingPrefill(config_, llm, request.batch,
+                         request.promptTokens, streamed_per_pass,
+                         /*pinned=*/true, /*overlap=*/true);
+    result.breakdown.prefill = result.prefillTime;
+
+    // Token generation: weights flow host-memcpy -> pinned staging ->
+    // DMA; the two stages pipeline, so the rate is the slower stage,
+    // but both consume the same bytes.
+    const BytesPerSecond dma = pcie.effectiveBandwidth(true);
+    const BytesPerSecond staging = kStagingBandwidth;
+    const BytesPerSecond effective =
+        1.0 / (1.0 / dma + 1.0 / staging);
+    const Seconds transfer_per_token =
+        streamed_per_pass > 0
+            ? static_cast<double>(streamed_per_pass) / effective
+            : 0.0;
+
+    Seconds fc_time = 0.0;
+    Seconds attn_time = 0.0;
+    const std::uint64_t h = llm.hidden;
+    for (std::uint32_t l = 0; l < llm.layers; ++l) {
+        fc_time += gpu_model.sparseGemv(h + 2ULL * llm.kvDim(), h,
+                                        request.batch);
+        fc_time += gpu_model.gemm(request.batch, h, h);
+        fc_time += gpu_model.sparseGemv(
+            static_cast<std::uint64_t>(llm.mlpMatrices) * llm.ffnHidden,
+            h, request.batch);
+        attn_time += gpu_model.attention(request.batch, llm.heads,
+                                         llm.kvHeads, llm.headDim(),
+                                         request.promptTokens);
+    }
+    const Seconds lm_head = lmHeadTime(gpu_model, llm, request.batch);
+
+    // Zig-zag overlap: compute hides under the transfer (or vice
+    // versa when everything is resident).
+    const Seconds per_token =
+        std::max(transfer_per_token, fc_time + attn_time) + lm_head;
+    result.generateTime = per_token * request.generateTokens;
+    const Seconds exposed_comm =
+        std::max(0.0, transfer_per_token - (fc_time + attn_time));
+    result.breakdown.communication =
+        exposed_comm * request.generateTokens;
+    result.breakdown.fc =
+        (per_token - exposed_comm - attn_time - lm_head) *
+        request.generateTokens;
+    result.breakdown.attention = attn_time * request.generateTokens;
+    result.breakdown.others = lm_head * request.generateTokens;
+
+    finalize(result, request);
+    return result;
+}
+
+} // namespace hermes::runtime

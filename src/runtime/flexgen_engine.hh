@@ -1,0 +1,43 @@
+/**
+ * @file
+ * FlexGen-style offloading baseline (Sheng et al., ICML'23; Sec. II-C).
+ *
+ * FlexGen pins host buffers and overlaps weight prefetch with compute
+ * using a zig-zag block schedule.  At the small batch sizes of local
+ * deployment the schedule degenerates: every layer's weights still
+ * cross PCIe each token, and the effective rate is bounded by the
+ * host-side copy into the pinned staging buffer in series with the
+ * DMA itself.
+ */
+
+#ifndef HERMES_RUNTIME_FLEXGEN_ENGINE_HH
+#define HERMES_RUNTIME_FLEXGEN_ENGINE_HH
+
+#include "runtime/engine.hh"
+#include "runtime/system_config.hh"
+
+namespace hermes::runtime {
+
+/** FlexGen baseline (OPT models only, matching the paper). */
+class FlexGenEngine : public InferenceEngine
+{
+  public:
+    explicit FlexGenEngine(SystemConfig config)
+        : config_(std::move(config))
+    {
+    }
+
+    std::string name() const override { return "FlexGen"; }
+    bool supports(const InferenceRequest &request) const override;
+    InferenceResult run(const InferenceRequest &request) override;
+
+    /** Host memcpy rate into the pinned staging buffer. */
+    static constexpr BytesPerSecond kStagingBandwidth = 25.0e9;
+
+  private:
+    SystemConfig config_;
+};
+
+} // namespace hermes::runtime
+
+#endif // HERMES_RUNTIME_FLEXGEN_ENGINE_HH

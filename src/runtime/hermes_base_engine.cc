@@ -1,0 +1,115 @@
+#include "runtime/hermes_base_engine.hh"
+
+#include <algorithm>
+
+#include "gpu/kernels.hh"
+#include "interconnect/pcie.hh"
+#include "ndp/ndp_dimm.hh"
+#include "runtime/common_costs.hh"
+
+namespace hermes::runtime {
+
+bool
+HermesBaseEngine::supports(const InferenceRequest &request) const
+{
+    const Bytes kv = static_cast<Bytes>(request.batch) *
+                     (request.promptTokens + request.generateTokens) *
+                     request.llm.kvBytesPerToken();
+    return request.llm.totalBytes() + kv <= config_.totalDimmCapacity();
+}
+
+InferenceResult
+HermesBaseEngine::run(const InferenceRequest &request)
+{
+    InferenceResult result;
+    result.engine = name();
+    if (!supports(request)) {
+        result.supported = false;
+        result.unsupportedReason = "model exceeds NDP-DIMM capacity";
+        return result;
+    }
+
+    const model::LlmConfig &llm = request.llm;
+    const gpu::GpuModel gpu_model(config_.gpu);
+    const interconnect::PcieBus pcie(config_.pcie);
+    ndp::NdpDimm ndp(config_.dimm);
+
+    // Whole FC blocks are resident until GPU memory runs out (the KV
+    // cache lives on the DIMMs, as in Hermes).
+    const GpuResidency residency = computeResidency(config_, llm, 0);
+    const Bytes sparse_per_layer = llm.sparseBytesPerLayer();
+    const std::uint32_t resident_layers = std::min<std::uint64_t>(
+        llm.layers, residency.hotBudget / sparse_per_layer);
+
+    const Bytes resident =
+        residency.denseBytes +
+        static_cast<Bytes>(resident_layers) * sparse_per_layer;
+    const Bytes non_resident =
+        llm.totalBytes() > resident ? llm.totalBytes() - resident : 0;
+    result.prefillTime = streamingPrefill(config_, llm, request.batch,
+                                          request.promptTokens,
+                                          non_resident, true, true);
+    result.breakdown.prefill = result.prefillTime;
+
+    const Seconds sync = activationSyncTime(pcie, llm, request.batch);
+    const std::uint64_t h = llm.hidden;
+    const std::uint64_t attn_neurons = llm.attnNeuronsPerLayer();
+    const std::uint64_t mlp_neurons = llm.mlpNeuronsPerLayer();
+    const std::uint64_t attn_values = h + 2ULL * llm.kvDim();
+    const std::uint64_t mlp_values =
+        static_cast<std::uint64_t>(llm.mlpMatrices) * h;
+    const std::uint32_t kv_heads_per_dimm =
+        (llm.kvHeads + config_.numDimms - 1) / config_.numDimms;
+    const std::uint32_t gqa_group = llm.heads / llm.kvHeads;
+
+    // Dense per-layer costs on each side.
+    const Seconds gpu_layer_fc =
+        gpu_model.sparseGemv(attn_neurons, attn_values, request.batch) +
+        gpu_model.gemm(request.batch, h, h) +
+        gpu_model.sparseGemv(mlp_neurons, mlp_values, request.batch);
+    const Seconds dimm_layer_fc =
+        ndp.sparseGemv(attn_neurons / config_.numDimms, attn_values,
+                       request.batch)
+            .total +
+        ndp.sparseGemv(mlp_neurons / config_.numDimms, mlp_values,
+                       request.batch)
+            .total +
+        gpu_model.gemm(request.batch, h, h); // Projection stays dense
+                                             // on the GPU.
+
+    Seconds fc_time = 0.0;
+    Seconds attn_time = 0.0;
+    Seconds comm_time = 0.0;
+    const Seconds seq_attn =
+        ndp.attention(request.batch, kv_heads_per_dimm, llm.headDim(),
+                      request.promptTokens, gqa_group)
+            .total;
+    for (std::uint32_t l = 0; l < llm.layers; ++l) {
+        fc_time +=
+            l < resident_layers ? gpu_layer_fc : dimm_layer_fc;
+        attn_time += seq_attn;
+        comm_time += 2.0 * sync; // Activations cross PCIe per layer.
+    }
+    const Seconds lm_head = lmHeadTime(gpu_model, llm, request.batch);
+    const Seconds merge =
+        ndp.merge(static_cast<Bytes>(request.batch) * h * kFp16Bytes)
+            .total *
+        llm.layers;
+
+    const Seconds per_token =
+        fc_time + attn_time + comm_time + lm_head + merge;
+    result.generateTime = per_token * request.generateTokens;
+    result.breakdown.fc = fc_time * request.generateTokens;
+    result.breakdown.attention = attn_time * request.generateTokens;
+    result.breakdown.communication =
+        comm_time * request.generateTokens;
+    result.breakdown.others =
+        (lm_head + merge) * request.generateTokens;
+
+    result.stats.counter("resident.layers").set(resident_layers);
+
+    finalize(result, request);
+    return result;
+}
+
+} // namespace hermes::runtime

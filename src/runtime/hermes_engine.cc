@@ -1,0 +1,466 @@
+#include "runtime/hermes_engine.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "gpu/kernels.hh"
+#include "interconnect/dimm_link.hh"
+#include "interconnect/pcie.hh"
+#include "ndp/ndp_dimm.hh"
+#include "runtime/common_costs.hh"
+#include "sched/ilp_partition.hh"
+#include "sched/mapper.hh"
+#include "sched/predictor.hh"
+#include "sched/window_scheduler.hh"
+#include "sparsity/trace.hh"
+
+namespace hermes::runtime {
+
+namespace {
+
+/** Predicted-active neuron counts per compute location. */
+struct LocationCounts
+{
+    std::uint64_t gpu = 0;
+    std::vector<std::uint64_t> dimm;
+};
+
+LocationCounts
+countLocations(const std::vector<std::uint8_t> &mask,
+               const sched::BlockPlacement &placement)
+{
+    LocationCounts counts;
+    counts.dimm.assign(placement.numDimms(), 0);
+    for (std::uint32_t i = 0; i < placement.neurons(); ++i) {
+        if (!mask[i])
+            continue;
+        if (placement.onGpu(i))
+            ++counts.gpu;
+        else
+            ++counts.dimm[placement.homeDimm(i)];
+    }
+    return counts;
+}
+
+/** Slowest NDP-DIMM for a sparse GEMV with the given per-DIMM rows. */
+Seconds
+worstDimmGemv(ndp::NdpDimm &ndp, const std::vector<std::uint64_t> &rows,
+              std::uint64_t row_values, std::uint32_t batch,
+              double compute_scale)
+{
+    Seconds worst = 0.0;
+    for (const auto count : rows)
+        worst = std::max(worst,
+                         ndp.sparseGemv(count, row_values, batch,
+                                        compute_scale)
+                             .total);
+    return worst;
+}
+
+} // namespace
+
+bool
+HermesEngine::supports(const InferenceRequest &request) const
+{
+    // All weights (plus the KV cache) must fit in the NDP-DIMM pool.
+    const Bytes kv = static_cast<Bytes>(request.batch) *
+                     (request.promptTokens + request.generateTokens) *
+                     request.llm.kvBytesPerToken();
+    return request.llm.totalBytes() + kv <= config_.totalDimmCapacity();
+}
+
+InferenceResult
+HermesEngine::run(const InferenceRequest &request)
+{
+    InferenceResult result;
+    result.engine = name_;
+    if (!supports(request)) {
+        result.supported = false;
+        result.unsupportedReason = "model exceeds NDP-DIMM capacity";
+        return result;
+    }
+
+    const model::LlmConfig &llm = request.llm;
+    const std::uint32_t layers = llm.layers;
+    const std::uint32_t sim_layers =
+        config_.simulatedLayers == 0
+            ? layers
+            : std::min(layers, config_.simulatedLayers);
+    const double layer_scale =
+        static_cast<double>(layers) / sim_layers;
+
+    model::LlmConfig sim_llm = llm;
+    sim_llm.layers = sim_layers;
+
+    sparsity::SparsityConfig sparsity_config = config_.sparsity;
+    sparsity_config.seed = request.seed;
+    sparsity::ActivationTrace trace(sim_llm, sparsity_config,
+                                    request.batch);
+
+    const gpu::GpuModel gpu_model(config_.gpu);
+    const interconnect::PcieBus pcie(config_.pcie);
+    ndp::NdpDimm ndp(config_.dimm);
+    const interconnect::DimmLinkNetwork link_net(config_.numDimms,
+                                                 config_.link);
+
+    // ---- Offline profiling: per-block activation frequencies. ----
+    std::vector<std::vector<double>> attn_freq(sim_layers);
+    std::vector<std::vector<double>> mlp_freq(sim_layers);
+    for (std::uint32_t l = 0; l < sim_layers; ++l) {
+        attn_freq[l].assign(trace.attn(l).neurons(), 0.0);
+        mlp_freq[l].assign(trace.mlp(l).neurons(), 0.0);
+    }
+    trace.reset(0);
+    for (std::uint32_t t = 0; t < request.profileTokens; ++t) {
+        trace.nextToken();
+        for (std::uint32_t l = 0; l < sim_layers; ++l) {
+            for (const auto id : trace.attn(l).activeList)
+                attn_freq[l][id] += 1.0;
+            for (const auto id : trace.mlp(l).activeList)
+                mlp_freq[l][id] += 1.0;
+        }
+    }
+    for (std::uint32_t l = 0; l < sim_layers; ++l) {
+        for (auto &f : attn_freq[l])
+            f /= request.profileTokens;
+        for (auto &f : mlp_freq[l])
+            f /= request.profileTokens;
+    }
+
+    // ---- Predictor setup. ----
+    // The compute-set predictor always combines token- and layer-wise
+    // signals; the Fig. 13 ablation flags select which signals feed
+    // the *adjustment* scores (Sec. V-C evaluates prediction variants
+    // as guides for online adjustment).
+    sched::PredictorConfig predictor_config;
+    sched::ModelPredictor predictor(sim_llm, predictor_config);
+    for (std::uint32_t l = 0; l < sim_layers; ++l) {
+        predictor.attn(l).initFromFrequency(attn_freq[l]);
+        predictor.mlp(l).initFromFrequency(mlp_freq[l]);
+        predictor.attn(l).setCorrelation(trace.attn(l).parent1,
+                                         trace.attn(l).parent2);
+        predictor.mlp(l).setCorrelation(trace.mlp(l).parent1,
+                                        trace.mlp(l).parent2);
+    }
+
+    // ---- Offline partition (Sec. IV-B). ----
+    const GpuResidency residency = computeResidency(config_, llm, 0);
+    const Bytes sim_gpu_budget = static_cast<Bytes>(
+        static_cast<double>(residency.hotBudget) / layer_scale);
+
+    sched::ModelPlacement placement =
+        sched::makeRoundRobinPlacement(sim_llm, config_.numDimms);
+
+    const std::uint64_t attn_values = llm.hidden + 2ULL * llm.kvDim();
+    const std::uint64_t mlp_values =
+        static_cast<std::uint64_t>(llm.mlpMatrices) * llm.hidden;
+
+    if (config_.sched.offlinePartition) {
+        sched::PartitionProblem problem;
+        problem.syncTime = activationSyncTime(pcie, llm, request.batch);
+        problem.gpuBudget = sim_gpu_budget;
+        problem.dimmBudgets.assign(
+            config_.numDimms,
+            static_cast<Bytes>(0.95 *
+                               static_cast<double>(
+                                   config_.dimm.dimm.capacity) /
+                               layer_scale));
+        // Per-neuron marginal costs via finite differences, so the
+        // fixed per-kernel terms (launch, activation I/O, command
+        // dispatch) cancel and only the per-row weight traffic and
+        // compute remain.
+        auto gpu_marginal = [&](std::uint64_t values) {
+            return gpu_model.sparseGemv(1025, values, request.batch) -
+                   gpu_model.sparseGemv(1024, values, request.batch);
+        };
+        auto dimm_marginal = [&](std::uint64_t values, double scale) {
+            return ndp.sparseGemv(1025, values, request.batch, scale)
+                       .total -
+                   ndp.sparseGemv(1024, values, request.batch, scale)
+                       .total;
+        };
+        const Seconds gpu_per_attn = gpu_marginal(attn_values);
+        const Seconds gpu_per_mlp = gpu_marginal(mlp_values);
+        const Seconds dimm_per_attn =
+            dimm_marginal(attn_values, trace.attn(0).computeScale);
+        const Seconds dimm_per_mlp =
+            dimm_marginal(mlp_values, trace.mlp(0).computeScale);
+        for (std::uint32_t l = 0; l < sim_layers; ++l) {
+            sched::BlockProblem attn_block;
+            attn_block.frequency = attn_freq[l];
+            attn_block.neuronBytes = llm.attnNeuronBytes();
+            attn_block.gpuTimePerNeuron = gpu_per_attn;
+            attn_block.dimmTimePerNeuron = dimm_per_attn;
+            problem.blocks.push_back(std::move(attn_block));
+
+            sched::BlockProblem mlp_block;
+            mlp_block.frequency = mlp_freq[l];
+            mlp_block.neuronBytes = llm.mlpNeuronBytes();
+            mlp_block.gpuTimePerNeuron = gpu_per_mlp;
+            mlp_block.dimmTimePerNeuron = dimm_per_mlp;
+            problem.blocks.push_back(std::move(mlp_block));
+        }
+        const sched::PartitionResult partition =
+            sched::IlpPartitioner().solve(problem);
+        sched::NeuronMapper::applyPartition(placement,
+                                            partition.assignment);
+    } else {
+        // Hermes-random: fill the same GPU budget with a uniformly
+        // random hot set (Fig. 13 baseline).  Each block receives a
+        // budget share proportional to its weight volume; a random
+        // permutation prefix fills it.
+        Rng rng(request.seed ^ 0xfeedface);
+        const double share = std::min(
+            1.0, static_cast<double>(sim_gpu_budget) /
+                     static_cast<double>(
+                         static_cast<Bytes>(sim_layers) *
+                         llm.sparseBytesPerLayer()));
+        auto fill_random = [&](sched::BlockPlacement &block) {
+            const auto target = static_cast<std::uint32_t>(
+                share * block.neurons());
+            std::vector<std::uint32_t> order(block.neurons());
+            std::iota(order.begin(), order.end(), 0);
+            for (std::uint32_t i = block.neurons(); i > 1; --i)
+                std::swap(order[i - 1], order[rng.below(i)]);
+            for (std::uint32_t k = 0; k < target; ++k)
+                block.setOnGpu(order[k], true);
+        };
+        for (std::uint32_t l = 0; l < sim_layers; ++l) {
+            fill_random(placement.attn[l]);
+            fill_random(placement.mlp[l]);
+        }
+    }
+
+    // ---- Prompting stage (Fig. 6a): GPU + streamed weights. ----
+    // Every sparse weight crosses PCIe once during prompting (hot
+    // neurons are only "loaded back into GPU memory" afterwards,
+    // Sec. IV-A2), so the prompting cost is independent of the
+    // partition; only the startup-resident dense components skip the
+    // stream.
+    const Bytes hot_bytes = static_cast<Bytes>(
+        static_cast<double>(placement.gpuBytesUsed(llm)) * layer_scale);
+    const Bytes non_resident =
+        llm.totalBytes() > residency.denseBytes
+            ? llm.totalBytes() - residency.denseBytes
+            : 0;
+    Seconds prefill = streamingPrefill(config_, llm, request.batch,
+                                       request.promptTokens,
+                                       non_resident, true, true);
+    // KV cache produced by prompting lands in the DIMMs over PCIe.
+    prefill += pcie.transferTime(static_cast<Bytes>(request.batch) *
+                                 request.promptTokens *
+                                 llm.kvBytesPerToken());
+    result.prefillTime = prefill;
+    result.breakdown.prefill = prefill;
+
+    // ---- Token generation. ----
+    std::vector<sched::WindowScheduler> attn_windows;
+    std::vector<sched::WindowScheduler> mlp_windows;
+    for (std::uint32_t l = 0; l < sim_layers; ++l) {
+        attn_windows.emplace_back(trace.attn(l).neurons(),
+                                  config_.numDimms,
+                                  config_.sched.windowSize);
+        mlp_windows.emplace_back(trace.mlp(l).neurons(),
+                                 config_.numDimms,
+                                 config_.sched.windowSize);
+    }
+
+    const std::uint32_t kv_heads_per_dimm =
+        (llm.kvHeads + config_.numDimms - 1) / config_.numDimms;
+    const std::uint32_t gqa_group = llm.heads / llm.kvHeads;
+    const Seconds sync = activationSyncTime(pcie, llm, request.batch);
+    const Seconds predictor_cost =
+        static_cast<double>(layers) *
+        static_cast<double>(llm.attnNeuronsPerLayer() +
+                            llm.mlpNeuronsPerLayer()) *
+        config_.predictorPerNeuron;
+    const Seconds lm_head = lmHeadTime(gpu_model, llm, request.batch);
+
+    LatencyBreakdown per_layer_acc; // Scaled by layer_scale at the end.
+    LatencyBreakdown per_token_acc; // Unscaled extras.
+
+    std::vector<std::uint8_t> attn_pred;
+    std::vector<std::uint8_t> mlp_pred;
+    std::vector<std::uint32_t> hot_scores;
+    sched::PredictionMetrics metrics;
+    std::uint64_t promotions = 0;
+    Bytes promotion_bytes = 0;
+    Bytes migration_bytes = 0;
+
+    for (std::uint32_t t = 0; t < request.generateTokens; ++t) {
+        trace.nextToken();
+        const std::uint64_t seq = request.promptTokens + t;
+
+        for (std::uint32_t l = 0; l < sim_layers; ++l) {
+            const sparsity::BlockTrace &attn_actual = trace.attn(l);
+            const sparsity::BlockTrace &mlp_actual = trace.mlp(l);
+
+            // 1. Prediction (parents' actuals are available in
+            // execution order).
+            const std::vector<std::uint8_t> *attn_parent =
+                l == 0 ? nullptr : &trace.mlp(l - 1).mask;
+            predictor.attn(l).predict(attn_parent, attn_pred);
+            predictor.mlp(l).predict(&attn_actual.mask, mlp_pred);
+
+            // 2. QKV generation split (Fig. 6b).
+            const LocationCounts qkv_counts =
+                countLocations(attn_pred, placement.attn[l]);
+            const Seconds qkv_gpu = gpu_model.sparseGemv(
+                qkv_counts.gpu, attn_values, request.batch);
+            const Seconds qkv_dimm = worstDimmGemv(
+                ndp, qkv_counts.dimm, attn_values, request.batch,
+                attn_actual.computeScale);
+            const Seconds qkv =
+                std::max(qkv_gpu + 2.0 * sync, qkv_dimm);
+            per_layer_acc.fc += std::max(qkv - 2.0 * sync, 0.0);
+            per_layer_acc.communication += std::min(qkv, 2.0 * sync);
+            result.stats.counter("time.qkv.gpu").add(qkv_gpu);
+            result.stats.counter("time.qkv.dimm").add(qkv_dimm);
+
+            // 3. Attention on the NDP-DIMMs, next to the KV cache.
+            per_layer_acc.attention +=
+                ndp.attention(request.batch, kv_heads_per_dimm,
+                              llm.headDim(), seq, gqa_group)
+                    .total;
+
+            // 4. Projection on the GPU; DIMMs and PCIe are idle, so
+            // swaps and rebalancing hide behind it.
+            per_layer_acc.communication += sync; // Attention out.
+            const Seconds proj = gpu_model.gemm(
+                request.batch, llm.hidden, llm.hidden);
+            per_layer_acc.fc += proj;
+
+            Seconds promote_time = 0.0;
+            if (config_.sched.onlineAdjustment) {
+                const bool token = config_.sched.tokenWisePrediction;
+                const bool layer = config_.sched.layerWisePrediction;
+                predictor.attn(l).hotScores(attn_parent, token, layer,
+                                            hot_scores);
+                const sched::AdjustmentResult adj_attn =
+                    sched::NeuronMapper::adjustBlock(
+                        placement.attn[l], hot_scores,
+                        llm.attnNeuronBytes());
+                predictor.mlp(l).hotScores(&attn_actual.mask, token,
+                                           layer, hot_scores);
+                const sched::AdjustmentResult adj_mlp =
+                    sched::NeuronMapper::adjustBlock(
+                        placement.mlp[l], hot_scores,
+                        llm.mlpNeuronBytes());
+                const Bytes upload =
+                    adj_attn.pcieBytes + adj_mlp.pcieBytes;
+                promotions +=
+                    adj_attn.promotions + adj_mlp.promotions;
+                promotion_bytes += upload;
+                if (upload > 0)
+                    promote_time = pcie.transferTime(upload);
+            }
+
+            Seconds migrate_time = 0.0;
+            attn_windows[l].observe(attn_actual.activeList);
+            mlp_windows[l].observe(mlp_actual.activeList);
+            if (config_.sched.windowRebalance &&
+                attn_windows[l].windowComplete()) {
+                auto transfers =
+                    config_.sched.oracleRebalance
+                        ? attn_windows[l].rebalanceOracle(
+                              placement.attn[l], llm.attnNeuronBytes())
+                        : attn_windows[l].rebalance(
+                              placement.attn[l], llm.attnNeuronBytes());
+                auto mlp_transfers =
+                    config_.sched.oracleRebalance
+                        ? mlp_windows[l].rebalanceOracle(
+                              placement.mlp[l], llm.mlpNeuronBytes())
+                        : mlp_windows[l].rebalance(
+                              placement.mlp[l], llm.mlpNeuronBytes());
+                transfers.insert(transfers.end(),
+                                 mlp_transfers.begin(),
+                                 mlp_transfers.end());
+                for (const auto &transfer : transfers)
+                    migration_bytes += transfer.bytes;
+                migrate_time = link_net.migrationTime(transfers);
+            } else if (!config_.sched.windowRebalance &&
+                       attn_windows[l].windowComplete()) {
+                attn_windows[l].clearWindow();
+                mlp_windows[l].clearWindow();
+            }
+
+            // Only the non-overlapped surplus shows up end to end.
+            per_layer_acc.communication +=
+                std::max(0.0, promote_time - proj) +
+                std::max(0.0, migrate_time - proj);
+
+            // 5. MLP split.
+            const LocationCounts mlp_counts =
+                countLocations(mlp_pred, placement.mlp[l]);
+            const Seconds mlp_gpu = gpu_model.sparseGemv(
+                mlp_counts.gpu, mlp_values, request.batch);
+            const Seconds mlp_dimm = worstDimmGemv(
+                ndp, mlp_counts.dimm, mlp_values, request.batch,
+                mlp_actual.computeScale);
+            const Seconds mlp =
+                std::max(mlp_gpu + 2.0 * sync, mlp_dimm);
+            per_layer_acc.fc += std::max(mlp - 2.0 * sync, 0.0);
+            per_layer_acc.communication += std::min(mlp, 2.0 * sync);
+            result.stats.counter("time.mlp.gpu").add(mlp_gpu);
+            result.stats.counter("time.mlp.dimm").add(mlp_dimm);
+            result.stats.counter("count.mlp.gpu").add(
+                static_cast<double>(mlp_counts.gpu));
+            result.stats.counter("count.mlp.dimm.max").add(
+                static_cast<double>(*std::max_element(
+                    mlp_counts.dimm.begin(), mlp_counts.dimm.end())));
+
+            // 6. Merge of GPU and NDP partials on the DIMMs.
+            per_layer_acc.others +=
+                ndp.merge(static_cast<Bytes>(request.batch) *
+                          llm.hidden * kFp16Bytes)
+                    .total;
+
+            // Predictor bookkeeping (metrics + FSM update).
+            for (std::uint32_t i = 0; i < attn_actual.neurons(); ++i)
+                metrics.tally(attn_pred[i] != 0,
+                              attn_actual.mask[i] != 0);
+            for (std::uint32_t i = 0; i < mlp_actual.neurons(); ++i)
+                metrics.tally(mlp_pred[i] != 0,
+                              mlp_actual.mask[i] != 0);
+            predictor.attn(l).update(attn_actual.mask);
+            predictor.mlp(l).update(mlp_actual.mask);
+        }
+        per_token_acc.others += lm_head;
+        per_token_acc.predictor += predictor_cost;
+    }
+
+    // Scale per-layer categories to the full depth.
+    LatencyBreakdown generate;
+    generate.fc = per_layer_acc.fc * layer_scale;
+    generate.attention = per_layer_acc.attention * layer_scale;
+    generate.communication =
+        per_layer_acc.communication * layer_scale;
+    generate.others =
+        per_layer_acc.others * layer_scale + per_token_acc.others;
+    generate.predictor = per_token_acc.predictor;
+
+    result.generateTime = generate.fc + generate.attention +
+                          generate.communication + generate.others +
+                          generate.predictor;
+    result.breakdown += generate;
+
+    result.stats.counter("predictor.accuracy").set(metrics.accuracy());
+    result.stats.counter("predictor.recall").set(metrics.recall());
+    result.stats.counter("predictor.precision").set(
+        metrics.precision());
+    result.stats.counter("hot.bytes").set(
+        static_cast<double>(hot_bytes));
+    result.stats.counter("promotions").set(
+        static_cast<double>(promotions));
+    result.stats.counter("promotion.bytes").set(
+        static_cast<double>(promotion_bytes));
+    result.stats.counter("migration.bytes").set(
+        static_cast<double>(migration_bytes));
+
+    finalize(result, request);
+    return result;
+}
+
+} // namespace hermes::runtime

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The Hermes inference engine (Sec. IV, Fig. 6).
+ *
+ * Workflow per generated token, per transformer layer:
+ *  1. the lightweight predictor forecasts the activated neurons;
+ *  2. QKV generation splits between the GPU (hot neurons) and the
+ *     NDP-DIMMs (cold neurons); the layer completes when the slower
+ *     side finishes (Eqs. 1-3);
+ *  3. attention runs on the NDP-DIMMs next to the KV cache;
+ *  4. the dense projection runs on the GPU while the idle DIMMs and
+ *     the idle PCIe link absorb the hot/cold swaps (Sec. IV-C2) and
+ *     the window-based cold-neuron rebalancing (Sec. IV-D);
+ *  5. the MLP block splits like QKV; results merge on the DIMMs.
+ *
+ * The prompting stage streams non-resident weights once and runs on
+ * the GPU, FlexGen-style (Sec. IV-A2).
+ *
+ * Scheduling toggles in SystemConfig::sched select the Fig. 13
+ * ablation variants (Hermes-random / -partition / -token- /
+ * -layer-adjustment / -adjustment / full).
+ */
+
+#ifndef HERMES_RUNTIME_HERMES_ENGINE_HH
+#define HERMES_RUNTIME_HERMES_ENGINE_HH
+
+#include "runtime/engine.hh"
+#include "runtime/system_config.hh"
+
+namespace hermes::runtime {
+
+/** Full Hermes system: GPU + NDP-DIMMs + scheduler. */
+class HermesEngine : public InferenceEngine
+{
+  public:
+    explicit HermesEngine(SystemConfig config,
+                          std::string name = "Hermes")
+        : config_(std::move(config)), name_(std::move(name))
+    {
+    }
+
+    std::string name() const override { return name_; }
+
+    bool supports(const InferenceRequest &request) const override;
+
+    InferenceResult run(const InferenceRequest &request) override;
+
+    const SystemConfig &config() const { return config_; }
+
+  private:
+    SystemConfig config_;
+    std::string name_;
+};
+
+} // namespace hermes::runtime
+
+#endif // HERMES_RUNTIME_HERMES_ENGINE_HH

@@ -1,0 +1,161 @@
+#include "runtime/hermes_host_engine.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "gpu/kernels.hh"
+#include "interconnect/pcie.hh"
+#include "runtime/common_costs.hh"
+#include "sparsity/trace.hh"
+
+namespace hermes::runtime {
+
+InferenceResult
+HermesHostEngine::run(const InferenceRequest &request)
+{
+    InferenceResult result;
+    result.engine = name();
+
+    const model::LlmConfig &llm = request.llm;
+    const gpu::GpuModel gpu_model(config_.gpu);
+    const interconnect::PcieBus pcie(config_.pcie);
+
+    // Attention runs on the GPU (PowerInfer keeps the KV cache there).
+    const Bytes kv_bytes =
+        static_cast<Bytes>(request.batch) *
+        (request.promptTokens + request.generateTokens) *
+        llm.kvBytesPerToken();
+    const GpuResidency residency =
+        computeResidency(config_, llm, kv_bytes);
+
+    // Profile a representative layer to find how much activation mass
+    // the hot budget covers.
+    model::LlmConfig sim_llm = llm;
+    sim_llm.layers = std::min<std::uint32_t>(llm.layers, 4);
+    sparsity::SparsityConfig sparsity_config = config_.sparsity;
+    sparsity_config.seed = request.seed;
+    sparsity::ActivationTrace trace(sim_llm, sparsity_config,
+                                    request.batch);
+    std::vector<double> attn_freq(trace.attn(1).neurons(), 0.0);
+    std::vector<double> mlp_freq(trace.mlp(1).neurons(), 0.0);
+    for (std::uint32_t t = 0; t < request.profileTokens; ++t) {
+        trace.nextToken();
+        for (const auto id : trace.attn(1).activeList)
+            attn_freq[id] += 1.0;
+        for (const auto id : trace.mlp(1).activeList)
+            mlp_freq[id] += 1.0;
+    }
+    for (auto &f : attn_freq)
+        f /= request.profileTokens;
+    for (auto &f : mlp_freq)
+        f /= request.profileTokens;
+
+    // Hot set: most frequent neurons until the per-layer quota fills.
+    auto split_mass = [&](std::vector<double> freq, Bytes neuron_bytes,
+                          Bytes layer_budget, double &hot,
+                          double &cold) {
+        std::sort(freq.begin(), freq.end(), std::greater<>());
+        const std::uint64_t hot_count = std::min<std::uint64_t>(
+            freq.size(), layer_budget / neuron_bytes);
+        hot = std::accumulate(
+            freq.begin(),
+            freq.begin() + static_cast<std::ptrdiff_t>(hot_count), 0.0);
+        cold = std::accumulate(
+            freq.begin() + static_cast<std::ptrdiff_t>(hot_count),
+            freq.end(), 0.0);
+    };
+    // The hot budget splits across layers and blocks pro rata.
+    const Bytes per_layer_budget = residency.hotBudget / llm.layers;
+    const Bytes attn_budget = static_cast<Bytes>(
+        per_layer_budget *
+        (static_cast<double>(llm.attnNeuronsPerLayer() *
+                             llm.attnNeuronBytes()) /
+         llm.sparseBytesPerLayer()));
+    const Bytes mlp_budget = per_layer_budget - attn_budget;
+
+    double attn_hot = 0.0, attn_cold = 0.0;
+    double mlp_hot = 0.0, mlp_cold = 0.0;
+    split_mass(attn_freq, llm.attnNeuronBytes(), attn_budget, attn_hot,
+               attn_cold);
+    split_mass(mlp_freq, llm.mlpNeuronBytes(), mlp_budget, mlp_hot,
+               mlp_cold);
+
+    // Prompting: as in Hermes, GPU + streamed weights.
+    const Bytes resident =
+        residency.denseBytes +
+        std::min(residency.hotBudget,
+                 static_cast<Bytes>(llm.layers) *
+                     llm.sparseBytesPerLayer());
+    const Bytes non_resident =
+        llm.totalBytes() > resident ? llm.totalBytes() - resident : 0;
+    result.prefillTime = streamingPrefill(config_, llm, request.batch,
+                                          request.promptTokens,
+                                          non_resident, true, true);
+    result.breakdown.prefill = result.prefillTime;
+
+    // Per token: GPU handles hot + dense parts, CPU streams the
+    // activated cold rows from plain DIMMs; the two overlap, and each
+    // layer syncs activations over PCIe.
+    const Seconds sync = activationSyncTime(pcie, llm, request.batch);
+    const std::uint64_t h = llm.hidden;
+    const std::uint64_t attn_values = h + 2ULL * llm.kvDim();
+    const std::uint64_t mlp_values =
+        static_cast<std::uint64_t>(llm.mlpMatrices) * h;
+
+    auto cpu_gemv = [&](double active_mass, std::uint64_t values) {
+        const double bytes = active_mass * values * kFp16Bytes;
+        const double flops =
+            2.0 * active_mass * values * request.batch;
+        return std::max(
+            bytes / config_.host.effectiveGatherBandwidth(),
+            flops / config_.host.compute);
+    };
+
+    Seconds fc_time = 0.0;
+    Seconds attn_time = 0.0;
+    Seconds comm_time = 0.0;
+    for (std::uint32_t l = 0; l < llm.layers; ++l) {
+        // split_mass sums frequencies, i.e. the expected number of
+        // activated neurons per token in each partition.
+        const Seconds gpu_qkv = gpu_model.sparseGemv(
+            static_cast<std::uint64_t>(attn_hot), attn_values,
+            request.batch);
+        const Seconds cpu_qkv = cpu_gemv(attn_cold, attn_values);
+        const Seconds gpu_mlp = gpu_model.sparseGemv(
+            static_cast<std::uint64_t>(mlp_hot), mlp_values,
+            request.batch);
+        const Seconds cpu_mlp = cpu_gemv(mlp_cold, mlp_values);
+        fc_time += std::max(gpu_qkv + sync, cpu_qkv) +
+                   std::max(gpu_mlp + sync, cpu_mlp) +
+                   gpu_model.gemm(request.batch, h, h);
+        comm_time += 2.0 * sync + config_.host.layerSyncOverhead;
+        attn_time += gpu_model.attention(request.batch, llm.heads,
+                                         llm.kvHeads, llm.headDim(),
+                                         request.promptTokens);
+    }
+    const Seconds lm_head = lmHeadTime(gpu_model, llm, request.batch);
+    const Seconds predictor_cost =
+        static_cast<double>(llm.layers) *
+        static_cast<double>(llm.attnNeuronsPerLayer() +
+                            llm.mlpNeuronsPerLayer()) *
+        config_.predictorPerNeuron;
+
+    const Seconds per_token =
+        fc_time + attn_time + comm_time + lm_head + predictor_cost;
+    result.generateTime = per_token * request.generateTokens;
+    result.breakdown.fc = fc_time * request.generateTokens;
+    result.breakdown.attention = attn_time * request.generateTokens;
+    result.breakdown.communication =
+        comm_time * request.generateTokens;
+    result.breakdown.others = lm_head * request.generateTokens;
+    result.breakdown.predictor =
+        predictor_cost * request.generateTokens;
+
+    result.stats.counter("hot.mass.attn").set(attn_hot);
+    result.stats.counter("hot.mass.mlp").set(mlp_hot);
+
+    finalize(result, request);
+    return result;
+}
+
+} // namespace hermes::runtime

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Hermes-host baseline (Sec. V-A2): the hot/cold neuron partition of
+ * Hermes, but cold neurons are computed by the host CPU out of plain
+ * DIMMs (PowerInfer-style), not by NDP units.  The CPU reads cold
+ * neuron rows at its (scatter-limited) DRAM bandwidth, which is the
+ * bottleneck the NDP-DIMMs remove.
+ */
+
+#ifndef HERMES_RUNTIME_HERMES_HOST_ENGINE_HH
+#define HERMES_RUNTIME_HERMES_HOST_ENGINE_HH
+
+#include "runtime/engine.hh"
+#include "runtime/system_config.hh"
+
+namespace hermes::runtime {
+
+/** Hot neurons on the GPU, cold neurons on the host CPU. */
+class HermesHostEngine : public InferenceEngine
+{
+  public:
+    explicit HermesHostEngine(SystemConfig config)
+        : config_(std::move(config))
+    {
+    }
+
+    std::string name() const override { return "Hermes-host"; }
+    InferenceResult run(const InferenceRequest &request) override;
+
+  private:
+    SystemConfig config_;
+};
+
+} // namespace hermes::runtime
+
+#endif // HERMES_RUNTIME_HERMES_HOST_ENGINE_HH

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Hardware + scheduling configuration of the simulated platform,
+ * shared by all engines so comparisons run on identical substrates.
+ */
+
+#ifndef HERMES_RUNTIME_SYSTEM_CONFIG_HH
+#define HERMES_RUNTIME_SYSTEM_CONFIG_HH
+
+#include <cstdint>
+
+#include "common/units.hh"
+#include "gpu/gpu_spec.hh"
+#include "interconnect/dimm_link.hh"
+#include "interconnect/pcie.hh"
+#include "ndp/ndp_dimm.hh"
+#include "sparsity/trace.hh"
+
+namespace hermes::runtime {
+
+/** Host-CPU parameters used by the Hermes-host baseline (Sec. V-A2). */
+struct HostCpuConfig
+{
+    /**
+     * Peak DRAM bandwidth of the Intel i9-13900K host (89.6 GB/s) and
+     * the fraction achievable for scattered cold-neuron row gathers.
+     */
+    BytesPerSecond memBandwidth = gbps(89.6);
+    double gatherEfficiency = 0.40;
+
+    /** Effective FP16 GEMV compute throughput (AVX-512 class). */
+    FlopsPerSecond compute = 0.4e12;
+
+    /**
+     * CPU/GPU coordination cost per hybrid layer (PowerInfer-style
+     * executors synchronize the device stream and wake worker
+     * threads every layer).
+     */
+    Seconds layerSyncOverhead = 150.0e-6;
+
+    BytesPerSecond
+    effectiveGatherBandwidth() const
+    {
+        return memBandwidth * gatherEfficiency;
+    }
+};
+
+/** Scheduling ablation switches (Fig. 13 variants). */
+struct SchedulingConfig
+{
+    bool offlinePartition = true;  ///< false = Hermes-random mapper.
+    bool onlineAdjustment = true;  ///< Hot/cold swaps (Sec. IV-C2).
+    bool tokenWisePrediction = true;
+    bool layerWisePrediction = true;
+    bool windowRebalance = true;   ///< Algorithm 1 (Sec. IV-D).
+    std::uint32_t windowSize = 5;
+
+    /** Oracle rebalance instead of Algorithm 1 (upper bound). */
+    bool oracleRebalance = false;
+};
+
+/** Whole-platform configuration. */
+struct SystemConfig
+{
+    gpu::GpuSpec gpu = gpu::rtx4090();
+    std::uint32_t numDimms = 8;
+    ndp::NdpDimmConfig dimm{};
+    interconnect::PcieConfig pcie{};
+    interconnect::DimmLinkConfig link{};
+    HostCpuConfig host{};
+    sparsity::SparsityConfig sparsity{};
+    SchedulingConfig sched{};
+
+    /** GPU bytes reserved for activations / workspace / runtime. */
+    Bytes gpuReservedBytes = 1ULL * kGiB;
+
+    /**
+     * Simulate only this many transformer layers and scale per-layer
+     * costs to the full depth (0 = simulate every layer).  Layer
+     * statistics are i.i.d. by construction, so a representative
+     * sample preserves every reported trend while keeping the trace
+     * generation cost bounded.
+     */
+    std::uint32_t simulatedLayers = 0;
+
+    /** Host-side predictor scan cost per neuron (LLC-resident). */
+    Seconds predictorPerNeuron = 1.0e-11;
+
+    /** Aggregate NDP-DIMM weight capacity. */
+    Bytes
+    totalDimmCapacity() const
+    {
+        return static_cast<Bytes>(numDimms) * dimm.dimm.capacity;
+    }
+};
+
+} // namespace hermes::runtime
+
+#endif // HERMES_RUNTIME_SYSTEM_CONFIG_HH

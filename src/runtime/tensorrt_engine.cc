@@ -1,0 +1,80 @@
+#include "runtime/tensorrt_engine.hh"
+
+#include <algorithm>
+
+#include "gpu/gpu_spec.hh"
+#include "gpu/kernels.hh"
+#include "runtime/common_costs.hh"
+
+namespace hermes::runtime {
+
+std::uint32_t
+TensorRtLlmEngine::gpusFor(const InferenceRequest &request) const
+{
+    if (numGpus_ != 0)
+        return numGpus_;
+    const gpu::GpuSpec a100 = gpu::a100_40gb();
+    const Bytes kv = static_cast<Bytes>(request.batch) *
+                     (request.promptTokens + request.generateTokens) *
+                     request.llm.kvBytesPerToken();
+    const Bytes need = request.llm.totalBytes() + kv;
+    const Bytes per_gpu = a100.memCapacity - config_.gpuReservedBytes;
+    return static_cast<std::uint32_t>((need + per_gpu - 1) / per_gpu);
+}
+
+InferenceResult
+TensorRtLlmEngine::run(const InferenceRequest &request)
+{
+    InferenceResult result;
+    result.engine = name();
+
+    const model::LlmConfig &llm = request.llm;
+    const std::uint32_t gpus = gpusFor(request);
+    const gpu::GpuSpec a100 = gpu::a100_40gb();
+    const gpu::GpuModel gpu_model(a100);
+
+    // Prompting: compute-bound across the tensor-parallel group.
+    const Seconds prompt_compute =
+        gpuPromptCompute(gpu_model, llm, request.batch,
+                         request.promptTokens) /
+        gpus;
+    result.prefillTime = prompt_compute;
+    result.breakdown.prefill = prompt_compute;
+
+    // Token generation: every weight byte is read once per token from
+    // the aggregate HBM; two all-reduces per layer cross NVLink.
+    const Seconds weight_time =
+        static_cast<double>(llm.totalBytes()) /
+        (static_cast<double>(gpus) * a100.effectiveBandwidth());
+    const Seconds kv_time =
+        static_cast<double>(static_cast<Bytes>(request.batch) *
+                            request.promptTokens *
+                            llm.kvBytesPerToken()) /
+        (static_cast<double>(gpus) * a100.effectiveBandwidth());
+    const Bytes allreduce_bytes = static_cast<Bytes>(request.batch) *
+                                  llm.hidden * kFp16Bytes;
+    const Seconds allreduce =
+        2.0 * llm.layers *
+        (5.0e-6 + 2.0 * static_cast<double>(allreduce_bytes) *
+                      (gpus - 1.0) /
+                      (static_cast<double>(gpus) * kNvlinkBandwidth));
+    const Seconds launches =
+        llm.layers * 4.0 * a100.kernelLaunchOverhead;
+
+    const Seconds per_token =
+        weight_time + kv_time + allreduce + launches;
+    result.generateTime = per_token * request.generateTokens;
+    result.breakdown.fc =
+        (weight_time)*request.generateTokens;
+    result.breakdown.attention = kv_time * request.generateTokens;
+    result.breakdown.communication =
+        allreduce * request.generateTokens;
+    result.breakdown.others = launches * request.generateTokens;
+
+    result.stats.counter("gpus").set(gpus);
+
+    finalize(result, request);
+    return result;
+}
+
+} // namespace hermes::runtime

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * TensorRT-LLM reference (Sec. V-F): the high-performance serving
+ * system running on as many NVIDIA A100-40GB-SXM4 GPUs as the model
+ * requires (five for LLaMA2-70B at batch 16), with tensor-parallel
+ * execution and NVLink all-reduces.  It provides the upper-bound
+ * curve of Fig. 17, not a budget system.
+ */
+
+#ifndef HERMES_RUNTIME_TENSORRT_ENGINE_HH
+#define HERMES_RUNTIME_TENSORRT_ENGINE_HH
+
+#include "runtime/engine.hh"
+#include "runtime/system_config.hh"
+
+namespace hermes::runtime {
+
+/** Multi-A100 TensorRT-LLM reference system. */
+class TensorRtLlmEngine : public InferenceEngine
+{
+  public:
+    /**
+     * @param config   Platform config (only workload knobs are used).
+     * @param num_gpus GPUs in the tensor-parallel group; 0 = pick the
+     *                 smallest count that fits the model + KV cache.
+     */
+    explicit TensorRtLlmEngine(SystemConfig config,
+                               std::uint32_t num_gpus = 0)
+        : config_(std::move(config)), numGpus_(num_gpus)
+    {
+    }
+
+    std::string name() const override { return "TensorRT-LLM"; }
+    InferenceResult run(const InferenceRequest &request) override;
+
+    /** GPUs needed for a request when auto-sizing. */
+    std::uint32_t gpusFor(const InferenceRequest &request) const;
+
+    /** NVLink all-reduce bandwidth per GPU. */
+    static constexpr BytesPerSecond kNvlinkBandwidth = 600.0e9;
+
+  private:
+    SystemConfig config_;
+    std::uint32_t numGpus_;
+};
+
+} // namespace hermes::runtime
+
+#endif // HERMES_RUNTIME_TENSORRT_ENGINE_HH

@@ -1,0 +1,99 @@
+#include "sched/mapper.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace hermes::sched {
+
+void
+NeuronMapper::applyPartition(ModelPlacement &placement,
+                             const PartitionAssignment &assignment)
+{
+    const std::size_t layers = placement.attn.size();
+    hermes_assert(assignment.location.size() == 2 * layers,
+                  "partition must cover attn+mlp of every layer");
+    for (std::size_t l = 0; l < layers; ++l) {
+        const auto &attn_loc = assignment.location[2 * l];
+        const auto &mlp_loc = assignment.location[2 * l + 1];
+        BlockPlacement &attn = placement.attn[l];
+        BlockPlacement &mlp = placement.mlp[l];
+        hermes_assert(attn_loc.size() == attn.neurons() &&
+                      mlp_loc.size() == mlp.neurons(),
+                      "partition block size mismatch");
+        for (std::uint32_t i = 0; i < attn.neurons(); ++i) {
+            if (attn_loc[i] < 0) {
+                attn.setOnGpu(i, true);
+                // Hot neurons still need a DIMM home (IV-C2); spread
+                // them like the cold ones.
+                attn.setHomeDimm(i, static_cast<std::uint16_t>(
+                                        i % attn.numDimms()));
+            } else {
+                attn.setOnGpu(i, false);
+                attn.setHomeDimm(
+                    i, static_cast<std::uint16_t>(attn_loc[i]));
+            }
+        }
+        for (std::uint32_t i = 0; i < mlp.neurons(); ++i) {
+            if (mlp_loc[i] < 0) {
+                mlp.setOnGpu(i, true);
+                mlp.setHomeDimm(i, static_cast<std::uint16_t>(
+                                       i % mlp.numDimms()));
+            } else {
+                mlp.setOnGpu(i, false);
+                mlp.setHomeDimm(
+                    i, static_cast<std::uint16_t>(mlp_loc[i]));
+            }
+        }
+    }
+}
+
+AdjustmentResult
+NeuronMapper::adjustBlock(BlockPlacement &placement,
+                          const std::vector<std::uint32_t> &scores,
+                          Bytes neuron_bytes, AdjustmentPolicy policy)
+{
+    hermes_assert(scores.size() == placement.neurons(),
+                  "score/placement size mismatch");
+
+    // Hot non-residents, hottest first; residents, coldest first.
+    std::vector<std::uint32_t> promote;
+    std::vector<std::uint32_t> residents;
+    for (std::uint32_t i = 0; i < placement.neurons(); ++i) {
+        if (placement.onGpu(i))
+            residents.push_back(i);
+        else if (scores[i] >= policy.hotThreshold)
+            promote.push_back(i);
+    }
+    std::sort(promote.begin(), promote.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                  return scores[a] > scores[b];
+              });
+    std::sort(residents.begin(), residents.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                  return scores[a] < scores[b];
+              });
+
+    AdjustmentResult result;
+    std::size_t out = 0;
+    for (const std::uint32_t in : promote) {
+        if (out >= residents.size() ||
+            result.promotions >= policy.maxSwaps)
+            break;
+        const std::uint32_t victim = residents[out];
+        // Only swap when the incoming neuron beats the coldest
+        // resident by the hysteresis margin; otherwise churn buys
+        // nothing and costs PCIe bandwidth.
+        if (scores[in] < scores[victim] + policy.hysteresis)
+            break;
+        placement.setOnGpu(victim, false);
+        placement.setOnGpu(in, true);
+        ++out;
+        ++result.promotions;
+        ++result.evictions;
+        result.pcieBytes += neuron_bytes;
+    }
+    return result;
+}
+
+} // namespace hermes::sched

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Online hot/cold neuron adjustment (Sec. IV-C2, Fig. 8a).
+ *
+ * All neurons live in the DIMMs; the GPU holds copies of the hot set.
+ * Each token, neurons whose predictor state crosses Th are promoted
+ * (copied DIMM->GPU over PCIe, overlapped with the projection
+ * computation) and the lowest-state residents are overwritten, so a
+ * swap costs exactly one upload and no download.
+ */
+
+#ifndef HERMES_SCHED_MAPPER_HH
+#define HERMES_SCHED_MAPPER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hh"
+#include "sched/ilp_partition.hh"
+#include "sched/placement.hh"
+#include "sched/predictor.hh"
+
+namespace hermes::sched {
+
+/** Outcome of one block's online adjustment. */
+struct AdjustmentResult
+{
+    std::uint64_t promotions = 0; ///< Neurons copied to the GPU.
+    std::uint64_t evictions = 0;  ///< Residents overwritten.
+    Bytes pcieBytes = 0;          ///< Upload volume (promotions).
+};
+
+/** Swap policy of the online mapper. */
+struct AdjustmentPolicy
+{
+    /** Score at or above which a neuron counts as hot (Th). */
+    std::uint32_t hotThreshold = 10;
+
+    /**
+     * Minimum score advantage a promotion must have over the evicted
+     * resident; suppresses churn on noisy scores.
+     */
+    std::uint32_t hysteresis = 2;
+
+    /** Swap-rate cap per block per token (bounds PCIe pressure). */
+    std::uint32_t maxSwaps = 64;
+};
+
+/** Applies offline partitions and performs online swaps. */
+class NeuronMapper
+{
+  public:
+    /**
+     * Install an offline partition into a placement.  Block order in
+     * the partition problem must be (attn0, mlp0, attn1, mlp1, ...).
+     */
+    static void applyPartition(ModelPlacement &placement,
+                               const PartitionAssignment &assignment);
+
+    /**
+     * Swap-based online adjustment of one block: promote hot
+     * non-residents while their score exceeds that of the coldest
+     * residents by the hysteresis margin (keeping the block's GPU
+     * quota constant).
+     *
+     * @param scores Per-neuron hot score
+     *               (BlockPredictor::hotScores).
+     * @return Promotion/eviction counts and PCIe upload volume.
+     */
+    static AdjustmentResult
+    adjustBlock(BlockPlacement &placement,
+                const std::vector<std::uint32_t> &scores,
+                Bytes neuron_bytes,
+                AdjustmentPolicy policy = AdjustmentPolicy{});
+};
+
+} // namespace hermes::sched
+
+#endif // HERMES_SCHED_MAPPER_HH

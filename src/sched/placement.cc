@@ -1,0 +1,31 @@
+#include "sched/placement.hh"
+
+namespace hermes::sched {
+
+ModelPlacement
+makeRoundRobinPlacement(const model::LlmConfig &llm,
+                        std::uint32_t num_dimms)
+{
+    ModelPlacement placement;
+    placement.attn.reserve(llm.layers);
+    placement.mlp.reserve(llm.layers);
+    for (std::uint32_t l = 0; l < llm.layers; ++l) {
+        BlockPlacement attn(
+            static_cast<std::uint32_t>(llm.attnNeuronsPerLayer()),
+            num_dimms);
+        BlockPlacement mlp(
+            static_cast<std::uint32_t>(llm.mlpNeuronsPerLayer()),
+            num_dimms);
+        for (std::uint32_t i = 0; i < attn.neurons(); ++i)
+            attn.setHomeDimm(i, static_cast<std::uint16_t>(
+                                    (i + l) % num_dimms));
+        for (std::uint32_t i = 0; i < mlp.neurons(); ++i)
+            mlp.setHomeDimm(i, static_cast<std::uint16_t>(
+                                   (i + l) % num_dimms));
+        placement.attn.push_back(std::move(attn));
+        placement.mlp.push_back(std::move(mlp));
+    }
+    return placement;
+}
+
+} // namespace hermes::sched

@@ -1,0 +1,318 @@
+#include "sched/predictor.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace hermes::sched {
+
+BlockPredictor::BlockPredictor(std::uint32_t neurons,
+                               PredictorConfig config)
+    : config_(config), states_(neurons, 0)
+{
+    hermes_assert(config_.threshold <=
+                  config_.maxState + 2 * config_.lambda,
+                  "threshold unreachable even with two active parents");
+}
+
+void
+BlockPredictor::initFromFrequency(const std::vector<double> &frequency)
+{
+    hermes_assert(frequency.size() == states_.size(),
+                  "frequency table size mismatch");
+    for (std::size_t i = 0; i < frequency.size(); ++i) {
+        const double f = std::clamp(frequency[i], 0.0, 1.0);
+        // 16 stages over the frequency range (Fig. 7a).
+        states_[i] = static_cast<std::uint8_t>(std::min<std::uint32_t>(
+            config_.maxState,
+            static_cast<std::uint32_t>(f * (config_.maxState + 1))));
+    }
+    initialStates_ = states_;
+}
+
+void
+BlockPredictor::setCorrelation(std::vector<std::uint32_t> parent1,
+                               std::vector<std::uint32_t> parent2)
+{
+    hermes_assert(parent1.size() == states_.size() &&
+                  parent2.size() == states_.size(),
+                  "correlation table size mismatch");
+    parent1_ = std::move(parent1);
+    parent2_ = std::move(parent2);
+}
+
+void
+BlockPredictor::predict(const std::vector<std::uint8_t> *parent_mask,
+                        std::vector<std::uint8_t> &out) const
+{
+    out.resize(states_.size());
+    const bool have_parents =
+        parent_mask != nullptr && !parent1_.empty();
+    for (std::size_t i = 0; i < states_.size(); ++i) {
+        std::uint32_t s2 = 0;
+        if (have_parents) {
+            const auto &mask = *parent_mask;
+            if (parent1_[i] < mask.size() && mask[parent1_[i]])
+                ++s2;
+            if (parent2_[i] < mask.size() && mask[parent2_[i]])
+                ++s2;
+        }
+        const std::uint32_t score = states_[i] + config_.lambda * s2;
+        if (have_parents) {
+            out[i] = score >= config_.threshold;
+        } else {
+            // First block of the model: token-wise evidence only, so
+            // the hot cut substitutes for the combined threshold.
+            out[i] = states_[i] >= config_.hotThreshold;
+        }
+    }
+}
+
+void
+BlockPredictor::update(const std::vector<std::uint8_t> &actual)
+{
+    hermes_assert(actual.size() == states_.size(),
+                  "actual mask size mismatch");
+    for (std::size_t i = 0; i < states_.size(); ++i) {
+        if (actual[i]) {
+            states_[i] = static_cast<std::uint8_t>(
+                std::min<std::uint32_t>(config_.maxState,
+                                        states_[i] +
+                                            config_.activateStep));
+        } else {
+            states_[i] = static_cast<std::uint8_t>(
+                states_[i] >= config_.decayStep
+                    ? states_[i] - config_.decayStep
+                    : 0);
+        }
+    }
+}
+
+void
+BlockPredictor::hotScores(const std::vector<std::uint8_t> *parent_mask,
+                          bool use_token, bool use_layer,
+                          std::vector<std::uint32_t> &out) const
+{
+    out.resize(states_.size());
+    const bool have_parents = use_layer && parent_mask != nullptr &&
+                              !parent1_.empty();
+    const auto &base = use_token ? states_ : initialStates_;
+    for (std::size_t i = 0; i < states_.size(); ++i) {
+        std::uint32_t score = base.empty() ? 0 : base[i];
+        if (have_parents) {
+            const auto &mask = *parent_mask;
+            if (parent1_[i] < mask.size() && mask[parent1_[i]])
+                score += config_.lambda;
+            if (parent2_[i] < mask.size() && mask[parent2_[i]])
+                score += config_.lambda;
+        }
+        out[i] = score;
+    }
+}
+
+ModelPredictor::ModelPredictor(const model::LlmConfig &llm,
+                               PredictorConfig config)
+    : llm_(llm), config_(config)
+{
+    attn_.reserve(llm.layers);
+    mlp_.reserve(llm.layers);
+    for (std::uint32_t l = 0; l < llm.layers; ++l) {
+        attn_.emplace_back(
+            static_cast<std::uint32_t>(llm.attnNeuronsPerLayer()),
+            config);
+        mlp_.emplace_back(
+            static_cast<std::uint32_t>(llm.mlpNeuronsPerLayer()),
+            config);
+    }
+}
+
+BlockPredictor &
+ModelPredictor::attn(std::uint32_t layer)
+{
+    hermes_assert(layer < attn_.size());
+    return attn_[layer];
+}
+
+BlockPredictor &
+ModelPredictor::mlp(std::uint32_t layer)
+{
+    hermes_assert(layer < mlp_.size());
+    return mlp_[layer];
+}
+
+void
+ModelPredictor::calibrate(sparsity::ActivationTrace &trace,
+                          std::uint32_t prefill_tokens)
+{
+    hermes_assert(prefill_tokens > 0, "prefill must cover tokens");
+    trace.reset(0);
+
+    std::vector<std::vector<double>> attn_freq(llm_.layers);
+    std::vector<std::vector<double>> mlp_freq(llm_.layers);
+    for (std::uint32_t l = 0; l < llm_.layers; ++l) {
+        attn_freq[l].assign(trace.attn(l).neurons(), 0.0);
+        mlp_freq[l].assign(trace.mlp(l).neurons(), 0.0);
+    }
+
+    for (std::uint32_t t = 0; t < prefill_tokens; ++t) {
+        trace.nextToken();
+        for (std::uint32_t l = 0; l < llm_.layers; ++l) {
+            for (const auto id : trace.attn(l).activeList)
+                attn_freq[l][id] += 1.0;
+            for (const auto id : trace.mlp(l).activeList)
+                mlp_freq[l][id] += 1.0;
+        }
+    }
+    for (std::uint32_t l = 0; l < llm_.layers; ++l) {
+        for (auto &f : attn_freq[l])
+            f /= prefill_tokens;
+        for (auto &f : mlp_freq[l])
+            f /= prefill_tokens;
+        attn_[l].initFromFrequency(attn_freq[l]);
+        mlp_[l].initFromFrequency(mlp_freq[l]);
+        // Offline-sampled correlation tables: the trace exposes its
+        // wiring, standing in for the paper's profiling pass (the
+        // sampling estimator is validated separately in the tests).
+        attn_[l].setCorrelation(trace.attn(l).parent1,
+                                trace.attn(l).parent2);
+        mlp_[l].setCorrelation(trace.mlp(l).parent1,
+                               trace.mlp(l).parent2);
+    }
+}
+
+void
+ModelPredictor::stepToken(
+    const sparsity::ActivationTrace &trace,
+    std::vector<std::vector<std::uint8_t>> &attn_masks,
+    std::vector<std::vector<std::uint8_t>> &mlp_masks)
+{
+    attn_masks.resize(llm_.layers);
+    mlp_masks.resize(llm_.layers);
+    for (std::uint32_t l = 0; l < llm_.layers; ++l) {
+        // Prediction order mirrors execution: the parent block's
+        // actual activations are known by the time the child block's
+        // computation is scheduled.
+        const std::vector<std::uint8_t> *attn_parent =
+            l == 0 ? nullptr : &trace.mlp(l - 1).mask;
+        attn_[l].predict(attn_parent, attn_masks[l]);
+        mlp_[l].predict(&trace.attn(l).mask, mlp_masks[l]);
+
+        const auto &attn_actual = trace.attn(l).mask;
+        const auto &mlp_actual = trace.mlp(l).mask;
+        for (std::size_t i = 0; i < attn_actual.size(); ++i)
+            metrics_.tally(attn_masks[l][i] != 0, attn_actual[i] != 0);
+        for (std::size_t i = 0; i < mlp_actual.size(); ++i)
+            metrics_.tally(mlp_masks[l][i] != 0, mlp_actual[i] != 0);
+
+        attn_[l].update(attn_actual);
+        mlp_[l].update(mlp_actual);
+    }
+}
+
+Bytes
+ModelPredictor::totalBytes() const
+{
+    Bytes bytes = 0;
+    for (const auto &predictor : attn_)
+        bytes += predictor.stateTableBytes() +
+                 predictor.correlationTableBytes();
+    for (const auto &predictor : mlp_)
+        bytes += predictor.stateTableBytes() +
+                 predictor.correlationTableBytes();
+    return bytes;
+}
+
+Bytes
+ModelPredictor::stateTableBytes() const
+{
+    Bytes bytes = 0;
+    for (const auto &predictor : attn_)
+        bytes += predictor.stateTableBytes();
+    for (const auto &predictor : mlp_)
+        bytes += predictor.stateTableBytes();
+    return bytes;
+}
+
+std::pair<std::vector<std::uint32_t>, std::vector<std::uint32_t>>
+sampleCorrelation(sparsity::ActivationTrace &trace,
+                  std::uint32_t child_layer, bool child_is_mlp,
+                  std::uint32_t tokens, std::uint32_t pool)
+{
+    hermes_assert(child_is_mlp || child_layer > 0,
+                  "first attention block has no parent");
+    trace.reset(0);
+
+    const sparsity::BlockTrace &child =
+        child_is_mlp ? trace.mlp(child_layer) : trace.attn(child_layer);
+    const sparsity::BlockTrace &parent =
+        child_is_mlp ? trace.attn(child_layer)
+                     : trace.mlp(child_layer - 1);
+
+    const std::uint32_t child_n = child.neurons();
+    const std::uint32_t parent_n = parent.neurons();
+
+    // Candidate pool per child: parents in the same frequency-rank
+    // neighborhood (co-activation outside it is noise by design of
+    // the power law).
+    std::vector<std::vector<std::uint32_t>> candidates(child_n);
+    std::vector<std::vector<std::uint32_t>> co_counts(child_n);
+    for (std::uint32_t id = 0; id < child_n; ++id) {
+        const std::uint64_t r = child.rankOf[id];
+        const auto center =
+            static_cast<std::int64_t>(r * parent_n / child_n);
+        for (std::uint32_t k = 0; k < pool; ++k) {
+            const std::int64_t pr =
+                center - static_cast<std::int64_t>(pool / 2) + k;
+            if (pr < 0 || pr >= static_cast<std::int64_t>(parent_n))
+                continue;
+            candidates[id].push_back(
+                parent.idOfRank[static_cast<std::size_t>(pr)]);
+        }
+        co_counts[id].assign(candidates[id].size(), 0);
+    }
+
+    std::vector<std::uint32_t> parent_counts(parent_n, 0);
+    for (std::uint32_t t = 0; t < tokens; ++t) {
+        trace.nextToken();
+        for (const auto p : parent.activeList)
+            ++parent_counts[p];
+        for (const auto id : child.activeList) {
+            for (std::size_t k = 0; k < candidates[id].size(); ++k) {
+                if (parent.mask[candidates[id][k]])
+                    ++co_counts[id][k];
+            }
+        }
+    }
+
+    std::vector<std::uint32_t> parent1(child_n, 0);
+    std::vector<std::uint32_t> parent2(child_n, 0);
+    for (std::uint32_t id = 0; id < child_n; ++id) {
+        // Rank candidates by P(child | candidate) estimate.
+        double best_score = -1.0;
+        double second_score = -1.0;
+        std::uint32_t best = 0;
+        std::uint32_t second = 0;
+        for (std::size_t k = 0; k < candidates[id].size(); ++k) {
+            const std::uint32_t cand = candidates[id][k];
+            if (parent_counts[cand] == 0)
+                continue;
+            const double score =
+                static_cast<double>(co_counts[id][k]) /
+                static_cast<double>(parent_counts[cand]);
+            if (score > best_score) {
+                second_score = best_score;
+                second = best;
+                best_score = score;
+                best = cand;
+            } else if (score > second_score) {
+                second_score = score;
+                second = cand;
+            }
+        }
+        parent1[id] = best;
+        parent2[id] = second;
+    }
+    return {std::move(parent1), std::move(parent2)};
+}
+
+} // namespace hermes::sched

@@ -1,0 +1,380 @@
+#include "sparsity/trace.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace hermes::sparsity {
+
+namespace {
+
+/**
+ * Build per-rank probabilities: power law with exponent s, scaled by
+ * water-filling so the mean equals `mean` with every entry capped at
+ * `cap`.
+ */
+std::vector<double>
+rankProbabilities(std::uint32_t neurons, double exponent, double mean,
+                  double cap)
+{
+    std::vector<double> prob(neurons);
+    for (std::uint32_t r = 0; r < neurons; ++r)
+        prob[r] = std::pow(static_cast<double>(r + 1), -exponent);
+
+    // Water-filling: repeatedly rescale the un-capped tail so the
+    // total mass matches mean * neurons.
+    const double target = mean * neurons;
+    for (int iter = 0; iter < 32; ++iter) {
+        double capped_mass = 0.0;
+        double free_mass = 0.0;
+        for (double p : prob) {
+            if (p >= cap)
+                capped_mass += cap;
+            else
+                free_mass += p;
+        }
+        if (free_mass <= 0.0)
+            break;
+        const double scale = (target - capped_mass) / free_mass;
+        bool changed = false;
+        for (double &p : prob) {
+            if (p < cap) {
+                p *= scale;
+                if (p > cap) {
+                    p = cap;
+                    changed = true;
+                }
+            } else {
+                p = cap;
+            }
+        }
+        if (!changed)
+            break;
+    }
+    for (double &p : prob)
+        p = std::clamp(p, 1e-6, cap);
+    return prob;
+}
+
+/** Mass share of the top `hot_fraction` ranks. */
+double
+topMassShare(const std::vector<double> &rank_prob, double hot_fraction)
+{
+    const auto hot = static_cast<std::size_t>(
+        hot_fraction * static_cast<double>(rank_prob.size()));
+    double top = 0.0;
+    double total = 0.0;
+    for (std::size_t r = 0; r < rank_prob.size(); ++r) {
+        total += rank_prob[r];
+        if (r < hot)
+            top += rank_prob[r];
+    }
+    return total <= 0.0 ? 0.0 : top / total;
+}
+
+constexpr double kProbabilityCap = 0.98;
+
+} // namespace
+
+double
+ActivationTrace::calibrateExponent(std::uint32_t neurons,
+                                   const SparsityConfig &config)
+{
+    // Monotone in the exponent: steeper power law concentrates more
+    // mass on the head.  Binary search to the configured target.
+    double lo = 0.1;
+    double hi = 3.0;
+    for (int iter = 0; iter < 40; ++iter) {
+        const double mid = 0.5 * (lo + hi);
+        const auto prob = rankProbabilities(
+            neurons, mid, config.activeFraction, kProbabilityCap);
+        if (topMassShare(prob, config.hotFraction) <
+            config.targetHotMass) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    return 0.5 * (lo + hi);
+}
+
+ActivationTrace::ActivationTrace(const model::LlmConfig &model,
+                                 SparsityConfig config,
+                                 std::uint32_t batch)
+    : model_(model), config_(config), batch_(batch), rng_(config.seed)
+{
+    hermes_assert(batch_ >= 1, "batch must be at least 1");
+    hermes_assert(config_.activeFraction > 0.0 &&
+                  config_.activeFraction < 1.0,
+                  "active fraction must be in (0,1)");
+
+    masterSlots_ = static_cast<std::uint32_t>(
+        std::max(model_.attnNeuronsPerLayer(),
+                 model_.mlpNeuronsPerLayer()));
+    masterLatent_.assign(masterSlots_, 0.0);
+
+    attnBlocks_.resize(model_.layers);
+    mlpBlocks_.resize(model_.layers);
+    for (std::uint32_t l = 0; l < model_.layers; ++l) {
+        initBlock(attnBlocks_[l],
+                  static_cast<std::uint32_t>(model_.attnNeuronsPerLayer()),
+                  0x1000 + l);
+        initBlock(mlpBlocks_[l],
+                  static_cast<std::uint32_t>(model_.mlpNeuronsPerLayer()),
+                  0x2000 + l);
+    }
+    // Rank-matched correlation wiring in execution order: the
+    // attention block of layer l couples to the MLP of layer l-1, the
+    // MLP block couples to its own layer's attention block.
+    rewireAllParents();
+    reset(0);
+}
+
+void
+ActivationTrace::initBlock(BlockTrace &block, std::uint32_t neurons,
+                           std::uint64_t salt)
+{
+    // Cache exponents by block size: the calibration only depends on
+    // the size and the (shared) config.
+    static thread_local std::vector<std::pair<std::uint64_t, double>>
+        exponent_cache;
+    const std::uint64_t cache_key =
+        (static_cast<std::uint64_t>(neurons) << 20) ^
+        static_cast<std::uint64_t>(config_.targetHotMass * 1e6) ^
+        static_cast<std::uint64_t>(config_.activeFraction * 1e3);
+    double exponent = -1.0;
+    for (const auto &[key, value] : exponent_cache) {
+        if (key == cache_key)
+            exponent = value;
+    }
+    if (exponent < 0.0) {
+        exponent = calibrateExponent(neurons, config_);
+        exponent_cache.emplace_back(cache_key, exponent);
+    }
+
+    const auto rank_prob = rankProbabilities(
+        neurons, exponent, config_.activeFraction, kProbabilityCap);
+
+    block.probability.resize(neurons);
+    block.mask.assign(neurons, 0);
+    block.parent1.assign(neurons, 0);
+    block.parent2.assign(neurons, 0);
+    block.follower.resize(neurons);
+    block.slot.resize(neurons);
+    block.ownLatent.assign(neurons, 0.0);
+    block.idOfRank.resize(neurons);
+    block.rankOf.resize(neurons);
+
+    // Assign ranks to neuron ids through a deterministic per-block
+    // permutation so hotness is not a function of the neuron index.
+    std::vector<std::uint32_t> perm(neurons);
+    std::iota(perm.begin(), perm.end(), 0);
+    Rng init_rng(config_.seed ^ (salt * 0x9e3779b97f4a7c15ULL));
+    for (std::uint32_t i = neurons; i > 1; --i)
+        std::swap(perm[i - 1], perm[init_rng.below(i)]);
+
+    double base_mass = 0.0;
+    double union_mass = 0.0;
+    for (std::uint32_t r = 0; r < neurons; ++r) {
+        const std::uint32_t id = perm[r];
+        const double base = rank_prob[r];
+        base_mass += base;
+        block.probability[id] =
+            1.0 - std::pow(1.0 - base, static_cast<double>(batch_));
+        union_mass += block.probability[id];
+        block.idOfRank[r] = id;
+        block.rankOf[id] = r;
+        // Same-rank neurons in every block share a master slot, which
+        // is what produces the cross-layer correlation.
+        block.slot[id] = static_cast<std::uint32_t>(
+            static_cast<std::uint64_t>(r) * masterSlots_ / neurons);
+        block.follower[id] = init_rng.chance(config_.couplingMix);
+    }
+    // Guard against round-off at batch 1 (base == union up to eps).
+    block.computeScale = std::clamp(
+        union_mass > 0.0 ? base_mass / union_mass : 1.0, 1e-6, 1.0);
+}
+
+void
+ActivationTrace::wireParents(BlockTrace &child, const BlockTrace &parent)
+{
+    const std::uint32_t child_n = child.neurons();
+    const std::uint32_t parent_n = parent.neurons();
+    for (std::uint32_t id = 0; id < child_n; ++id) {
+        const std::uint64_t r = child.rankOf[id];
+        const auto pr =
+            static_cast<std::uint32_t>(r * parent_n / child_n);
+        child.parent1[id] = parent.idOfRank[pr];
+        child.parent2[id] = parent.idOfRank[(pr + 1) % parent_n];
+    }
+}
+
+void
+ActivationTrace::reset(std::uint64_t sequence_id)
+{
+    rng_ = Rng(config_.seed ^ (sequence_id * 0xda3e39cb94b95bdbULL) ^
+               0xabcdef12345ULL);
+    tokenIndex_ = 0;
+    for (auto &u : masterLatent_)
+        u = rng_.uniform();
+    auto init_block = [&](BlockTrace &block) {
+        block.activeList.clear();
+        for (std::uint32_t i = 0; i < block.neurons(); ++i) {
+            block.ownLatent[i] = rng_.uniform();
+            const double u = block.follower[i]
+                                 ? masterLatent_[block.slot[i]]
+                                 : block.ownLatent[i];
+            const bool active = u < block.probability[i];
+            block.mask[i] = active;
+            if (active)
+                block.activeList.push_back(i);
+        }
+    };
+    for (auto &block : attnBlocks_)
+        init_block(block);
+    for (auto &block : mlpBlocks_)
+        init_block(block);
+}
+
+void
+ActivationTrace::stepBlock(BlockTrace &block)
+{
+    const double refresh = 1.0 - config_.persistence;
+    const double noise = config_.followerNoise;
+    block.activeList.clear();
+    for (std::uint32_t i = 0; i < block.neurons(); ++i) {
+        // Evolve the private latent: one draw decides refresh and,
+        // when refreshing, is recycled (scaled) as the new value.
+        const double draw = rng_.uniform();
+        if (draw < refresh)
+            block.ownLatent[i] = draw / refresh;
+
+        double u;
+        if (block.follower[i]) {
+            // Followers read the shared slot except for occasional
+            // private excursions (keeps the conditional below 1).
+            u = rng_.chance(noise) ? block.ownLatent[i]
+                                   : masterLatent_[block.slot[i]];
+        } else {
+            u = block.ownLatent[i];
+        }
+        const bool active = u < block.probability[i];
+        block.mask[i] = active;
+        if (active)
+            block.activeList.push_back(i);
+    }
+}
+
+void
+ActivationTrace::rewireAllParents()
+{
+    for (std::uint32_t l = 0; l < model_.layers; ++l) {
+        if (l > 0)
+            wireParents(attnBlocks_[l], mlpBlocks_[l - 1]);
+        wireParents(mlpBlocks_[l], attnBlocks_[l]);
+    }
+}
+
+void
+ActivationTrace::swapRanks(BlockTrace &block, std::uint64_t rank_a,
+                           std::uint64_t rank_b)
+{
+    const std::uint32_t id_a =
+        block.idOfRank[static_cast<std::size_t>(rank_a)];
+    const std::uint32_t id_b =
+        block.idOfRank[static_cast<std::size_t>(rank_b)];
+    if (id_a == id_b)
+        return;
+    // The ids trade every rank-derived attribute; their private
+    // latents and current masks stay put (the new probability takes
+    // effect from the next token on).
+    std::swap(block.probability[id_a], block.probability[id_b]);
+    std::swap(block.slot[id_a], block.slot[id_b]);
+    std::swap(block.follower[id_a], block.follower[id_b]);
+    block.idOfRank[static_cast<std::size_t>(rank_a)] = id_b;
+    block.idOfRank[static_cast<std::size_t>(rank_b)] = id_a;
+    block.rankOf[id_a] = static_cast<std::uint32_t>(rank_b);
+    block.rankOf[id_b] = static_cast<std::uint32_t>(rank_a);
+}
+
+void
+ActivationTrace::applyPhaseShift()
+{
+    // Swap rank owners at the same quantiles in every block, so the
+    // cross-layer (rank-matched) correlation structure survives the
+    // drift while the identity of hot neurons changes.
+    const auto swaps = static_cast<std::uint64_t>(
+        0.5 * config_.phaseDrift * masterSlots_);
+    std::vector<std::pair<double, double>> quantiles;
+    quantiles.reserve(swaps);
+    for (std::uint64_t s = 0; s < swaps; ++s)
+        quantiles.emplace_back(rng_.uniform(), rng_.uniform());
+
+    auto shift_block = [&](BlockTrace &block) {
+        const std::uint32_t n = block.neurons();
+        for (const auto &[qa, qb] : quantiles) {
+            swapRanks(block,
+                      static_cast<std::uint64_t>(qa * n),
+                      static_cast<std::uint64_t>(qb * n));
+        }
+    };
+    for (std::uint32_t l = 0; l < model_.layers; ++l) {
+        shift_block(attnBlocks_[l]);
+        shift_block(mlpBlocks_[l]);
+    }
+    rewireAllParents();
+}
+
+void
+ActivationTrace::nextToken()
+{
+    if (config_.phaseTokens > 0 && tokenIndex_ > 0 &&
+        tokenIndex_ % config_.phaseTokens == 0) {
+        applyPhaseShift();
+    }
+    // Evolve the shared semantic latent (one slot per frequency rank).
+    const double refresh = 1.0 - config_.persistence;
+    for (auto &u : masterLatent_) {
+        const double draw = rng_.uniform();
+        if (draw < refresh)
+            u = draw / refresh;
+    }
+    for (std::uint32_t l = 0; l < model_.layers; ++l) {
+        stepBlock(attnBlocks_[l]);
+        stepBlock(mlpBlocks_[l]);
+    }
+    ++tokenIndex_;
+}
+
+const BlockTrace &
+ActivationTrace::attn(std::uint32_t layer) const
+{
+    hermes_assert(layer < model_.layers);
+    return attnBlocks_[layer];
+}
+
+const BlockTrace &
+ActivationTrace::mlp(std::uint32_t layer) const
+{
+    hermes_assert(layer < model_.layers);
+    return mlpBlocks_[layer];
+}
+
+double
+ActivationTrace::currentActiveFraction() const
+{
+    std::uint64_t active = 0;
+    std::uint64_t total = 0;
+    for (std::uint32_t l = 0; l < model_.layers; ++l) {
+        active += attnBlocks_[l].activeCount() +
+                  mlpBlocks_[l].activeCount();
+        total += attnBlocks_[l].neurons() + mlpBlocks_[l].neurons();
+    }
+    return total == 0 ? 0.0
+                      : static_cast<double>(active) /
+                            static_cast<double>(total);
+}
+
+} // namespace hermes::sparsity

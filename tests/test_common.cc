@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Unit tests for the common substrate: units, RNG, stats, tables.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "common/units.hh"
+
+namespace hermes {
+namespace {
+
+TEST(Units, GbpsConvertsDecimalGigabytes)
+{
+    EXPECT_DOUBLE_EQ(gbps(64.0), 64.0e9);
+    EXPECT_DOUBLE_EQ(gbps(0.0), 0.0);
+}
+
+TEST(Units, TflopsConverts)
+{
+    EXPECT_DOUBLE_EQ(tflops(82.6), 82.6e12);
+}
+
+TEST(Units, CycleConversionRoundTrips)
+{
+    const double hz = 1.6e9;
+    EXPECT_DOUBLE_EQ(cyclesToSeconds(1600, hz), 1e-6);
+    EXPECT_EQ(secondsToCycles(1e-6, hz), 1600u);
+}
+
+TEST(Units, SecondsToCyclesRoundsUp)
+{
+    EXPECT_EQ(secondsToCycles(1.0001e-6, 1.0e9), 1001u);
+    EXPECT_EQ(secondsToCycles(0.0, 1.0e9), 0u);
+}
+
+TEST(Units, BinarySizesAreExact)
+{
+    EXPECT_EQ(kKiB, 1024u);
+    EXPECT_EQ(kMiB, 1024u * 1024u);
+    EXPECT_EQ(kGiB, 1024ull * 1024 * 1024);
+}
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BelowStaysInBound)
+{
+    Rng rng(9);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.below(17);
+        ASSERT_LT(v, 17u);
+        seen.insert(v);
+    }
+    // All residues should appear over 2000 draws.
+    EXPECT_EQ(seen.size(), 17u);
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng rng(11);
+    int hits = 0;
+    for (int i = 0; i < 20000; ++i)
+        hits += rng.chance(0.3);
+    EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Stats, CounterAccumulates)
+{
+    Counter c;
+    c.add(1.5);
+    c.add(2.5);
+    EXPECT_DOUBLE_EQ(c.value(), 4.0);
+    EXPECT_EQ(c.samples(), 2u);
+    EXPECT_DOUBLE_EQ(c.mean(), 2.0);
+    c.reset();
+    EXPECT_DOUBLE_EQ(c.value(), 0.0);
+}
+
+TEST(Stats, DistributionMoments)
+{
+    Distribution d;
+    for (double v : {1.0, 2.0, 3.0, 4.0, 5.0})
+        d.sample(v);
+    EXPECT_EQ(d.count(), 5u);
+    EXPECT_DOUBLE_EQ(d.mean(), 3.0);
+    EXPECT_DOUBLE_EQ(d.min(), 1.0);
+    EXPECT_DOUBLE_EQ(d.max(), 5.0);
+    EXPECT_NEAR(d.stddev(), std::sqrt(2.5), 1e-12);
+}
+
+TEST(Stats, EmptyDistributionIsZero)
+{
+    Distribution d;
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(d.min(), 0.0);
+    EXPECT_DOUBLE_EQ(d.max(), 0.0);
+    EXPECT_DOUBLE_EQ(d.stddev(), 0.0);
+}
+
+TEST(Stats, StatSetLazyCreation)
+{
+    StatSet set;
+    set.counter("x").add(3.0);
+    EXPECT_TRUE(set.hasCounter("x"));
+    EXPECT_FALSE(set.hasCounter("y"));
+    EXPECT_DOUBLE_EQ(set.counterValue("x"), 3.0);
+}
+
+TEST(Stats, StatSetResetClearsAll)
+{
+    StatSet set;
+    set.counter("a").add(1.0);
+    set.distribution("d").sample(2.0);
+    set.reset();
+    EXPECT_DOUBLE_EQ(set.counterValue("a"), 0.0);
+    EXPECT_EQ(set.distribution("d").count(), 0u);
+}
+
+TEST(Table, RendersAlignedColumns)
+{
+    TextTable table({"name", "value"});
+    table.addRow({"alpha", "1"});
+    table.addRow({"b", "22"});
+    const std::string out = table.render();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    // Header, rule, two rows.
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(Table, NumFormatsPrecision)
+{
+    EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::num(2.0, 0), "2");
+}
+
+} // namespace
+} // namespace hermes

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Tests for the public facade (hermes::System).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/hermes.hh"
+
+namespace hermes {
+namespace {
+
+TEST(Facade, DefaultRequestMatchesPaperWorkload)
+{
+    const auto request = defaultRequest(model::opt13b(), 4);
+    EXPECT_EQ(request.promptTokens, 128u);
+    EXPECT_EQ(request.generateTokens, 128u);
+    EXPECT_EQ(request.batch, 4u);
+    EXPECT_EQ(request.llm.name, "OPT-13B");
+}
+
+TEST(Facade, DefaultPlatformMatchesSecVA1)
+{
+    const System system;
+    EXPECT_EQ(system.config().gpu.name, "RTX4090");
+    EXPECT_EQ(system.config().numDimms, 8u);
+    EXPECT_EQ(system.config().dimm.dimm.capacity, 32ull * kGiB);
+}
+
+TEST(Facade, InferProducesThroughput)
+{
+    System system(fastConfig(4));
+    auto request = defaultRequest(model::opt13b());
+    request.generateTokens = 32;
+    request.profileTokens = 24;
+    const auto result = system.infer(request);
+    EXPECT_TRUE(result.supported);
+    EXPECT_GT(result.tokensPerSecond, 0.0);
+    EXPECT_EQ(result.engine, "Hermes");
+}
+
+TEST(Facade, SupportsChecksDimmCapacity)
+{
+    SystemConfig config = fastConfig(4);
+    config.numDimms = 1;
+    System system(config);
+    EXPECT_FALSE(
+        system.supports(defaultRequest(model::llama2_70b())));
+    EXPECT_TRUE(system.supports(defaultRequest(model::opt13b())));
+}
+
+TEST(Facade, CompareRunsRequestedEngines)
+{
+    System system(fastConfig(4));
+    auto request = defaultRequest(model::opt13b());
+    request.generateTokens = 24;
+    request.profileTokens = 16;
+    const auto results = system.compare(
+        request, {EngineKind::Accelerate, EngineKind::Hermes});
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_EQ(results[0].engine, "Accelerate");
+    EXPECT_EQ(results[1].engine, "Hermes");
+    EXPECT_GT(results[1].tokensPerSecond,
+              results[0].tokensPerSecond);
+}
+
+TEST(Facade, FastConfigSetsSimulatedLayers)
+{
+    EXPECT_EQ(fastConfig(8).simulatedLayers, 8u);
+    EXPECT_EQ(fastConfig().simulatedLayers, 8u);
+}
+
+} // namespace
+} // namespace hermes

@@ -1,0 +1,313 @@
+/**
+ * @file
+ * Unit and property tests for the DDR4 command-level timing model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "dram/bandwidth_probe.hh"
+#include "dram/config.hh"
+#include "dram/controller.hh"
+#include "dram/timing.hh"
+
+namespace hermes::dram {
+namespace {
+
+DimmConfig
+tableIiConfig()
+{
+    return DimmConfig{};
+}
+
+std::vector<RowRead>
+sequentialRows(const DimmConfig &cfg, std::uint64_t rows)
+{
+    AddressMapper mapper(cfg);
+    const auto bursts =
+        static_cast<std::uint32_t>(cfg.rowBytes / cfg.burstBytes);
+    std::vector<RowRead> reads;
+    for (std::uint64_t i = 0; i < rows; ++i)
+        reads.push_back(mapper.mapRowChunk(i, bursts));
+    return reads;
+}
+
+TEST(Timing, TableIiDefaults)
+{
+    const TimingParams t = ddr4_3200();
+    EXPECT_EQ(t.tRC, 76u);
+    EXPECT_EQ(t.tRCD, 24u);
+    EXPECT_EQ(t.tCL, 24u);
+    EXPECT_EQ(t.tRP, 24u);
+    EXPECT_EQ(t.tBL, 4u);
+    EXPECT_EQ(t.tCCD_S, 4u);
+    EXPECT_EQ(t.tCCD_L, 8u);
+    EXPECT_EQ(t.tRRD_S, 4u);
+    EXPECT_EQ(t.tRRD_L, 6u);
+    EXPECT_EQ(t.tFAW, 26u);
+    EXPECT_DOUBLE_EQ(t.clockHz, 1600.0e6);
+}
+
+TEST(Config, TableIiGeometry)
+{
+    const DimmConfig cfg = tableIiConfig();
+    EXPECT_EQ(cfg.capacity, 32ull * kGiB);
+    EXPECT_EQ(cfg.ranks, 4u);
+    EXPECT_EQ(cfg.banksPerRank(), 8u);
+    // 32 GiB / (4 ranks * 8 banks * 8 KiB rows).
+    EXPECT_EQ(cfg.rowsPerBank(), 32ull * kGiB / (32 * 8 * kKiB));
+}
+
+TEST(Config, PeakBandwidthMatchesDdr4_3200)
+{
+    const DimmConfig cfg = tableIiConfig();
+    // 64 B per 4 cycles at 1600 MHz = 25.6 GB/s.
+    EXPECT_NEAR(cfg.rankPeakBandwidth(), 25.6e9, 1e6);
+    EXPECT_NEAR(cfg.internalPeakBandwidth(), 4 * 25.6e9, 1e7);
+}
+
+TEST(Config, BurstsForRoundsUp)
+{
+    const DimmConfig cfg = tableIiConfig();
+    EXPECT_EQ(cfg.burstsFor(0), 0u);
+    EXPECT_EQ(cfg.burstsFor(1), 1u);
+    EXPECT_EQ(cfg.burstsFor(64), 1u);
+    EXPECT_EQ(cfg.burstsFor(65), 2u);
+    EXPECT_EQ(cfg.burstsFor(8192), 128u);
+}
+
+TEST(AddressMapperTest, InterleavesBankGroupsFirst)
+{
+    const DimmConfig cfg = tableIiConfig();
+    AddressMapper mapper(cfg);
+    const RowRead r0 = mapper.mapRowChunk(0, 1);
+    const RowRead r1 = mapper.mapRowChunk(1, 1);
+    const RowRead r2 = mapper.mapRowChunk(2, 1);
+    EXPECT_EQ(r0.bankGroup, 0u);
+    EXPECT_EQ(r1.bankGroup, 1u);
+    EXPECT_EQ(r2.bankGroup, 0u);
+    EXPECT_EQ(r0.bank, 0u);
+    EXPECT_EQ(r2.bank, 1u);
+}
+
+TEST(AddressMapperTest, RowAdvancesAfterAllBanks)
+{
+    const DimmConfig cfg = tableIiConfig();
+    AddressMapper mapper(cfg);
+    const auto banks = cfg.banksPerRank();
+    EXPECT_EQ(mapper.mapRowChunk(banks - 1, 1).row, 0u);
+    EXPECT_EQ(mapper.mapRowChunk(banks, 1).row, 1u);
+}
+
+TEST(Controller, SingleBurstLatency)
+{
+    const DimmConfig cfg = tableIiConfig();
+    RankController controller(cfg);
+    const ControllerStats stats =
+        controller.simulate({RowRead{0, 0, 0, 1}});
+    // ACT at 0, RD at tRCD, data complete at tRCD + tCL + tBL.
+    const TimingParams &t = cfg.timing;
+    EXPECT_EQ(stats.finishCycle, t.tRCD + t.tCL + t.tBL);
+    EXPECT_EQ(stats.activates, 1u);
+    EXPECT_EQ(stats.reads, 1u);
+    EXPECT_EQ(stats.rowHits, 0u);
+}
+
+TEST(Controller, RowHitsWithinOneRow)
+{
+    const DimmConfig cfg = tableIiConfig();
+    RankController controller(cfg);
+    const ControllerStats stats =
+        controller.simulate({RowRead{0, 0, 0, 16}});
+    EXPECT_EQ(stats.activates, 1u);
+    EXPECT_EQ(stats.reads, 16u);
+    EXPECT_EQ(stats.rowHits, 15u);
+}
+
+TEST(Controller, SameBankRowConflictPaysPrecharge)
+{
+    const DimmConfig cfg = tableIiConfig();
+    RankController controller(cfg);
+    const ControllerStats stats = controller.simulate(
+        {RowRead{0, 0, 0, 1}, RowRead{0, 0, 1, 1}});
+    EXPECT_EQ(stats.activates, 2u);
+    EXPECT_EQ(stats.precharges, 1u);
+    // Second access cannot complete before tRC-level spacing.
+    const TimingParams &t = cfg.timing;
+    EXPECT_GE(stats.finishCycle,
+              t.tRAS + t.tRP + t.tRCD + t.tCL + t.tBL);
+}
+
+TEST(Controller, BankGroupInterleavingBeatsSingleGroup)
+{
+    const DimmConfig cfg = tableIiConfig();
+
+    // 64 bursts alternating across groups vs. all in one bank.
+    std::vector<RowRead> interleaved;
+    for (int i = 0; i < 8; ++i)
+        interleaved.push_back(
+            RowRead{static_cast<std::uint32_t>(i % 2),
+                    static_cast<std::uint32_t>((i / 2) % 4), 0, 8});
+    std::vector<RowRead> single = {RowRead{0, 0, 0, 64}};
+
+    RankController controller(cfg);
+    const Cycles inter = controller.simulate(interleaved).finishCycle;
+    const Cycles mono = controller.simulate(single).finishCycle;
+    EXPECT_LT(inter, mono);
+}
+
+TEST(Controller, SequentialStreamApproachesPeak)
+{
+    const DimmConfig cfg = tableIiConfig();
+    RankController controller(cfg);
+    const BytesPerSecond bw =
+        controller.measuredBandwidth(sequentialRows(cfg, 256));
+    EXPECT_GT(bw, 0.90 * cfg.rankPeakBandwidth());
+    EXPECT_LE(bw, cfg.rankPeakBandwidth());
+}
+
+TEST(Controller, FcfsNoSlowerThanZeroWindowButBelowFrFcfs)
+{
+    const DimmConfig cfg = tableIiConfig();
+    const auto reads = sequentialRows(cfg, 64);
+
+    RankController frfcfs(cfg);
+    RankController fcfs(cfg);
+    fcfs.setFcfs(true);
+    const Cycles fast = frfcfs.simulate(reads).finishCycle;
+    const Cycles slow = fcfs.simulate(reads).finishCycle;
+    // FCFS services one request at a time and cannot overlap ACTs as
+    // aggressively; it must not be faster.
+    EXPECT_LE(fast, slow);
+}
+
+TEST(Controller, RefreshOverheadVisibleOnLongStreams)
+{
+    DimmConfig cfg = tableIiConfig();
+    RankController controller(cfg);
+    const auto reads = sequentialRows(cfg, 2048);
+    const ControllerStats stats = controller.simulate(reads);
+    // 2048 rows * 128 bursts * 4 cycles > several tREFI windows.
+    EXPECT_GT(stats.refreshes, 0u);
+}
+
+TEST(Controller, EmptyRequestStream)
+{
+    const DimmConfig cfg = tableIiConfig();
+    RankController controller(cfg);
+    const ControllerStats stats = controller.simulate({});
+    EXPECT_EQ(stats.finishCycle, 0u);
+    EXPECT_EQ(stats.reads, 0u);
+    EXPECT_DOUBLE_EQ(controller.measuredBandwidth({}), 0.0);
+}
+
+TEST(Controller, ThroughputMonotonicInBurstCount)
+{
+    // Reading more bursts from the same row amortizes the ACT: the
+    // per-byte cost must go down.
+    const DimmConfig cfg = tableIiConfig();
+    RankController controller(cfg);
+    double prev_cost = 1e30;
+    for (std::uint32_t bursts : {1u, 2u, 8u, 32u, 128u}) {
+        const ControllerStats stats =
+            controller.simulate({RowRead{0, 0, 0, bursts}});
+        const double cost =
+            static_cast<double>(stats.finishCycle) / bursts;
+        EXPECT_LT(cost, prev_cost + 1e-9);
+        prev_cost = cost;
+    }
+}
+
+TEST(Probe, ScatteredRowsNearSequential)
+{
+    // With 8 banks hiding tRC, scattered full-row reads should land
+    // within a few percent of the sequential stream.
+    DimmConfig cfg = tableIiConfig();
+    BandwidthProbe probe(cfg);
+    const double seq = probe.rankBandwidth(AccessPattern::SequentialRows);
+    const double scat =
+        probe.rankBandwidth(AccessPattern::ScatteredRows);
+    EXPECT_GT(scat, 0.9 * seq);
+}
+
+TEST(Probe, ScatteredBurstsAreRowMissBound)
+{
+    DimmConfig cfg = tableIiConfig();
+    BandwidthProbe probe(cfg);
+    const double bursts =
+        probe.rankBandwidth(AccessPattern::ScatteredBursts);
+    const double rows = probe.rankBandwidth(AccessPattern::ScatteredRows);
+    EXPECT_LT(bursts, 0.5 * rows);
+    EXPECT_GT(bursts, 0.0);
+}
+
+TEST(Probe, InternalBandwidthScalesWithRankParallelism)
+{
+    DimmConfig one = tableIiConfig();
+    one.rankParallelism = 1;
+    DimmConfig four = tableIiConfig();
+    four.rankParallelism = 4;
+    BandwidthProbe probe_one(one);
+    BandwidthProbe probe_four(four);
+    const double bw1 =
+        probe_one.internalBandwidth(AccessPattern::ScatteredRows);
+    const double bw4 =
+        probe_four.internalBandwidth(AccessPattern::ScatteredRows);
+    EXPECT_NEAR(bw4 / bw1, 4.0, 1e-9);
+}
+
+TEST(Probe, StreamTimeLinearInBytes)
+{
+    DimmConfig cfg = tableIiConfig();
+    BandwidthProbe probe(cfg);
+    const Seconds t1 =
+        probe.streamTime(1 * kMiB, AccessPattern::ScatteredRows);
+    const Seconds t2 =
+        probe.streamTime(2 * kMiB, AccessPattern::ScatteredRows);
+    EXPECT_NEAR(t2, 2.0 * t1, 1e-12);
+    EXPECT_DOUBLE_EQ(
+        probe.streamTime(0, AccessPattern::ScatteredRows), 0.0);
+}
+
+TEST(Probe, CachingReturnsIdenticalValues)
+{
+    DimmConfig cfg = tableIiConfig();
+    BandwidthProbe probe(cfg);
+    const double a = probe.rankBandwidth(AccessPattern::ScatteredRows);
+    const double b = probe.rankBandwidth(AccessPattern::ScatteredRows);
+    EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(Probe, SlowerBinYieldsLowerBandwidth)
+{
+    DimmConfig fast = tableIiConfig();
+    DimmConfig slow = tableIiConfig();
+    slow.timing = ddr4_2400();
+    BandwidthProbe fast_probe(fast);
+    BandwidthProbe slow_probe(slow);
+    EXPECT_LT(slow_probe.rankBandwidth(AccessPattern::SequentialRows),
+              fast_probe.rankBandwidth(AccessPattern::SequentialRows));
+}
+
+/** No pattern may exceed the physical pin bandwidth. */
+class ProbePatternTest
+    : public ::testing::TestWithParam<AccessPattern>
+{
+};
+
+TEST_P(ProbePatternTest, BandwidthWithinPhysicalBounds)
+{
+    DimmConfig cfg = tableIiConfig();
+    BandwidthProbe probe(cfg);
+    const double bw = probe.rankBandwidth(GetParam());
+    EXPECT_GT(bw, 0.0);
+    EXPECT_LE(bw, cfg.rankPeakBandwidth() * (1.0 + 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPatterns, ProbePatternTest,
+                         ::testing::Values(
+                             AccessPattern::SequentialRows,
+                             AccessPattern::ScatteredRows,
+                             AccessPattern::ScatteredBursts));
+
+} // namespace
+} // namespace hermes::dram

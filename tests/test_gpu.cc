@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Unit tests for the GPU spec zoo and the roofline kernel model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/gpu_spec.hh"
+#include "gpu/kernels.hh"
+
+namespace hermes::gpu {
+namespace {
+
+TEST(GpuSpecs, Rtx4090MatchesPaper)
+{
+    const GpuSpec spec = rtx4090();
+    EXPECT_DOUBLE_EQ(spec.tensorFp16, 330.0e12);
+    EXPECT_DOUBLE_EQ(spec.memBandwidth, 936.0e9);
+    EXPECT_EQ(spec.memCapacity, 24ull * kGiB);
+}
+
+TEST(GpuSpecs, Rtx3090MatchesPaper)
+{
+    const GpuSpec spec = rtx3090();
+    EXPECT_DOUBLE_EQ(spec.tensorFp16, 142.0e12);
+    EXPECT_DOUBLE_EQ(spec.memBandwidth, 936.0e9);
+    EXPECT_EQ(spec.memCapacity, 24ull * kGiB);
+}
+
+TEST(GpuSpecs, TeslaT4MatchesPaper)
+{
+    const GpuSpec spec = teslaT4();
+    EXPECT_DOUBLE_EQ(spec.tensorFp16, 65.0e12);
+    EXPECT_DOUBLE_EQ(spec.memBandwidth, 320.0e9);
+    EXPECT_EQ(spec.memCapacity, 16ull * kGiB);
+}
+
+TEST(GpuSpecs, A100MatchesDatasheet)
+{
+    const GpuSpec spec = a100_40gb();
+    EXPECT_DOUBLE_EQ(spec.tensorFp16, 312.0e12);
+    EXPECT_DOUBLE_EQ(spec.memBandwidth, 1555.0e9);
+    EXPECT_EQ(spec.memCapacity, 40ull * kGiB);
+}
+
+TEST(Roofline, ZeroWorkloadIsFree)
+{
+    const GpuModel gpu(rtx4090());
+    EXPECT_DOUBLE_EQ(gpu.roofline(0.0, 0), 0.0);
+    EXPECT_DOUBLE_EQ(gpu.gemm(0, 10, 10), 0.0);
+    EXPECT_DOUBLE_EQ(gpu.sparseGemv(0, 100, 1), 0.0);
+    EXPECT_DOUBLE_EQ(gpu.attention(0, 8, 8, 64, 128), 0.0);
+}
+
+TEST(Roofline, IncludesLaunchOverhead)
+{
+    const GpuModel gpu(rtx4090());
+    // Tiny kernel: launch dominates.
+    const Seconds t = gpu.roofline(1.0, 1);
+    EXPECT_GT(t, rtx4090().kernelLaunchOverhead * 0.99);
+    EXPECT_LT(t, rtx4090().kernelLaunchOverhead * 1.01);
+}
+
+TEST(Roofline, GemvIsBandwidthBoundAtBatchOne)
+{
+    const GpuModel gpu(rtx4090());
+    const std::uint64_t rows = 8192;
+    const std::uint64_t cols = 8192;
+    const Seconds t = gpu.sparseGemv(rows, cols, 1);
+    const Seconds memory_time =
+        static_cast<double>(rows * cols * kFp16Bytes) /
+        rtx4090().effectiveBandwidth();
+    // Latency tracks the weight-streaming time plus launch.
+    EXPECT_NEAR(t, memory_time + rtx4090().kernelLaunchOverhead,
+                0.2 * memory_time);
+}
+
+TEST(Roofline, GemvLatencyFlatAcrossSmallBatches)
+{
+    // Weight streaming dominates: latency at batch 8 is within a few
+    // percent of batch 1 (this is the core reason GPUs love batching).
+    const GpuModel gpu(rtx4090());
+    const Seconds b1 = gpu.sparseGemv(8192, 8192, 1);
+    const Seconds b8 = gpu.sparseGemv(8192, 8192, 8);
+    EXPECT_LT(b8, 1.1 * b1);
+}
+
+TEST(Roofline, GemmBecomesComputeBoundForLargeM)
+{
+    const GpuModel gpu(rtx4090());
+    // m=n=k large: arithmetic intensity ~ k/3 >> machine balance.
+    const std::uint64_t n = 4096;
+    const Seconds t = gpu.gemm(n, n, n);
+    const Seconds compute_time = 2.0 * n * n * n /
+                                 rtx4090().effectiveCompute();
+    EXPECT_NEAR(t, compute_time + rtx4090().kernelLaunchOverhead,
+                0.05 * compute_time);
+}
+
+TEST(Roofline, AttentionScalesWithSequence)
+{
+    // Compare the data-dependent part (net of launch overhead).
+    const GpuModel gpu(rtx4090());
+    const Seconds launch = rtx4090().kernelLaunchOverhead;
+    const Seconds short_seq =
+        gpu.attention(1, 64, 8, 128, 128) - launch;
+    const Seconds long_seq =
+        gpu.attention(1, 64, 8, 128, 1024) - launch;
+    EXPECT_GT(long_seq, 4.0 * short_seq);
+}
+
+TEST(Roofline, GqaShrinksAttentionTraffic)
+{
+    const GpuModel gpu(rtx4090());
+    const Seconds mha = gpu.attention(1, 64, 64, 128, 2048);
+    const Seconds gqa = gpu.attention(1, 64, 8, 128, 2048);
+    EXPECT_LT(gqa, mha);
+}
+
+TEST(Roofline, FasterGpuIsFaster)
+{
+    const GpuModel fast(rtx4090());
+    const GpuModel slow(teslaT4());
+    EXPECT_LT(fast.sparseGemv(8192, 8192, 1),
+              slow.sparseGemv(8192, 8192, 1));
+    EXPECT_LT(fast.gemm(4096, 4096, 4096),
+              slow.gemm(4096, 4096, 4096));
+}
+
+/** Latency must be monotone in every size parameter. */
+class GemvMonotoneTest
+    : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(GemvMonotoneTest, MonotoneInRows)
+{
+    const GpuModel gpu(rtx4090());
+    const std::uint32_t batch = GetParam();
+    Seconds prev = 0.0;
+    for (std::uint64_t rows : {1u, 64u, 1024u, 16384u}) {
+        const Seconds t = gpu.sparseGemv(rows, 4096, batch);
+        EXPECT_GE(t, prev);
+        prev = t;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Batches, GemvMonotoneTest,
+                         ::testing::Values(1, 2, 4, 8, 16));
+
+} // namespace
+} // namespace hermes::gpu

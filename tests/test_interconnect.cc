@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Unit tests for the PCIe and DIMM-link models, including the
+ * Sec. IV-A1 claim that DIMM-links beat host-mediated migration by
+ * tens of times.
+ */
+
+#include <gtest/gtest.h>
+
+#include "interconnect/dimm_link.hh"
+#include "interconnect/pcie.hh"
+
+namespace hermes::interconnect {
+namespace {
+
+TEST(Pcie, ZeroBytesIsFree)
+{
+    const PcieBus pcie;
+    EXPECT_DOUBLE_EQ(pcie.transferTime(0), 0.0);
+    EXPECT_DOUBLE_EQ(pcie.chunkedTransferTime(0, 64 * kKiB), 0.0);
+}
+
+TEST(Pcie, PinnedBeatsPageable)
+{
+    const PcieBus pcie;
+    const Bytes gb = 1 * kGiB;
+    EXPECT_LT(pcie.transferTime(gb, true),
+              pcie.transferTime(gb, false));
+    // Pageable lands near the configured 6 GB/s.
+    EXPECT_NEAR(pcie.transferTime(gb, false),
+                static_cast<double>(gb) / 6.0e9, 0.01);
+}
+
+TEST(Pcie, PinnedApproaches64GBs)
+{
+    const PcieBus pcie;
+    const Bytes size = 8 * kGiB;
+    const double rate =
+        static_cast<double>(size) / pcie.transferTime(size, true);
+    EXPECT_GT(rate, 0.8 * 64.0e9);
+    EXPECT_LT(rate, 64.0e9);
+}
+
+TEST(Pcie, ChunkingAddsOverhead)
+{
+    const PcieBus pcie;
+    const Bytes size = 1 * kGiB;
+    const Seconds contiguous = pcie.transferTime(size, true);
+    const Seconds chunked =
+        pcie.chunkedTransferTime(size, 32 * kKiB, true);
+    EXPECT_GT(chunked, contiguous);
+    // 32768 chunks at 2.5 us each.
+    EXPECT_NEAR(chunked - contiguous, 32768 * 2.5e-6, 1e-3);
+}
+
+TEST(Pcie, ChunkCountRoundsUp)
+{
+    PcieConfig config;
+    config.perChunkOverhead = 1.0e-3; // Make chunk cost visible.
+    const PcieBus pcie(config);
+    const Seconds one = pcie.chunkedTransferTime(10, 64, true);
+    const Seconds two = pcie.chunkedTransferTime(65, 64, true);
+    EXPECT_NEAR(two - one, 1.0e-3, 1e-6);
+}
+
+TEST(DimmLink, SingleTransferTime)
+{
+    const DimmLinkNetwork net(8);
+    const Bytes mb = 1 * kMiB;
+    const Seconds t =
+        net.migrationTime({Transfer{0, 1, mb}});
+    EXPECT_NEAR(t, static_cast<double>(mb) / 25.0e9 + 200e-9, 1e-9);
+}
+
+TEST(DimmLink, DisjointPairsOverlap)
+{
+    const DimmLinkNetwork net(8);
+    const Bytes mb = 1 * kMiB;
+    const Seconds one = net.migrationTime({Transfer{0, 1, mb}});
+    const Seconds four =
+        net.migrationTime({Transfer{0, 1, mb}, Transfer{2, 3, mb},
+                           Transfer{4, 5, mb}, Transfer{6, 7, mb}});
+    EXPECT_NEAR(one, four, 1e-12);
+}
+
+TEST(DimmLink, SharedEndpointSerializes)
+{
+    const DimmLinkNetwork net(8);
+    const Bytes mb = 1 * kMiB;
+    const Seconds one = net.migrationTime({Transfer{0, 1, mb}});
+    const Seconds shared = net.migrationTime(
+        {Transfer{0, 1, mb}, Transfer{0, 2, mb}});
+    EXPECT_GT(shared, 1.9 * (one - 200e-9));
+}
+
+TEST(DimmLink, SelfAndEmptyTransfersAreFree)
+{
+    const DimmLinkNetwork net(4);
+    EXPECT_DOUBLE_EQ(net.migrationTime({}), 0.0);
+    EXPECT_DOUBLE_EQ(net.migrationTime({Transfer{2, 2, 1 * kMiB}}),
+                     0.0);
+    EXPECT_DOUBLE_EQ(net.migrationTime({Transfer{0, 1, 0}}), 0.0);
+}
+
+TEST(DimmLink, HostMediatedPathIsMuchSlower)
+{
+    // Sec. IV-A1: "using DIMM links provides over a 62x speedup for
+    // data transfer" against the host-mediated path.  Check the
+    // order of magnitude for a window-sized migration batch.
+    const DimmLinkNetwork net(8);
+    std::vector<Transfer> batch;
+    for (std::uint32_t pair = 0; pair < 4; ++pair)
+        batch.push_back(
+            Transfer{pair, static_cast<std::uint32_t>(7 - pair),
+                     2 * kMiB});
+    const Seconds link = net.migrationTime(batch);
+    const Seconds host = net.hostMediatedTime(batch);
+    EXPECT_GT(host / link, 30.0);
+}
+
+TEST(DimmLink, EnergyMatchesTableIi)
+{
+    const DimmLinkNetwork net(2);
+    const Bytes bytes = 1000;
+    const double joules =
+        net.migrationEnergyJoules({Transfer{0, 1, bytes}});
+    EXPECT_NEAR(joules, 8000.0 * 1.17e-12, 1e-15);
+}
+
+TEST(DimmLink, RejectsOutOfRangeEndpoints)
+{
+    const DimmLinkNetwork net(2);
+    EXPECT_DEATH(net.migrationTime({Transfer{0, 5, 1}}), "endpoint");
+}
+
+} // namespace
+} // namespace hermes::interconnect

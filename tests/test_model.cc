@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Unit tests for the LLM architecture zoo: parameter-count sanity
+ * against the published model cards and the neuron-bundle accounting
+ * of Sec. II-B.
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/llm_config.hh"
+
+namespace hermes::model {
+namespace {
+
+TEST(LlmZoo, TotalBytesMatchParameterCounts)
+{
+    // FP16: bytes ~= 2 * params.  Model cards give the param counts;
+    // allow 5% for embedding/bias accounting differences.
+    EXPECT_NEAR(static_cast<double>(opt13b().totalBytes()),
+                2.0 * 13.0e9, 0.08 * 2.0 * 13.0e9);
+    EXPECT_NEAR(static_cast<double>(opt30b().totalBytes()),
+                2.0 * 30.0e9, 0.08 * 2.0 * 30.0e9);
+    EXPECT_NEAR(static_cast<double>(opt66b().totalBytes()),
+                2.0 * 66.0e9, 0.08 * 2.0 * 66.0e9);
+    EXPECT_NEAR(static_cast<double>(llama2_13b().totalBytes()),
+                2.0 * 13.0e9, 0.08 * 2.0 * 13.0e9);
+    EXPECT_NEAR(static_cast<double>(llama2_70b().totalBytes()),
+                2.0 * 70.0e9, 0.08 * 2.0 * 70.0e9);
+    EXPECT_NEAR(static_cast<double>(falcon40b().totalBytes()),
+                2.0 * 41.0e9, 0.10 * 2.0 * 41.0e9);
+}
+
+TEST(LlmZoo, Llama7bNeuronCountsMatchSec4C1)
+{
+    // Sec. IV-C1 quotes LLaMA-7B: 4K attention neurons and 10.5K MLP
+    // neurons per layer.  Verify the abstraction reproduces this for
+    // the LLaMA geometry (H=4096, F=11008).
+    LlmConfig c = llama2_13b();
+    c.hidden = 4096;
+    c.ffnHidden = 11008;
+    c.heads = 32;
+    c.kvHeads = 32;
+    EXPECT_EQ(c.attnNeuronsPerLayer(), 4096u);
+    EXPECT_EQ(c.mlpNeuronsPerLayer(), 11008u);
+}
+
+TEST(LlmZoo, GqaShrinksAttnNeuronBytes)
+{
+    const LlmConfig gqa = llama2_70b();   // 8 KV heads.
+    LlmConfig mha = gqa;
+    mha.kvHeads = mha.heads;
+    EXPECT_LT(gqa.attnNeuronBytes(), mha.attnNeuronBytes());
+    // GQA: H + 2*kvDim = 8192 + 2*1024.
+    EXPECT_EQ(gqa.attnNeuronBytes(), (8192u + 2048u) * 2u);
+}
+
+TEST(LlmZoo, GatedMlpUsesThreeMatrices)
+{
+    EXPECT_EQ(llama2_70b().mlpMatrices, 3u);
+    EXPECT_EQ(opt66b().mlpMatrices, 2u);
+    EXPECT_EQ(falcon40b().mlpMatrices, 2u);
+    EXPECT_EQ(llama2_70b().mlpNeuronBytes(), 3ull * 8192 * 2);
+}
+
+TEST(LlmZoo, LayerBytesDecompose)
+{
+    for (const auto &llm : allModels()) {
+        EXPECT_EQ(llm.layerBytes(),
+                  llm.sparseBytesPerLayer() +
+                      llm.projectionBytesPerLayer())
+            << llm.name;
+        EXPECT_EQ(llm.totalBytes(),
+                  llm.layers * llm.layerBytes() + llm.embeddingBytes())
+            << llm.name;
+    }
+}
+
+TEST(LlmZoo, KvBytesPerToken)
+{
+    const LlmConfig c = llama2_70b();
+    // 2 (K,V) * layers * kvDim * 2 B = 2*80*1024*2.
+    EXPECT_EQ(c.kvBytesPerToken(), 2ull * 80 * 1024 * 2);
+}
+
+TEST(LlmZoo, DenseFlopsScaleWithParams)
+{
+    // ~2 FLOPs per weight per token.
+    for (const auto &llm : allModels()) {
+        const double flops = llm.denseFlopsPerToken(128);
+        const double weights = static_cast<double>(llm.totalBytes()) /
+                               kFp16Bytes;
+        EXPECT_GT(flops, 1.5 * weights) << llm.name;
+        EXPECT_LT(flops, 2.5 * weights) << llm.name;
+    }
+}
+
+TEST(LlmZoo, LookupByName)
+{
+    EXPECT_EQ(modelByName("OPT-66B").layers, 64u);
+    EXPECT_EQ(modelByName("LLaMA2-70B").kvHeads, 8u);
+    EXPECT_DEATH(modelByName("GPT-5"), "unknown model");
+}
+
+TEST(LlmZoo, ActivationFamilies)
+{
+    EXPECT_EQ(opt13b().activation, Activation::NativeRelu);
+    EXPECT_EQ(llama2_13b().activation, Activation::RelufiedSilu);
+    EXPECT_EQ(falcon40b().activation, Activation::RelufiedGelu);
+}
+
+TEST(LlmZoo, HeadDimensionsConsistent)
+{
+    for (const auto &llm : allModels()) {
+        EXPECT_EQ(llm.headDim() * llm.heads, llm.hidden) << llm.name;
+        EXPECT_LE(llm.kvHeads, llm.heads) << llm.name;
+        EXPECT_EQ(llm.heads % llm.kvHeads, 0u) << llm.name;
+    }
+}
+
+} // namespace
+} // namespace hermes::model

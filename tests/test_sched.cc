@@ -1,0 +1,628 @@
+/**
+ * @file
+ * Tests for the scheduling stack: offline ILP partitioner (validated
+ * against exhaustive optima), the lightweight predictor, the online
+ * mapper, and the window-based rebalancer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "model/llm_config.hh"
+#include "sched/ilp_partition.hh"
+#include "sched/mapper.hh"
+#include "sched/placement.hh"
+#include "sched/predictor.hh"
+#include "sched/window_scheduler.hh"
+
+namespace hermes::sched {
+namespace {
+
+// ---------------------------------------------------------------
+// Placement.
+// ---------------------------------------------------------------
+
+TEST(Placement, RoundRobinSpreadsNeurons)
+{
+    model::LlmConfig llm = model::llama2_13b();
+    llm.layers = 2;
+    const ModelPlacement placement =
+        makeRoundRobinPlacement(llm, 4);
+    const auto counts = placement.mlp[0].dimmCounts();
+    const std::uint64_t expected = llm.mlpNeuronsPerLayer() / 4;
+    for (const auto count : counts)
+        EXPECT_NEAR(static_cast<double>(count),
+                    static_cast<double>(expected), 1.0);
+    EXPECT_EQ(placement.mlp[0].gpuResidentCount(), 0u);
+}
+
+TEST(Placement, GpuBytesTrackResidents)
+{
+    model::LlmConfig llm = model::llama2_13b();
+    llm.layers = 1;
+    ModelPlacement placement = makeRoundRobinPlacement(llm, 2);
+    placement.mlp[0].setOnGpu(0, true);
+    placement.mlp[0].setOnGpu(5, true);
+    placement.attn[0].setOnGpu(1, true);
+    EXPECT_EQ(placement.gpuBytesUsed(llm),
+              2 * llm.mlpNeuronBytes() + llm.attnNeuronBytes());
+}
+
+// ---------------------------------------------------------------
+// ILP partitioner.
+// ---------------------------------------------------------------
+
+PartitionProblem
+tinyProblem(std::vector<double> freq, Bytes gpu_budget,
+            std::uint32_t dimms = 2)
+{
+    PartitionProblem problem;
+    BlockProblem block;
+    block.frequency = std::move(freq);
+    block.neuronBytes = 100;
+    block.gpuTimePerNeuron = 1.0e-6;
+    block.dimmTimePerNeuron = 8.0e-6;
+    problem.blocks.push_back(std::move(block));
+    problem.syncTime = 1.0e-6;
+    problem.gpuBudget = gpu_budget;
+    problem.dimmBudgets.assign(dimms, 1 * kMiB);
+    return problem;
+}
+
+TEST(IlpPartition, ObjectiveMatchesHandComputation)
+{
+    const PartitionProblem problem =
+        tinyProblem({1.0, 0.5, 0.25}, 1000);
+    PartitionAssignment assignment;
+    assignment.location = {{-1, 0, 1}};
+    // GPU: 1.0*1us + 2*1us = 3us; DIMM0: 0.5*8us = 4us; DIMM1: 2us.
+    EXPECT_NEAR(IlpPartitioner::objective(problem, assignment), 4.0e-6,
+                1e-12);
+}
+
+TEST(IlpPartition, FeasibilityChecksBudgets)
+{
+    const PartitionProblem problem = tinyProblem({1.0, 0.5}, 100);
+    PartitionAssignment too_hot;
+    too_hot.location = {{-1, -1}}; // 200 B > 100 B GPU budget.
+    EXPECT_FALSE(IlpPartitioner::feasible(problem, too_hot));
+    PartitionAssignment fits;
+    fits.location = {{-1, 0}};
+    EXPECT_TRUE(IlpPartitioner::feasible(problem, fits));
+}
+
+TEST(IlpPartition, SolverMatchesExhaustiveOnTinyInstances)
+{
+    const IlpPartitioner solver;
+    // Several shapes: skewed, uniform, tight and loose budgets.
+    const std::vector<std::vector<double>> shapes = {
+        {0.9, 0.7, 0.5, 0.3, 0.1, 0.05},
+        {0.5, 0.5, 0.5, 0.5, 0.5, 0.5},
+        {1.0, 0.02, 0.02, 0.02, 0.02, 0.02},
+    };
+    for (const auto &shape : shapes) {
+        for (const Bytes budget : {0ull, 200ull, 600ull}) {
+            const PartitionProblem problem =
+                tinyProblem(shape, budget);
+            const PartitionResult greedy = solver.solve(problem);
+            const PartitionResult exact =
+                solver.solveExhaustive(problem);
+            EXPECT_TRUE(IlpPartitioner::feasible(
+                problem, greedy.assignment));
+            // LPT + waterline is near-optimal; allow 15% slack.
+            EXPECT_LE(greedy.objective, 1.15 * exact.objective + 1e-12)
+                << "budget=" << budget;
+        }
+    }
+}
+
+TEST(IlpPartition, HotNeuronsGoToGpuFirst)
+{
+    // Budget for exactly two neurons: the two most frequent must be
+    // the ones promoted.
+    const PartitionProblem problem =
+        tinyProblem({0.9, 0.1, 0.8, 0.2}, 200);
+    const PartitionResult result = IlpPartitioner().solve(problem);
+    const auto &loc = result.assignment.location[0];
+    EXPECT_EQ(loc[0], -1);
+    EXPECT_EQ(loc[2], -1);
+    EXPECT_GE(loc[1], 0);
+    EXPECT_GE(loc[3], 0);
+}
+
+TEST(IlpPartition, ZeroBudgetKeepsEverythingCold)
+{
+    const PartitionProblem problem =
+        tinyProblem({0.9, 0.8, 0.7}, 0);
+    const PartitionResult result = IlpPartitioner().solve(problem);
+    for (const auto loc : result.assignment.location[0])
+        EXPECT_GE(loc, 0);
+}
+
+TEST(IlpPartition, ColdNeuronsBalancedAcrossDimms)
+{
+    std::vector<double> freq(64, 0.0);
+    for (std::size_t i = 0; i < freq.size(); ++i)
+        freq[i] = 1.0 / static_cast<double>(i + 1);
+    const PartitionProblem problem = tinyProblem(freq, 0, 4);
+    const PartitionResult result = IlpPartitioner().solve(problem);
+    std::vector<double> mass(4, 0.0);
+    for (std::size_t i = 0; i < freq.size(); ++i)
+        mass[static_cast<std::size_t>(
+            result.assignment.location[0][i])] += freq[i];
+    const double max_mass = *std::max_element(mass.begin(), mass.end());
+    const double min_mass = *std::min_element(mass.begin(), mass.end());
+    EXPECT_LT(max_mass / min_mass, 1.25);
+}
+
+TEST(IlpPartition, RespectsDimmCapacity)
+{
+    PartitionProblem problem = tinyProblem({0.5, 0.5, 0.5, 0.5}, 0);
+    problem.dimmBudgets = {200, 200}; // Two neurons per DIMM max.
+    const PartitionResult result = IlpPartitioner().solve(problem);
+    EXPECT_TRUE(IlpPartitioner::feasible(problem, result.assignment));
+}
+
+TEST(IlpPartition, MoreGpuBudgetNeverHurts)
+{
+    std::vector<double> freq(32);
+    for (std::size_t i = 0; i < freq.size(); ++i)
+        freq[i] = std::pow(0.8, static_cast<double>(i));
+    Seconds prev = 1e30;
+    for (const Bytes budget : {0ull, 400ull, 800ull, 1600ull}) {
+        const PartitionResult result =
+            IlpPartitioner().solve(tinyProblem(freq, budget));
+        EXPECT_LE(result.objective, prev + 1e-15);
+        prev = result.objective;
+    }
+}
+
+// ---------------------------------------------------------------
+// Predictor.
+// ---------------------------------------------------------------
+
+TEST(Predictor, FrequencyInitBucketsInto16Stages)
+{
+    BlockPredictor predictor(4, PredictorConfig{});
+    predictor.initFromFrequency({0.95, 0.5, 0.1, 0.0});
+    EXPECT_EQ(predictor.state(0), 15);
+    EXPECT_EQ(predictor.state(1), 8);
+    EXPECT_EQ(predictor.state(2), 1);
+    EXPECT_EQ(predictor.state(3), 0);
+}
+
+TEST(Predictor, FsmUpdatePlusFourMinusOne)
+{
+    BlockPredictor predictor(2, PredictorConfig{});
+    predictor.initFromFrequency({0.5, 0.7}); // States 8 and 11.
+    predictor.update({1, 0});
+    EXPECT_EQ(predictor.state(0), 12); // 8 + 4 (Fig. 7a example).
+    EXPECT_EQ(predictor.state(1), 10); // 11 - 1.
+}
+
+TEST(Predictor, FsmSaturatesAtBounds)
+{
+    BlockPredictor predictor(2, PredictorConfig{});
+    predictor.initFromFrequency({0.99, 0.0});
+    for (int t = 0; t < 10; ++t)
+        predictor.update({1, 0});
+    EXPECT_EQ(predictor.state(0), 15);
+    EXPECT_EQ(predictor.state(1), 0);
+}
+
+TEST(Predictor, DecisionRuleCombinesTokenAndLayer)
+{
+    PredictorConfig config; // lambda=6, T=15.
+    BlockPredictor predictor(3, config);
+    predictor.initFromFrequency({0.25, 0.65, 0.99}); // s1 = 4, 10, 15.
+    predictor.setCorrelation({0, 1, 2}, {1, 2, 0});
+
+    // Parents 0 and 1 active, parent 2 idle.
+    std::vector<std::uint8_t> parent_mask = {1, 1, 0};
+    std::vector<std::uint8_t> out;
+    predictor.predict(&parent_mask, out);
+    // Neuron 0: 4 + 6*2 = 16 >= 15 -> active.
+    EXPECT_TRUE(out[0]);
+    // Neuron 1: 10 + 6*1 = 16 >= 15 -> active.
+    EXPECT_TRUE(out[1]);
+    // Neuron 2: 15 + 6*1 (parent2=0 active) -> active.
+    EXPECT_TRUE(out[2]);
+
+    std::vector<std::uint8_t> idle_parents = {0, 0, 0};
+    predictor.predict(&idle_parents, out);
+    EXPECT_FALSE(out[0]); // 4 < 15.
+    EXPECT_FALSE(out[1]); // 10 < 15.
+    EXPECT_TRUE(out[2]);  // Saturated state alone suffices (>=).
+}
+
+TEST(Predictor, HotClassificationUsesTh)
+{
+    PredictorConfig config; // Th = 10.
+    BlockPredictor predictor(2, config);
+    predictor.initFromFrequency({0.65, 0.6}); // States 10, 9.
+    EXPECT_TRUE(predictor.isHot(0));
+    EXPECT_FALSE(predictor.isHot(1));
+}
+
+TEST(Predictor, StorageMatchesPaperClaims)
+{
+    // LLaMA-7B: 32 layers x (4K attn + 10.5K MLP) at 4 bits ~ 232 KB.
+    model::LlmConfig llm = model::llama2_13b();
+    llm.layers = 32;
+    llm.hidden = 4096;
+    llm.ffnHidden = 11008;
+    llm.heads = 32;
+    llm.kvHeads = 32;
+    const ModelPredictor predictor(llm, PredictorConfig{});
+    EXPECT_NEAR(static_cast<double>(predictor.stateTableBytes()),
+                232.0 * 1024, 0.05 * 232 * 1024);
+    EXPECT_LT(predictor.totalBytes(), 1 * kMiB);
+}
+
+TEST(Predictor, HighAccuracyOnSyntheticTrace)
+{
+    model::LlmConfig llm = model::llama2_13b();
+    llm.layers = 6;
+    sparsity::ActivationTrace trace(llm, sparsity::SparsityConfig{}, 1);
+    ModelPredictor predictor(llm, PredictorConfig{});
+    predictor.calibrate(trace, 64);
+    trace.reset(1);
+    std::vector<std::vector<std::uint8_t>> attn_masks, mlp_masks;
+    for (int t = 0; t < 64; ++t) {
+        trace.nextToken();
+        predictor.stepToken(trace, attn_masks, mlp_masks);
+    }
+    // Sec. IV-C1 claims ~98%; require >= 94% on the synthetic trace.
+    EXPECT_GT(predictor.metrics().accuracy(), 0.94);
+    EXPECT_GT(predictor.metrics().recall(), 0.85);
+}
+
+TEST(Predictor, SampledCorrelationIsPredictive)
+{
+    // Neighboring ranks share latent slots, so several parents are
+    // statistically interchangeable; the estimator must find parents
+    // whose conditional predictive power matches the true wiring
+    // (identity recovery is ill-posed by design).
+    model::LlmConfig llm = model::llama2_13b();
+    llm.layers = 3;
+    llm.hidden = 512;
+    llm.ffnHidden = 1024;
+    llm.heads = 8;
+    llm.kvHeads = 8;
+    // Correlation sampling happens offline within one context.
+    sparsity::SparsityConfig sparsity_config;
+    sparsity_config.phaseTokens = 0;
+    sparsity::ActivationTrace trace(llm, sparsity_config, 1);
+    const auto [parent1, parent2] =
+        sampleCorrelation(trace, 1, /*child_is_mlp=*/true, 256);
+
+    // Fresh evaluation segment: compare P(child | sampled parent)
+    // against P(child | true parent).
+    trace.reset(7);
+    const auto &mlp = trace.mlp(1);
+    const auto &attn = trace.attn(1);
+    std::uint64_t sampled_joint = 0, sampled_parent = 0;
+    std::uint64_t true_joint = 0, true_parent = 0;
+    for (int t = 0; t < 128; ++t) {
+        trace.nextToken();
+        for (std::uint32_t i = 0; i < mlp.neurons(); ++i) {
+            const bool child = mlp.mask[i] != 0;
+            if (attn.mask[parent1[i]]) {
+                ++sampled_parent;
+                sampled_joint += child;
+            }
+            if (attn.mask[mlp.parent1[i]]) {
+                ++true_parent;
+                true_joint += child;
+            }
+        }
+    }
+    const double sampled_cond =
+        static_cast<double>(sampled_joint) / sampled_parent;
+    const double true_cond =
+        static_cast<double>(true_joint) / true_parent;
+    EXPECT_GT(sampled_cond, 0.9 * true_cond);
+    EXPECT_GT(sampled_cond, 0.5); // Far above the ~0.2 marginal.
+}
+
+TEST(PredictionMetricsTest, CountsAndRates)
+{
+    PredictionMetrics metrics;
+    metrics.tally(true, true);
+    metrics.tally(true, false);
+    metrics.tally(false, true);
+    metrics.tally(false, false);
+    EXPECT_EQ(metrics.total(), 4u);
+    EXPECT_DOUBLE_EQ(metrics.accuracy(), 0.5);
+    EXPECT_DOUBLE_EQ(metrics.recall(), 0.5);
+    EXPECT_DOUBLE_EQ(metrics.precision(), 0.5);
+}
+
+// ---------------------------------------------------------------
+// Mapper.
+// ---------------------------------------------------------------
+
+TEST(Mapper, PromotesHotAndEvictsColdest)
+{
+    // Scores: 12 (hot, off-GPU), 3 (cold resident), 11 (hot
+    // resident), 2 (cold, off-GPU).
+    const std::vector<std::uint32_t> scores = {12, 3, 11, 2};
+    BlockPlacement placement(4, 2);
+    placement.setOnGpu(1, true);
+    placement.setOnGpu(2, true);
+
+    const AdjustmentResult result =
+        NeuronMapper::adjustBlock(placement, scores, 100);
+    EXPECT_EQ(result.promotions, 1u);
+    EXPECT_EQ(result.evictions, 1u);
+    EXPECT_EQ(result.pcieBytes, 100u);
+    EXPECT_TRUE(placement.onGpu(0));  // Promoted.
+    EXPECT_FALSE(placement.onGpu(1)); // Evicted (lowest score).
+    EXPECT_TRUE(placement.onGpu(2));  // Untouched.
+}
+
+TEST(Mapper, NoChurnWhenResidentsAreHotter)
+{
+    const std::vector<std::uint32_t> scores = {10, 15};
+    BlockPlacement placement(2, 1);
+    placement.setOnGpu(1, true);
+    const AdjustmentResult result =
+        NeuronMapper::adjustBlock(placement, scores, 100);
+    EXPECT_EQ(result.promotions, 0u);
+    EXPECT_TRUE(placement.onGpu(1));
+}
+
+TEST(Mapper, HysteresisSuppressesMarginalSwaps)
+{
+    // Score difference of 1 is inside the default hysteresis of 2.
+    const std::vector<std::uint32_t> scores = {12, 11};
+    BlockPlacement placement(2, 1);
+    placement.setOnGpu(1, true);
+    const AdjustmentResult result =
+        NeuronMapper::adjustBlock(placement, scores, 100);
+    EXPECT_EQ(result.promotions, 0u);
+
+    AdjustmentPolicy eager;
+    eager.hysteresis = 0;
+    const AdjustmentResult eager_result =
+        NeuronMapper::adjustBlock(placement, scores, 100, eager);
+    EXPECT_EQ(eager_result.promotions, 1u);
+}
+
+TEST(Mapper, SwapCapBoundsChurn)
+{
+    std::vector<std::uint32_t> scores(64, 15);
+    for (std::uint32_t i = 32; i < 64; ++i)
+        scores[i] = 0;
+    BlockPlacement placement(64, 2);
+    for (std::uint32_t i = 32; i < 64; ++i)
+        placement.setOnGpu(i, true);
+    AdjustmentPolicy policy;
+    policy.maxSwaps = 4;
+    const AdjustmentResult result =
+        NeuronMapper::adjustBlock(placement, scores, 10, policy);
+    EXPECT_EQ(result.promotions, 4u);
+    EXPECT_EQ(placement.gpuResidentCount(), 32u);
+}
+
+TEST(Mapper, QuotaStaysConstant)
+{
+    std::vector<std::uint32_t> scores = {14, 14, 14, 14, 1, 1, 1, 1};
+    BlockPlacement placement(8, 2);
+    for (std::uint32_t i = 4; i < 8; ++i)
+        placement.setOnGpu(i, true);
+    NeuronMapper::adjustBlock(placement, scores, 10);
+    EXPECT_EQ(placement.gpuResidentCount(), 4u);
+}
+
+TEST(Predictor, HotScoresCombineSignals)
+{
+    PredictorConfig config; // lambda = 6.
+    BlockPredictor predictor(3, config);
+    predictor.initFromFrequency({0.5, 0.9, 0.1}); // 8, 14, 1.
+    predictor.setCorrelation({0, 1, 2}, {1, 2, 0});
+    predictor.update({1, 0, 0}); // Live: 12, 13, 0.
+
+    std::vector<std::uint8_t> parents = {1, 0, 0};
+    std::vector<std::uint32_t> scores;
+    // Token only: live states.
+    predictor.hotScores(nullptr, true, false, scores);
+    EXPECT_EQ(scores[0], 12u);
+    EXPECT_EQ(scores[1], 13u);
+    // Layer only: frozen initial + parent bonus.
+    predictor.hotScores(&parents, false, true, scores);
+    EXPECT_EQ(scores[0], 8u + 6u); // parent1 = 0 active.
+    EXPECT_EQ(scores[1], 14u);     // parents 1 and 2 idle.
+    EXPECT_EQ(scores[2], 1u + 6u); // parent2 = 0 active.
+    // Both: live + bonus.
+    predictor.hotScores(&parents, true, true, scores);
+    EXPECT_EQ(scores[0], 12u + 6u);
+}
+
+TEST(Mapper, ApplyPartitionSetsHomesAndResidents)
+{
+    model::LlmConfig llm = model::llama2_13b();
+    llm.layers = 1;
+    llm.hidden = 4;
+    llm.ffnHidden = 8;
+    llm.heads = 2;
+    llm.kvHeads = 2;
+    ModelPlacement placement = makeRoundRobinPlacement(llm, 2);
+    PartitionAssignment assignment;
+    assignment.location = {
+        {-1, 0, 1, 0},                 // attn
+        {-1, -1, 0, 0, 1, 1, 0, 1},    // mlp
+    };
+    NeuronMapper::applyPartition(placement, assignment);
+    EXPECT_TRUE(placement.attn[0].onGpu(0));
+    EXPECT_FALSE(placement.attn[0].onGpu(1));
+    EXPECT_EQ(placement.attn[0].homeDimm(2), 1u);
+    EXPECT_EQ(placement.mlp[0].gpuResidentCount(), 2u);
+}
+
+// ---------------------------------------------------------------
+// Window scheduler (Algorithm 1).
+// ---------------------------------------------------------------
+
+TEST(WindowSchedulerTest, WindowCompletesAfterFiveTokens)
+{
+    WindowScheduler scheduler(16, 2, 5);
+    for (int t = 0; t < 4; ++t) {
+        scheduler.observe({0, 1});
+        EXPECT_FALSE(scheduler.windowComplete());
+    }
+    scheduler.observe({0});
+    EXPECT_TRUE(scheduler.windowComplete());
+}
+
+TEST(WindowSchedulerTest, RebalanceMovesFromOverloadedToUnderloaded)
+{
+    // All activity on DIMM 0; rebalance must move some to DIMM 1.
+    WindowScheduler scheduler(8, 2, 1);
+    BlockPlacement placement(8, 2);
+    for (std::uint32_t i = 0; i < 8; ++i)
+        placement.setHomeDimm(i, 0);
+    scheduler.observe({0, 1, 2, 3, 4, 5});
+
+    const auto transfers = scheduler.rebalance(placement, 100);
+    ASSERT_EQ(transfers.size(), 1u);
+    EXPECT_EQ(transfers[0].fromDimm, 0u);
+    EXPECT_EQ(transfers[0].toDimm, 1u);
+    std::uint32_t moved = 0;
+    for (std::uint32_t i = 0; i < 8; ++i)
+        moved += placement.homeDimm(i) == 1;
+    EXPECT_GT(moved, 0u);
+}
+
+TEST(WindowSchedulerTest, BalancedLoadNeedsNoMigration)
+{
+    WindowScheduler scheduler(8, 2, 1);
+    BlockPlacement placement(8, 2);
+    for (std::uint32_t i = 0; i < 8; ++i)
+        placement.setHomeDimm(i, static_cast<std::uint16_t>(i % 2));
+    scheduler.observe({0, 1, 2, 3});
+    const auto transfers = scheduler.rebalance(placement, 100);
+    EXPECT_TRUE(transfers.empty());
+}
+
+TEST(WindowSchedulerTest, GpuResidentNeuronsDoNotCount)
+{
+    WindowScheduler scheduler(4, 2, 1);
+    BlockPlacement placement(4, 2);
+    for (std::uint32_t i = 0; i < 4; ++i)
+        placement.setHomeDimm(i, 0);
+    placement.setOnGpu(0, true);
+    placement.setOnGpu(1, true);
+    scheduler.observe({0, 1, 2});
+    const auto loads = scheduler.dimmLoads(placement);
+    EXPECT_EQ(loads[0], 1u); // Only neuron 2 counts.
+}
+
+TEST(WindowSchedulerTest, RebalanceImprovesMakespan)
+{
+    WindowScheduler scheduler(64, 4, 1);
+    BlockPlacement placement(64, 4);
+    // Skewed placement: most neurons on DIMMs 0 and 1.
+    for (std::uint32_t i = 0; i < 64; ++i)
+        placement.setHomeDimm(i, static_cast<std::uint16_t>(
+                                     i < 48 ? i % 2 : 2 + i % 2));
+    std::vector<std::uint32_t> all(64);
+    std::iota(all.begin(), all.end(), 0);
+    scheduler.observe(all);
+
+    const auto before = scheduler.dimmLoads(placement);
+    const std::uint64_t before_max =
+        *std::max_element(before.begin(), before.end());
+
+    WindowScheduler fresh(64, 4, 1);
+    fresh.observe(all);
+    fresh.rebalance(placement, 10);
+
+    WindowScheduler check(64, 4, 1);
+    check.observe(all);
+    const auto after = check.dimmLoads(placement);
+    const std::uint64_t after_max =
+        *std::max_element(after.begin(), after.end());
+    EXPECT_LT(after_max, before_max);
+}
+
+TEST(WindowSchedulerTest, OracleAtLeastAsBalancedAsGreedy)
+{
+    auto skewed_placement = [] {
+        BlockPlacement placement(64, 4);
+        for (std::uint32_t i = 0; i < 64; ++i)
+            placement.setHomeDimm(
+                i, static_cast<std::uint16_t>(i % 4 == 0 ? 0 : 1));
+        return placement;
+    };
+    std::vector<std::uint32_t> all(64);
+    std::iota(all.begin(), all.end(), 0);
+
+    BlockPlacement greedy_placement = skewed_placement();
+    WindowScheduler greedy(64, 4, 1);
+    greedy.observe(all);
+    greedy.rebalance(greedy_placement, 10);
+
+    BlockPlacement oracle_placement = skewed_placement();
+    WindowScheduler oracle(64, 4, 1);
+    oracle.observe(all);
+    oracle.rebalanceOracle(oracle_placement, 10);
+
+    WindowScheduler probe(64, 4, 1);
+    probe.observe(all);
+    const auto greedy_loads = probe.dimmLoads(greedy_placement);
+    WindowScheduler probe2(64, 4, 1);
+    probe2.observe(all);
+    const auto oracle_loads = probe2.dimmLoads(oracle_placement);
+    EXPECT_LE(*std::max_element(oracle_loads.begin(),
+                                oracle_loads.end()),
+              *std::max_element(greedy_loads.begin(),
+                                greedy_loads.end()));
+}
+
+TEST(WindowSchedulerTest, SingleDimmIsNoop)
+{
+    WindowScheduler scheduler(8, 1, 1);
+    BlockPlacement placement(8, 1);
+    scheduler.observe({0, 1, 2});
+    EXPECT_TRUE(scheduler.rebalance(placement, 10).empty());
+}
+
+} // namespace
+} // namespace hermes::sched
+
+namespace hermes::sched {
+namespace {
+
+TEST(WindowSchedulerTest, LargerWindowSmoothsNoise)
+{
+    // A window of 1 token reacts to noise; a window of 5 (the paper's
+    // choice) accumulates activity before moving anything.  With the
+    // same observations, the 5-token scheduler must not have
+    // completed its window after 3 tokens.
+    WindowScheduler fast(16, 2, 1);
+    WindowScheduler slow(16, 2, 5);
+    for (int t = 0; t < 3; ++t) {
+        fast.observe({0, 1, 2});
+        slow.observe({0, 1, 2});
+    }
+    EXPECT_TRUE(fast.windowComplete());
+    EXPECT_FALSE(slow.windowComplete());
+    // Activity accumulates across the window.
+    EXPECT_EQ(slow.activity(0), 3u);
+}
+
+TEST(WindowSchedulerTest, RebalanceClearsTheWindow)
+{
+    WindowScheduler scheduler(8, 2, 1);
+    BlockPlacement placement(8, 2);
+    scheduler.observe({0, 1});
+    scheduler.rebalance(placement, 10);
+    EXPECT_FALSE(scheduler.windowComplete());
+    EXPECT_EQ(scheduler.activity(0), 0u);
+}
+
+} // namespace
+} // namespace hermes::sched

@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Tests for the synthetic activation-sparsity substrate: the three
+ * Fig. 4 / Sec. III statistical properties every Hermes mechanism
+ * relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "model/llm_config.hh"
+#include "sparsity/stats.hh"
+#include "sparsity/trace.hh"
+
+namespace hermes::sparsity {
+namespace {
+
+model::LlmConfig
+smallModel(std::uint32_t layers = 6)
+{
+    model::LlmConfig llm = model::llama2_13b();
+    llm.layers = layers;
+    return llm;
+}
+
+TEST(Trace, MeanActiveFractionMatchesConfig)
+{
+    ActivationTrace trace(smallModel(), SparsityConfig{}, 1);
+    double sum = 0.0;
+    const int tokens = 64;
+    for (int t = 0; t < tokens; ++t) {
+        trace.nextToken();
+        sum += trace.currentActiveFraction();
+    }
+    EXPECT_NEAR(sum / tokens, 0.2, 0.02);
+}
+
+TEST(Trace, HotNeuronsCarry80PercentOfMass)
+{
+    ActivationTrace trace(smallModel(), SparsityConfig{}, 1);
+    const auto profile = profileTrace(trace, 96, 16, 2);
+    EXPECT_NEAR(profile.hotMassCoverage, 0.8, 0.08);
+}
+
+TEST(Trace, AdjacentTokenSimilarityExceeds90Percent)
+{
+    ActivationTrace trace(smallModel(), SparsityConfig{}, 1);
+    const auto profile = profileTrace(trace, 96, 16, 2);
+    EXPECT_GT(profile.similarity.byDistance[0], 0.90);
+}
+
+TEST(Trace, SimilarityDecaysThenPlateaus)
+{
+    // Fig. 4a is a within-context property; hold the context fixed.
+    SparsityConfig config;
+    config.phaseTokens = 0;
+    ActivationTrace trace(smallModel(), config, 1);
+    const auto profile = profileTrace(trace, 128, 50, 2);
+    const auto &sim = profile.similarity.byDistance;
+    EXPECT_GT(sim[0], sim[9]);   // Decay over 10 tokens...
+    EXPECT_GT(sim[9], sim[24]);  // ... and further to 25 ...
+    EXPECT_NEAR(sim[24], sim[49], 0.06); // ... then flat (Fig. 4a).
+    EXPECT_GT(sim[49], 0.55);    // Plateau from the frequency skew.
+}
+
+TEST(Trace, LayerCorrelationBoostsChildProbability)
+{
+    ActivationTrace trace(smallModel(), SparsityConfig{}, 1);
+    const auto profile = profileTrace(trace, 96, 16, 2);
+    // Fig. 4b: conditioned on the sampled parent, activation
+    // probability rises far above the ~0.2 marginal.
+    EXPECT_GT(profile.parentConditional, 0.80);
+    EXPECT_GT(profile.parentConditional,
+              3.0 * profile.childMarginal);
+}
+
+TEST(Trace, DeterministicForSameSeed)
+{
+    ActivationTrace a(smallModel(), SparsityConfig{}, 1);
+    ActivationTrace b(smallModel(), SparsityConfig{}, 1);
+    for (int t = 0; t < 5; ++t) {
+        a.nextToken();
+        b.nextToken();
+    }
+    EXPECT_EQ(a.mlp(2).activeList, b.mlp(2).activeList);
+    EXPECT_EQ(a.attn(1).activeList, b.attn(1).activeList);
+}
+
+TEST(Trace, DifferentSeedsDiffer)
+{
+    SparsityConfig other;
+    other.seed = 99;
+    ActivationTrace a(smallModel(), SparsityConfig{}, 1);
+    ActivationTrace b(smallModel(), other, 1);
+    a.nextToken();
+    b.nextToken();
+    EXPECT_NE(a.mlp(2).activeList, b.mlp(2).activeList);
+}
+
+TEST(Trace, ResetRestartsSequence)
+{
+    ActivationTrace trace(smallModel(), SparsityConfig{}, 1);
+    trace.nextToken();
+    const auto first = trace.mlp(1).activeList;
+    trace.reset(0);
+    trace.nextToken();
+    EXPECT_EQ(trace.mlp(1).activeList, first);
+    EXPECT_EQ(trace.tokenIndex(), 1u);
+}
+
+TEST(Trace, BatchUnionRaisesActiveFraction)
+{
+    ActivationTrace b1(smallModel(), SparsityConfig{}, 1);
+    ActivationTrace b8(smallModel(), SparsityConfig{}, 8);
+    double f1 = 0.0, f8 = 0.0;
+    for (int t = 0; t < 16; ++t) {
+        b1.nextToken();
+        b8.nextToken();
+        f1 += b1.currentActiveFraction();
+        f8 += b8.currentActiveFraction();
+    }
+    EXPECT_GT(f8 / 16, 1.8 * (f1 / 16));
+    EXPECT_LT(f8 / 16, 0.9); // Union never saturates fully.
+}
+
+TEST(Trace, MaskAndActiveListConsistent)
+{
+    ActivationTrace trace(smallModel(), SparsityConfig{}, 1);
+    trace.nextToken();
+    const BlockTrace &block = trace.mlp(3);
+    std::uint64_t mask_count = 0;
+    for (const auto bit : block.mask)
+        mask_count += bit;
+    EXPECT_EQ(mask_count, block.activeCount());
+    for (const auto id : block.activeList)
+        EXPECT_TRUE(block.mask[id]);
+}
+
+TEST(Trace, ParentsPointIntoParentBlock)
+{
+    ActivationTrace trace(smallModel(), SparsityConfig{}, 1);
+    // MLP parents live in the same layer's attention block.
+    const BlockTrace &mlp = trace.mlp(2);
+    const BlockTrace &attn = trace.attn(2);
+    for (std::uint32_t i = 0; i < mlp.neurons(); ++i) {
+        EXPECT_LT(mlp.parent1[i], attn.neurons());
+        EXPECT_LT(mlp.parent2[i], attn.neurons());
+    }
+}
+
+TEST(Trace, CalibratedExponentHitsTarget)
+{
+    SparsityConfig config;
+    const double exponent =
+        ActivationTrace::calibrateExponent(16384, config);
+    EXPECT_GT(exponent, 0.3);
+    EXPECT_LT(exponent, 2.5);
+}
+
+TEST(Trace, PhaseDriftChangesHotMembership)
+{
+    // Sec. III-B/IV-C: ~52% of the initially hot neurons change
+    // activity during inference.  With the default drift, a large
+    // minority of the hot set must change identity over ~150 tokens
+    // while the marginal statistics stay put.
+    model::LlmConfig llm = smallModel(3);
+    ActivationTrace trace(llm, SparsityConfig{}, 1);
+
+    auto hot_set = [&] {
+        const BlockTrace &block = trace.mlp(1);
+        const std::size_t hot =
+            static_cast<std::size_t>(0.2 * block.neurons());
+        std::vector<std::uint32_t> ids(block.idOfRank.begin(),
+                                       block.idOfRank.begin() +
+                                           static_cast<std::ptrdiff_t>(
+                                               hot));
+        std::sort(ids.begin(), ids.end());
+        return ids;
+    };
+
+    const auto before = hot_set();
+    for (int t = 0; t < 150; ++t)
+        trace.nextToken();
+    const auto after = hot_set();
+
+    std::vector<std::uint32_t> common;
+    std::set_intersection(before.begin(), before.end(), after.begin(),
+                          after.end(), std::back_inserter(common));
+    const double retained = static_cast<double>(common.size()) /
+                            static_cast<double>(before.size());
+    EXPECT_LT(retained, 0.9);
+    EXPECT_GT(retained, 0.2);
+
+    // Marginals survive the drift.
+    double fraction = 0.0;
+    for (int t = 0; t < 16; ++t) {
+        trace.nextToken();
+        fraction += trace.currentActiveFraction();
+    }
+    EXPECT_NEAR(fraction / 16, 0.2, 0.03);
+}
+
+TEST(Trace, DriftDisabledKeepsHotSetFixed)
+{
+    model::LlmConfig llm = smallModel(3);
+    SparsityConfig config;
+    config.phaseTokens = 0;
+    ActivationTrace trace(llm, config, 1);
+    const auto before = trace.mlp(1).idOfRank;
+    for (int t = 0; t < 150; ++t)
+        trace.nextToken();
+    EXPECT_EQ(trace.mlp(1).idOfRank, before);
+}
+
+TEST(Stats, MaskSimilarityBasics)
+{
+    std::vector<std::uint8_t> a = {1, 1, 0, 0};
+    std::vector<std::uint8_t> b = {1, 0, 1, 0};
+    EXPECT_DOUBLE_EQ(maskSimilarity(a, a), 1.0);
+    EXPECT_DOUBLE_EQ(maskSimilarity(a, b), 0.5);
+    std::vector<std::uint8_t> empty = {0, 0, 0, 0};
+    EXPECT_DOUBLE_EQ(maskSimilarity(empty, b), 0.0);
+}
+
+TEST(Stats, HotMassCoverageBasics)
+{
+    // One neuron holds everything.
+    EXPECT_DOUBLE_EQ(hotMassCoverage({1.0, 0.0, 0.0, 0.0, 0.0}, 0.2),
+                     1.0);
+    // Uniform: top 20% holds 20%.
+    EXPECT_NEAR(hotMassCoverage(std::vector<double>(10, 0.1), 0.2),
+                0.2, 1e-9);
+    EXPECT_DOUBLE_EQ(hotMassCoverage({}, 0.2), 0.0);
+}
+
+/** The Fig. 4 statistics hold across models and batch sizes. */
+struct TraceParam
+{
+    const char *model;
+    std::uint32_t batch;
+};
+
+class TraceSweepTest : public ::testing::TestWithParam<TraceParam>
+{
+};
+
+TEST_P(TraceSweepTest, CoreStatisticsHold)
+{
+    model::LlmConfig llm = model::modelByName(GetParam().model);
+    llm.layers = 4;
+    ActivationTrace trace(llm, SparsityConfig{}, GetParam().batch);
+    const auto profile = profileTrace(trace, 64, 10, 1);
+    EXPECT_GT(profile.similarity.byDistance[0], 0.85);
+    EXPECT_GT(profile.parentConditional, 2.0 * profile.childMarginal);
+    EXPECT_GT(profile.meanActiveFraction, 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModelsAndBatches, TraceSweepTest,
+    ::testing::Values(TraceParam{"OPT-13B", 1},
+                      TraceParam{"LLaMA2-13B", 4},
+                      TraceParam{"Falcon-40B", 1},
+                      TraceParam{"OPT-66B", 2}));
+
+} // namespace
+} // namespace hermes::sparsity
