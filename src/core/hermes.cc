@@ -48,6 +48,31 @@ System::compare(const InferenceRequest &request,
     return results;
 }
 
+serving::ServingReport
+System::serve(const model::LlmConfig &llm,
+              const std::vector<serving::ServedRequest> &workload,
+              serving::ServingConfig config)
+{
+    serving::ServingSimulator simulator(config_, llm, config);
+    return simulator.run(workload);
+}
+
+std::vector<serving::ServingReport>
+System::compareServing(
+    const model::LlmConfig &llm,
+    const std::vector<serving::ServedRequest> &workload,
+    const std::vector<EngineKind> &engines,
+    serving::ServingConfig config)
+{
+    std::vector<serving::ServingReport> reports;
+    reports.reserve(engines.size());
+    for (const EngineKind kind : engines) {
+        config.engine = kind;
+        reports.push_back(serve(llm, workload, config));
+    }
+    return reports;
+}
+
 SystemConfig
 fastConfig(std::uint32_t simulated_layers)
 {

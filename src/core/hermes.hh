@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "core/serving.hh"
 #include "model/llm_config.hh"
 #include "runtime/engine.hh"
 #include "runtime/factory.hh"
@@ -64,6 +65,22 @@ class System
     std::vector<InferenceResult>
     compare(const InferenceRequest &request,
             const std::vector<EngineKind> &engines);
+
+    /**
+     * Serve a multi-request arrival trace with continuous batching
+     * (core/serving.hh) on this platform.
+     */
+    serving::ServingReport
+    serve(const model::LlmConfig &llm,
+          const std::vector<serving::ServedRequest> &workload,
+          serving::ServingConfig config = {});
+
+    /** Serve the same trace on each engine, for serving comparisons. */
+    std::vector<serving::ServingReport>
+    compareServing(const model::LlmConfig &llm,
+                   const std::vector<serving::ServedRequest> &workload,
+                   const std::vector<EngineKind> &engines,
+                   serving::ServingConfig config = {});
 
   private:
     SystemConfig config_;

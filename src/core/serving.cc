@@ -1,0 +1,305 @@
+#include "core/serving.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "common/rng.hh"
+#include "runtime/engine.hh"
+
+namespace hermes::serving {
+
+namespace {
+
+/** Round up to the next power of two (>= 1). */
+std::uint32_t
+powerOfTwoAtLeast(std::uint32_t value)
+{
+    std::uint32_t bucket = 1;
+    while (bucket < value)
+        bucket <<= 1;
+    return bucket;
+}
+
+} // namespace
+
+ServingSimulator::ServingSimulator(runtime::SystemConfig system,
+                                   model::LlmConfig llm,
+                                   ServingConfig config)
+    : system_(std::move(system)), llm_(std::move(llm)),
+      config_(config)
+{
+    // Explicit guards: degenerate policy values would otherwise
+    // divide by zero or stall the admission loop.
+    config_.maxBatch = std::max<std::uint32_t>(config_.maxBatch, 1);
+    config_.calibrationTokens =
+        std::max<std::uint32_t>(config_.calibrationTokens, 1);
+    config_.seqBucket =
+        std::max<std::uint32_t>(config_.seqBucket, 1);
+}
+
+ServingSimulator::StepCosts &
+ServingSimulator::costs(std::uint32_t batch, std::uint64_t seq)
+{
+    const std::uint32_t batch_bucket = std::min(
+        powerOfTwoAtLeast(std::max<std::uint32_t>(batch, 1)),
+        powerOfTwoAtLeast(config_.maxBatch));
+    const std::uint64_t seq_bucket =
+        (seq / config_.seqBucket + 1) * config_.seqBucket;
+
+    const auto key = std::make_pair(batch_bucket, seq_bucket);
+    auto it = cache_.find(key);
+    if (it != cache_.end())
+        return it->second;
+
+    // One engine simulation per bucket: the engine itself runs on the
+    // shared decode pipeline, so serving latencies inherit the full
+    // overlap model.
+    runtime::InferenceRequest request;
+    request.llm = llm_;
+    request.batch = batch_bucket;
+    request.promptTokens = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(seq_bucket, UINT32_MAX));
+    request.generateTokens = config_.calibrationTokens;
+    request.profileTokens = 24;
+    request.seed = config_.seed;
+
+    auto engine = runtime::makeEngine(config_.engine, system_);
+    runtime::InferenceResult result = engine->run(request);
+
+    // A bucket can be unservable even when smaller ones are not (KV
+    // cache grows with batch and context).  Fall back to the largest
+    // supported batch bucket and flag the run as saturated rather
+    // than serving the step at a corrupt zero cost.
+    while (!result.supported && request.batch > 1) {
+        request.batch /= 2;
+        result = engine->run(request);
+        saturated_ = true;
+    }
+
+    StepCosts step;
+    if (result.supported) {
+        step.prefill = result.prefillTime;
+        step.token =
+            result.generateTime / config_.calibrationTokens;
+    } else {
+        step.prefill = -1.0; // Sentinel: engine cannot serve this.
+        step.token = -1.0;
+    }
+    return cache_.emplace(key, step).first->second;
+}
+
+ServingReport
+ServingSimulator::run(std::vector<ServedRequest> workload)
+{
+    ServingReport report;
+    report.engine = runtime::engineKindName(config_.engine);
+
+    std::stable_sort(workload.begin(), workload.end(),
+                     [](const ServedRequest &a, const ServedRequest &b) {
+                         return a.arrival < b.arrival;
+                     });
+
+    report.requests.resize(workload.size());
+    for (std::size_t i = 0; i < workload.size(); ++i) {
+        report.requests[i].id = workload[i].id;
+        report.requests[i].arrival = workload[i].arrival;
+    }
+
+    // Capability probe: an engine that cannot run the model at all
+    // (capacity, model family) rejects the whole trace.
+    if (!workload.empty() &&
+        costs(1, workload.front().promptTokens).token < 0.0) {
+        for (auto &metrics : report.requests)
+            metrics.rejected = true;
+        report.rejected = workload.size();
+        return report;
+    }
+
+    struct Running
+    {
+        std::size_t index;        ///< Into workload / report.requests.
+        std::uint32_t remaining;  ///< Decode steps still owed.
+        std::uint64_t seq;        ///< Current context length.
+    };
+
+    std::vector<Running> active;
+    std::deque<std::size_t> waiting;
+    std::size_t next_arrival = 0;
+    Seconds clock = 0.0;
+    std::uint64_t generated = 0;
+    Seconds decode_time = 0.0;
+    double occupancy_weighted = 0.0;
+
+    std::vector<Seconds> token_samples;
+    std::vector<Seconds> ttft_samples;
+
+    const std::size_t n = workload.size();
+    while (report.completed + report.rejected < n ||
+           !active.empty()) {
+        // Move due arrivals into the admission queue, rejecting past
+        // the queue limit.  Free batch slots count as queue capacity:
+        // an arrival that will be admitted this very iteration is not
+        // "queued".
+        const std::size_t free_slots =
+            config_.maxBatch > active.size()
+                ? config_.maxBatch - active.size()
+                : 0;
+        while (next_arrival < n &&
+               workload[next_arrival].arrival <= clock) {
+            if (waiting.size() >= config_.maxQueue + free_slots) {
+                report.requests[next_arrival].rejected = true;
+                ++report.rejected;
+            } else {
+                waiting.push_back(next_arrival);
+            }
+            ++next_arrival;
+        }
+
+        if (active.empty() && waiting.empty()) {
+            if (next_arrival >= n)
+                break;
+            clock = workload[next_arrival].arrival; // Idle skip.
+            continue;
+        }
+
+        // Continuous batching: fill free slots from the queue, then
+        // run the joint prefill of the admitted group.
+        std::vector<std::size_t> admitted;
+        while (!waiting.empty() &&
+               active.size() < config_.maxBatch) {
+            const std::size_t index = waiting.front();
+            waiting.pop_front();
+            report.requests[index].admitted = clock;
+            admitted.push_back(index);
+            active.push_back(Running{
+                index, workload[index].generateTokens,
+                workload[index].promptTokens});
+        }
+        if (!admitted.empty()) {
+            std::uint32_t max_prompt = 1;
+            for (const std::size_t index : admitted)
+                max_prompt = std::max(max_prompt,
+                                      workload[index].promptTokens);
+            // max(0): a bucket probe can come back unsupported (KV
+            // growth at large batch); serve it at zero extra cost
+            // rather than walking the clock backwards.
+            clock += std::max(
+                costs(static_cast<std::uint32_t>(admitted.size()),
+                      max_prompt)
+                    .prefill,
+                0.0);
+            for (const std::size_t index : admitted) {
+                report.requests[index].firstToken = clock;
+                ttft_samples.push_back(
+                    report.requests[index].ttft());
+            }
+            // Prefill produces the first token.  The admitted group
+            // occupies the tail of `active` (just pushed).
+            for (std::size_t k = active.size() - admitted.size();
+                 k < active.size(); ++k) {
+                Running &running = active[k];
+                if (running.remaining > 0) {
+                    report.requests[running.index].tokens = 1;
+                    --running.remaining;
+                    ++running.seq;
+                    ++generated;
+                }
+            }
+        } else {
+            // One decode step for the whole running batch.
+            const auto batch =
+                static_cast<std::uint32_t>(active.size());
+            std::uint64_t max_seq = 1;
+            for (const Running &running : active)
+                max_seq = std::max(max_seq, running.seq);
+            const Seconds dt =
+                std::max(costs(batch, max_seq).token, 0.0);
+            clock += dt;
+            decode_time += dt;
+            occupancy_weighted += static_cast<double>(batch) * dt;
+            for (Running &running : active) {
+                ++report.requests[running.index].tokens;
+                --running.remaining;
+                ++running.seq;
+                ++generated;
+                token_samples.push_back(dt);
+            }
+        }
+        report.peakBatch = std::max(
+            report.peakBatch,
+            static_cast<std::uint32_t>(active.size()));
+
+        // Retire finished requests.
+        for (auto it = active.begin(); it != active.end();) {
+            if (it->remaining == 0) {
+                report.requests[it->index].completed = clock;
+                ++report.completed;
+                it = active.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    }
+
+    report.makespan = clock;
+    report.costModelSaturated = saturated_;
+    report.throughputTps =
+        clock > 0.0 ? static_cast<double>(generated) / clock : 0.0;
+    report.meanBatchOccupancy =
+        decode_time > 0.0 ? occupancy_weighted / decode_time : 0.0;
+    report.p50TokenLatency = percentile(token_samples, 50.0);
+    report.p90TokenLatency = percentile(token_samples, 90.0);
+    report.p99TokenLatency = percentile(token_samples, 99.0);
+    report.p50Ttft = percentile(ttft_samples, 50.0);
+    report.p99Ttft = percentile(ttft_samples, 99.0);
+    return report;
+}
+
+std::vector<ServedRequest>
+syntheticWorkload(std::uint32_t count, double arrivals_per_second,
+                  std::uint32_t prompt_tokens,
+                  std::uint32_t generate_tokens, std::uint64_t seed)
+{
+    std::vector<ServedRequest> workload;
+    workload.reserve(count);
+    Rng rng(seed ^ 0x5e417a77ULL);
+    Seconds clock = 0.0;
+    for (std::uint32_t i = 0; i < count; ++i) {
+        ServedRequest request;
+        request.id = i;
+        request.arrival = clock;
+        request.promptTokens = prompt_tokens;
+        request.generateTokens = generate_tokens;
+        workload.push_back(request);
+        if (arrivals_per_second > 0.0) {
+            // Exponential inter-arrival; clamp the tail so one freak
+            // gap cannot dominate a short trace.
+            const double u =
+                std::max(rng.uniform(), 1.0e-12);
+            clock += std::min(-std::log(u) / arrivals_per_second,
+                              100.0 / arrivals_per_second);
+        }
+    }
+    return workload;
+}
+
+Seconds
+percentile(std::vector<Seconds> values, double p)
+{
+    if (values.empty())
+        return 0.0;
+    std::sort(values.begin(), values.end());
+    const double clamped = std::clamp(p, 0.0, 100.0);
+    const double rank =
+        clamped / 100.0 *
+        static_cast<double>(values.size() - 1);
+    const auto low = static_cast<std::size_t>(rank);
+    const std::size_t high =
+        std::min(low + 1, values.size() - 1);
+    const double fraction = rank - static_cast<double>(low);
+    return values[low] +
+           (values[high] - values[low]) * fraction;
+}
+
+} // namespace hermes::serving

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Multi-request serving layer on top of the decode pipeline.
+ *
+ * The engines simulate one inference request end to end; production
+ * traffic is many concurrent requests.  The ServingSimulator drives a
+ * whole arrival trace through one engine with iteration-level
+ * continuous batching (Orca/vLLM-style):
+ *
+ *  - admission: arrivals queue; a request is rejected when the queue
+ *    is full at its arrival instant;
+ *  - between decode steps, waiting requests join the running batch
+ *    while slots are free; the joint prefill of the newly admitted
+ *    group runs before decoding resumes;
+ *  - each decode step advances every running request by one token;
+ *    the step latency comes from the engine's own pipeline simulation
+ *    (calibrated per batch-size and context-length bucket and
+ *    cached), so serving numbers inherit the full overlap model.
+ *
+ * The report carries per-request metrics (queue delay, TTFT,
+ * end-to-end latency) and fleet-level percentiles (p50/p90/p99 token
+ * latency and TTFT), the numbers a capacity planner actually needs.
+ */
+
+#ifndef HERMES_CORE_SERVING_HH
+#define HERMES_CORE_SERVING_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/units.hh"
+#include "model/llm_config.hh"
+#include "runtime/factory.hh"
+#include "runtime/system_config.hh"
+
+namespace hermes::serving {
+
+/** One request of an arrival trace. */
+struct ServedRequest
+{
+    std::uint64_t id = 0;
+    Seconds arrival = 0.0;
+    std::uint32_t promptTokens = 128;
+    std::uint32_t generateTokens = 128;
+};
+
+/** Serving policy knobs. */
+struct ServingConfig
+{
+    runtime::EngineKind engine = runtime::EngineKind::Hermes;
+
+    /** Continuous-batching slot count (concurrent decodes). */
+    std::uint32_t maxBatch = 16;
+
+    /** Admission control: reject arrivals beyond this queue depth. */
+    std::uint32_t maxQueue = 256;
+
+    /** Generated tokens per calibration run of the cost model. */
+    std::uint32_t calibrationTokens = 8;
+
+    /** Context-length bucket width of the cost cache. */
+    std::uint32_t seqBucket = 512;
+
+    /** Workload seed forwarded to the engine's activation trace. */
+    std::uint64_t seed = 1;
+};
+
+/** Lifecycle timestamps and counters of one served request. */
+struct RequestMetrics
+{
+    std::uint64_t id = 0;
+    bool rejected = false;
+    Seconds arrival = 0.0;
+    Seconds admitted = 0.0;   ///< Joined the running batch.
+    Seconds firstToken = 0.0; ///< Prefill complete.
+    Seconds completed = 0.0;
+    std::uint32_t tokens = 0;
+
+    Seconds queueDelay() const { return admitted - arrival; }
+    Seconds ttft() const { return firstToken - arrival; }
+    Seconds latency() const { return completed - arrival; }
+
+    /** Mean decode-step latency after the first token. */
+    Seconds
+    meanTokenLatency() const
+    {
+        return tokens > 1
+                   ? (completed - firstToken) / (tokens - 1)
+                   : 0.0;
+    }
+};
+
+/** Fleet-level outcome of one serving run. */
+struct ServingReport
+{
+    std::string engine;
+    std::vector<RequestMetrics> requests;
+
+    std::uint64_t completed = 0;
+    std::uint64_t rejected = 0;
+
+    Seconds makespan = 0.0;
+    double throughputTps = 0.0;      ///< Generated tokens per second.
+    double meanBatchOccupancy = 0.0; ///< Mean running batch size.
+    std::uint32_t peakBatch = 0;
+
+    Seconds p50TokenLatency = 0.0;
+    Seconds p90TokenLatency = 0.0;
+    Seconds p99TokenLatency = 0.0;
+    Seconds p50Ttft = 0.0;
+    Seconds p99Ttft = 0.0;
+
+    /**
+     * True when some (batch, context) bucket exceeded the engine's
+     * capacity and its cost was approximated by the largest
+     * servable batch bucket — treat latencies as lower bounds.
+     */
+    bool costModelSaturated = false;
+};
+
+/**
+ * Iteration-level continuous-batching simulator over one engine.
+ *
+ * Decode-step and prefill latencies are calibrated by running the
+ * engine (which itself runs on the shared decode pipeline) at the
+ * bucketed batch size and context length, then cached, so large
+ * traces cost only a handful of engine simulations.
+ */
+class ServingSimulator
+{
+  public:
+    ServingSimulator(runtime::SystemConfig system,
+                     model::LlmConfig llm, ServingConfig config);
+
+    /** Simulate one arrival trace (any order; sorted internally). */
+    ServingReport run(std::vector<ServedRequest> workload);
+
+    const ServingConfig &config() const { return config_; }
+
+  private:
+    struct StepCosts
+    {
+        Seconds prefill = 0.0; ///< Whole prompting stage.
+        Seconds token = 0.0;   ///< One decode step for the batch.
+    };
+
+    /** Calibrated (batch bucket, seq bucket) -> step costs. */
+    StepCosts &costs(std::uint32_t batch, std::uint64_t seq);
+
+    runtime::SystemConfig system_;
+    model::LlmConfig llm_;
+    ServingConfig config_;
+    std::map<std::pair<std::uint32_t, std::uint64_t>, StepCosts>
+        cache_;
+    bool saturated_ = false;
+};
+
+/**
+ * Deterministic synthetic trace: exponential inter-arrivals at
+ * `arrivals_per_second`, fixed prompt/generate lengths.
+ */
+std::vector<ServedRequest>
+syntheticWorkload(std::uint32_t count, double arrivals_per_second,
+                  std::uint32_t prompt_tokens,
+                  std::uint32_t generate_tokens, std::uint64_t seed);
+
+/** Linear-interpolated percentile (p in [0, 100]) of a sample set. */
+Seconds percentile(std::vector<Seconds> values, double p);
+
+} // namespace hermes::serving
+
+#endif // HERMES_CORE_SERVING_HH

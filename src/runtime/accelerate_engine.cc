@@ -5,6 +5,7 @@
 #include "gpu/kernels.hh"
 #include "interconnect/pcie.hh"
 #include "runtime/common_costs.hh"
+#include "runtime/decode_pipeline.hh"
 
 namespace hermes::runtime {
 
@@ -41,34 +42,38 @@ AccelerateEngine::run(const InferenceRequest &request)
     const Bytes chunk = llm.layerBytes() / 4;
     const Seconds transfer_per_token = pcie.chunkedTransferTime(
         streamed_per_pass, std::max<Bytes>(chunk, 1), false);
+    const Seconds layer_transfer =
+        llm.layers > 0 ? transfer_per_token / llm.layers : 0.0;
 
     // Dense compute of one token on the GPU.
-    Seconds fc_time = 0.0;
-    Seconds attn_time = 0.0;
     const std::uint64_t h = llm.hidden;
-    for (std::uint32_t l = 0; l < llm.layers; ++l) {
-        fc_time += gpu_model.sparseGemv(h + 2ULL * llm.kvDim(), h,
-                                        request.batch);
-        fc_time += gpu_model.gemm(request.batch, h, h);
-        fc_time += gpu_model.sparseGemv(
+    const Seconds layer_fc =
+        gpu_model.sparseGemv(h + 2ULL * llm.kvDim(), h,
+                             request.batch) +
+        gpu_model.gemm(request.batch, h, h) +
+        gpu_model.sparseGemv(
             static_cast<std::uint64_t>(llm.mlpMatrices) * llm.ffnHidden,
             h, request.batch);
-        attn_time += gpu_model.attention(request.batch, llm.heads,
-                                         llm.kvHeads, llm.headDim(),
-                                         request.promptTokens);
-    }
+    const Seconds layer_attn =
+        gpu_model.attention(request.batch, llm.heads, llm.kvHeads,
+                            llm.headDim(), request.promptTokens);
     const Seconds lm_head = lmHeadTime(gpu_model, llm, request.batch);
 
-    const Seconds dispatch = dispatch_per_layer * llm.layers;
-    const Seconds per_token =
-        transfer_per_token + dispatch + fc_time + attn_time + lm_head;
-    result.generateTime = per_token * request.generateTokens;
-    result.breakdown.communication =
-        transfer_per_token * request.generateTokens;
-    result.breakdown.fc = fc_time * request.generateTokens;
-    result.breakdown.attention = attn_time * request.generateTokens;
-    result.breakdown.others =
-        (lm_head + dispatch) * request.generateTokens;
+    // Synchronous per-tensor fetches: no transfer/compute overlap, so
+    // every stage chains serially on the shared pipeline.
+    DecodePipeline pipeline(0);
+    pipeline.beginToken();
+    for (std::uint32_t l = 0; l < llm.layers; ++l) {
+        pipeline.pcieStage(layer_transfer);
+        pipeline.gpuStage(CostCategory::Others, dispatch_per_layer);
+        pipeline.gpuStage(CostCategory::Fc, layer_fc);
+        pipeline.gpuStage(CostCategory::Attention, layer_attn);
+    }
+    pipeline.gpuStage(CostCategory::Others, lm_head);
+    pipeline.endToken(1.0, request.generateTokens);
+
+    result.generateTime = pipeline.totalTime();
+    result.breakdown += pipeline.accumulated().toBreakdown();
 
     finalize(result, request);
     return result;

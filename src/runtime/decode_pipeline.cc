@@ -1,0 +1,177 @@
+#include "runtime/decode_pipeline.hh"
+
+#include <string>
+
+namespace hermes::runtime {
+
+DecodePipeline::DecodePipeline(std::uint32_t num_dimms)
+{
+    gpu_ = timeline_.addResource("gpu");
+    pcie_ = timeline_.addResource("pcie");
+    link_ = timeline_.addResource("dimm-link");
+    host_ = timeline_.addResource("host");
+    lanes_.reserve(num_dimms);
+    for (std::uint32_t i = 0; i < num_dimms; ++i)
+        lanes_.push_back(
+            timeline_.addResource("ndp" + std::to_string(i)));
+}
+
+void
+DecodePipeline::beginToken()
+{
+    timeline_.clear();
+    frontier_.clear();
+    shadowAnchor_.clear();
+    background_.clear();
+}
+
+void
+DecodePipeline::gpuStage(CostCategory category, Seconds duration)
+{
+    shadowAnchor_ = frontier_;
+    const auto node =
+        timeline_.post(gpu_, category, duration, frontier_);
+    frontier_ = {node};
+}
+
+void
+DecodePipeline::hostStage(CostCategory category, Seconds duration)
+{
+    const auto node =
+        timeline_.post(host_, category, duration, frontier_);
+    frontier_ = {node};
+}
+
+void
+DecodePipeline::pcieStage(Seconds duration, CostCategory category)
+{
+    const auto node =
+        timeline_.post(pcie_, category, duration, frontier_);
+    frontier_ = {node};
+}
+
+void
+DecodePipeline::dimmLinkStage(Seconds duration)
+{
+    const auto node = timeline_.post(
+        link_, CostCategory::Communication, duration, frontier_);
+    frontier_ = {node};
+}
+
+void
+DecodePipeline::predictorStage(Seconds duration, bool on_gpu)
+{
+    const auto node =
+        timeline_.post(on_gpu ? gpu_ : host_,
+                       CostCategory::Predictor, duration, frontier_);
+    frontier_ = {node};
+}
+
+void
+DecodePipeline::splitStage(CostCategory category, Seconds gpu_time,
+                           Seconds pre_sync, Seconds post_sync,
+                           const std::vector<Seconds> &lane_times)
+{
+    const std::vector<Timeline::NodeId> entry = frontier_;
+    const auto pre = timeline_.post(
+        pcie_, CostCategory::Communication, pre_sync, entry);
+    const auto gpu = timeline_.post(gpu_, category, gpu_time, {pre});
+    const auto post = timeline_.post(
+        pcie_, CostCategory::Communication, post_sync, {gpu});
+
+    frontier_ = {post};
+    for (std::size_t i = 0;
+         i < lane_times.size() && i < lanes_.size(); ++i)
+        frontier_.push_back(timeline_.post(
+            lanes_[i], category, lane_times[i], entry));
+}
+
+void
+DecodePipeline::hostSplitStage(CostCategory category, Seconds gpu_time,
+                               Seconds pre_sync, Seconds post_sync,
+                               Seconds host_time)
+{
+    const std::vector<Timeline::NodeId> entry = frontier_;
+    const auto pre = timeline_.post(
+        pcie_, CostCategory::Communication, pre_sync, entry);
+    const auto gpu = timeline_.post(gpu_, category, gpu_time, {pre});
+    const auto post = timeline_.post(
+        pcie_, CostCategory::Communication, post_sync, {gpu});
+    const auto host =
+        timeline_.post(host_, category, host_time, entry);
+    frontier_ = {post, host};
+}
+
+void
+DecodePipeline::ndpStage(CostCategory category,
+                         Seconds per_lane_duration)
+{
+    if (lanes_.empty()) {
+        // Zero-DIMM config: account the work on the host instead of
+        // silently dropping it.
+        hostStage(category, per_lane_duration);
+        return;
+    }
+    const std::vector<Timeline::NodeId> entry = frontier_;
+    frontier_.clear();
+    for (const auto lane : lanes_)
+        frontier_.push_back(
+            timeline_.post(lane, category, per_lane_duration, entry));
+}
+
+void
+DecodePipeline::shadowedPcie(Seconds duration)
+{
+    if (duration <= 0.0)
+        return;
+    frontier_.push_back(timeline_.post(
+        pcie_, CostCategory::Communication, duration, shadowAnchor_));
+}
+
+void
+DecodePipeline::shadowedDimmLink(Seconds duration)
+{
+    if (duration <= 0.0)
+        return;
+    frontier_.push_back(timeline_.post(
+        link_, CostCategory::Communication, duration, shadowAnchor_));
+}
+
+void
+DecodePipeline::backgroundPcie(Seconds duration)
+{
+    if (duration <= 0.0)
+        return;
+    background_.push_back(timeline_.post(
+        pcie_, CostCategory::Communication, duration, {}));
+}
+
+void
+DecodePipeline::joinBackground()
+{
+    frontier_.insert(frontier_.end(), background_.begin(),
+                     background_.end());
+    background_.clear();
+}
+
+Seconds
+DecodePipeline::endToken(double scale, std::uint64_t repeat)
+{
+    const Seconds token = timeline_.makespan() * scale;
+    const CategoryTimes path = timeline_.criticalPath();
+    accumulated_.addScaled(path,
+                           scale * static_cast<double>(repeat));
+    total_ += token * static_cast<double>(repeat);
+    lastToken_ = token;
+    tokens_ += repeat;
+    return token;
+}
+
+void
+DecodePipeline::addSerial(CostCategory category, Seconds duration)
+{
+    accumulated_[category] += duration;
+    total_ += duration;
+}
+
+} // namespace hermes::runtime

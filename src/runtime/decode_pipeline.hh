@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Token-step assembly from reusable stage descriptors.
+ *
+ * A DecodePipeline owns one Timeline plus the platform's standard
+ * resources (GPU stream, per-DIMM NDP lanes, PCIe, DIMM-link, host
+ * CPU) and exposes the stages every engine's token step is built
+ * from:
+ *
+ *  - serial stages on one resource (gpuStage, hostStage, pcieStage,
+ *    dimmLinkStage, predictorStage);
+ *  - the hot/cold split of Fig. 6b (splitStage / hostSplitStage):
+ *    activations sync to the cold side, the GPU computes the hot
+ *    share while each lane computes its cold share, and the step
+ *    joins when the slower side finishes (Eqs. 1-3);
+ *  - barrier work on all NDP lanes (ndpStage) for attention and the
+ *    partial-result merge;
+ *  - shadowed transfers (shadowedPcie / shadowedDimmLink) that run
+ *    concurrently with the most recent GPU stage — hot/cold swaps and
+ *    window rebalancing hide behind the dense projection and only
+ *    their surplus extends the token;
+ *  - background transfers (backgroundPcie) that overlap the whole
+ *    token, FlexGen-style.
+ *
+ * Engines are reduced to stage-configuration functions: they compute
+ * per-stage durations from the device models, post stages, and call
+ * endToken(); the latency totals and the Fig. 12 breakdown fall out
+ * of the timeline's critical path instead of ad-hoc sums.
+ */
+
+#ifndef HERMES_RUNTIME_DECODE_PIPELINE_HH
+#define HERMES_RUNTIME_DECODE_PIPELINE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hh"
+#include "runtime/timeline.hh"
+
+namespace hermes::runtime {
+
+/** Builder + accumulator for per-token timelines. */
+class DecodePipeline
+{
+  public:
+    /** @param num_dimms NDP lanes to register (0 for GPU-only). */
+    explicit DecodePipeline(std::uint32_t num_dimms);
+
+    std::uint32_t numDimms() const
+    {
+        return static_cast<std::uint32_t>(lanes_.size());
+    }
+
+    /** Start a fresh token-step timeline. */
+    void beginToken();
+
+    // ---- Stage descriptors (post onto the current token). ----
+
+    /** Serial work on the GPU stream. */
+    void gpuStage(CostCategory category, Seconds duration);
+
+    /** Serial work on the host CPU. */
+    void hostStage(CostCategory category, Seconds duration);
+
+    /** Serial transfer over PCIe. */
+    void pcieStage(Seconds duration,
+                   CostCategory category = CostCategory::Communication);
+
+    /** Serial transfer over the DIMM-link network. */
+    void dimmLinkStage(Seconds duration);
+
+    /** Activated-neuron prediction (host-side scan or GPU MLP). */
+    void predictorStage(Seconds duration, bool on_gpu = false);
+
+    /**
+     * Hot/cold split (Fig. 6b): `pre_sync` broadcasts activations
+     * over PCIe, the GPU computes for `gpu_time`, `post_sync` returns
+     * the hot partials; meanwhile lane i computes its cold share for
+     * `lane_times[i]`.  The step completes when the slower side
+     * finishes: max(pre + gpu + post, max_i lane_i).
+     */
+    void splitStage(CostCategory category, Seconds gpu_time,
+                    Seconds pre_sync, Seconds post_sync,
+                    const std::vector<Seconds> &lane_times);
+
+    /** Hot/cold split against the host CPU (PowerInfer-style). */
+    void hostSplitStage(CostCategory category, Seconds gpu_time,
+                        Seconds pre_sync, Seconds post_sync,
+                        Seconds host_time);
+
+    /** The same work on every NDP lane (attention, merge). */
+    void ndpStage(CostCategory category, Seconds per_lane_duration);
+
+    /**
+     * Transfer over PCIe running concurrently with the most recent
+     * GPU stage (hot-neuron promotion during the dense projection).
+     */
+    void shadowedPcie(Seconds duration);
+
+    /** DIMM-link migration shadowed by the most recent GPU stage. */
+    void shadowedDimmLink(Seconds duration);
+
+    /**
+     * Transfer that overlaps the whole token from its start
+     * (FlexGen's zig-zag weight streaming).  Join it back into the
+     * serial order with joinBackground().
+     */
+    void backgroundPcie(Seconds duration);
+
+    /** Barrier on all outstanding background transfers. */
+    void joinBackground();
+
+    // ---- Token bookkeeping. ----
+
+    /**
+     * Close the current token: accumulate its makespan and
+     * critical-path breakdown, optionally extrapolated.
+     *
+     * @param scale  Layer-sample extrapolation factor.
+     * @param repeat Identical tokens this step stands for.
+     * @return The accumulated time of one such token (scaled).
+     */
+    Seconds endToken(double scale = 1.0, std::uint64_t repeat = 1);
+
+    /**
+     * Serial per-token work accounted outside the timeline (e.g. the
+     * LM head and predictor epilogue when the layer section is
+     * extrapolated with a different scale).
+     */
+    void addSerial(CostCategory category, Seconds duration);
+
+    // ---- Accumulated results. ----
+
+    Seconds totalTime() const { return total_; }
+    const CategoryTimes &accumulated() const { return accumulated_; }
+    Seconds lastTokenTime() const { return lastToken_; }
+    std::uint64_t tokensSimulated() const { return tokens_; }
+
+    /** The current (or last closed) token's timeline, for inspection. */
+    const Timeline &timeline() const { return timeline_; }
+
+  private:
+    Timeline timeline_;
+    Timeline::ResourceId gpu_;
+    Timeline::ResourceId pcie_;
+    Timeline::ResourceId link_;
+    Timeline::ResourceId host_;
+    std::vector<Timeline::ResourceId> lanes_;
+
+    /** Nodes the next serial stage depends on. */
+    std::vector<Timeline::NodeId> frontier_;
+    /** Frontier as of the most recent GPU stage (shadow target). */
+    std::vector<Timeline::NodeId> shadowAnchor_;
+    /** Outstanding background transfers. */
+    std::vector<Timeline::NodeId> background_;
+
+    CategoryTimes accumulated_;
+    Seconds total_ = 0.0;
+    Seconds lastToken_ = 0.0;
+    std::uint64_t tokens_ = 0;
+};
+
+} // namespace hermes::runtime
+
+#endif // HERMES_RUNTIME_DECODE_PIPELINE_HH

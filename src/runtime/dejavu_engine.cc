@@ -5,6 +5,7 @@
 #include "gpu/kernels.hh"
 #include "interconnect/pcie.hh"
 #include "runtime/common_costs.hh"
+#include "runtime/decode_pipeline.hh"
 #include "sparsity/trace.hh"
 
 namespace hermes::runtime {
@@ -103,45 +104,46 @@ DejaVuEngine::run(const InferenceRequest &request)
 
     // GPU compute: sparse FC on activated neurons + dense projection
     // + attention + the MLP predictors themselves.
-    Seconds fc_time = 0.0;
-    Seconds attn_time = 0.0;
-    Seconds predictor_time = 0.0;
     const std::uint64_t h = llm.hidden;
     const auto active_attn = static_cast<std::uint64_t>(
         active_fraction * llm.attnNeuronsPerLayer());
     const auto active_mlp = static_cast<std::uint64_t>(
         active_fraction * llm.mlpNeuronsPerLayer());
-    for (std::uint32_t l = 0; l < llm.layers; ++l) {
-        fc_time += gpu_model.sparseGemv(active_attn,
-                                        h + 2ULL * llm.kvDim(),
-                                        request.batch);
-        fc_time += gpu_model.gemm(request.batch, h, h);
-        fc_time += gpu_model.sparseGemv(
+    const Seconds layer_fc =
+        gpu_model.sparseGemv(active_attn, h + 2ULL * llm.kvDim(),
+                             request.batch) +
+        gpu_model.gemm(request.batch, h, h) +
+        gpu_model.sparseGemv(
             active_mlp,
             static_cast<std::uint64_t>(llm.mlpMatrices) * h,
             request.batch);
-        attn_time += gpu_model.attention(request.batch, llm.heads,
-                                         llm.kvHeads, llm.headDim(),
-                                         request.promptTokens);
-        predictor_time += gpu_model.sparseGemv(kPredictorRank, h,
-                                               request.batch);
-        predictor_time += gpu_model.sparseGemv(
-            h + llm.ffnHidden, kPredictorRank, request.batch);
-    }
+    const Seconds layer_attn =
+        gpu_model.attention(request.batch, llm.heads, llm.kvHeads,
+                            llm.headDim(), request.promptTokens);
+    const Seconds layer_predictor =
+        gpu_model.sparseGemv(kPredictorRank, h, request.batch) +
+        gpu_model.sparseGemv(h + llm.ffnHidden, kPredictorRank,
+                             request.batch);
     const Seconds lm_head = lmHeadTime(gpu_model, llm, request.batch);
+    const Seconds layer_gather =
+        llm.layers > 0 ? gather_time / llm.layers : 0.0;
 
     // Gathers cannot overlap compute: the predictor must run first,
-    // then the gather, then the sparse kernels (data dependence).
-    const Seconds per_token = gather_time + fc_time + attn_time +
-                              predictor_time + lm_head;
-    result.generateTime = per_token * request.generateTokens;
-    result.breakdown.communication =
-        gather_time * request.generateTokens;
-    result.breakdown.fc = fc_time * request.generateTokens;
-    result.breakdown.attention = attn_time * request.generateTokens;
-    result.breakdown.predictor =
-        predictor_time * request.generateTokens;
-    result.breakdown.others = lm_head * request.generateTokens;
+    // then the gather, then the sparse kernels (data dependence) —
+    // a strictly serial chain on the shared pipeline.
+    DecodePipeline pipeline(0);
+    pipeline.beginToken();
+    for (std::uint32_t l = 0; l < llm.layers; ++l) {
+        pipeline.predictorStage(layer_predictor, /*on_gpu=*/true);
+        pipeline.pcieStage(layer_gather);
+        pipeline.gpuStage(CostCategory::Fc, layer_fc);
+        pipeline.gpuStage(CostCategory::Attention, layer_attn);
+    }
+    pipeline.gpuStage(CostCategory::Others, lm_head);
+    pipeline.endToken(1.0, request.generateTokens);
+
+    result.generateTime = pipeline.totalTime();
+    result.breakdown += pipeline.accumulated().toBreakdown();
 
     result.stats.counter("active.fraction").set(active_fraction);
     result.stats.counter("predictor.bytes").set(

@@ -5,6 +5,7 @@
 #include "gpu/kernels.hh"
 #include "interconnect/pcie.hh"
 #include "runtime/common_costs.hh"
+#include "runtime/decode_pipeline.hh"
 
 namespace hermes::runtime {
 
@@ -56,36 +57,35 @@ FlexGenEngine::run(const InferenceRequest &request)
             ? static_cast<double>(streamed_per_pass) / effective
             : 0.0;
 
-    Seconds fc_time = 0.0;
-    Seconds attn_time = 0.0;
     const std::uint64_t h = llm.hidden;
-    for (std::uint32_t l = 0; l < llm.layers; ++l) {
-        fc_time += gpu_model.sparseGemv(h + 2ULL * llm.kvDim(), h,
-                                        request.batch);
-        fc_time += gpu_model.gemm(request.batch, h, h);
-        fc_time += gpu_model.sparseGemv(
+    const Seconds layer_fc =
+        gpu_model.sparseGemv(h + 2ULL * llm.kvDim(), h,
+                             request.batch) +
+        gpu_model.gemm(request.batch, h, h) +
+        gpu_model.sparseGemv(
             static_cast<std::uint64_t>(llm.mlpMatrices) * llm.ffnHidden,
             h, request.batch);
-        attn_time += gpu_model.attention(request.batch, llm.heads,
-                                         llm.kvHeads, llm.headDim(),
-                                         request.promptTokens);
-    }
+    const Seconds layer_attn =
+        gpu_model.attention(request.batch, llm.heads, llm.kvHeads,
+                            llm.headDim(), request.promptTokens);
     const Seconds lm_head = lmHeadTime(gpu_model, llm, request.batch);
 
-    // Zig-zag overlap: compute hides under the transfer (or vice
-    // versa when everything is resident).
-    const Seconds per_token =
-        std::max(transfer_per_token, fc_time + attn_time) + lm_head;
-    result.generateTime = per_token * request.generateTokens;
-    const Seconds exposed_comm =
-        std::max(0.0, transfer_per_token - (fc_time + attn_time));
-    result.breakdown.communication =
-        exposed_comm * request.generateTokens;
-    result.breakdown.fc =
-        (per_token - exposed_comm - attn_time - lm_head) *
-        request.generateTokens;
-    result.breakdown.attention = attn_time * request.generateTokens;
-    result.breakdown.others = lm_head * request.generateTokens;
+    // Zig-zag overlap on the shared pipeline: the whole pass's weight
+    // stream runs in the background while the GPU computes; the LM
+    // head waits for both, so the slower side sets the token time.
+    DecodePipeline pipeline(0);
+    pipeline.beginToken();
+    pipeline.backgroundPcie(transfer_per_token);
+    for (std::uint32_t l = 0; l < llm.layers; ++l) {
+        pipeline.gpuStage(CostCategory::Fc, layer_fc);
+        pipeline.gpuStage(CostCategory::Attention, layer_attn);
+    }
+    pipeline.joinBackground();
+    pipeline.gpuStage(CostCategory::Others, lm_head);
+    pipeline.endToken(1.0, request.generateTokens);
+
+    result.generateTime = pipeline.totalTime();
+    result.breakdown += pipeline.accumulated().toBreakdown();
 
     finalize(result, request);
     return result;

@@ -6,12 +6,15 @@
 #include "interconnect/pcie.hh"
 #include "ndp/ndp_dimm.hh"
 #include "runtime/common_costs.hh"
+#include "runtime/decode_pipeline.hh"
 
 namespace hermes::runtime {
 
 bool
 HermesBaseEngine::supports(const InferenceRequest &request) const
 {
+    if (config_.numDimms == 0)
+        return false;
     const Bytes kv = static_cast<Bytes>(request.batch) *
                      (request.promptTokens + request.generateTokens) *
                      request.llm.kvBytesPerToken();
@@ -60,51 +63,64 @@ HermesBaseEngine::run(const InferenceRequest &request)
         static_cast<std::uint64_t>(llm.mlpMatrices) * h;
     const std::uint32_t kv_heads_per_dimm =
         (llm.kvHeads + config_.numDimms - 1) / config_.numDimms;
-    const std::uint32_t gqa_group = llm.heads / llm.kvHeads;
+    const std::uint32_t gqa_group =
+        llm.kvHeads > 0 ? llm.heads / llm.kvHeads : 1;
 
-    // Dense per-layer costs on each side.
-    const Seconds gpu_layer_fc =
-        gpu_model.sparseGemv(attn_neurons, attn_values, request.batch) +
-        gpu_model.gemm(request.batch, h, h) +
+    // Dense per-layer costs on each side (no predictor: every neuron
+    // computes, so offloaded layers run whole blocks on the NDP).
+    const Seconds gpu_attn_fc =
+        gpu_model.sparseGemv(attn_neurons, attn_values, request.batch);
+    const Seconds gpu_mlp_fc =
         gpu_model.sparseGemv(mlp_neurons, mlp_values, request.batch);
-    const Seconds dimm_layer_fc =
+    const Seconds dimm_attn_fc =
         ndp.sparseGemv(attn_neurons / config_.numDimms, attn_values,
                        request.batch)
-            .total +
+            .total;
+    const Seconds dimm_mlp_fc =
         ndp.sparseGemv(mlp_neurons / config_.numDimms, mlp_values,
                        request.batch)
-            .total +
-        gpu_model.gemm(request.batch, h, h); // Projection stays dense
-                                             // on the GPU.
-
-    Seconds fc_time = 0.0;
-    Seconds attn_time = 0.0;
-    Seconds comm_time = 0.0;
+            .total;
+    const Seconds proj = gpu_model.gemm(request.batch, h, h);
     const Seconds seq_attn =
         ndp.attention(request.batch, kv_heads_per_dimm, llm.headDim(),
                       request.promptTokens, gqa_group)
             .total;
-    for (std::uint32_t l = 0; l < llm.layers; ++l) {
-        fc_time +=
-            l < resident_layers ? gpu_layer_fc : dimm_layer_fc;
-        attn_time += seq_attn;
-        comm_time += 2.0 * sync; // Activations cross PCIe per layer.
-    }
     const Seconds lm_head = lmHeadTime(gpu_model, llm, request.batch);
     const Seconds merge =
         ndp.merge(static_cast<Bytes>(request.batch) * h * kFp16Bytes)
-            .total *
-        llm.layers;
+            .total;
 
-    const Seconds per_token =
-        fc_time + attn_time + comm_time + lm_head + merge;
-    result.generateTime = per_token * request.generateTokens;
-    result.breakdown.fc = fc_time * request.generateTokens;
-    result.breakdown.attention = attn_time * request.generateTokens;
-    result.breakdown.communication =
-        comm_time * request.generateTokens;
-    result.breakdown.others =
-        (lm_head + merge) * request.generateTokens;
+    // Every token is identical: build one token step on the shared
+    // pipeline and extrapolate.  Without sparsity there is no hot/cold
+    // overlap to exploit, so the chain is serial; the layer's FC runs
+    // dense on the GPU while layers fit and whole-block on the NDP
+    // lanes beyond that.
+    DecodePipeline pipeline(config_.numDimms);
+    pipeline.beginToken();
+    for (std::uint32_t l = 0; l < llm.layers; ++l) {
+        if (l < resident_layers) {
+            pipeline.gpuStage(CostCategory::Fc, gpu_attn_fc);
+        } else {
+            pipeline.pcieStage(sync); // Activations to the DIMMs.
+            pipeline.ndpStage(CostCategory::Fc, dimm_attn_fc);
+        }
+        pipeline.ndpStage(CostCategory::Attention, seq_attn);
+        pipeline.pcieStage(sync); // Attention out.
+        pipeline.gpuStage(CostCategory::Fc, proj);
+        if (l < resident_layers) {
+            pipeline.gpuStage(CostCategory::Fc, gpu_mlp_fc);
+            pipeline.pcieStage(sync); // Partials to the merge.
+        } else {
+            pipeline.pcieStage(sync);
+            pipeline.ndpStage(CostCategory::Fc, dimm_mlp_fc);
+        }
+        pipeline.ndpStage(CostCategory::Others, merge);
+    }
+    pipeline.gpuStage(CostCategory::Others, lm_head);
+    pipeline.endToken(1.0, request.generateTokens);
+
+    result.generateTime = pipeline.totalTime();
+    result.breakdown += pipeline.accumulated().toBreakdown();
 
     result.stats.counter("resident.layers").set(resident_layers);
 

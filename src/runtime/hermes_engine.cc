@@ -10,6 +10,7 @@
 #include "interconnect/pcie.hh"
 #include "ndp/ndp_dimm.hh"
 #include "runtime/common_costs.hh"
+#include "runtime/decode_pipeline.hh"
 #include "sched/ilp_partition.hh"
 #include "sched/mapper.hh"
 #include "sched/predictor.hh"
@@ -44,19 +45,19 @@ countLocations(const std::vector<std::uint8_t> &mask,
     return counts;
 }
 
-/** Slowest NDP-DIMM for a sparse GEMV with the given per-DIMM rows. */
-Seconds
-worstDimmGemv(ndp::NdpDimm &ndp, const std::vector<std::uint64_t> &rows,
+/** Per-DIMM sparse-GEMV lane times for a split stage. */
+std::vector<Seconds>
+dimmLaneTimes(ndp::NdpDimm &ndp, const std::vector<std::uint64_t> &rows,
               std::uint64_t row_values, std::uint32_t batch,
               double compute_scale)
 {
-    Seconds worst = 0.0;
+    std::vector<Seconds> lanes;
+    lanes.reserve(rows.size());
     for (const auto count : rows)
-        worst = std::max(worst,
-                         ndp.sparseGemv(count, row_values, batch,
-                                        compute_scale)
-                             .total);
-    return worst;
+        lanes.push_back(
+            ndp.sparseGemv(count, row_values, batch, compute_scale)
+                .total);
+    return lanes;
 }
 
 } // namespace
@@ -64,6 +65,8 @@ worstDimmGemv(ndp::NdpDimm &ndp, const std::vector<std::uint64_t> &rows,
 bool
 HermesEngine::supports(const InferenceRequest &request) const
 {
+    if (config_.numDimms == 0)
+        return false; // Hermes is defined by its NDP-DIMM pool.
     // All weights (plus the KV cache) must fit in the NDP-DIMM pool.
     const Bytes kv = static_cast<Bytes>(request.batch) *
                      (request.promptTokens + request.generateTokens) *
@@ -78,7 +81,10 @@ HermesEngine::run(const InferenceRequest &request)
     result.engine = name_;
     if (!supports(request)) {
         result.supported = false;
-        result.unsupportedReason = "model exceeds NDP-DIMM capacity";
+        result.unsupportedReason =
+            config_.numDimms == 0
+                ? "platform has no NDP-DIMMs"
+                : "model exceeds NDP-DIMM capacity";
         return result;
     }
 
@@ -112,8 +118,10 @@ HermesEngine::run(const InferenceRequest &request)
         attn_freq[l].assign(trace.attn(l).neurons(), 0.0);
         mlp_freq[l].assign(trace.mlp(l).neurons(), 0.0);
     }
+    const std::uint32_t profile_tokens =
+        std::max<std::uint32_t>(request.profileTokens, 1);
     trace.reset(0);
-    for (std::uint32_t t = 0; t < request.profileTokens; ++t) {
+    for (std::uint32_t t = 0; t < profile_tokens; ++t) {
         trace.nextToken();
         for (std::uint32_t l = 0; l < sim_layers; ++l) {
             for (const auto id : trace.attn(l).activeList)
@@ -124,9 +132,9 @@ HermesEngine::run(const InferenceRequest &request)
     }
     for (std::uint32_t l = 0; l < sim_layers; ++l) {
         for (auto &f : attn_freq[l])
-            f /= request.profileTokens;
+            f /= profile_tokens;
         for (auto &f : mlp_freq[l])
-            f /= request.profileTokens;
+            f /= profile_tokens;
     }
 
     // ---- Predictor setup. ----
@@ -255,21 +263,17 @@ HermesEngine::run(const InferenceRequest &request)
     result.prefillTime = prefill;
     result.breakdown.prefill = prefill;
 
-    // ---- Token generation. ----
-    std::vector<sched::WindowScheduler> attn_windows;
-    std::vector<sched::WindowScheduler> mlp_windows;
-    for (std::uint32_t l = 0; l < sim_layers; ++l) {
-        attn_windows.emplace_back(trace.attn(l).neurons(),
-                                  config_.numDimms,
-                                  config_.sched.windowSize);
-        mlp_windows.emplace_back(trace.mlp(l).neurons(),
-                                 config_.numDimms,
-                                 config_.sched.windowSize);
-    }
+    // ---- Token generation on the shared decode pipeline. ----
+    sched::WindowSet windows(
+        sim_layers, trace.attn(0).neurons(), trace.mlp(0).neurons(),
+        config_.numDimms, config_.sched.windowSize,
+        sched::WindowSet::Policy{config_.sched.windowRebalance,
+                                 config_.sched.oracleRebalance});
 
     const std::uint32_t kv_heads_per_dimm =
         (llm.kvHeads + config_.numDimms - 1) / config_.numDimms;
-    const std::uint32_t gqa_group = llm.heads / llm.kvHeads;
+    const std::uint32_t gqa_group =
+        llm.kvHeads > 0 ? llm.heads / llm.kvHeads : 1;
     const Seconds sync = activationSyncTime(pcie, llm, request.batch);
     const Seconds predictor_cost =
         static_cast<double>(layers) *
@@ -278,8 +282,7 @@ HermesEngine::run(const InferenceRequest &request)
         config_.predictorPerNeuron;
     const Seconds lm_head = lmHeadTime(gpu_model, llm, request.batch);
 
-    LatencyBreakdown per_layer_acc; // Scaled by layer_scale at the end.
-    LatencyBreakdown per_token_acc; // Unscaled extras.
+    DecodePipeline pipeline(config_.numDimms);
 
     std::vector<std::uint8_t> attn_pred;
     std::vector<std::uint8_t> mlp_pred;
@@ -292,6 +295,7 @@ HermesEngine::run(const InferenceRequest &request)
     for (std::uint32_t t = 0; t < request.generateTokens; ++t) {
         trace.nextToken();
         const std::uint64_t seq = request.promptTokens + t;
+        pipeline.beginToken();
 
         for (std::uint32_t l = 0; l < sim_layers; ++l) {
             const sparsity::BlockTrace &attn_actual = trace.attn(l);
@@ -309,30 +313,30 @@ HermesEngine::run(const InferenceRequest &request)
                 countLocations(attn_pred, placement.attn[l]);
             const Seconds qkv_gpu = gpu_model.sparseGemv(
                 qkv_counts.gpu, attn_values, request.batch);
-            const Seconds qkv_dimm = worstDimmGemv(
+            const std::vector<Seconds> qkv_lanes = dimmLaneTimes(
                 ndp, qkv_counts.dimm, attn_values, request.batch,
                 attn_actual.computeScale);
-            const Seconds qkv =
-                std::max(qkv_gpu + 2.0 * sync, qkv_dimm);
-            per_layer_acc.fc += std::max(qkv - 2.0 * sync, 0.0);
-            per_layer_acc.communication += std::min(qkv, 2.0 * sync);
+            pipeline.splitStage(CostCategory::Fc, qkv_gpu, sync, sync,
+                                qkv_lanes);
             result.stats.counter("time.qkv.gpu").add(qkv_gpu);
-            result.stats.counter("time.qkv.dimm").add(qkv_dimm);
+            result.stats.counter("time.qkv.dimm")
+                .add(*std::max_element(qkv_lanes.begin(),
+                                       qkv_lanes.end()));
 
             // 3. Attention on the NDP-DIMMs, next to the KV cache.
-            per_layer_acc.attention +=
+            pipeline.ndpStage(
+                CostCategory::Attention,
                 ndp.attention(request.batch, kv_heads_per_dimm,
                               llm.headDim(), seq, gqa_group)
-                    .total;
+                    .total);
 
             // 4. Projection on the GPU; DIMMs and PCIe are idle, so
             // swaps and rebalancing hide behind it.
-            per_layer_acc.communication += sync; // Attention out.
-            const Seconds proj = gpu_model.gemm(
-                request.batch, llm.hidden, llm.hidden);
-            per_layer_acc.fc += proj;
+            pipeline.pcieStage(sync); // Attention out.
+            pipeline.gpuStage(CostCategory::Fc,
+                              gpu_model.gemm(request.batch, llm.hidden,
+                                             llm.hidden));
 
-            Seconds promote_time = 0.0;
             if (config_.sched.onlineAdjustment) {
                 const bool token = config_.sched.tokenWisePrediction;
                 const bool layer = config_.sched.layerWisePrediction;
@@ -354,57 +358,35 @@ HermesEngine::run(const InferenceRequest &request)
                     adj_attn.promotions + adj_mlp.promotions;
                 promotion_bytes += upload;
                 if (upload > 0)
-                    promote_time = pcie.transferTime(upload);
+                    pipeline.shadowedPcie(pcie.transferTime(upload));
             }
 
-            Seconds migrate_time = 0.0;
-            attn_windows[l].observe(attn_actual.activeList);
-            mlp_windows[l].observe(mlp_actual.activeList);
-            if (config_.sched.windowRebalance &&
-                attn_windows[l].windowComplete()) {
-                auto transfers =
-                    config_.sched.oracleRebalance
-                        ? attn_windows[l].rebalanceOracle(
-                              placement.attn[l], llm.attnNeuronBytes())
-                        : attn_windows[l].rebalance(
-                              placement.attn[l], llm.attnNeuronBytes());
-                auto mlp_transfers =
-                    config_.sched.oracleRebalance
-                        ? mlp_windows[l].rebalanceOracle(
-                              placement.mlp[l], llm.mlpNeuronBytes())
-                        : mlp_windows[l].rebalance(
-                              placement.mlp[l], llm.mlpNeuronBytes());
-                transfers.insert(transfers.end(),
-                                 mlp_transfers.begin(),
-                                 mlp_transfers.end());
-                for (const auto &transfer : transfers)
-                    migration_bytes += transfer.bytes;
-                migrate_time = link_net.migrationTime(transfers);
-            } else if (!config_.sched.windowRebalance &&
-                       attn_windows[l].windowComplete()) {
-                attn_windows[l].clearWindow();
-                mlp_windows[l].clearWindow();
-            }
-
-            // Only the non-overlapped surplus shows up end to end.
-            per_layer_acc.communication +=
-                std::max(0.0, promote_time - proj) +
-                std::max(0.0, migrate_time - proj);
+            windows.observe(l, attn_actual.activeList,
+                            mlp_actual.activeList);
+            const sched::WindowSet::RebalanceOutcome rebalance =
+                windows.maybeRebalance(
+                    l, placement.attn[l], placement.mlp[l],
+                    llm.attnNeuronBytes(), llm.mlpNeuronBytes(),
+                    link_net);
+            migration_bytes += rebalance.migrationBytes;
+            result.stats.counter("migration.transfers")
+                .add(static_cast<double>(rebalance.transfers));
+            pipeline.shadowedDimmLink(rebalance.migrationTime);
 
             // 5. MLP split.
             const LocationCounts mlp_counts =
                 countLocations(mlp_pred, placement.mlp[l]);
             const Seconds mlp_gpu = gpu_model.sparseGemv(
                 mlp_counts.gpu, mlp_values, request.batch);
-            const Seconds mlp_dimm = worstDimmGemv(
+            const std::vector<Seconds> mlp_lanes = dimmLaneTimes(
                 ndp, mlp_counts.dimm, mlp_values, request.batch,
                 mlp_actual.computeScale);
-            const Seconds mlp =
-                std::max(mlp_gpu + 2.0 * sync, mlp_dimm);
-            per_layer_acc.fc += std::max(mlp - 2.0 * sync, 0.0);
-            per_layer_acc.communication += std::min(mlp, 2.0 * sync);
+            pipeline.splitStage(CostCategory::Fc, mlp_gpu, sync, sync,
+                                mlp_lanes);
             result.stats.counter("time.mlp.gpu").add(mlp_gpu);
-            result.stats.counter("time.mlp.dimm").add(mlp_dimm);
+            result.stats.counter("time.mlp.dimm")
+                .add(*std::max_element(mlp_lanes.begin(),
+                                       mlp_lanes.end()));
             result.stats.counter("count.mlp.gpu").add(
                 static_cast<double>(mlp_counts.gpu));
             result.stats.counter("count.mlp.dimm.max").add(
@@ -412,10 +394,11 @@ HermesEngine::run(const InferenceRequest &request)
                     mlp_counts.dimm.begin(), mlp_counts.dimm.end())));
 
             // 6. Merge of GPU and NDP partials on the DIMMs.
-            per_layer_acc.others +=
+            pipeline.ndpStage(
+                CostCategory::Others,
                 ndp.merge(static_cast<Bytes>(request.batch) *
                           llm.hidden * kFp16Bytes)
-                    .total;
+                    .total);
 
             // Predictor bookkeeping (metrics + FSM update).
             for (std::uint32_t i = 0; i < attn_actual.neurons(); ++i)
@@ -427,24 +410,16 @@ HermesEngine::run(const InferenceRequest &request)
             predictor.attn(l).update(attn_actual.mask);
             predictor.mlp(l).update(mlp_actual.mask);
         }
-        per_token_acc.others += lm_head;
-        per_token_acc.predictor += predictor_cost;
+
+        // The layer section extrapolates to the full depth; the
+        // LM head and the host-side predictor scan are per token.
+        pipeline.endToken(layer_scale);
+        pipeline.addSerial(CostCategory::Others, lm_head);
+        pipeline.addSerial(CostCategory::Predictor, predictor_cost);
     }
 
-    // Scale per-layer categories to the full depth.
-    LatencyBreakdown generate;
-    generate.fc = per_layer_acc.fc * layer_scale;
-    generate.attention = per_layer_acc.attention * layer_scale;
-    generate.communication =
-        per_layer_acc.communication * layer_scale;
-    generate.others =
-        per_layer_acc.others * layer_scale + per_token_acc.others;
-    generate.predictor = per_token_acc.predictor;
-
-    result.generateTime = generate.fc + generate.attention +
-                          generate.communication + generate.others +
-                          generate.predictor;
-    result.breakdown += generate;
+    result.generateTime = pipeline.totalTime();
+    result.breakdown += pipeline.accumulated().toBreakdown();
 
     result.stats.counter("predictor.accuracy").set(metrics.accuracy());
     result.stats.counter("predictor.recall").set(metrics.recall());

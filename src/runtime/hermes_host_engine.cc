@@ -6,6 +6,7 @@
 #include "gpu/kernels.hh"
 #include "interconnect/pcie.hh"
 #include "runtime/common_costs.hh"
+#include "runtime/decode_pipeline.hh"
 #include "sparsity/trace.hh"
 
 namespace hermes::runtime {
@@ -111,28 +112,20 @@ HermesHostEngine::run(const InferenceRequest &request)
             flops / config_.host.compute);
     };
 
-    Seconds fc_time = 0.0;
-    Seconds attn_time = 0.0;
-    Seconds comm_time = 0.0;
-    for (std::uint32_t l = 0; l < llm.layers; ++l) {
-        // split_mass sums frequencies, i.e. the expected number of
-        // activated neurons per token in each partition.
-        const Seconds gpu_qkv = gpu_model.sparseGemv(
-            static_cast<std::uint64_t>(attn_hot), attn_values,
-            request.batch);
-        const Seconds cpu_qkv = cpu_gemv(attn_cold, attn_values);
-        const Seconds gpu_mlp = gpu_model.sparseGemv(
-            static_cast<std::uint64_t>(mlp_hot), mlp_values,
-            request.batch);
-        const Seconds cpu_mlp = cpu_gemv(mlp_cold, mlp_values);
-        fc_time += std::max(gpu_qkv + sync, cpu_qkv) +
-                   std::max(gpu_mlp + sync, cpu_mlp) +
-                   gpu_model.gemm(request.batch, h, h);
-        comm_time += 2.0 * sync + config_.host.layerSyncOverhead;
-        attn_time += gpu_model.attention(request.batch, llm.heads,
-                                         llm.kvHeads, llm.headDim(),
-                                         request.promptTokens);
-    }
+    // split_mass sums frequencies, i.e. the expected number of
+    // activated neurons per token in each partition.
+    const Seconds gpu_qkv = gpu_model.sparseGemv(
+        static_cast<std::uint64_t>(attn_hot), attn_values,
+        request.batch);
+    const Seconds cpu_qkv = cpu_gemv(attn_cold, attn_values);
+    const Seconds gpu_mlp = gpu_model.sparseGemv(
+        static_cast<std::uint64_t>(mlp_hot), mlp_values,
+        request.batch);
+    const Seconds cpu_mlp = cpu_gemv(mlp_cold, mlp_values);
+    const Seconds proj = gpu_model.gemm(request.batch, h, h);
+    const Seconds layer_attn =
+        gpu_model.attention(request.batch, llm.heads, llm.kvHeads,
+                            llm.headDim(), request.promptTokens);
     const Seconds lm_head = lmHeadTime(gpu_model, llm, request.batch);
     const Seconds predictor_cost =
         static_cast<double>(llm.layers) *
@@ -140,16 +133,31 @@ HermesHostEngine::run(const InferenceRequest &request)
                             llm.mlpNeuronsPerLayer()) *
         config_.predictorPerNeuron;
 
-    const Seconds per_token =
-        fc_time + attn_time + comm_time + lm_head + predictor_cost;
-    result.generateTime = per_token * request.generateTokens;
-    result.breakdown.fc = fc_time * request.generateTokens;
-    result.breakdown.attention = attn_time * request.generateTokens;
-    result.breakdown.communication =
-        comm_time * request.generateTokens;
-    result.breakdown.others = lm_head * request.generateTokens;
-    result.breakdown.predictor =
-        predictor_cost * request.generateTokens;
+    // Hot/cold split against the host CPU on the shared pipeline:
+    // the GPU computes the hot share and returns its partials over
+    // PCIe while the CPU streams the activated cold rows; each layer
+    // additionally pays the activation round trip and the
+    // PowerInfer-style executor synchronization.
+    DecodePipeline pipeline(0);
+    pipeline.beginToken();
+    for (std::uint32_t l = 0; l < llm.layers; ++l) {
+        pipeline.hostSplitStage(CostCategory::Fc, gpu_qkv, 0.0, sync,
+                                cpu_qkv);
+        pipeline.gpuStage(CostCategory::Attention, layer_attn);
+        pipeline.gpuStage(CostCategory::Fc, proj);
+        pipeline.hostSplitStage(CostCategory::Fc, gpu_mlp, 0.0, sync,
+                                cpu_mlp);
+        pipeline.pcieStage(2.0 * sync);
+        pipeline.hostStage(CostCategory::Communication,
+                           config_.host.layerSyncOverhead);
+    }
+    pipeline.gpuStage(CostCategory::Others, lm_head);
+    pipeline.endToken(1.0, request.generateTokens);
+    pipeline.addSerial(CostCategory::Predictor,
+                       predictor_cost * request.generateTokens);
+
+    result.generateTime = pipeline.totalTime();
+    result.breakdown += pipeline.accumulated().toBreakdown();
 
     result.stats.counter("hot.mass.attn").set(attn_hot);
     result.stats.counter("hot.mass.mlp").set(mlp_hot);

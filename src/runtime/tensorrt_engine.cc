@@ -5,6 +5,7 @@
 #include "gpu/gpu_spec.hh"
 #include "gpu/kernels.hh"
 #include "runtime/common_costs.hh"
+#include "runtime/decode_pipeline.hh"
 
 namespace hermes::runtime {
 
@@ -61,15 +62,19 @@ TensorRtLlmEngine::run(const InferenceRequest &request)
     const Seconds launches =
         llm.layers * 4.0 * a100.kernelLaunchOverhead;
 
-    const Seconds per_token =
-        weight_time + kv_time + allreduce + launches;
-    result.generateTime = per_token * request.generateTokens;
-    result.breakdown.fc =
-        (weight_time)*request.generateTokens;
-    result.breakdown.attention = kv_time * request.generateTokens;
-    result.breakdown.communication =
-        allreduce * request.generateTokens;
-    result.breakdown.others = launches * request.generateTokens;
+    // Weight streaming, KV reads, NVLink all-reduces and kernel
+    // launches chain serially per token on the shared pipeline (the
+    // all-reduce is a collective: compute stalls on it).
+    DecodePipeline pipeline(0);
+    pipeline.beginToken();
+    pipeline.gpuStage(CostCategory::Fc, weight_time);
+    pipeline.gpuStage(CostCategory::Attention, kv_time);
+    pipeline.pcieStage(allreduce); // NVLink fabric slot.
+    pipeline.gpuStage(CostCategory::Others, launches);
+    pipeline.endToken(1.0, request.generateTokens);
+
+    result.generateTime = pipeline.totalTime();
+    result.breakdown += pipeline.accumulated().toBreakdown();
 
     result.stats.counter("gpus").set(gpus);
 

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Resource timeline for one simulated token step.
+ *
+ * Engines used to hand-sum `max(...)` expressions to model overlap
+ * between the GPU stream, the per-DIMM NDP lanes, PCIe and the
+ * DIMM-link network (Eqs. 1-3).  The timeline replaces those sums
+ * with an explicit schedule: work items are posted onto named
+ * resources with dependencies, each item starts when its dependencies
+ * and its resource are free, and the token latency is the makespan.
+ *
+ * Every work item carries a breakdown category; the Fig. 12 latency
+ * breakdown is produced by walking the critical path (the chain of
+ * binding constraints that determined the makespan), so overlapped
+ * work never inflates the breakdown and the per-category components
+ * sum to the makespan exactly.
+ */
+
+#ifndef HERMES_RUNTIME_TIMELINE_HH
+#define HERMES_RUNTIME_TIMELINE_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hh"
+#include "runtime/engine.hh"
+
+namespace hermes::runtime {
+
+/** Fig. 12 breakdown category of one scheduled work item. */
+enum class CostCategory : std::uint8_t
+{
+    Fc,            ///< QKV + MLP + projection compute.
+    Attention,
+    Predictor,
+    Prefill,       ///< Whole prompting stage.
+    Communication, ///< PCIe + DIMM-link traffic.
+    Others,        ///< Merge, sync, scheduling, LM head.
+};
+
+inline constexpr std::size_t kNumCostCategories = 6;
+
+/** Per-category accumulated time, convertible to LatencyBreakdown. */
+struct CategoryTimes
+{
+    std::array<Seconds, kNumCostCategories> time{};
+
+    Seconds &
+    operator[](CostCategory category)
+    {
+        return time[static_cast<std::size_t>(category)];
+    }
+
+    Seconds
+    operator[](CostCategory category) const
+    {
+        return time[static_cast<std::size_t>(category)];
+    }
+
+    Seconds
+    total() const
+    {
+        Seconds sum = 0.0;
+        for (const Seconds value : time)
+            sum += value;
+        return sum;
+    }
+
+    CategoryTimes &
+    operator+=(const CategoryTimes &other)
+    {
+        for (std::size_t i = 0; i < kNumCostCategories; ++i)
+            time[i] += other.time[i];
+        return *this;
+    }
+
+    /** this += other * scale (layer-sample extrapolation). */
+    CategoryTimes &
+    addScaled(const CategoryTimes &other, double scale)
+    {
+        for (std::size_t i = 0; i < kNumCostCategories; ++i)
+            time[i] += other.time[i] * scale;
+        return *this;
+    }
+
+    LatencyBreakdown
+    toBreakdown() const
+    {
+        LatencyBreakdown breakdown;
+        breakdown.fc = (*this)[CostCategory::Fc];
+        breakdown.attention = (*this)[CostCategory::Attention];
+        breakdown.predictor = (*this)[CostCategory::Predictor];
+        breakdown.prefill = (*this)[CostCategory::Prefill];
+        breakdown.communication = (*this)[CostCategory::Communication];
+        breakdown.others = (*this)[CostCategory::Others];
+        return breakdown;
+    }
+};
+
+/**
+ * An append-only schedule of work items over named resources.
+ *
+ * Work items are posted in dependency order (a dependency must be a
+ * previously posted node).  Each resource executes its items in post
+ * order: an item starts at the later of its dependencies' completion
+ * and its resource becoming free.
+ */
+class Timeline
+{
+  public:
+    using ResourceId = std::uint32_t;
+    using NodeId = std::uint32_t;
+
+    static constexpr NodeId kNoNode = UINT32_MAX;
+
+    /** Register a named resource (e.g. "gpu", "pcie", "ndp0"). */
+    ResourceId addResource(std::string name);
+
+    const std::string &resourceName(ResourceId resource) const;
+    std::size_t resourceCount() const { return resources_.size(); }
+
+    /**
+     * Post one work item.
+     *
+     * @param resource  Executing resource.
+     * @param category  Breakdown category.
+     * @param duration  Busy time (clamped to >= 0).
+     * @param deps      Nodes that must complete before this starts.
+     */
+    NodeId post(ResourceId resource, CostCategory category,
+                Seconds duration,
+                const std::vector<NodeId> &deps = {});
+
+    Seconds startOf(NodeId node) const;
+    Seconds endOf(NodeId node) const;
+    CostCategory categoryOf(NodeId node) const;
+
+    /** Completion time of the whole schedule (0 when empty). */
+    Seconds makespan() const { return makespan_; }
+
+    /** Total busy time of one resource. */
+    Seconds busy(ResourceId resource) const;
+
+    /**
+     * Attribute the makespan to categories along the critical path:
+     * starting from the last-finishing node, walk the chain of
+     * binding constraints (the dependency or resource predecessor
+     * whose completion set each node's start time) back to time zero,
+     * crediting each node's duration to its category.  The components
+     * sum to the makespan by construction.  Ties between binding
+     * constraints prefer compute over communication, so exactly
+     * shadowed transfers are attributed to the compute they hide
+     * behind.
+     */
+    CategoryTimes criticalPath() const;
+
+    /** Drop all nodes but keep the registered resources. */
+    void clear();
+
+    std::size_t nodeCount() const { return nodes_.size(); }
+
+  private:
+    struct Node
+    {
+        ResourceId resource;
+        CostCategory category;
+        Seconds start;
+        Seconds end;
+        NodeId binding; ///< Constraint that set `start` (or kNoNode).
+    };
+
+    struct Resource
+    {
+        std::string name;
+        NodeId tail = kNoNode; ///< Last node posted on this resource.
+        Seconds busy = 0.0;
+    };
+
+    std::vector<Node> nodes_;
+    std::vector<Resource> resources_;
+    Seconds makespan_ = 0.0;
+};
+
+} // namespace hermes::runtime
+
+#endif // HERMES_RUNTIME_TIMELINE_HH

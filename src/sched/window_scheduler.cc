@@ -156,4 +156,70 @@ WindowScheduler::rebalanceOracle(BlockPlacement &placement,
     return transfers;
 }
 
+WindowSet::WindowSet(std::uint32_t layers, std::uint32_t attn_neurons,
+                     std::uint32_t mlp_neurons,
+                     std::uint32_t num_dimms,
+                     std::uint32_t window_size, Policy policy)
+    : policy_(policy)
+{
+    // A zero window would rebalance every token (and trips the
+    // scheduler's own assertion); clamp to the minimum usable window.
+    window_size = std::max<std::uint32_t>(window_size, 1);
+    attn_.reserve(layers);
+    mlp_.reserve(layers);
+    for (std::uint32_t l = 0; l < layers; ++l) {
+        attn_.emplace_back(attn_neurons, num_dimms, window_size);
+        mlp_.emplace_back(mlp_neurons, num_dimms, window_size);
+    }
+}
+
+void
+WindowSet::observe(std::uint32_t layer,
+                   const std::vector<std::uint32_t> &attn_active,
+                   const std::vector<std::uint32_t> &mlp_active)
+{
+    attn_.at(layer).observe(attn_active);
+    mlp_.at(layer).observe(mlp_active);
+}
+
+bool
+WindowSet::windowComplete(std::uint32_t layer) const
+{
+    return attn_.at(layer).windowComplete();
+}
+
+WindowSet::RebalanceOutcome
+WindowSet::maybeRebalance(std::uint32_t layer, BlockPlacement &attn,
+                          BlockPlacement &mlp,
+                          Bytes attn_neuron_bytes,
+                          Bytes mlp_neuron_bytes,
+                          const interconnect::DimmLinkNetwork &network)
+{
+    RebalanceOutcome outcome;
+    if (!windowComplete(layer))
+        return outcome;
+    WindowScheduler &attn_window = attn_.at(layer);
+    WindowScheduler &mlp_window = mlp_.at(layer);
+    if (!policy_.enabled) {
+        attn_window.clearWindow();
+        mlp_window.clearWindow();
+        return outcome;
+    }
+    std::vector<interconnect::Transfer> transfers =
+        policy_.oracle
+            ? attn_window.rebalanceOracle(attn, attn_neuron_bytes)
+            : attn_window.rebalance(attn, attn_neuron_bytes);
+    std::vector<interconnect::Transfer> mlp_transfers =
+        policy_.oracle
+            ? mlp_window.rebalanceOracle(mlp, mlp_neuron_bytes)
+            : mlp_window.rebalance(mlp, mlp_neuron_bytes);
+    transfers.insert(transfers.end(), mlp_transfers.begin(),
+                     mlp_transfers.end());
+    for (const auto &transfer : transfers)
+        outcome.migrationBytes += transfer.bytes;
+    outcome.transfers = transfers.size();
+    outcome.migrationTime = network.migrationTime(transfers);
+    return outcome;
+}
+
 } // namespace hermes::sched

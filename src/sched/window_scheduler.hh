@@ -83,6 +83,62 @@ class WindowScheduler
     std::vector<std::uint32_t> activity_;
 };
 
+/**
+ * Per-layer attention + MLP window schedulers driven once per
+ * completed timeline window.
+ *
+ * The decode pipeline invokes this after every layer's observation:
+ * when the layer's window fills, both blocks rebalance (Algorithm 1
+ * or the oracle) and the resulting DIMM-link migration batch is
+ * returned so the pipeline can shadow it behind the dense projection.
+ */
+class WindowSet
+{
+  public:
+    /** Outcome of one window boundary. */
+    struct RebalanceOutcome
+    {
+        Seconds migrationTime = 0.0;
+        Bytes migrationBytes = 0;
+        std::uint64_t transfers = 0;
+    };
+
+    /** Policy switches forwarded from SchedulingConfig. */
+    struct Policy
+    {
+        bool enabled = true; ///< false = observe only, never migrate.
+        bool oracle = false; ///< Full-LPT upper bound (Fig. 13).
+    };
+
+    WindowSet(std::uint32_t layers, std::uint32_t attn_neurons,
+              std::uint32_t mlp_neurons, std::uint32_t num_dimms,
+              std::uint32_t window_size, Policy policy);
+
+    /** Record one token's activated neurons for one layer. */
+    void observe(std::uint32_t layer,
+                 const std::vector<std::uint32_t> &attn_active,
+                 const std::vector<std::uint32_t> &mlp_active);
+
+    bool windowComplete(std::uint32_t layer) const;
+
+    /**
+     * Close the layer's window if complete: rebalance both blocks and
+     * price the migration batch on the DIMM-link network.  Returns a
+     * zero outcome while the window is still filling or when the
+     * policy disables rebalancing.
+     */
+    RebalanceOutcome
+    maybeRebalance(std::uint32_t layer, BlockPlacement &attn,
+                   BlockPlacement &mlp, Bytes attn_neuron_bytes,
+                   Bytes mlp_neuron_bytes,
+                   const interconnect::DimmLinkNetwork &network);
+
+  private:
+    Policy policy_;
+    std::vector<WindowScheduler> attn_;
+    std::vector<WindowScheduler> mlp_;
+};
+
 } // namespace hermes::sched
 
 #endif // HERMES_SCHED_WINDOW_SCHEDULER_HH

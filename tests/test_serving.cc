@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Tests for the multi-request serving layer: continuous batching,
+ * admission control, per-request metrics and fleet percentiles.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/hermes.hh"
+
+namespace hermes::serving {
+namespace {
+
+ServingConfig
+fastServing(std::uint32_t max_batch = 8)
+{
+    ServingConfig config;
+    config.maxBatch = max_batch;
+    config.calibrationTokens = 6;
+    return config;
+}
+
+TEST(Workload, SyntheticTraceIsDeterministicAndSorted)
+{
+    const auto a = syntheticWorkload(16, 2.0, 128, 32, 7);
+    const auto b = syntheticWorkload(16, 2.0, 128, 32, 7);
+    ASSERT_EQ(a.size(), 16u);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a[i].arrival, b[i].arrival);
+        if (i > 0) {
+            EXPECT_GE(a[i].arrival, a[i - 1].arrival);
+        }
+    }
+}
+
+TEST(Workload, PercentileInterpolates)
+{
+    std::vector<Seconds> values{4.0, 1.0, 3.0, 2.0};
+    EXPECT_DOUBLE_EQ(percentile(values, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(values, 100.0), 4.0);
+    EXPECT_DOUBLE_EQ(percentile(values, 50.0), 2.5);
+    EXPECT_DOUBLE_EQ(percentile({}, 50.0), 0.0);
+}
+
+TEST(Serving, ConcurrentRequestsShareTheBatch)
+{
+    System system(fastConfig(4));
+    // 12 requests in one burst: the 8 slots fill and 4 queue.
+    const auto workload = syntheticWorkload(12, 50.0, 64, 16, 3);
+    const auto report =
+        system.serve(model::opt13b(), workload, fastServing(8));
+
+    EXPECT_EQ(report.completed, 12u);
+    EXPECT_EQ(report.rejected, 0u);
+    EXPECT_GE(report.peakBatch, 8u);
+    EXPECT_GT(report.meanBatchOccupancy, 1.0);
+    EXPECT_GT(report.throughputTps, 0.0);
+    EXPECT_GT(report.p50TokenLatency, 0.0);
+    EXPECT_GE(report.p99TokenLatency, report.p50TokenLatency);
+    EXPECT_GE(report.p99Ttft, report.p50Ttft);
+    for (const auto &request : report.requests) {
+        if (request.rejected)
+            continue;
+        EXPECT_GE(request.admitted, request.arrival);
+        EXPECT_GE(request.firstToken, request.admitted);
+        EXPECT_GE(request.completed, request.firstToken);
+        EXPECT_EQ(request.tokens, 16u);
+    }
+}
+
+TEST(Serving, BatchingBeatsSequentialService)
+{
+    System system(fastConfig(4));
+    const auto workload = syntheticWorkload(8, 50.0, 64, 16, 3);
+    const auto batched =
+        system.serve(model::opt13b(), workload, fastServing(8));
+    const auto sequential =
+        system.serve(model::opt13b(), workload, fastServing(1));
+    EXPECT_LT(batched.makespan, sequential.makespan);
+    EXPECT_GT(batched.throughputTps, sequential.throughputTps);
+}
+
+TEST(Serving, AdmissionControlRejectsOverflow)
+{
+    System system(fastConfig(4));
+    const auto workload = syntheticWorkload(12, 1.0e6, 64, 16, 3);
+    ServingConfig config = fastServing(2);
+    config.maxQueue = 3;
+    const auto report =
+        system.serve(model::opt13b(), workload, config);
+    // 2 slots + 3 queue spots absorb 5 of the burst of 12.
+    EXPECT_GT(report.rejected, 0u);
+    EXPECT_EQ(report.completed + report.rejected, 12u);
+    EXPECT_EQ(report.requests.size(), 12u);
+}
+
+TEST(Serving, UnservableModelRejectsWholeTrace)
+{
+    SystemConfig config = fastConfig(4);
+    config.numDimms = 0; // Hermes needs its NDP-DIMM pool.
+    System system(config);
+    const auto workload = syntheticWorkload(4, 10.0, 64, 8, 3);
+    const auto report =
+        system.serve(model::opt13b(), workload, fastServing(4));
+    EXPECT_EQ(report.completed, 0u);
+    EXPECT_EQ(report.rejected, 4u);
+}
+
+TEST(Serving, ZeroGenerateTokensCompletesAtPrefill)
+{
+    System system(fastConfig(4));
+    auto workload = syntheticWorkload(3, 10.0, 64, 8, 3);
+    workload[1].generateTokens = 0;
+    const auto report =
+        system.serve(model::opt13b(), workload, fastServing(4));
+    EXPECT_EQ(report.completed, 3u);
+    for (const auto &request : report.requests) {
+        if (request.id == 1) {
+            EXPECT_EQ(request.tokens, 0u);
+            EXPECT_GE(request.completed, request.admitted);
+        }
+    }
+}
+
+TEST(Serving, CompareServingRanksHermesAboveBase)
+{
+    System system(fastConfig(4));
+    const auto workload = syntheticWorkload(8, 20.0, 64, 12, 3);
+    const auto reports = system.compareServing(
+        model::opt66b(), workload,
+        {runtime::EngineKind::HermesBase,
+         runtime::EngineKind::Hermes},
+        fastServing(8));
+    ASSERT_EQ(reports.size(), 2u);
+    EXPECT_EQ(reports[0].engine, "Hermes-base");
+    EXPECT_EQ(reports[1].engine, "Hermes");
+    EXPECT_GT(reports[1].throughputTps, reports[0].throughputTps);
+    EXPECT_LT(reports[1].p50TokenLatency,
+              reports[0].p50TokenLatency);
+}
+
+TEST(Serving, DegeneratePolicyValuesAreGuarded)
+{
+    System system(fastConfig(4));
+    const auto workload = syntheticWorkload(3, 10.0, 64, 8, 3);
+    ServingConfig config;
+    config.maxBatch = 0;          // Clamped to 1.
+    config.calibrationTokens = 0; // Clamped to 1.
+    config.seqBucket = 0;         // Clamped to 1.
+    const auto report =
+        system.serve(model::opt13b(), workload, config);
+    EXPECT_EQ(report.completed, 3u);
+    EXPECT_EQ(report.peakBatch, 1u);
+}
+
+} // namespace
+} // namespace hermes::serving
