@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cost_efficiency.dir/bench/bench_cost_efficiency.cc.o"
+  "CMakeFiles/bench_cost_efficiency.dir/bench/bench_cost_efficiency.cc.o.d"
+  "bench_cost_efficiency"
+  "bench_cost_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cost_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_sparsity_patterns.dir/bench/bench_fig04_sparsity_patterns.cc.o"
+  "CMakeFiles/bench_fig04_sparsity_patterns.dir/bench/bench_fig04_sparsity_patterns.cc.o.d"
+  "bench_fig04_sparsity_patterns"
+  "bench_fig04_sparsity_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_sparsity_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_offloading_comparison.dir/bench/bench_fig09_offloading_comparison.cc.o"
+  "CMakeFiles/bench_fig09_offloading_comparison.dir/bench/bench_fig09_offloading_comparison.cc.o.d"
+  "bench_fig09_offloading_comparison"
+  "bench_fig09_offloading_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_offloading_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_sparsity_ndp_effect.dir/bench/bench_fig10_sparsity_ndp_effect.cc.o"
+  "CMakeFiles/bench_fig10_sparsity_ndp_effect.dir/bench/bench_fig10_sparsity_ndp_effect.cc.o.d"
+  "bench_fig10_sparsity_ndp_effect"
+  "bench_fig10_sparsity_ndp_effect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_sparsity_ndp_effect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

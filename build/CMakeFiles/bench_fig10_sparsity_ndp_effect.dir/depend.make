@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig10_sparsity_ndp_effect.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_batching.dir/bench/bench_fig11_batching.cc.o"
+  "CMakeFiles/bench_fig11_batching.dir/bench/bench_fig11_batching.cc.o.d"
+  "bench_fig11_batching"
+  "bench_fig11_batching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_batching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_gemv_dse.dir/bench/bench_fig16_gemv_dse.cc.o"
+  "CMakeFiles/bench_fig16_gemv_dse.dir/bench/bench_fig16_gemv_dse.cc.o.d"
+  "bench_fig16_gemv_dse"
+  "bench_fig16_gemv_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_gemv_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_tensorrt.dir/bench/bench_fig17_tensorrt.cc.o"
+  "CMakeFiles/bench_fig17_tensorrt.dir/bench/bench_fig17_tensorrt.cc.o.d"
+  "bench_fig17_tensorrt"
+  "bench_fig17_tensorrt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_tensorrt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

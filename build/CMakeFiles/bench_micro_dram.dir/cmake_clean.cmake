@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_dram.dir/bench/bench_micro_dram.cc.o"
+  "CMakeFiles/bench_micro_dram.dir/bench/bench_micro_dram.cc.o.d"
+  "bench_micro_dram"
+  "bench_micro_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/logging.cc" "CMakeFiles/hermes.dir/src/common/logging.cc.o" "gcc" "CMakeFiles/hermes.dir/src/common/logging.cc.o.d"
+  "/root/repo/src/common/table.cc" "CMakeFiles/hermes.dir/src/common/table.cc.o" "gcc" "CMakeFiles/hermes.dir/src/common/table.cc.o.d"
+  "/root/repo/src/core/hermes.cc" "CMakeFiles/hermes.dir/src/core/hermes.cc.o" "gcc" "CMakeFiles/hermes.dir/src/core/hermes.cc.o.d"
+  "/root/repo/src/core/serving.cc" "CMakeFiles/hermes.dir/src/core/serving.cc.o" "gcc" "CMakeFiles/hermes.dir/src/core/serving.cc.o.d"
+  "/root/repo/src/dram/bandwidth_probe.cc" "CMakeFiles/hermes.dir/src/dram/bandwidth_probe.cc.o" "gcc" "CMakeFiles/hermes.dir/src/dram/bandwidth_probe.cc.o.d"
+  "/root/repo/src/dram/controller.cc" "CMakeFiles/hermes.dir/src/dram/controller.cc.o" "gcc" "CMakeFiles/hermes.dir/src/dram/controller.cc.o.d"
+  "/root/repo/src/dram/timing.cc" "CMakeFiles/hermes.dir/src/dram/timing.cc.o" "gcc" "CMakeFiles/hermes.dir/src/dram/timing.cc.o.d"
+  "/root/repo/src/gpu/gpu_spec.cc" "CMakeFiles/hermes.dir/src/gpu/gpu_spec.cc.o" "gcc" "CMakeFiles/hermes.dir/src/gpu/gpu_spec.cc.o.d"
+  "/root/repo/src/gpu/kernels.cc" "CMakeFiles/hermes.dir/src/gpu/kernels.cc.o" "gcc" "CMakeFiles/hermes.dir/src/gpu/kernels.cc.o.d"
+  "/root/repo/src/interconnect/dimm_link.cc" "CMakeFiles/hermes.dir/src/interconnect/dimm_link.cc.o" "gcc" "CMakeFiles/hermes.dir/src/interconnect/dimm_link.cc.o.d"
+  "/root/repo/src/interconnect/pcie.cc" "CMakeFiles/hermes.dir/src/interconnect/pcie.cc.o" "gcc" "CMakeFiles/hermes.dir/src/interconnect/pcie.cc.o.d"
+  "/root/repo/src/model/llm_config.cc" "CMakeFiles/hermes.dir/src/model/llm_config.cc.o" "gcc" "CMakeFiles/hermes.dir/src/model/llm_config.cc.o.d"
+  "/root/repo/src/ndp/activation_unit.cc" "CMakeFiles/hermes.dir/src/ndp/activation_unit.cc.o" "gcc" "CMakeFiles/hermes.dir/src/ndp/activation_unit.cc.o.d"
+  "/root/repo/src/ndp/gemv_unit.cc" "CMakeFiles/hermes.dir/src/ndp/gemv_unit.cc.o" "gcc" "CMakeFiles/hermes.dir/src/ndp/gemv_unit.cc.o.d"
+  "/root/repo/src/ndp/ndp_dimm.cc" "CMakeFiles/hermes.dir/src/ndp/ndp_dimm.cc.o" "gcc" "CMakeFiles/hermes.dir/src/ndp/ndp_dimm.cc.o.d"
+  "/root/repo/src/runtime/accelerate_engine.cc" "CMakeFiles/hermes.dir/src/runtime/accelerate_engine.cc.o" "gcc" "CMakeFiles/hermes.dir/src/runtime/accelerate_engine.cc.o.d"
+  "/root/repo/src/runtime/common_costs.cc" "CMakeFiles/hermes.dir/src/runtime/common_costs.cc.o" "gcc" "CMakeFiles/hermes.dir/src/runtime/common_costs.cc.o.d"
+  "/root/repo/src/runtime/cost_model.cc" "CMakeFiles/hermes.dir/src/runtime/cost_model.cc.o" "gcc" "CMakeFiles/hermes.dir/src/runtime/cost_model.cc.o.d"
+  "/root/repo/src/runtime/decode_pipeline.cc" "CMakeFiles/hermes.dir/src/runtime/decode_pipeline.cc.o" "gcc" "CMakeFiles/hermes.dir/src/runtime/decode_pipeline.cc.o.d"
+  "/root/repo/src/runtime/dejavu_engine.cc" "CMakeFiles/hermes.dir/src/runtime/dejavu_engine.cc.o" "gcc" "CMakeFiles/hermes.dir/src/runtime/dejavu_engine.cc.o.d"
+  "/root/repo/src/runtime/factory.cc" "CMakeFiles/hermes.dir/src/runtime/factory.cc.o" "gcc" "CMakeFiles/hermes.dir/src/runtime/factory.cc.o.d"
+  "/root/repo/src/runtime/flexgen_engine.cc" "CMakeFiles/hermes.dir/src/runtime/flexgen_engine.cc.o" "gcc" "CMakeFiles/hermes.dir/src/runtime/flexgen_engine.cc.o.d"
+  "/root/repo/src/runtime/hermes_base_engine.cc" "CMakeFiles/hermes.dir/src/runtime/hermes_base_engine.cc.o" "gcc" "CMakeFiles/hermes.dir/src/runtime/hermes_base_engine.cc.o.d"
+  "/root/repo/src/runtime/hermes_engine.cc" "CMakeFiles/hermes.dir/src/runtime/hermes_engine.cc.o" "gcc" "CMakeFiles/hermes.dir/src/runtime/hermes_engine.cc.o.d"
+  "/root/repo/src/runtime/hermes_host_engine.cc" "CMakeFiles/hermes.dir/src/runtime/hermes_host_engine.cc.o" "gcc" "CMakeFiles/hermes.dir/src/runtime/hermes_host_engine.cc.o.d"
+  "/root/repo/src/runtime/tensorrt_engine.cc" "CMakeFiles/hermes.dir/src/runtime/tensorrt_engine.cc.o" "gcc" "CMakeFiles/hermes.dir/src/runtime/tensorrt_engine.cc.o.d"
+  "/root/repo/src/runtime/timeline.cc" "CMakeFiles/hermes.dir/src/runtime/timeline.cc.o" "gcc" "CMakeFiles/hermes.dir/src/runtime/timeline.cc.o.d"
+  "/root/repo/src/sched/ilp_partition.cc" "CMakeFiles/hermes.dir/src/sched/ilp_partition.cc.o" "gcc" "CMakeFiles/hermes.dir/src/sched/ilp_partition.cc.o.d"
+  "/root/repo/src/sched/mapper.cc" "CMakeFiles/hermes.dir/src/sched/mapper.cc.o" "gcc" "CMakeFiles/hermes.dir/src/sched/mapper.cc.o.d"
+  "/root/repo/src/sched/placement.cc" "CMakeFiles/hermes.dir/src/sched/placement.cc.o" "gcc" "CMakeFiles/hermes.dir/src/sched/placement.cc.o.d"
+  "/root/repo/src/sched/predictor.cc" "CMakeFiles/hermes.dir/src/sched/predictor.cc.o" "gcc" "CMakeFiles/hermes.dir/src/sched/predictor.cc.o.d"
+  "/root/repo/src/sched/window_scheduler.cc" "CMakeFiles/hermes.dir/src/sched/window_scheduler.cc.o" "gcc" "CMakeFiles/hermes.dir/src/sched/window_scheduler.cc.o.d"
+  "/root/repo/src/sparsity/stats.cc" "CMakeFiles/hermes.dir/src/sparsity/stats.cc.o" "gcc" "CMakeFiles/hermes.dir/src/sparsity/stats.cc.o.d"
+  "/root/repo/src/sparsity/trace.cc" "CMakeFiles/hermes.dir/src/sparsity/trace.cc.o" "gcc" "CMakeFiles/hermes.dir/src/sparsity/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hermes_sim.dir/examples/hermes_sim.cc.o"
+  "CMakeFiles/hermes_sim.dir/examples/hermes_sim.cc.o.d"
+  "hermes_sim"
+  "hermes_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hermes_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

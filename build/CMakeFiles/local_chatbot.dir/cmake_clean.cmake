@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/local_chatbot.dir/examples/local_chatbot.cc.o"
+  "CMakeFiles/local_chatbot.dir/examples/local_chatbot.cc.o.d"
+  "local_chatbot"
+  "local_chatbot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/local_chatbot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ndp.dir/tests/test_ndp.cc.o"
+  "CMakeFiles/test_ndp.dir/tests/test_ndp.cc.o.d"
+  "test_ndp"
+  "test_ndp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ndp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_common "/root/repo/build/test_common")
+set_tests_properties(test_common PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;28;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_core "/root/repo/build/test_core")
+set_tests_properties(test_core PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;28;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_dram "/root/repo/build/test_dram")
+set_tests_properties(test_dram PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;28;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_gpu "/root/repo/build/test_gpu")
+set_tests_properties(test_gpu PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;28;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_interconnect "/root/repo/build/test_interconnect")
+set_tests_properties(test_interconnect PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;28;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_model "/root/repo/build/test_model")
+set_tests_properties(test_model PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;28;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_ndp "/root/repo/build/test_ndp")
+set_tests_properties(test_ndp PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;28;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_runtime "/root/repo/build/test_runtime")
+set_tests_properties(test_runtime PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;28;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_sched "/root/repo/build/test_sched")
+set_tests_properties(test_sched PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;28;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_serving "/root/repo/build/test_serving")
+set_tests_properties(test_serving PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;28;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_sparsity "/root/repo/build/test_sparsity")
+set_tests_properties(test_sparsity PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;28;add_test;/root/repo/CMakeLists.txt;0;")
+add_test(test_timeline "/root/repo/build/test_timeline")
+set_tests_properties(test_timeline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/CMakeLists.txt;28;add_test;/root/repo/CMakeLists.txt;0;")
