@@ -1,12 +1,13 @@
 /**
  * @file
  * Multi-request serving bench: continuous batching over the decode
- * pipeline (core/serving.hh).
+ * pipeline (core/serving.hh) driven by the workload scenario
+ * generator (core/workload.hh).
  *
- * Beyond the paper's single-request figures, this drives a bursty
- * arrival trace of concurrent requests through Hermes and the
- * strongest baselines and reports fleet metrics: throughput, batch
- * occupancy, and per-request p50/p99 token latency and TTFT.
+ * Beyond the paper's single-request figures, this drives generated
+ * arrival scenarios through Hermes and the strongest baselines and
+ * reports fleet metrics: throughput, batch occupancy, and
+ * per-request p50/p99 token latency and TTFT.
  */
 
 #include <cstdio>
@@ -14,6 +15,7 @@
 #include "bench_util.hh"
 #include "common/table.hh"
 #include "core/serving.hh"
+#include "core/workload.hh"
 
 namespace {
 
@@ -26,19 +28,32 @@ ms(Seconds seconds)
     return TextTable::num(seconds * 1e3, 1);
 }
 
+/** 24 requests around 128-token prompts / 64-token generations. */
+serving::ScenarioConfig
+benchScenario(const std::string &name)
+{
+    serving::ScenarioConfig scenario =
+        serving::scenarioByName(name, /*requests=*/24,
+                                /*rate_per_second=*/1.5,
+                                /*seed=*/7);
+    scenario.prompt = {128, 32, 0.0, 1.0};
+    scenario.generate = {64, 16, 0.0, 1.0};
+    return scenario;
+}
+
 } // namespace
 
 int
 main()
 {
-    banner("Serving", "continuous batching, 24 requests, OPT-66B");
+    banner("Serving", "steady scenario, 24 requests, OPT-66B");
 
     System system(benchPlatform());
 
-    // 24 requests arriving at 1.5 req/s: enough pressure to fill the
-    // 16 batch slots and queue behind them.
+    // A steady 1.5 req/s stream: enough pressure to fill the 16
+    // batch slots and queue behind them.
     const auto workload =
-        serving::syntheticWorkload(24, 1.5, 128, 64, 7);
+        serving::generateWorkload(benchScenario("steady"));
 
     serving::ServingConfig config;
     config.maxBatch = 16;
@@ -66,6 +81,25 @@ main()
     table.print();
     std::printf("\nnote: token latencies are decode-step times under "
                 "contention; TTFT includes queueing + prefill\n");
+
+    banner("Serving", "arrival-scenario sweep, Hermes, OPT-66B");
+    TextTable scenarios({"scenario", "tok/s", "mean batch",
+                         "p99 tok (ms)", "p50 TTFT (ms)",
+                         "p99 TTFT (ms)"});
+    for (const char *name : {"steady", "bursty", "diurnal"}) {
+        const auto report = system.serve(
+            model::modelByName("OPT-66B"),
+            serving::generateWorkload(benchScenario(name)),
+            config);
+        scenarios.addRow(
+            {name, TextTable::num(report.throughputTps, 2),
+             TextTable::num(report.meanBatchOccupancy, 1),
+             ms(report.p99TokenLatency), ms(report.p50Ttft),
+             ms(report.p99Ttft)});
+    }
+    scenarios.print();
+    std::printf("same mean rate, different shapes: bursts deepen "
+                "queues (TTFT tail) while filling batch slots\n");
 
     banner("Serving", "batch-slot sweep, Hermes, OPT-66B");
     TextTable sweep({"max batch", "tok/s", "p50 tok (ms)",

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Walkthrough of the fleet + workload APIs (README "Fleet serving").
+ *
+ * Builds a heterogeneous fleet — two default replicas running Hermes
+ * plus one budget replica (half the DIMM pool) running Hermes-base —
+ * generates a bursty scenario, serves it under two router policies,
+ * and prints where every request went and how the fleet did.
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "core/fleet.hh"
+#include "core/hermes.hh"
+#include "core/workload.hh"
+
+using namespace hermes;
+
+int
+main()
+{
+    const auto llm = model::modelByName("OPT-66B");
+
+    // 1. Describe the traffic: a bursty trace, reproducible by seed.
+    serving::ScenarioConfig scenario =
+        serving::scenarioByName("bursty", /*requests=*/24,
+                                /*rate_per_second=*/1.5,
+                                /*seed=*/42);
+    scenario.prompt = {128, 64, 0.0, 1.0};
+    scenario.generate = {16, 8, 0.0, 1.0};
+    const auto workload = serving::generateWorkload(scenario);
+    std::printf("scenario '%s': %zu requests, first at %.2fs, "
+                "last at %.2fs\n",
+                scenario.name.c_str(), workload.size(),
+                workload.front().arrival,
+                workload.back().arrival);
+
+    // 2. Describe the fleet: heterogeneous tiers behind one router.
+    fleet::FleetConfig config;
+    config.ttftDeadline = 6.0;
+    for (int i = 0; i < 2; ++i) {
+        fleet::ReplicaConfig replica;
+        replica.name = "hermes-" + std::to_string(i);
+        replica.system = runtime::platformPreset("default", 6);
+        replica.serving.engine = runtime::EngineKind::Hermes;
+        replica.serving.maxBatch = 8;
+        replica.serving.calibrationTokens = 6;
+        config.replicas.push_back(replica);
+    }
+    {
+        fleet::ReplicaConfig replica;
+        replica.name = "budget";
+        replica.system = runtime::platformPreset("budget", 6);
+        replica.serving.engine = runtime::EngineKind::HermesBase;
+        replica.serving.maxBatch = 8;
+        replica.serving.calibrationTokens = 6;
+        config.replicas.push_back(replica);
+    }
+
+    // 3. Serve under two policies and compare.
+    TextTable table({"policy", "done", "shed", "tok/s",
+                     "p99 TTFT (ms)", "SLO att.", "per-replica"});
+    for (const auto policy :
+         {sched::RouterPolicy::RoundRobin,
+          sched::RouterPolicy::LeastOutstandingTokens}) {
+        config.policy = policy;
+        fleet::FleetSimulator simulator(config, llm);
+        const auto report = simulator.run(workload);
+
+        std::string spread;
+        for (std::size_t r = 0;
+             r < report.replicaReports.size(); ++r) {
+            spread += report.replicaNames[r] + ":" +
+                      std::to_string(
+                          report.replicaReports[r].completed) +
+                      " ";
+        }
+        table.addRow({report.policy,
+                      std::to_string(report.completed),
+                      std::to_string(report.shed),
+                      TextTable::num(report.throughputTps, 2),
+                      TextTable::num(report.p99Ttft * 1e3, 1),
+                      TextTable::num(report.sloAttainment, 3),
+                      spread});
+    }
+    table.print();
+    std::printf("\nleast-tokens sees the budget replica's slower "
+                "decode rate and shifts load to the Hermes tier; "
+                "round-robin splits evenly regardless\n");
+
+    // 4. Traces round-trip through CSV for replay.
+    const std::string csv = serving::toCsvTrace(workload);
+    serving::ScenarioConfig replay;
+    replay.process = serving::ArrivalProcess::Replay;
+    replay.replayCsv = csv;
+    std::printf("replayed %zu requests from CSV\n",
+                serving::generateWorkload(replay).size());
+    return 0;
+}

@@ -1,0 +1,214 @@
+#include "core/fleet.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hermes::fleet {
+
+namespace {
+
+/** Median of a (copied) sample set; 0 when empty. */
+std::uint64_t
+median(std::vector<std::uint64_t> values)
+{
+    if (values.empty())
+        return 0;
+    const std::size_t mid = values.size() / 2;
+    std::nth_element(values.begin(), values.begin() + mid,
+                     values.end());
+    return values[mid];
+}
+
+} // namespace
+
+FleetConfig
+uniformFleet(std::uint32_t count,
+             const runtime::SystemConfig &system,
+             const serving::ServingConfig &serving,
+             sched::RouterPolicy policy, Seconds ttft_deadline)
+{
+    FleetConfig config;
+    config.policy = policy;
+    config.ttftDeadline = ttft_deadline;
+    config.replicas.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+        ReplicaConfig replica;
+        replica.name = "r" + std::to_string(i);
+        replica.system = system;
+        replica.serving = serving;
+        config.replicas.push_back(std::move(replica));
+    }
+    return config;
+}
+
+FleetSimulator::FleetSimulator(FleetConfig config,
+                               model::LlmConfig llm)
+    : config_(std::move(config)), llm_(std::move(llm))
+{
+    if (config_.replicas.empty())
+        throw std::invalid_argument("FleetSimulator: no replicas");
+    for (std::size_t i = 0; i < config_.replicas.size(); ++i) {
+        ReplicaConfig &replica = config_.replicas[i];
+        if (replica.name.empty())
+            replica.name = "r" + std::to_string(i);
+        replicas_.push_back(
+            std::make_unique<serving::ServingSimulator>(
+                replica.system, llm_, replica.serving));
+    }
+}
+
+sched::ReplicaModel
+FleetSimulator::calibrate(std::size_t index,
+                          std::uint64_t typical_prompt,
+                          std::uint64_t typical_context)
+{
+    serving::ServingSimulator &simulator = *replicas_[index];
+    const std::uint32_t max_batch = std::max<std::uint32_t>(
+        config_.replicas[index].serving.maxBatch, 1);
+
+    sched::ReplicaModel model;
+    model.maxBatch = max_batch;
+    if (!simulator.servable(1, typical_prompt)) {
+        // Dead replica (platform cannot run the model): make it look
+        // infinitely slow, so the SLO-aware policy never picks it
+        // and backlog-aware policies back off once its never-
+        // draining queue estimate piles up.  Round-robin still hits
+        // it — by design.
+        model.prefillSeconds = 1.0e9;
+        model.slotTokensPerSecond = 1.0e-9;
+        return model;
+    }
+    // The router's window model charges one joint prefill per
+    // admission group of up to maxBatch requests, so calibrate the
+    // prefill at the group's batch size, not at batch 1.
+    const Seconds step =
+        simulator.tokenSeconds(max_batch, typical_context);
+    if (step <= 0.0) {
+        // Zero is the unservable sentinel (real steps are strictly
+        // positive): the decode-context bucket exceeds the replica
+        // even though the prompt probe fit.  Same treatment as a
+        // dead replica — infinitely slow, never infinitely fast.
+        model.prefillSeconds = 1.0e9;
+        model.slotTokensPerSecond = 1.0e-9;
+        return model;
+    }
+    model.prefillSeconds =
+        simulator.prefillSeconds(max_batch, typical_prompt);
+    model.slotTokensPerSecond = 1.0 / step;
+    return model;
+}
+
+FleetReport
+FleetSimulator::run(std::vector<serving::ServedRequest> workload)
+{
+    serving::sortByArrival(workload);
+
+    FleetReport report;
+    report.policy = sched::routerPolicyName(config_.policy);
+    report.ttftDeadline = config_.ttftDeadline;
+    for (const ReplicaConfig &replica : config_.replicas)
+        report.replicaNames.push_back(replica.name);
+
+    // The router's typical request shape depends only on the
+    // workload: compute it once, calibrate every replica against it.
+    std::vector<std::uint64_t> prompts;
+    std::vector<std::uint64_t> generates;
+    prompts.reserve(workload.size());
+    generates.reserve(workload.size());
+    for (const serving::ServedRequest &request : workload) {
+        prompts.push_back(request.promptTokens);
+        generates.push_back(request.generateTokens);
+    }
+    const std::uint64_t typical_prompt =
+        std::max<std::uint64_t>(median(std::move(prompts)), 1);
+    // Decode runs at a context that grows from the prompt; half the
+    // typical generation is the representative midpoint.
+    const std::uint64_t typical_context =
+        typical_prompt + median(std::move(generates)) / 2;
+
+    const std::size_t replica_count = replicas_.size();
+    std::vector<sched::ReplicaModel> models;
+    models.reserve(replica_count);
+    for (std::size_t i = 0; i < replica_count; ++i)
+        models.push_back(
+            calibrate(i, typical_prompt, typical_context));
+    sched::Router router(config_.policy, std::move(models),
+                         config_.ttftDeadline);
+
+    // Route in arrival order; each decision updates the router's
+    // backlog estimate, so later requests see earlier placements.
+    std::vector<std::vector<serving::ServedRequest>> assigned(
+        replica_count);
+    struct Placement
+    {
+        int replica = -1;
+        std::size_t slot = 0; ///< Position in the replica sub-trace.
+    };
+    std::vector<Placement> placements(workload.size());
+    report.assignment.resize(workload.size(), -1);
+    for (std::size_t i = 0; i < workload.size(); ++i) {
+        const serving::ServedRequest &request = workload[i];
+        const sched::RouteDecision decision = router.route(
+            request.arrival, request.generateTokens);
+        report.assignment[i] = decision.replica;
+        if (decision.replica < 0) {
+            ++report.shed;
+            continue;
+        }
+        auto &sub = assigned[static_cast<std::size_t>(
+            decision.replica)];
+        placements[i] = Placement{decision.replica, sub.size()};
+        sub.push_back(request);
+    }
+
+    // Ground truth: every replica serves its sub-trace with the full
+    // continuous-batching simulation.
+    for (std::size_t r = 0; r < replica_count; ++r) {
+        report.replicaReports.push_back(
+            replicas_[r]->run(assigned[r]));
+        const serving::ServingReport &replica =
+            report.replicaReports.back();
+        report.completed += replica.completed;
+        report.rejected += replica.rejected;
+        report.makespan = std::max(report.makespan,
+                                   replica.makespan);
+        report.throughputTps += replica.throughputTps;
+        report.costModelSaturated |= replica.costModelSaturated;
+    }
+    report.rejected += report.shed;
+
+    // Merge per-request metrics back into arrival order.  A replica
+    // receives its sub-trace already sorted, so its report rows line
+    // up with the slots recorded at routing time.
+    report.requests.resize(workload.size());
+    std::vector<Seconds> ttft_samples;
+    std::uint64_t within_deadline = 0;
+    for (std::size_t i = 0; i < workload.size(); ++i) {
+        if (placements[i].replica < 0) {
+            serving::RequestMetrics &metrics = report.requests[i];
+            metrics.id = workload[i].id;
+            metrics.arrival = workload[i].arrival;
+            metrics.rejected = true;
+            continue;
+        }
+        const auto &replica = report.replicaReports[
+            static_cast<std::size_t>(placements[i].replica)];
+        report.requests[i] = replica.requests[placements[i].slot];
+        const serving::RequestMetrics &metrics = report.requests[i];
+        if (!metrics.rejected) {
+            ttft_samples.push_back(metrics.ttft());
+            within_deadline +=
+                metrics.ttft() <= config_.ttftDeadline ? 1 : 0;
+        }
+    }
+    report.p50Ttft = serving::percentile(ttft_samples, 50.0);
+    report.p99Ttft = serving::percentile(ttft_samples, 99.0);
+    report.sloAttainment =
+        workload.empty()
+            ? 1.0
+            : static_cast<double>(within_deadline) /
+                  static_cast<double>(workload.size());
+    return report;
+}
+
+} // namespace hermes::fleet

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Fleet serving: N engine replicas behind a request router.
+ *
+ * One ServingSimulator drives one engine instance; a production
+ * deployment runs many replicas — possibly on different hardware
+ * tiers or different engines — behind a router.  The FleetSimulator
+ * composes both layers:
+ *
+ *  1. a sched::Router walks the arrival trace in time order and
+ *     assigns each request to a replica (or sheds it, under the
+ *     SLO-aware policy), using a calibrated queueing estimate of
+ *     every replica's backlog;
+ *  2. each replica then serves its assigned sub-trace with the full
+ *     continuous-batching simulation, so all timing remains ground
+ *     truth from the decode pipeline — the router estimate only
+ *     decides placement;
+ *  3. per-replica reports are merged into a FleetReport: aggregate
+ *     throughput (the sum over replicas), fleet-wide TTFT
+ *     percentiles, and SLO attainment against the TTFT deadline.
+ *
+ * Replica ServingSimulators (and their calibrated cost caches)
+ * persist across run() calls, so sweeping scenarios over one fleet
+ * re-simulates engines only for unseen (batch, context) buckets.
+ */
+
+#ifndef HERMES_CORE_FLEET_HH
+#define HERMES_CORE_FLEET_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/serving.hh"
+#include "model/llm_config.hh"
+#include "runtime/system_config.hh"
+#include "sched/router.hh"
+
+namespace hermes::fleet {
+
+/** One replica: a platform plus its serving policy/engine. */
+struct ReplicaConfig
+{
+    std::string name; ///< Display name; defaults to "r<i>".
+    runtime::SystemConfig system{};
+    serving::ServingConfig serving{};
+};
+
+/** Fleet topology and routing policy. */
+struct FleetConfig
+{
+    std::vector<ReplicaConfig> replicas;
+
+    sched::RouterPolicy policy =
+        sched::RouterPolicy::JoinShortestQueue;
+
+    /**
+     * TTFT service-level objective.  SloAware sheds requests whose
+     * estimated TTFT already misses it; every policy reports
+     * attainment against it.
+     */
+    Seconds ttftDeadline = 2.0;
+};
+
+/** `count` identical replicas behind the given policy. */
+FleetConfig uniformFleet(std::uint32_t count,
+                         const runtime::SystemConfig &system,
+                         const serving::ServingConfig &serving,
+                         sched::RouterPolicy policy,
+                         Seconds ttft_deadline = 2.0);
+
+/** Fleet-level outcome of one run. */
+struct FleetReport
+{
+    std::string policy;
+    Seconds ttftDeadline = 0.0;
+
+    /** Per-replica serving reports, fleet order. */
+    std::vector<serving::ServingReport> replicaReports;
+    std::vector<std::string> replicaNames;
+
+    /**
+     * Request -> replica index, in arrival order (parallel to
+     * `requests`); -1 marks a request shed by the router.
+     */
+    std::vector<int> assignment;
+
+    /** All requests in arrival order (shed ones marked rejected). */
+    std::vector<serving::RequestMetrics> requests;
+
+    std::uint64_t completed = 0;
+    std::uint64_t rejected = 0; ///< Includes shed.
+    std::uint64_t shed = 0;     ///< Rejected at the router.
+
+    Seconds makespan = 0.0;      ///< Max over replica makespans.
+    double throughputTps = 0.0;  ///< Sum of replica throughputs.
+
+    Seconds p50Ttft = 0.0; ///< Over served (non-rejected) requests.
+    Seconds p99Ttft = 0.0;
+
+    /**
+     * Fraction of ALL requests that were served with TTFT within the
+     * deadline — shed and rejected requests count as misses, so
+     * shedding trades attainment for tail latency honestly.
+     */
+    double sloAttainment = 0.0;
+
+    bool costModelSaturated = false;
+};
+
+/** Multi-replica serving simulator (see file header). */
+class FleetSimulator
+{
+  public:
+    FleetSimulator(FleetConfig config, model::LlmConfig llm);
+
+    /** Serve one arrival trace (any order; sorted internally). */
+    FleetReport run(std::vector<serving::ServedRequest> workload);
+
+    const FleetConfig &config() const { return config_; }
+
+  private:
+    /**
+     * Calibrate the router's view of replica `index` at the
+     * workload's typical prompt length and decode context.
+     */
+    sched::ReplicaModel calibrate(std::size_t index,
+                                  std::uint64_t typical_prompt,
+                                  std::uint64_t typical_context);
+
+    FleetConfig config_;
+    model::LlmConfig llm_;
+    std::vector<std::unique_ptr<serving::ServingSimulator>>
+        replicas_;
+};
+
+} // namespace hermes::fleet
+
+#endif // HERMES_CORE_FLEET_HH

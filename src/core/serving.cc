@@ -23,6 +23,16 @@ powerOfTwoAtLeast(std::uint32_t value)
 
 } // namespace
 
+void
+sortByArrival(std::vector<ServedRequest> &workload)
+{
+    std::stable_sort(workload.begin(), workload.end(),
+                     [](const ServedRequest &a,
+                        const ServedRequest &b) {
+                         return a.arrival < b.arrival;
+                     });
+}
+
 ServingSimulator::ServingSimulator(runtime::SystemConfig system,
                                    model::LlmConfig llm,
                                    ServingConfig config)
@@ -89,16 +99,33 @@ ServingSimulator::costs(std::uint32_t batch, std::uint64_t seq)
     return cache_.emplace(key, step).first->second;
 }
 
+Seconds
+ServingSimulator::prefillSeconds(std::uint32_t batch,
+                                 std::uint64_t prompt_tokens)
+{
+    return std::max(costs(batch, prompt_tokens).prefill, 0.0);
+}
+
+Seconds
+ServingSimulator::tokenSeconds(std::uint32_t batch,
+                               std::uint64_t seq)
+{
+    return std::max(costs(batch, seq).token, 0.0);
+}
+
+bool
+ServingSimulator::servable(std::uint32_t batch, std::uint64_t seq)
+{
+    return costs(batch, seq).token >= 0.0;
+}
+
 ServingReport
 ServingSimulator::run(std::vector<ServedRequest> workload)
 {
     ServingReport report;
     report.engine = runtime::engineKindName(config_.engine);
 
-    std::stable_sort(workload.begin(), workload.end(),
-                     [](const ServedRequest &a, const ServedRequest &b) {
-                         return a.arrival < b.arrival;
-                     });
+    sortByArrival(workload);
 
     report.requests.resize(workload.size());
     for (std::size_t i = 0; i < workload.size(); ++i) {

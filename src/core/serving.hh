@@ -45,6 +45,15 @@ struct ServedRequest
     std::uint32_t generateTokens = 128;
 };
 
+/**
+ * Stable-sort a trace into arrival order.  The single ordering every
+ * layer agrees on: the fleet router records per-replica slot indices
+ * at routing time and later reads the replica's report rows by those
+ * indices, which is only sound while router, workload parser, and
+ * ServingSimulator::run all order requests identically.
+ */
+void sortByArrival(std::vector<ServedRequest> &workload);
+
 /** Serving policy knobs. */
 struct ServingConfig
 {
@@ -137,6 +146,20 @@ class ServingSimulator
     ServingReport run(std::vector<ServedRequest> workload);
 
     const ServingConfig &config() const { return config_; }
+
+    /**
+     * Calibrated-cost probes, shared with the fleet router so its
+     * replica model and the replica's own simulation agree on the
+     * physics.  Queries hit the same cache `run()` fills; unservable
+     * buckets report 0 cost and `servable() == false`.
+     */
+    Seconds prefillSeconds(std::uint32_t batch,
+                           std::uint64_t prompt_tokens);
+    Seconds tokenSeconds(std::uint32_t batch, std::uint64_t seq);
+    bool servable(std::uint32_t batch, std::uint64_t seq);
+
+    /** Whether any probed bucket fell back to a smaller batch. */
+    bool saturated() const { return saturated_; }
 
   private:
     struct StepCosts

@@ -1,0 +1,279 @@
+#include "core/workload.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace hermes::serving {
+
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+/** Standard normal via Box-Muller (two uniform draws per call). */
+double
+gaussian(Rng &rng)
+{
+    const double u = std::max(rng.uniform(), 1.0e-300);
+    const double v = rng.uniform();
+    return std::sqrt(-2.0 * std::log(u)) *
+           std::cos(kTwoPi * v);
+}
+
+/** Exponential draw with the given mean (> 0). */
+double
+exponential(Rng &rng, double mean)
+{
+    const double u = std::max(rng.uniform(), 1.0e-12);
+    return -std::log(u) * mean;
+}
+
+/**
+ * Gamma(shape, scale) via Marsaglia-Tsang squeeze; shape < 1 handled
+ * with the standard boosting identity Gamma(a) = Gamma(a+1) * U^(1/a).
+ */
+double
+gammaDraw(Rng &rng, double shape, double scale)
+{
+    if (shape < 1.0) {
+        const double u = std::max(rng.uniform(), 1.0e-300);
+        return gammaDraw(rng, shape + 1.0, scale) *
+               std::pow(u, 1.0 / shape);
+    }
+    const double d = shape - 1.0 / 3.0;
+    const double c = 1.0 / std::sqrt(9.0 * d);
+    for (;;) {
+        double x = gaussian(rng);
+        double v = 1.0 + c * x;
+        if (v <= 0.0)
+            continue;
+        v = v * v * v;
+        const double u = std::max(rng.uniform(), 1.0e-300);
+        if (std::log(u) < 0.5 * x * x + d - d * v + d * std::log(v))
+            return d * v * scale;
+    }
+}
+
+std::vector<Seconds>
+arrivalInstants(const ScenarioConfig &scenario, Rng &rng)
+{
+    std::vector<Seconds> instants;
+    instants.reserve(scenario.requests);
+    const double rate = scenario.ratePerSecond;
+
+    // Zero (or negative) rate: the whole trace is one burst at t = 0.
+    if (rate <= 0.0) {
+        instants.assign(scenario.requests, 0.0);
+        return instants;
+    }
+
+    Seconds clock = 0.0;
+    switch (scenario.process) {
+    case ArrivalProcess::Poisson:
+        for (std::uint32_t i = 0; i < scenario.requests; ++i) {
+            instants.push_back(clock);
+            clock += std::min(exponential(rng, 1.0 / rate),
+                              100.0 / rate);
+        }
+        break;
+    case ArrivalProcess::Bursty: {
+        // Gamma inter-arrivals: mean 1/rate, CV^2 = burstiness.
+        // shape < 1 piles probability near zero (bursts) with a heavy
+        // tail (lulls between bursts).
+        const double cv2 = std::max(scenario.burstiness, 1.0);
+        const double shape = 1.0 / cv2;
+        const double scale = cv2 / rate;
+        for (std::uint32_t i = 0; i < scenario.requests; ++i) {
+            instants.push_back(clock);
+            clock += std::min(gammaDraw(rng, shape, scale),
+                              100.0 / rate);
+        }
+        break;
+    }
+    case ArrivalProcess::Diurnal: {
+        // Inhomogeneous Poisson by thinning: candidates at the peak
+        // rate, accepted with probability lambda(t) / lambda_max.
+        const double depth =
+            std::clamp(scenario.diurnalDepth, 0.0, 0.999);
+        const double period =
+            std::max(scenario.diurnalPeriodSeconds, 1.0e-6);
+        const double peak = rate * (1.0 + depth);
+        while (instants.size() < scenario.requests) {
+            clock += std::min(exponential(rng, 1.0 / peak),
+                              100.0 / peak);
+            const double lambda =
+                rate * (1.0 + depth * std::sin(kTwoPi * clock /
+                                               period));
+            if (rng.uniform() * peak < lambda)
+                instants.push_back(clock);
+        }
+        break;
+    }
+    case ArrivalProcess::Replay:
+        break; // Handled by the caller; no synthesis.
+    }
+    return instants;
+}
+
+} // namespace
+
+std::string
+arrivalProcessName(ArrivalProcess process)
+{
+    switch (process) {
+    case ArrivalProcess::Poisson:
+        return "poisson";
+    case ArrivalProcess::Bursty:
+        return "bursty";
+    case ArrivalProcess::Diurnal:
+        return "diurnal";
+    case ArrivalProcess::Replay:
+        return "replay";
+    }
+    return "?";
+}
+
+std::uint32_t
+LengthDistribution::sample(Rng &rng) const
+{
+    const std::uint32_t lo =
+        mean > spread ? mean - spread : 1;
+    const std::uint64_t width =
+        static_cast<std::uint64_t>(mean) + spread - lo + 1;
+    auto tokens =
+        static_cast<std::uint32_t>(lo + rng.below(width));
+    if (tailChance > 0.0 && rng.chance(tailChance)) {
+        const double stretched =
+            static_cast<double>(tokens) * std::max(tailScale, 1.0);
+        tokens = static_cast<std::uint32_t>(
+            std::min(stretched, 4.0e9));
+    }
+    return std::max<std::uint32_t>(tokens, 1);
+}
+
+std::vector<ServedRequest>
+generateWorkload(const ScenarioConfig &scenario)
+{
+    if (scenario.process == ArrivalProcess::Replay)
+        return parseCsvTrace(scenario.replayCsv);
+
+    // Independent streams for arrivals and lengths: adding a request
+    // never shifts the lengths of the ones before it.
+    Rng arrival_rng(scenario.seed ^ 0xa27c3f11d5b86e09ULL);
+    Rng length_rng(scenario.seed ^ 0x3c96b41f0e72a5cdULL);
+
+    const auto instants = arrivalInstants(scenario, arrival_rng);
+    std::vector<ServedRequest> workload;
+    workload.reserve(instants.size());
+    for (std::size_t i = 0; i < instants.size(); ++i) {
+        ServedRequest request;
+        request.id = i;
+        request.arrival = instants[i];
+        request.promptTokens = scenario.prompt.sample(length_rng);
+        request.generateTokens =
+            scenario.generate.sample(length_rng);
+        workload.push_back(request);
+    }
+    return workload;
+}
+
+std::vector<ServedRequest>
+parseCsvTrace(const std::string &csv)
+{
+    std::vector<ServedRequest> workload;
+    std::istringstream stream(csv);
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(stream, line)) {
+        ++line_no;
+        const auto first = line.find_first_not_of(" \t\r");
+        if (first == std::string::npos || line[first] == '#')
+            continue;
+        ServedRequest request;
+        double arrival = 0.0;
+        long long prompt = 0;
+        long long generate = 0;
+        char comma1 = 0;
+        char comma2 = 0;
+        std::istringstream row(line);
+        row >> arrival >> comma1 >> prompt >> comma2 >> generate;
+        const bool fields_ok = !row.fail();
+        char trailing = 0;
+        const bool garbage = // Non-whitespace leftovers.
+            fields_ok && static_cast<bool>(row >> trailing);
+        if (!fields_ok || garbage || comma1 != ',' ||
+            comma2 != ',' || arrival < 0.0 || prompt < 1 ||
+            generate < 0 || prompt > UINT32_MAX ||
+            generate > UINT32_MAX) {
+            throw std::invalid_argument(
+                "parseCsvTrace: malformed row " +
+                std::to_string(line_no) + ": '" + line + "'");
+        }
+        request.id = workload.size();
+        request.arrival = arrival;
+        request.promptTokens = static_cast<std::uint32_t>(prompt);
+        request.generateTokens =
+            static_cast<std::uint32_t>(generate);
+        workload.push_back(request);
+    }
+    sortByArrival(workload);
+    for (std::size_t i = 0; i < workload.size(); ++i)
+        workload[i].id = i;
+    return workload;
+}
+
+std::string
+toCsvTrace(const std::vector<ServedRequest> &workload)
+{
+    std::ostringstream out;
+    out << "# arrival_s,prompt,generate\n";
+    out.precision(17);
+    for (const ServedRequest &request : workload) {
+        out << request.arrival << ',' << request.promptTokens << ','
+            << request.generateTokens << '\n';
+    }
+    return out.str();
+}
+
+std::vector<ScenarioConfig>
+standardScenarios(std::uint32_t requests, double rate_per_second,
+                  std::uint64_t seed)
+{
+    return {
+        scenarioByName("steady", requests, rate_per_second, seed),
+        scenarioByName("bursty", requests, rate_per_second, seed),
+        scenarioByName("diurnal", requests, rate_per_second, seed),
+    };
+}
+
+ScenarioConfig
+scenarioByName(const std::string &name, std::uint32_t requests,
+               double rate_per_second, std::uint64_t seed)
+{
+    ScenarioConfig scenario;
+    scenario.name = name;
+    scenario.requests = requests;
+    scenario.ratePerSecond = rate_per_second;
+    scenario.seed = seed;
+    if (name == "steady") {
+        scenario.process = ArrivalProcess::Poisson;
+    } else if (name == "bursty") {
+        scenario.process = ArrivalProcess::Bursty;
+        scenario.burstiness = 8.0;
+    } else if (name == "diurnal") {
+        scenario.process = ArrivalProcess::Diurnal;
+        scenario.diurnalPeriodSeconds =
+            rate_per_second > 0.0
+                ? 2.0 * static_cast<double>(requests) /
+                      rate_per_second / 3.0
+                : 60.0;
+        scenario.diurnalDepth = 0.8;
+    } else {
+        throw std::invalid_argument(
+            "scenarioByName: unknown scenario '" + name + "'");
+    }
+    return scenario;
+}
+
+} // namespace hermes::serving

@@ -1,5 +1,7 @@
 #include "runtime/factory.hh"
 
+#include <stdexcept>
+
 #include "common/logging.hh"
 #include "runtime/accelerate_engine.hh"
 #include "runtime/dejavu_engine.hh"
@@ -62,6 +64,42 @@ engineKindName(EngineKind kind)
         return "TensorRT-LLM";
     }
     hermes_panic("unknown engine kind");
+}
+
+EngineKind
+engineKindByName(const std::string &name)
+{
+    for (const EngineKind kind : allEngineKinds()) {
+        if (engineKindName(kind) == name)
+            return kind;
+    }
+    throw std::invalid_argument(
+        "engineKindByName: unknown engine '" + name + "'");
+}
+
+SystemConfig
+platformPreset(const std::string &name,
+               std::uint32_t simulated_layers)
+{
+    SystemConfig config;
+    config.simulatedLayers = simulated_layers;
+    if (name == "default") {
+        // Sec. V-A1 defaults as constructed.
+    } else if (name == "budget") {
+        config.numDimms = 4;
+    } else if (name == "scaled") {
+        config.numDimms = 16;
+    } else {
+        throw std::invalid_argument(
+            "platformPreset: unknown preset '" + name + "'");
+    }
+    return config;
+}
+
+std::vector<std::string>
+platformPresetNames()
+{
+    return {"default", "budget", "scaled"};
 }
 
 } // namespace hermes::runtime

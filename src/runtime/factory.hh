@@ -37,6 +37,26 @@ std::vector<EngineKind> allEngineKinds();
 /** Display name used in the figures. */
 std::string engineKindName(EngineKind kind);
 
+/** Parse a display name back to a kind; throws on unknown names. */
+EngineKind engineKindByName(const std::string &name);
+
+/**
+ * Named platform presets for building heterogeneous fleets: replicas
+ * of one fleet can run different hardware tiers behind one router.
+ *
+ *  - "default": the Sec. V-A1 platform (8 NDP-DIMMs);
+ *  - "budget":  half the DIMM pool (4), for cost-tiered replicas;
+ *  - "scaled":  a doubled pool (16), the Fig. 14 scaling point.
+ *
+ * `simulated_layers` forwards to SystemConfig::simulatedLayers (0 =
+ * every layer).  Throws on unknown names.
+ */
+SystemConfig platformPreset(const std::string &name,
+                            std::uint32_t simulated_layers = 0);
+
+/** Preset names accepted by platformPreset, in display order. */
+std::vector<std::string> platformPresetNames();
+
 } // namespace hermes::runtime
 
 #endif // HERMES_RUNTIME_FACTORY_HH

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Fleet request router: pick a replica for each arriving request.
+ *
+ * The router sees arrivals in time order and holds a lightweight
+ * queueing model of every replica (batch slots with estimated
+ * free-times, calibrated prefill latency and per-slot decode rate).
+ * Each decision commits the request to the chosen replica's model, so
+ * later decisions see the backlog earlier ones created — an online
+ * router, not an offline partitioner.
+ *
+ * Policies:
+ *  - RoundRobin: static interleave, ignores state;
+ *  - JoinShortestQueue: fewest outstanding requests at arrival;
+ *  - LeastOutstandingTokens: smallest estimated backlog measured in
+ *    tokens, which discriminates between slow and fast replicas in a
+ *    heterogeneous fleet;
+ *  - SloAware: smallest estimated TTFT, and sheds (rejects at the
+ *    door) requests whose best achievable TTFT estimate already
+ *    misses the deadline — protecting the latency of admitted work.
+ *
+ * The model is an estimate: the replica's own ServingSimulator run
+ * remains the ground truth for timing.  Estimates only decide *where*
+ * a request goes (and, for SloAware, *whether* it is admitted).
+ */
+
+#ifndef HERMES_SCHED_ROUTER_HH
+#define HERMES_SCHED_ROUTER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hh"
+
+namespace hermes::sched {
+
+/** Replica-selection policy of the fleet router. */
+enum class RouterPolicy
+{
+    RoundRobin,
+    JoinShortestQueue,
+    LeastOutstandingTokens,
+    SloAware,
+};
+
+/** Display name ("round-robin", "jsq", "least-tokens", "slo-aware"). */
+std::string routerPolicyName(RouterPolicy policy);
+
+/** All policies, in the order benches sweep them. */
+std::vector<RouterPolicy> allRouterPolicies();
+
+/** Parse a display name back to a policy; throws on unknown names. */
+RouterPolicy routerPolicyByName(const std::string &name);
+
+/** The router's calibrated view of one replica. */
+struct ReplicaModel
+{
+    /** Continuous-batching slots (concurrent decodes). */
+    std::uint32_t maxBatch = 16;
+
+    /** Calibrated prefill latency for a typical prompt. */
+    Seconds prefillSeconds = 0.05;
+
+    /**
+     * Calibrated decode throughput of ONE batch slot when the batch
+     * is full (aggregate tokens/s divided by maxBatch).
+     */
+    double slotTokensPerSecond = 10.0;
+};
+
+/** One routing decision. */
+struct RouteDecision
+{
+    /** Chosen replica, or < 0 when the request was shed (SloAware). */
+    int replica = -1;
+
+    /** Estimated time-to-first-token on the chosen replica. */
+    Seconds estimatedTtft = 0.0;
+};
+
+/**
+ * Online router over a fixed replica set.  Feed arrivals in
+ * non-decreasing arrival order; every accepted request updates the
+ * internal backlog estimate of its replica.
+ */
+class Router
+{
+  public:
+    /**
+     * @param ttft_deadline  SloAware shedding threshold; ignored by
+     *                       the other policies (they never shed).
+     */
+    Router(RouterPolicy policy, std::vector<ReplicaModel> replicas,
+           Seconds ttft_deadline = 2.0);
+
+    /** Route one request arriving at `arrival`. */
+    RouteDecision route(Seconds arrival,
+                        std::uint32_t generate_tokens);
+
+    std::uint32_t replicaCount() const
+    {
+        return static_cast<std::uint32_t>(replicas_.size());
+    }
+
+    /** Outstanding (routed, not estimated-finished) requests. */
+    std::uint32_t outstandingRequests(std::uint32_t replica,
+                                      Seconds now) const;
+
+    /**
+     * Estimated backlog of a replica in tokens at `now`: committed
+     * generate-tokens not yet produced, draining linearly over each
+     * request's estimated decode interval.  Deliberately NOT
+     * speed-normalized — least-outstanding-tokens measures work
+     * queued, and slower replicas shed load by draining it slower.
+     */
+    double outstandingTokens(std::uint32_t replica,
+                             Seconds now) const;
+
+  private:
+    struct Commitment
+    {
+        Seconds decodeStart = 0.0; ///< Prefill done, tokens flowing.
+        Seconds finish = 0.0;
+        double tokens = 0.0;
+    };
+
+    struct SlotState
+    {
+        /** Per batch slot: estimated instant the slot frees. */
+        std::vector<Seconds> freeAt;
+
+        /** Routed requests still draining (pruned lazily). */
+        std::vector<Commitment> commitments;
+
+        /** Start of the last joint-prefill window charged. */
+        Seconds lastPrefillStart = -1.0;
+
+        /** Requests sharing that window. */
+        std::uint32_t groupSize = 0;
+
+        /**
+         * Slots that were free when the window formed: the serving
+         * simulator admits a group only into free batch slots, so a
+         * cold replica groups up to maxBatch while a backlogged one
+         * (slots freeing one by one) prefills almost per-request.
+         */
+        std::uint32_t groupCapacity = 0;
+    };
+
+    /** Whether a request arriving now would share the last window. */
+    bool joinsGroup(const SlotState &state, Seconds arrival) const
+    {
+        return arrival <= state.lastPrefillStart &&
+               state.groupSize < state.groupCapacity;
+    }
+
+    /** Estimated TTFT if `arrival` were routed to `replica` now. */
+    Seconds estimateTtft(std::uint32_t replica, Seconds arrival) const;
+
+    /** Commit a request to a replica's backlog model. */
+    void commit(std::uint32_t replica, Seconds arrival,
+                std::uint32_t generate_tokens);
+
+    RouterPolicy policy_;
+    std::vector<ReplicaModel> replicas_;
+    std::vector<SlotState> state_;
+    Seconds deadline_;
+    std::uint64_t routed_ = 0; ///< RoundRobin cursor.
+};
+
+} // namespace hermes::sched
+
+#endif // HERMES_SCHED_ROUTER_HH

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Deterministic golden regression tests.
+ *
+ * The simulator is the product: scale and speed PRs must prove they
+ * did not change the physics.  These tests pin the serving metrics of
+ * one small fixed scenario for every engine kind; any change to the
+ * numbers below is a *physics* change and must be loud and deliberate.
+ *
+ * Updating after an intentional physics change (the single switch):
+ *
+ *     HERMES_UPDATE_GOLDEN=1 ./build/test_golden
+ *
+ * prints a fresh `kGolden` table; paste it over the one below and
+ * explain the physics change in the commit message.  See README
+ * "Golden regression tests".
+ *
+ * Values are compared at 1e-6 relative tolerance: loose enough for
+ * libm differences across toolchains, tight enough that any real
+ * modelling change trips it.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/hermes.hh"
+#include "core/workload.hh"
+
+namespace hermes::serving {
+namespace {
+
+/** Pinned metrics of the fixed scenario on one engine. */
+struct GoldenRow
+{
+    const char *engine;
+    std::uint64_t completed;
+    std::uint64_t rejected;
+    double makespan;
+    double p50Ttft;
+    double p99TokenLatency;
+};
+
+// Fixed scenario: OPT-13B, 4-layer sample platform, 10 steady
+// arrivals at 4 req/s, seeded.  Regenerate with
+// HERMES_UPDATE_GOLDEN=1 (see file header).
+constexpr GoldenRow kGolden[] = {
+    // clang-format off
+    // engine, completed, rejected, makespan, p50Ttft, p99TokenLatency
+    {"Accelerate", 10, 0, 185.06990465968667, 59.815382975201658, 4.3111947022305523},
+    {"FlexGen", 10, 0, 54.469847485310943, 16.323882581827, 1.4541456135258779},
+    {"DejaVu", 10, 0, 54.459966902088908, 17.925440398458161, 1.6190870506076336},
+    {"Hermes-host", 10, 0, 2.0144373139272616, 0.072718408548990421, 0.023653480976367821},
+    {"Hermes-base", 10, 0, 2.2044836743138787, 0.15401378100648025, 0.038155069324529868},
+    {"Hermes", 10, 0, 3.7553763089601309, 1.1020493426271636, 0.0122464478877984},
+    {"TensorRT-LLM", 10, 0, 2.0615243561155245, 0.081052789290734562, 0.023059553101717509},
+    // clang-format on
+};
+
+std::vector<ServedRequest>
+goldenTrace()
+{
+    ScenarioConfig scenario;
+    scenario.process = ArrivalProcess::Poisson;
+    scenario.requests = 10;
+    scenario.ratePerSecond = 4.0;
+    scenario.prompt = {96, 32, 0.0, 1.0};
+    scenario.generate = {12, 4, 0.0, 1.0};
+    scenario.seed = 11;
+    return generateWorkload(scenario);
+}
+
+ServingReport
+goldenRun(runtime::EngineKind kind)
+{
+    System system(fastConfig(4));
+    ServingConfig config;
+    config.engine = kind;
+    config.maxBatch = 4;
+    config.calibrationTokens = 4;
+    return system.serve(model::opt13b(), goldenTrace(), config);
+}
+
+TEST(Golden, ServingMetricsPerEngineKind)
+{
+    const bool update =
+        std::getenv("HERMES_UPDATE_GOLDEN") != nullptr;
+    std::vector<ServingReport> reports;
+    for (const runtime::EngineKind kind :
+         runtime::allEngineKinds())
+        reports.push_back(goldenRun(kind));
+
+    if (update) {
+        std::printf("constexpr GoldenRow kGolden[] = {\n"
+                    "    // clang-format off\n"
+                    "    // engine, completed, rejected, makespan, "
+                    "p50Ttft, p99TokenLatency\n");
+        for (const ServingReport &report : reports) {
+            std::printf(
+                "    {\"%s\", %llu, %llu, %.17g, %.17g, %.17g},\n",
+                report.engine.c_str(),
+                static_cast<unsigned long long>(report.completed),
+                static_cast<unsigned long long>(report.rejected),
+                report.makespan, report.p50Ttft,
+                report.p99TokenLatency);
+        }
+        std::printf("    // clang-format on\n};\n");
+        GTEST_SKIP() << "printed a fresh kGolden table; paste it "
+                        "into tests/test_golden.cc";
+    }
+
+    ASSERT_EQ(reports.size(), std::size(kGolden))
+        << "engine set changed; regenerate the golden table";
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+        const ServingReport &report = reports[i];
+        const GoldenRow &golden = kGolden[i];
+        SCOPED_TRACE(report.engine);
+        EXPECT_EQ(report.engine, golden.engine);
+        EXPECT_EQ(report.completed, golden.completed);
+        EXPECT_EQ(report.rejected, golden.rejected);
+        auto near = [](double value, double pinned) {
+            const double tolerance =
+                std::max(std::abs(pinned) * 1.0e-6, 1.0e-12);
+            EXPECT_NEAR(value, pinned, tolerance);
+        };
+        near(report.makespan, golden.makespan);
+        near(report.p50Ttft, golden.p50Ttft);
+        near(report.p99TokenLatency, golden.p99TokenLatency);
+    }
+}
+
+TEST(Golden, TraceItselfIsPinned)
+{
+    // The scenario generator feeds every golden number: pin its own
+    // output so a workload-layer change cannot silently masquerade
+    // as serving-physics drift.
+    const auto trace = goldenTrace();
+    ASSERT_EQ(trace.size(), 10u);
+    double arrival_sum = 0.0;
+    std::uint64_t prompt_sum = 0;
+    std::uint64_t generate_sum = 0;
+    for (const ServedRequest &request : trace) {
+        arrival_sum += request.arrival;
+        prompt_sum += request.promptTokens;
+        generate_sum += request.generateTokens;
+    }
+    const bool update =
+        std::getenv("HERMES_UPDATE_GOLDEN") != nullptr;
+    if (update) {
+        std::printf("golden trace: arrival_sum=%.17g "
+                    "prompt_sum=%llu generate_sum=%llu\n",
+                    arrival_sum,
+                    static_cast<unsigned long long>(prompt_sum),
+                    static_cast<unsigned long long>(generate_sum));
+        GTEST_SKIP() << "printed fresh trace pins";
+    }
+    EXPECT_NEAR(arrival_sum, 6.0283441326775229, 1.0e-6);
+    EXPECT_EQ(prompt_sum, 1009u);
+    EXPECT_EQ(generate_sum, 122u);
+}
+
+} // namespace
+} // namespace hermes::serving

@@ -139,6 +139,75 @@ TEST(Serving, CompareServingRanksHermesAboveBase)
               reports[0].p50TokenLatency);
 }
 
+TEST(Serving, LifecycleTimestampsAreOrderedForEveryRequest)
+{
+    // Property check across engines: arrival <= admitted <=
+    // firstToken <= completed for everything served; rejected
+    // requests carry no timestamps at all.
+    System system(fastConfig(4));
+    const auto workload = syntheticWorkload(10, 30.0, 64, 12, 5);
+    ServingConfig config = fastServing(2);
+    config.maxQueue = 4; // Force some rejections.
+    for (const auto kind : {runtime::EngineKind::Hermes,
+                            runtime::EngineKind::HermesBase,
+                            runtime::EngineKind::FlexGen}) {
+        config.engine = kind;
+        const auto report =
+            system.serve(model::opt13b(), workload, config);
+        EXPECT_EQ(report.completed + report.rejected, 10u);
+        for (const auto &request : report.requests) {
+            if (request.rejected) {
+                EXPECT_DOUBLE_EQ(request.admitted, 0.0);
+                EXPECT_DOUBLE_EQ(request.firstToken, 0.0);
+                EXPECT_DOUBLE_EQ(request.completed, 0.0);
+                EXPECT_EQ(request.tokens, 0u);
+            } else {
+                EXPECT_LE(request.arrival, request.admitted);
+                EXPECT_LE(request.admitted, request.firstToken);
+                EXPECT_LE(request.firstToken, request.completed);
+            }
+        }
+    }
+}
+
+TEST(Serving, RerunningTheSimulatorReproducesTheReport)
+{
+    System system(fastConfig(4));
+    const auto workload = syntheticWorkload(8, 20.0, 64, 12, 3);
+    const auto a =
+        system.serve(model::opt13b(), workload, fastServing(4));
+    const auto b =
+        system.serve(model::opt13b(), workload, fastServing(4));
+    EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+    EXPECT_DOUBLE_EQ(a.throughputTps, b.throughputTps);
+    EXPECT_DOUBLE_EQ(a.p99TokenLatency, b.p99TokenLatency);
+    EXPECT_DOUBLE_EQ(a.p99Ttft, b.p99Ttft);
+}
+
+TEST(Serving, CostProbesAgreeWithServingPhysics)
+{
+    // The public probes (used by the fleet router) must answer from
+    // the same cache the simulator itself fills.
+    ServingConfig config = fastServing(4);
+    ServingSimulator simulator(fastConfig(4), model::opt13b(),
+                               config);
+    EXPECT_FALSE(simulator.saturated());
+    EXPECT_TRUE(simulator.servable(1, 64));
+    EXPECT_GT(simulator.prefillSeconds(1, 64), 0.0);
+    EXPECT_GT(simulator.tokenSeconds(4, 64), 0.0);
+    // A 13B model at batch 4 fits comfortably: no fallback buckets.
+    EXPECT_FALSE(simulator.saturated());
+    // Larger context buckets never get cheaper per decode step.
+    EXPECT_GE(simulator.tokenSeconds(4, 4096),
+              simulator.tokenSeconds(4, 64));
+
+    SystemConfig dead = fastConfig(4);
+    dead.numDimms = 0;
+    ServingSimulator unservable(dead, model::opt13b(), config);
+    EXPECT_FALSE(unservable.servable(1, 64));
+    EXPECT_DOUBLE_EQ(unservable.tokenSeconds(1, 64), 0.0);
+}
+
 TEST(Serving, DegeneratePolicyValuesAreGuarded)
 {
     System system(fastConfig(4));

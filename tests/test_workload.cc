@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Workload scenario generator tests: determinism, every arrival
+ * process, CSV replay, and the edge cases that bite in production
+ * (zero-rate bursts, single requests, bursts past the admission
+ * queue, bucket-boundary context lengths).
+ */
+
+#include <cmath>
+#include <stdexcept>
+
+#include <gtest/gtest.h>
+
+#include "core/hermes.hh"
+#include "core/workload.hh"
+
+namespace hermes::serving {
+namespace {
+
+ScenarioConfig
+smallScenario(ArrivalProcess process, std::uint32_t requests,
+              double rate)
+{
+    ScenarioConfig scenario;
+    scenario.process = process;
+    scenario.requests = requests;
+    scenario.ratePerSecond = rate;
+    scenario.prompt = {64, 16, 0.0, 1.0};
+    scenario.generate = {8, 4, 0.0, 1.0};
+    scenario.seed = 21;
+    return scenario;
+}
+
+TEST(Workload, EveryProcessIsDeterministicAndSorted)
+{
+    for (const ArrivalProcess process :
+         {ArrivalProcess::Poisson, ArrivalProcess::Bursty,
+          ArrivalProcess::Diurnal}) {
+        const auto scenario = smallScenario(process, 32, 4.0);
+        const auto a = generateWorkload(scenario);
+        const auto b = generateWorkload(scenario);
+        ASSERT_EQ(a.size(), 32u)
+            << arrivalProcessName(process);
+        for (std::size_t i = 0; i < a.size(); ++i) {
+            EXPECT_DOUBLE_EQ(a[i].arrival, b[i].arrival);
+            EXPECT_EQ(a[i].promptTokens, b[i].promptTokens);
+            EXPECT_EQ(a[i].generateTokens, b[i].generateTokens);
+            EXPECT_EQ(a[i].id, i);
+            EXPECT_GE(a[i].promptTokens, 1u);
+            if (i > 0)
+                EXPECT_GE(a[i].arrival, a[i - 1].arrival);
+        }
+    }
+}
+
+TEST(Workload, DifferentSeedsDifferentTraces)
+{
+    auto scenario = smallScenario(ArrivalProcess::Poisson, 16, 4.0);
+    const auto a = generateWorkload(scenario);
+    scenario.seed = 22;
+    const auto b = generateWorkload(scenario);
+    bool differs = false;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        differs |= a[i].arrival != b[i].arrival;
+    EXPECT_TRUE(differs);
+}
+
+TEST(Workload, BurstyHasHigherInterArrivalVariance)
+{
+    const auto poisson = generateWorkload(
+        smallScenario(ArrivalProcess::Poisson, 512, 4.0));
+    const auto bursty = generateWorkload(
+        smallScenario(ArrivalProcess::Bursty, 512, 4.0));
+    auto cv2 = [](const std::vector<ServedRequest> &trace) {
+        double sum = 0.0;
+        double sq = 0.0;
+        const auto n = static_cast<double>(trace.size() - 1);
+        for (std::size_t i = 1; i < trace.size(); ++i) {
+            const double gap =
+                trace[i].arrival - trace[i - 1].arrival;
+            sum += gap;
+            sq += gap * gap;
+        }
+        const double mean = sum / n;
+        return (sq / n - mean * mean) / (mean * mean);
+    };
+    EXPECT_GT(cv2(bursty), 2.0 * cv2(poisson));
+}
+
+TEST(Workload, ZeroRateCollapsesToOneBurst)
+{
+    const auto trace = generateWorkload(
+        smallScenario(ArrivalProcess::Poisson, 8, 0.0));
+    ASSERT_EQ(trace.size(), 8u);
+    for (const ServedRequest &request : trace)
+        EXPECT_DOUBLE_EQ(request.arrival, 0.0);
+}
+
+TEST(Workload, SingleAndZeroRequestTraces)
+{
+    const auto one = generateWorkload(
+        smallScenario(ArrivalProcess::Bursty, 1, 4.0));
+    ASSERT_EQ(one.size(), 1u);
+    EXPECT_DOUBLE_EQ(one[0].arrival, 0.0);
+    const auto none = generateWorkload(
+        smallScenario(ArrivalProcess::Diurnal, 0, 4.0));
+    EXPECT_TRUE(none.empty());
+}
+
+TEST(Workload, LengthDistributionRespectsBoundsAndTail)
+{
+    Rng rng(5);
+    const LengthDistribution plain{100, 20, 0.0, 1.0};
+    for (int i = 0; i < 256; ++i) {
+        const std::uint32_t tokens = plain.sample(rng);
+        EXPECT_GE(tokens, 80u);
+        EXPECT_LE(tokens, 120u);
+    }
+    const LengthDistribution tailed{100, 0, 1.0, 3.0};
+    EXPECT_EQ(tailed.sample(rng), 300u);
+    const LengthDistribution tiny{1, 16, 0.0, 1.0};
+    for (int i = 0; i < 256; ++i)
+        EXPECT_GE(tiny.sample(rng), 1u);
+}
+
+TEST(Workload, CsvRoundTripPreservesTrace)
+{
+    const auto trace = generateWorkload(
+        smallScenario(ArrivalProcess::Bursty, 12, 4.0));
+    const auto replayed = parseCsvTrace(toCsvTrace(trace));
+    ASSERT_EQ(replayed.size(), trace.size());
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        EXPECT_DOUBLE_EQ(replayed[i].arrival, trace[i].arrival);
+        EXPECT_EQ(replayed[i].promptTokens,
+                  trace[i].promptTokens);
+        EXPECT_EQ(replayed[i].generateTokens,
+                  trace[i].generateTokens);
+    }
+}
+
+TEST(Workload, CsvParserSortsSkipsAndRejects)
+{
+    const auto trace = parseCsvTrace("# comment\n"
+                                     "\n"
+                                     "2.5, 64, 8\n"
+                                     "0.5, 32, 4\n");
+    ASSERT_EQ(trace.size(), 2u);
+    EXPECT_DOUBLE_EQ(trace[0].arrival, 0.5);
+    EXPECT_EQ(trace[0].id, 0u);
+    EXPECT_EQ(trace[1].promptTokens, 64u);
+
+    EXPECT_THROW(parseCsvTrace("1.0 64 8\n"),
+                 std::invalid_argument);
+    EXPECT_THROW(parseCsvTrace("-1.0,64,8\n"),
+                 std::invalid_argument);
+    EXPECT_THROW(parseCsvTrace("1.0,0,8\n"),
+                 std::invalid_argument);
+    EXPECT_THROW(parseCsvTrace("bogus,64,8\n"),
+                 std::invalid_argument);
+    // Trailing garbage and out-of-range token counts must be loud,
+    // not silently dropped or wrapped.
+    EXPECT_THROW(parseCsvTrace("1.0,64,8,999\n"),
+                 std::invalid_argument);
+    EXPECT_THROW(parseCsvTrace("1.0,64,8junk\n"),
+                 std::invalid_argument);
+    EXPECT_THROW(parseCsvTrace("1.0,5000000000,8\n"),
+                 std::invalid_argument);
+}
+
+TEST(Workload, ScenarioByNameCoversStandardSetOnly)
+{
+    const auto set = standardScenarios(16, 2.0, 3);
+    ASSERT_EQ(set.size(), 3u);
+    EXPECT_EQ(set[0].name, "steady");
+    EXPECT_EQ(set[1].name, "bursty");
+    EXPECT_EQ(set[2].name, "diurnal");
+    EXPECT_THROW(scenarioByName("lunar", 16, 2.0, 3),
+                 std::invalid_argument);
+}
+
+TEST(Workload, BurstPastQueueLimitAccountsEveryRequest)
+{
+    // Zero-rate scenario: 20 simultaneous arrivals against 2 batch
+    // slots + 3 queue spots.  Every request must end up either
+    // completed or rejected — nothing lost, nothing double-counted.
+    auto scenario = smallScenario(ArrivalProcess::Poisson, 20, 0.0);
+    scenario.generate = {4, 0, 0.0, 1.0};
+    const auto trace = generateWorkload(scenario);
+
+    System system(fastConfig(4));
+    ServingConfig config;
+    config.maxBatch = 2;
+    config.maxQueue = 3;
+    config.calibrationTokens = 4;
+    const auto report =
+        system.serve(model::opt13b(), trace, config);
+    EXPECT_EQ(report.completed + report.rejected, 20u);
+    EXPECT_EQ(report.completed, 5u); // 2 slots + 3 queued.
+    EXPECT_EQ(report.rejected, 15u);
+    for (const auto &request : report.requests) {
+        if (request.rejected) {
+            EXPECT_DOUBLE_EQ(request.admitted, 0.0);
+            EXPECT_DOUBLE_EQ(request.firstToken, 0.0);
+            EXPECT_DOUBLE_EQ(request.completed, 0.0);
+            EXPECT_EQ(request.tokens, 0u);
+        }
+    }
+}
+
+TEST(Workload, BucketBoundaryContextLengthsServeCleanly)
+{
+    // Prompts straddling a cost-cache bucket edge must all serve,
+    // and a longer prompt must never land in a shorter bucket.
+    System system(fastConfig(4));
+    ServingConfig config;
+    config.maxBatch = 2;
+    config.calibrationTokens = 4;
+    config.seqBucket = 128;
+
+    std::vector<ServedRequest> trace;
+    std::uint64_t id = 0;
+    for (const std::uint32_t prompt :
+         {127u, 128u, 129u, 256u, 257u}) {
+        ServedRequest request;
+        request.id = id++;
+        request.arrival = static_cast<double>(id) * 10.0;
+        request.promptTokens = prompt;
+        request.generateTokens = 4;
+        trace.push_back(request);
+    }
+    const auto report =
+        system.serve(model::opt13b(), trace, config);
+    EXPECT_EQ(report.completed, trace.size());
+    for (const auto &request : report.requests) {
+        EXPECT_FALSE(request.rejected);
+        EXPECT_GT(request.firstToken, request.arrival);
+        EXPECT_GE(request.completed, request.firstToken);
+    }
+}
+
+} // namespace
+} // namespace hermes::serving
