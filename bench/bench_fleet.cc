@@ -1,18 +1,25 @@
 /**
  * @file
- * Fleet serving bench: router policies x arrival scenarios x replica
- * counts (core/fleet.hh + core/workload.hh).
+ * Fleet co-simulation bench: router policies x arrival scenarios x
+ * replica counts (core/fleet.hh + core/workload.hh), on the
+ * event-driven kernel by default.
  *
- * Sweeps every router policy over the standard scenario set (steady
- * Poisson, bursty Gamma, diurnal sinusoid) at two fleet sizes and
- * reports aggregate throughput, fleet p99 TTFT, and SLO attainment
- * against a TTFT deadline.  A final section re-runs one cell from
- * scratch and checks the rendered report is byte-identical — the
- * reproducibility contract the regression tests rely on.
+ * Sweeps router policies (estimate-based and feedback) over the
+ * standard scenario set (steady Poisson, bursty Gamma, diurnal
+ * sinusoid) and reports aggregate throughput, fleet p99 TTFT, and
+ * SLO attainment against a TTFT deadline.  A final section re-runs
+ * one cell from scratch and checks the rendered report is
+ * byte-identical — the reproducibility contract the regression
+ * tests rely on; the process exits non-zero when it fails.
+ *
+ * Everything is configurable from the command line (see --help);
+ * `--smoke` runs a seconds-long subset for CI.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "bench_util.hh"
 #include "common/table.hh"
@@ -24,25 +31,36 @@ namespace {
 using namespace hermes;
 using namespace hermes::bench;
 
-constexpr std::uint32_t kRequests = 48;
-constexpr double kRatePerSecond = 12.0;
-constexpr Seconds kTtftDeadline = 1.5;
-constexpr std::uint64_t kSeed = 17;
+struct Sweep
+{
+    std::vector<sched::RouterPolicy> policies;
+    std::vector<std::uint32_t> fleetSizes;
+    std::vector<serving::ScenarioConfig> scenarios;
+    fleet::FleetKernel kernel = fleet::FleetKernel::EventDriven;
+    bool workStealing = false;
+    Seconds ttftDeadline = 1.5;
+    std::uint32_t maxBatch = 8;
+};
 
 serving::ServingConfig
-replicaServing()
+replicaServing(const Sweep &sweep)
 {
     serving::ServingConfig config;
-    config.maxBatch = 8;
+    config.maxBatch = sweep.maxBatch;
     config.calibrationTokens = 6;
     return config;
 }
 
 std::vector<serving::ScenarioConfig>
-scenarios()
+scenarios(const std::string &which, std::uint32_t requests,
+          double rate, std::uint64_t seed)
 {
-    auto set = serving::standardScenarios(kRequests, kRatePerSecond,
-                                          kSeed);
+    std::vector<serving::ScenarioConfig> set;
+    if (which == "all")
+        set = serving::standardScenarios(requests, rate, seed);
+    else
+        set = {serving::scenarioByName(which, requests, rate,
+                                       seed)};
     for (auto &scenario : set) {
         scenario.prompt = {192, 64, 0.05, 3.0};
         scenario.generate = {24, 8, 0.0, 1.0};
@@ -50,17 +68,31 @@ scenarios()
     return set;
 }
 
+fleet::FleetConfig
+fleetConfig(const Sweep &sweep, const SystemConfig &platform,
+            std::uint32_t replicas, sched::RouterPolicy policy)
+{
+    fleet::FleetConfig config = fleet::uniformFleet(
+        replicas, platform, replicaServing(sweep), policy,
+        sweep.ttftDeadline);
+    config.kernel = sweep.kernel;
+    config.workStealing = sweep.workStealing;
+    return config;
+}
+
 std::string
 fleetRow(const fleet::FleetReport &report)
 {
     // Fixed-precision rendering: equal physics => equal bytes.
-    char buffer[160];
+    char buffer[192];
     std::snprintf(buffer, sizeof(buffer),
-                  "done=%llu rej=%llu shed=%llu tok/s=%.4f "
-                  "p99TTFT=%.4fms slo=%.4f",
+                  "done=%llu rej=%llu shed=%llu steals=%llu "
+                  "tok/s=%.4f p99TTFT=%.4fms slo=%.4f",
                   static_cast<unsigned long long>(report.completed),
                   static_cast<unsigned long long>(report.rejected),
                   static_cast<unsigned long long>(report.shed),
+                  static_cast<unsigned long long>(
+                      report.kernelStats.stolenRequests),
                   report.throughputTps, report.p99Ttft * 1e3,
                   report.sloAttainment);
     return buffer;
@@ -69,36 +101,94 @@ fleetRow(const fleet::FleetReport &report)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    Args args(argc, argv);
+    const bool smoke =
+        args.flag("smoke", "seconds-long CI subset");
+    const std::string policy_name = args.str(
+        "policy", "all", "router policy name, or 'all'");
+    const std::string scenario_name = args.str(
+        "scenario", "all", "arrival scenario name, or 'all'");
+    const std::uint32_t replicas = args.u32(
+        "replicas", 0, "fleet size; 0 sweeps {2, 4}");
+    const std::uint32_t requests =
+        args.u32("requests", smoke ? 10 : 48, "trace length");
+    const double rate =
+        args.f64("rate", 12.0, "mean arrival rate (req/s)");
+    const std::uint64_t seed = args.u32("seed", 17, "trace seed");
+    const std::string kernel_name = args.str(
+        "kernel", "event", "co-simulation core: event|two-phase");
+    const bool steal = args.flag(
+        "steal", "enable the work-stealing hook (event kernel)");
+    args.finish();
+
+    Sweep sweep;
+    sweep.kernel = fleet::fleetKernelByName(kernel_name);
+    sweep.workStealing = steal;
+    if (policy_name == "all") {
+        sweep.policies = sched::allRouterPolicies();
+        if (smoke)
+            sweep.policies = {sched::RouterPolicy::RoundRobin,
+                              sched::RouterPolicy::JoinShortestQueue,
+                              sched::RouterPolicy::TrueJsq};
+        if (sweep.kernel == fleet::FleetKernel::TwoPhase) {
+            // Feedback policies need the event kernel.
+            std::erase_if(sweep.policies,
+                          sched::routerPolicyNeedsObservations);
+        }
+    } else {
+        sweep.policies = {sched::routerPolicyByName(policy_name)};
+    }
+    if (sweep.kernel == fleet::FleetKernel::TwoPhase &&
+        (sweep.workStealing ||
+         std::any_of(sweep.policies.begin(), sweep.policies.end(),
+                     sched::routerPolicyNeedsObservations))) {
+        std::fprintf(stderr,
+                     "feedback policies and --steal need "
+                     "--kernel event\n");
+        return 2;
+    }
+    sweep.fleetSizes = replicas > 0
+                           ? std::vector<std::uint32_t>{replicas}
+                           : std::vector<std::uint32_t>{2, 4};
+    if (smoke && replicas == 0)
+        sweep.fleetSizes = {2};
+    sweep.scenarios = scenarios(
+        smoke && scenario_name == "all" ? "bursty" : scenario_name,
+        requests, rate, seed);
+
     const auto llm = model::modelByName("OPT-13B");
     const SystemConfig platform = benchPlatform();
 
     banner("Fleet", "policy x scenario x replicas, OPT-13B");
-    std::printf("deadline: TTFT <= %.2fs; %u requests at %.1f req/s\n",
-                kTtftDeadline, kRequests, kRatePerSecond);
+    std::printf("kernel: %s%s; deadline: TTFT <= %.2fs; "
+                "%u requests at %.1f req/s\n",
+                fleet::fleetKernelName(sweep.kernel).c_str(),
+                sweep.workStealing ? " + work stealing" : "",
+                sweep.ttftDeadline, requests, rate);
 
     TextTable table({"policy", "replicas", "scenario", "done", "rej",
-                     "shed", "tok/s", "p99 TTFT (ms)", "SLO att."});
-    for (const sched::RouterPolicy policy :
-         sched::allRouterPolicies()) {
-        for (const std::uint32_t replicas : {2u, 4u}) {
+                     "shed", "steals", "tok/s", "p99 TTFT (ms)",
+                     "SLO att."});
+    for (const sched::RouterPolicy policy : sweep.policies) {
+        for (const std::uint32_t fleet_size : sweep.fleetSizes) {
             // One fleet per (policy, size): replica cost caches are
             // shared across the scenario sweep.
             fleet::FleetSimulator simulator(
-                fleet::uniformFleet(replicas, platform,
-                                    replicaServing(), policy,
-                                    kTtftDeadline),
+                fleetConfig(sweep, platform, fleet_size, policy),
                 llm);
-            for (const auto &scenario : scenarios()) {
+            for (const auto &scenario : sweep.scenarios) {
                 const auto report = simulator.run(
                     serving::generateWorkload(scenario));
                 table.addRow(
-                    {report.policy, std::to_string(replicas),
+                    {report.policy, std::to_string(fleet_size),
                      scenario.name,
                      std::to_string(report.completed),
                      std::to_string(report.rejected),
                      std::to_string(report.shed),
+                     std::to_string(
+                         report.kernelStats.stolenRequests),
                      TextTable::num(report.throughputTps, 2),
                      TextTable::num(report.p99Ttft * 1e3, 1),
                      TextTable::num(report.sloAttainment, 3)});
@@ -108,19 +198,19 @@ main()
     table.print();
     std::printf(
         "\nnote: slo-aware sheds requests whose estimated TTFT "
-        "misses the deadline,\nimproving served p99 at the cost of "
-        "attainment counted over all arrivals\n");
+        "misses the deadline;\ntrue-jsq/least-backlog route on "
+        "observed replica state at the arrival event\n");
 
     banner("Fleet", "determinism: same seed, fresh fleet");
-    const auto scenario = scenarios()[1]; // bursty
+    const auto scenario = sweep.scenarios.back();
+    const sched::RouterPolicy check_policy =
+        sweep.policies.front();
     std::string first;
     bool identical = true;
     for (int trial = 0; trial < 2; ++trial) {
         fleet::FleetSimulator simulator(
-            fleet::uniformFleet(
-                2, platform, replicaServing(),
-                sched::RouterPolicy::JoinShortestQueue,
-                kTtftDeadline),
+            fleetConfig(sweep, platform, sweep.fleetSizes.front(),
+                        check_policy),
             llm);
         const std::string row =
             fleetRow(simulator.run(

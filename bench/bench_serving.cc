@@ -8,6 +8,9 @@
  * arrival scenarios through Hermes and the strongest baselines and
  * reports fleet metrics: throughput, batch occupancy, and
  * per-request p50/p99 token latency and TTFT.
+ *
+ * Configurable from the command line (see --help); `--smoke` runs a
+ * seconds-long subset for CI.
  */
 
 #include <cstdio>
@@ -28,14 +31,13 @@ ms(Seconds seconds)
     return TextTable::num(seconds * 1e3, 1);
 }
 
-/** 24 requests around 128-token prompts / 64-token generations. */
+/** Requests around 128-token prompts / 64-token generations. */
 serving::ScenarioConfig
-benchScenario(const std::string &name)
+benchScenario(const std::string &name, std::uint32_t requests,
+              double rate, std::uint64_t seed)
 {
     serving::ScenarioConfig scenario =
-        serving::scenarioByName(name, /*requests=*/24,
-                                /*rate_per_second=*/1.5,
-                                /*seed=*/7);
+        serving::scenarioByName(name, requests, rate, seed);
     scenario.prompt = {128, 32, 0.0, 1.0};
     scenario.generate = {64, 16, 0.0, 1.0};
     return scenario;
@@ -44,29 +46,59 @@ benchScenario(const std::string &name)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    banner("Serving", "steady scenario, 24 requests, OPT-66B");
+    Args args(argc, argv);
+    const bool smoke =
+        args.flag("smoke", "seconds-long CI subset");
+    const std::string model_name = args.str(
+        "model", smoke ? "OPT-13B" : "OPT-66B", "model name");
+    const std::string scenario_name = args.str(
+        "scenario", "steady", "arrival scenario for the tables");
+    const std::uint32_t requests = args.u32(
+        "requests", smoke ? 8 : 24, "trace length");
+    const double rate =
+        args.f64("rate", 1.5, "mean arrival rate (req/s)");
+    const std::uint32_t batch =
+        args.u32("batch", 16, "continuous-batching slots");
+    const std::uint64_t seed = args.u32("seed", 7, "trace seed");
+    std::string engine_help = "single engine to bench (";
+    for (const std::string &name : runtime::engineKindNames())
+        engine_help += name + "|";
+    engine_help += "...), or 'compare'";
+    const std::string engine_name =
+        args.str("engine", "compare", engine_help);
+    args.finish();
 
+    const auto llm = model::modelByName(model_name);
     System system(benchPlatform());
 
-    // A steady 1.5 req/s stream: enough pressure to fill the 16
-    // batch slots and queue behind them.
-    const auto workload =
-        serving::generateWorkload(benchScenario("steady"));
+    banner("Serving", "engine comparison");
+    std::printf("%s, %u requests at %.1f req/s (%s)\n",
+                model_name.c_str(), requests, rate,
+                scenario_name.c_str());
+
+    const auto workload = serving::generateWorkload(
+        benchScenario(scenario_name, requests, rate, seed));
 
     serving::ServingConfig config;
-    config.maxBatch = 16;
-    config.calibrationTokens = 8;
+    config.maxBatch = batch;
+    config.calibrationTokens = smoke ? 6 : 8;
+
+    std::vector<EngineKind> engines;
+    if (engine_name != "compare")
+        engines = {runtime::engineKindByName(engine_name)};
+    else if (smoke)
+        engines = {EngineKind::Hermes, EngineKind::HermesBase};
+    else
+        engines = {EngineKind::Hermes, EngineKind::HermesBase,
+                   EngineKind::DejaVu};
 
     TextTable table({"engine", "done", "rej", "tok/s", "mean batch",
                      "peak", "p50 tok (ms)", "p99 tok (ms)",
                      "p50 TTFT (ms)", "p99 TTFT (ms)"});
-    const auto reports = system.compareServing(
-        model::modelByName("OPT-66B"), workload,
-        {EngineKind::Hermes, EngineKind::HermesBase,
-         EngineKind::DejaVu},
-        config);
+    const auto reports =
+        system.compareServing(llm, workload, engines, config);
     for (const auto &report : reports) {
         table.addRow({report.engine,
                       std::to_string(report.completed),
@@ -81,15 +113,18 @@ main()
     table.print();
     std::printf("\nnote: token latencies are decode-step times under "
                 "contention; TTFT includes queueing + prefill\n");
+    if (smoke)
+        return 0;
 
-    banner("Serving", "arrival-scenario sweep, Hermes, OPT-66B");
+    banner("Serving", "arrival-scenario sweep, Hermes");
     TextTable scenarios({"scenario", "tok/s", "mean batch",
                          "p99 tok (ms)", "p50 TTFT (ms)",
                          "p99 TTFT (ms)"});
     for (const char *name : {"steady", "bursty", "diurnal"}) {
         const auto report = system.serve(
-            model::modelByName("OPT-66B"),
-            serving::generateWorkload(benchScenario(name)),
+            llm,
+            serving::generateWorkload(
+                benchScenario(name, requests, rate, seed)),
             config);
         scenarios.addRow(
             {name, TextTable::num(report.throughputTps, 2),
@@ -101,14 +136,13 @@ main()
     std::printf("same mean rate, different shapes: bursts deepen "
                 "queues (TTFT tail) while filling batch slots\n");
 
-    banner("Serving", "batch-slot sweep, Hermes, OPT-66B");
+    banner("Serving", "batch-slot sweep, Hermes");
     TextTable sweep({"max batch", "tok/s", "p50 tok (ms)",
                      "p99 tok (ms)", "p99 TTFT (ms)"});
     for (const std::uint32_t slots : {4u, 8u, 16u, 32u}) {
         serving::ServingConfig swept = config;
         swept.maxBatch = slots;
-        const auto report = system.serve(
-            model::modelByName("OPT-66B"), workload, swept);
+        const auto report = system.serve(llm, workload, swept);
         sweep.addRow({std::to_string(slots),
                       TextTable::num(report.throughputTps, 2),
                       ms(report.p50TokenLatency),

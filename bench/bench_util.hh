@@ -12,12 +12,154 @@
 #ifndef HERMES_BENCH_BENCH_UTIL_HH
 #define HERMES_BENCH_BENCH_UTIL_HH
 
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "core/hermes.hh"
 
 namespace hermes::bench {
+
+/**
+ * Tiny `--key value` / `--flag` command-line parser shared by the
+ * benches, so sweeps are configurable instead of hardcoded.
+ *
+ * Usage: query every option first (each query registers the option
+ * for the usage text), then call finish(); it prints the usage and
+ * exits on `--help` or any unrecognized argument.
+ */
+class Args
+{
+  public:
+    Args(int argc, char **argv) : program_(argv[0])
+    {
+        for (int i = 1; i < argc; ++i)
+            tokens_.push_back(argv[i]);
+        consumed_.assign(tokens_.size(), false);
+    }
+
+    /** Presence flag, e.g. `--smoke`. */
+    bool
+    flag(const std::string &name, const std::string &help)
+    {
+        registerOption("--" + name, help);
+        for (std::size_t i = 0; i < tokens_.size(); ++i) {
+            if (tokens_[i] == "--" + name) {
+                consumed_[i] = true;
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /** String option, e.g. `--scenario bursty`. */
+    std::string
+    str(const std::string &name, const std::string &fallback,
+        const std::string &help)
+    {
+        registerOption("--" + name + " <value>",
+                       help + " (default: " + fallback + ")");
+        for (std::size_t i = 0; i < tokens_.size(); ++i) {
+            if (tokens_[i] == "--" + name &&
+                i + 1 < tokens_.size()) {
+                consumed_[i] = true;
+                consumed_[i + 1] = true;
+                return tokens_[i + 1];
+            }
+        }
+        return fallback;
+    }
+
+    /** Unsigned integer option; rejects unparseable values. */
+    std::uint32_t
+    u32(const std::string &name, std::uint32_t fallback,
+        const std::string &help)
+    {
+        const std::string value =
+            str(name, std::to_string(fallback), help);
+        // Digits only: strtoul would silently wrap a negative.
+        if (value.empty() ||
+            value.find_first_not_of("0123456789") !=
+                std::string::npos)
+            badValue(name, value);
+        char *end = nullptr;
+        const unsigned long parsed =
+            std::strtoul(value.c_str(), &end, 10);
+        if (end == value.c_str() || *end != '\0' ||
+            parsed > UINT32_MAX)
+            badValue(name, value);
+        return static_cast<std::uint32_t>(parsed);
+    }
+
+    /** Floating-point option; rejects unparseable values. */
+    double
+    f64(const std::string &name, double fallback,
+        const std::string &help)
+    {
+        char fallback_text[32];
+        std::snprintf(fallback_text, sizeof(fallback_text), "%g",
+                      fallback);
+        const std::string value = str(name, fallback_text, help);
+        char *end = nullptr;
+        const double parsed = std::strtod(value.c_str(), &end);
+        if (end == value.c_str() || *end != '\0')
+            badValue(name, value);
+        return parsed;
+    }
+
+    /** Validate: usage + exit on --help or leftover arguments. */
+    void
+    finish() const
+    {
+        bool unknown = false;
+        bool help = false;
+        for (std::size_t i = 0; i < tokens_.size(); ++i) {
+            if (consumed_[i])
+                continue;
+            if (tokens_[i] == "--help" || tokens_[i] == "-h") {
+                help = true;
+                continue;
+            }
+            std::fprintf(stderr, "unknown argument: %s\n",
+                         tokens_[i].c_str());
+            unknown = true;
+        }
+        if (!unknown && !help)
+            return;
+        std::fprintf(stderr, "usage: %s [options]\n",
+                     program_.c_str());
+        for (const std::string &line : usage_)
+            std::fprintf(stderr, "  %s\n", line.c_str());
+        std::exit(help && !unknown ? 0 : 2);
+    }
+
+  private:
+    [[noreturn]] void
+    badValue(const std::string &name,
+             const std::string &value) const
+    {
+        std::fprintf(stderr, "--%s: not a number: '%s'\n",
+                     name.c_str(), value.c_str());
+        std::exit(2);
+    }
+
+    void
+    registerOption(const std::string &form,
+                   const std::string &help)
+    {
+        char line[192];
+        std::snprintf(line, sizeof(line), "%-24s %s", form.c_str(),
+                      help.c_str());
+        usage_.push_back(line);
+    }
+
+    std::string program_;
+    std::vector<std::string> tokens_;
+    std::vector<bool> consumed_;
+    std::vector<std::string> usage_;
+};
 
 /** Platform for bench runs: Sec. V-A1 defaults, 6-layer sample. */
 inline SystemConfig

@@ -4,8 +4,9 @@
  *
  * Builds a heterogeneous fleet — two default replicas running Hermes
  * plus one budget replica (half the DIMM pool) running Hermes-base —
- * generates a bursty scenario, serves it under two router policies,
- * and prints where every request went and how the fleet did.
+ * generates a bursty scenario, and serves it on the event-driven
+ * co-simulation kernel under estimate-based and feedback router
+ * policies, with and without work stealing.
  */
 
 #include <cstdio>
@@ -24,8 +25,8 @@ main()
 
     // 1. Describe the traffic: a bursty trace, reproducible by seed.
     serving::ScenarioConfig scenario =
-        serving::scenarioByName("bursty", /*requests=*/24,
-                                /*rate_per_second=*/1.5,
+        serving::scenarioByName("bursty", /*requests=*/36,
+                                /*rate_per_second=*/6.0,
                                 /*seed=*/42);
     scenario.prompt = {128, 64, 0.0, 1.0};
     scenario.generate = {16, 8, 0.0, 1.0};
@@ -44,7 +45,7 @@ main()
         replica.name = "hermes-" + std::to_string(i);
         replica.system = runtime::platformPreset("default", 6);
         replica.serving.engine = runtime::EngineKind::Hermes;
-        replica.serving.maxBatch = 8;
+        replica.serving.maxBatch = 4;
         replica.serving.calibrationTokens = 6;
         config.replicas.push_back(replica);
     }
@@ -53,18 +54,31 @@ main()
         replica.name = "budget";
         replica.system = runtime::platformPreset("budget", 6);
         replica.serving.engine = runtime::EngineKind::HermesBase;
-        replica.serving.maxBatch = 8;
+        replica.serving.maxBatch = 4;
         replica.serving.calibrationTokens = 6;
         config.replicas.push_back(replica);
     }
 
-    // 3. Serve under two policies and compare.
-    TextTable table({"policy", "done", "shed", "tok/s",
+    // 3. Serve on the event kernel under estimate-based and
+    //    feedback policies, and once with work stealing: every
+    //    placement happens at the arrival event, so the feedback
+    //    policies route on the replicas' observed state and the
+    //    stealing hook drains queues stranded behind the slow
+    //    budget tier.
+    TextTable table({"policy", "steal", "done", "shed", "tok/s",
                      "p99 TTFT (ms)", "SLO att.", "per-replica"});
-    for (const auto policy :
-         {sched::RouterPolicy::RoundRobin,
-          sched::RouterPolicy::LeastOutstandingTokens}) {
-        config.policy = policy;
+    struct Cell
+    {
+        sched::RouterPolicy policy;
+        bool steal;
+    };
+    for (const Cell &cell :
+         {Cell{sched::RouterPolicy::RoundRobin, false},
+          Cell{sched::RouterPolicy::RoundRobin, true},
+          Cell{sched::RouterPolicy::LeastOutstandingTokens, false},
+          Cell{sched::RouterPolicy::LeastActualBacklog, false}}) {
+        config.policy = cell.policy;
+        config.workStealing = cell.steal;
         fleet::FleetSimulator simulator(config, llm);
         const auto report = simulator.run(workload);
 
@@ -76,7 +90,7 @@ main()
                           report.replicaReports[r].completed) +
                       " ";
         }
-        table.addRow({report.policy,
+        table.addRow({report.policy, cell.steal ? "yes" : "no",
                       std::to_string(report.completed),
                       std::to_string(report.shed),
                       TextTable::num(report.throughputTps, 2),
@@ -85,9 +99,10 @@ main()
                       spread});
     }
     table.print();
-    std::printf("\nleast-tokens sees the budget replica's slower "
-                "decode rate and shifts load to the Hermes tier; "
-                "round-robin splits evenly regardless\n");
+    std::printf("\nleast-tokens models the budget replica's slower "
+                "drain; least-backlog *observes* it at each arrival "
+                "event;\nwork stealing lets the Hermes tier drain "
+                "whatever round-robin strands on the budget tier\n");
 
     // 4. Traces round-trip through CSV for replay.
     const std::string csv = serving::toCsvTrace(workload);

@@ -1,0 +1,77 @@
+#include "core/event_sim.hh"
+
+#include <tuple>
+
+#include "common/logging.hh"
+
+namespace hermes::sim {
+
+std::string
+eventKindName(EventKind kind)
+{
+    switch (kind) {
+    case EventKind::Arrival:
+        return "arrival";
+    case EventKind::RequestDone:
+        return "request-done";
+    case EventKind::PrefillComplete:
+        return "prefill-complete";
+    case EventKind::StepComplete:
+        return "step-complete";
+    case EventKind::Wake:
+        return "wake";
+    }
+    return "?";
+}
+
+bool
+EventQueue::Later::operator()(const Event &a, const Event &b) const
+{
+    // Total order (earliest pops first): time, then replica with
+    // fleet-level events (replica < 0) ahead of every replica's, so
+    // a boundary at time t observes all arrivals with arrival <= t;
+    // then kind, id, and finally insertion order.  No two events
+    // ever compare equal, so pop order is deterministic.
+    return std::tie(a.time, a.replica, a.kind, a.id, a.seq) >
+           std::tie(b.time, b.replica, b.kind, b.id, b.seq);
+}
+
+void
+EventQueue::push(Seconds time, EventKind kind, std::int32_t replica,
+                 std::uint64_t id)
+{
+    hermes_assert(time >= now_,
+                  "event scheduled in the virtual past: ",
+                  eventKindName(kind), " at ", time, " < now ",
+                  now_);
+    heap_.push(Event{time, kind, replica, id, seq_++});
+}
+
+Event
+EventQueue::pop()
+{
+    hermes_assert(!heap_.empty(), "pop from empty event queue");
+    const Event event = heap_.top();
+    heap_.pop();
+    now_ = event.time;
+    switch (event.kind) {
+    case EventKind::Arrival:
+        ++stats_.arrivals;
+        break;
+    case EventKind::RequestDone:
+        ++stats_.requestsDone;
+        break;
+    case EventKind::PrefillComplete:
+        ++stats_.prefills;
+        break;
+    case EventKind::StepComplete:
+        ++stats_.decodeSteps;
+        break;
+    case EventKind::Wake:
+        ++stats_.wakes;
+        break;
+    }
+    return event;
+}
+
+} // namespace hermes::sim

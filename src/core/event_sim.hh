@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Discrete-event co-simulation kernel: one virtual clock shared by
+ * every replica of a fleet.
+ *
+ * PR 2's fleet layer was open-loop: the router committed every
+ * placement up front from a backlog *estimate*, then each replica
+ * replayed its sub-trace in isolation.  The event kernel inverts
+ * that control flow.  All replicas advance on a single virtual
+ * clock; the fleet pops the earliest event, lets exactly one actor
+ * react (deliver an arrival, finish a prefill or decode step, wake
+ * an idle replica), and pushes the follow-up events that reaction
+ * produces.  Routing therefore happens *at arrival instants*
+ * against observed replica state — the prerequisite for
+ * feedback-driven policies (true join-shortest-queue, least actual
+ * backlog) and for cross-replica dynamics like work stealing.
+ *
+ * Determinism is load-bearing: fleet reports are pinned
+ * byte-identical by tests.  Events are totally ordered by
+ * (time, replica, kind, id, insertion sequence), with fleet-level
+ * events (arrivals, replica < 0) sorting before any replica event
+ * at the same instant — so a boundary at time t always observes
+ * every arrival with arrival <= t, exactly like the monolithic
+ * serving loop it replaces.
+ */
+
+#ifndef HERMES_CORE_EVENT_SIM_HH
+#define HERMES_CORE_EVENT_SIM_HH
+
+#include <cstdint>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "common/units.hh"
+
+namespace hermes::sim {
+
+/** What happened at an event's instant. */
+enum class EventKind : std::uint8_t
+{
+    /** A request reaches the fleet; the router decides now. */
+    Arrival = 0,
+
+    /** A retired request, recorded on the shared clock. */
+    RequestDone = 1,
+
+    /** A replica's joint admission prefill finished. */
+    PrefillComplete = 2,
+
+    /** A replica's decode step finished. */
+    StepComplete = 3,
+
+    /** An idle replica re-examines its queue (new work arrived). */
+    Wake = 4,
+};
+
+/** Display name of an event kind. */
+std::string eventKindName(EventKind kind);
+
+/** One scheduled event. */
+struct Event
+{
+    Seconds time = 0.0;
+    EventKind kind = EventKind::Arrival;
+
+    /** Owning replica; < 0 for fleet-level events (arrivals). */
+    std::int32_t replica = -1;
+
+    /** Request id / workload index (kind-dependent), tie-break key. */
+    std::uint64_t id = 0;
+
+    /** Insertion sequence, the final FIFO tie-break. */
+    std::uint64_t seq = 0;
+};
+
+/** Counters over everything a queue has popped. */
+struct EventStats
+{
+    std::uint64_t arrivals = 0;
+    std::uint64_t requestsDone = 0;
+    std::uint64_t prefills = 0;
+    std::uint64_t decodeSteps = 0;
+    std::uint64_t wakes = 0;
+
+    std::uint64_t
+    popped() const
+    {
+        return arrivals + requestsDone + prefills + decodeSteps +
+               wakes;
+    }
+};
+
+/**
+ * Deterministic min-queue over events with a monotonic virtual
+ * clock.  pop() returns the globally earliest event under the total
+ * order documented in the file header and advances now(); pushing
+ * an event earlier than now() is a kernel bug and panics.
+ */
+class EventQueue
+{
+  public:
+    /** Schedule an event; `seq` is assigned internally. */
+    void push(Seconds time, EventKind kind, std::int32_t replica,
+              std::uint64_t id);
+
+    /** Pop the earliest event (queue must not be empty). */
+    Event pop();
+
+    bool empty() const { return heap_.empty(); }
+    std::size_t size() const { return heap_.size(); }
+
+    /** Virtual clock: the time of the last popped event. */
+    Seconds now() const { return now_; }
+
+    /** Counters over popped events, by kind. */
+    const EventStats &stats() const { return stats_; }
+
+  private:
+    /** std::priority_queue is a max-heap: order by "later than". */
+    struct Later
+    {
+        bool operator()(const Event &a, const Event &b) const;
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+    Seconds now_ = 0.0;
+    std::uint64_t seq_ = 0;
+    EventStats stats_;
+};
+
+} // namespace hermes::sim
+
+#endif // HERMES_CORE_EVENT_SIM_HH

@@ -1,7 +1,13 @@
 #include "core/fleet.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <stdexcept>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.hh"
 
 namespace hermes::fleet {
 
@@ -20,6 +26,29 @@ median(std::vector<std::uint64_t> values)
 }
 
 } // namespace
+
+std::string
+fleetKernelName(FleetKernel kernel)
+{
+    switch (kernel) {
+    case FleetKernel::EventDriven:
+        return "event";
+    case FleetKernel::TwoPhase:
+        return "two-phase";
+    }
+    return "?";
+}
+
+FleetKernel
+fleetKernelByName(const std::string &name)
+{
+    if (name == "event")
+        return FleetKernel::EventDriven;
+    if (name == "two-phase")
+        return FleetKernel::TwoPhase;
+    throw std::invalid_argument(
+        "fleetKernelByName: unknown kernel '" + name + "'");
+}
 
 FleetConfig
 uniformFleet(std::uint32_t count,
@@ -98,13 +127,372 @@ FleetSimulator::calibrate(std::size_t index,
     return model;
 }
 
+std::vector<sched::ReplicaModel>
+FleetSimulator::calibrateAll(std::uint64_t typical_prompt,
+                             std::uint64_t typical_context)
+{
+    const std::size_t count = replicas_.size();
+    std::vector<sched::ReplicaModel> models(count);
+
+    unsigned hardware = std::thread::hardware_concurrency();
+    if (hardware == 0)
+        hardware = 1;
+    const std::size_t workers = std::min<std::size_t>(
+        count, config_.calibrationThreads > 0
+                   ? config_.calibrationThreads
+                   : hardware);
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            models[i] =
+                calibrate(i, typical_prompt, typical_context);
+        return models;
+    }
+
+    // Each worker claims whole replicas, so one replica's cost
+    // cache is only ever touched by one thread and the calibrated
+    // models are identical to the serial loop regardless of
+    // scheduling.  Large-fleet sweeps stop paying one engine
+    // simulation chain per replica in series.
+    std::atomic<std::size_t> next{0};
+    std::vector<std::exception_ptr> errors(workers);
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+        pool.emplace_back([&, w] {
+            try {
+                for (std::size_t i = next.fetch_add(1); i < count;
+                     i = next.fetch_add(1))
+                    models[i] = calibrate(i, typical_prompt,
+                                          typical_context);
+            } catch (...) {
+                errors[w] = std::current_exception();
+            }
+        });
+    }
+    for (std::thread &thread : pool)
+        thread.join();
+    for (const std::exception_ptr &error : errors) {
+        if (error)
+            std::rethrow_exception(error);
+    }
+    return models;
+}
+
+void
+FleetSimulator::runTwoPhase(
+    FleetReport &report,
+    const std::vector<serving::ServedRequest> &workload,
+    std::vector<sched::ReplicaModel> models)
+{
+    const std::size_t replica_count = replicas_.size();
+    sched::Router router(config_.policy, std::move(models),
+                         config_.ttftDeadline);
+
+    // Route in arrival order; each decision updates the router's
+    // backlog estimate, so later requests see earlier placements —
+    // but never the replicas' ground truth.
+    std::vector<std::vector<serving::ServedRequest>> assigned(
+        replica_count);
+    report.assignment.assign(workload.size(), -1);
+    for (std::size_t i = 0; i < workload.size(); ++i) {
+        const serving::ServedRequest &request = workload[i];
+        const sched::RouteDecision decision = router.route(
+            request.arrival, request.generateTokens);
+        report.assignment[i] = decision.replica;
+        if (decision.replica < 0) {
+            ++report.shed;
+            continue;
+        }
+        assigned[static_cast<std::size_t>(decision.replica)]
+            .push_back(request);
+    }
+
+    // Ground truth: every replica serves its sub-trace with the full
+    // continuous-batching simulation, in isolation.
+    for (std::size_t r = 0; r < replica_count; ++r)
+        report.replicaReports.push_back(
+            replicas_[r]->run(assigned[r]));
+}
+
+void
+FleetSimulator::runEventDriven(
+    FleetReport &report,
+    const std::vector<serving::ServedRequest> &workload,
+    std::vector<sched::ReplicaModel> models)
+{
+    const std::size_t replica_count = replicas_.size();
+    sched::Router router(config_.policy, std::move(models),
+                         config_.ttftDeadline);
+
+    for (auto &replica : replicas_)
+        replica->beginSession();
+
+    // id -> workload index, for re-assignment under work stealing
+    // (ids are unique; run() guards that).
+    std::unordered_map<std::uint64_t, std::size_t> index_of_id;
+    if (config_.workStealing) {
+        index_of_id.reserve(workload.size());
+        for (std::size_t i = 0; i < workload.size(); ++i)
+            index_of_id[workload[i].id] = i;
+    }
+
+    sim::EventQueue queue;
+    for (std::size_t i = 0; i < workload.size(); ++i)
+        queue.push(workload[i].arrival, sim::EventKind::Arrival,
+                   -1, i);
+    std::vector<char> wake_scheduled(replica_count, 0);
+    report.assignment.assign(workload.size(), -1);
+
+    const auto schedule = [&](std::size_t r,
+                              const serving::StepAction &action) {
+        switch (action.kind) {
+        case serving::StepKind::Prefill:
+            queue.push(action.until,
+                       sim::EventKind::PrefillComplete,
+                       static_cast<std::int32_t>(r), 0);
+            break;
+        case serving::StepKind::Decode:
+            queue.push(action.until, sim::EventKind::StepComplete,
+                       static_cast<std::int32_t>(r), 0);
+            break;
+        case serving::StepKind::WaitArrival:
+            // Unreachable: every delivery (arrival event or steal)
+            // happens at or after the request's arrival instant,
+            // so a boundary never sees a future-only queue.
+            hermes_panic("event kernel: future-only queue at a "
+                         "replica boundary");
+
+        case serving::StepKind::Idle:
+            break;
+        }
+    };
+
+    const auto try_steal = [&](std::size_t thief, Seconds now) {
+        // Only a replica proven able to serve may steal; a dead (or
+        // never-probed) replica would strand what it takes.
+        if (!replicas_[thief]->knownServable())
+            return;
+        std::size_t victim = replica_count;
+        std::uint32_t deepest = 0;
+        for (std::size_t r = 0; r < replica_count; ++r) {
+            if (r == thief)
+                continue;
+            // A victim must be genuinely stuck: mid-step with a
+            // queue behind it, or known dead.  An idle replica
+            // with fresh deliveries has a same-instant Wake coming
+            // and will serve them itself — stealing those would
+            // override the router's placement for no gain.
+            if (!replicas_[r]->busy() &&
+                !replicas_[r]->knownDead())
+                continue;
+            const std::uint32_t queued =
+                replicas_[r]->queuedCount();
+            if (queued > deepest) {
+                deepest = queued;
+                victim = r;
+            }
+        }
+        if (victim == replica_count || deepest == 0)
+            return;
+        const std::uint32_t cap = std::max<std::uint32_t>(
+            config_.replicas[thief].serving.maxBatch, 1);
+        const std::vector<serving::ServedRequest> stolen =
+            replicas_[victim]->stealQueued(
+                std::min((deepest + 1) / 2, cap));
+        if (stolen.empty())
+            return;
+        ++report.kernelStats.steals;
+        report.kernelStats.stolenRequests += stolen.size();
+        for (const serving::ServedRequest &request : stolen) {
+            report.assignment[index_of_id.at(request.id)] =
+                static_cast<int>(thief);
+            replicas_[thief]->deliver(request);
+        }
+        // The thief is idle, so the stolen group starts at once.
+        schedule(thief, replicas_[thief]->startNextWork(now));
+    };
+
+    const auto advance = [&](std::size_t r, Seconds now) {
+        const serving::StepAction action =
+            replicas_[r]->startNextWork(now);
+        schedule(r, action);
+        if (action.kind == serving::StepKind::Idle &&
+            config_.workStealing)
+            try_steal(r, now);
+    };
+
+    // The co-simulation loop: one virtual clock, earliest event
+    // first, deterministic tie order (see core/event_sim.hh).
+    while (!queue.empty()) {
+        const sim::Event event = queue.pop();
+        switch (event.kind) {
+        case sim::EventKind::Arrival: {
+            const serving::ServedRequest &request =
+                workload[event.id];
+            // Sample ground truth at the decision instant — only
+            // for the policies that rank by it (the gather walks
+            // every replica's queues).
+            std::vector<sched::ReplicaObservation> observed;
+            if (sched::routerPolicyNeedsObservations(
+                    config_.policy)) {
+                observed.resize(replica_count);
+                for (std::size_t r = 0; r < replica_count; ++r) {
+                    observed[r].outstanding =
+                        replicas_[r]->observedOutstanding();
+                    observed[r].backlogTokens =
+                        replicas_[r]->observedBacklogTokens();
+                }
+            }
+            const sched::RouteDecision decision = router.route(
+                request.arrival, request.generateTokens,
+                observed.empty() ? nullptr : &observed);
+            report.assignment[event.id] = decision.replica;
+            if (decision.replica < 0) {
+                ++report.shed;
+                break;
+            }
+            const auto r =
+                static_cast<std::size_t>(decision.replica);
+            replicas_[r]->deliver(request);
+            // Wake an idle replica once all same-instant arrivals
+            // are delivered (Wake sorts after Arrival at a tie), so
+            // a simultaneous burst prefills as one group, exactly
+            // like the closed loop.
+            if (!replicas_[r]->busy() && !wake_scheduled[r]) {
+                queue.push(event.time, sim::EventKind::Wake,
+                           decision.replica, 0);
+                wake_scheduled[r] = 1;
+            }
+            break;
+        }
+        case sim::EventKind::Wake: {
+            const auto r =
+                static_cast<std::size_t>(event.replica);
+            wake_scheduled[r] = 0;
+            if (!replicas_[r]->busy())
+                advance(r, event.time);
+            break;
+        }
+        case sim::EventKind::PrefillComplete:
+        case sim::EventKind::StepComplete: {
+            const auto r =
+                static_cast<std::size_t>(event.replica);
+            for (const std::uint64_t id :
+                 replicas_[r]->completeWork())
+                queue.push(event.time,
+                           sim::EventKind::RequestDone,
+                           event.replica, id);
+            advance(r, event.time);
+            break;
+        }
+        case sim::EventKind::RequestDone:
+            // Pure bookkeeping; counted by the queue's stats.
+            break;
+        }
+    }
+    report.kernelStats.events = queue.stats();
+
+    for (auto &replica : replicas_)
+        report.replicaReports.push_back(replica->finishSession());
+}
+
+void
+FleetSimulator::mergeReports(
+    FleetReport &report,
+    const std::vector<serving::ServedRequest> &workload)
+{
+    for (const serving::ServingReport &replica :
+         report.replicaReports) {
+        report.completed += replica.completed;
+        report.rejected += replica.rejected;
+        report.makespan =
+            std::max(report.makespan, replica.makespan);
+        report.throughputTps += replica.throughputTps;
+        report.costModelSaturated |= replica.costModelSaturated;
+    }
+    report.rejected += report.shed;
+
+    // Merge per-request metrics back into arrival order with an
+    // explicit request-id join — replica report rows are found by
+    // id, never by slot position, so the merge cannot silently
+    // misalign when a replica reorders, drops, or (under work
+    // stealing) gains rows relative to the router's bookkeeping.
+    std::unordered_map<std::uint64_t,
+                       std::pair<std::size_t, std::size_t>>
+        row_of_id;
+    for (std::size_t r = 0; r < report.replicaReports.size();
+         ++r) {
+        const auto &rows = report.replicaReports[r].requests;
+        for (std::size_t j = 0; j < rows.size(); ++j)
+            row_of_id[rows[j].id] = {r, j};
+    }
+
+    report.requests.resize(workload.size());
+    std::vector<Seconds> ttft_samples;
+    std::uint64_t within_deadline = 0;
+    for (std::size_t i = 0; i < workload.size(); ++i) {
+        if (report.assignment[i] < 0) {
+            serving::RequestMetrics &metrics = report.requests[i];
+            metrics.id = workload[i].id;
+            metrics.arrival = workload[i].arrival;
+            metrics.rejected = true;
+            continue;
+        }
+        const auto it = row_of_id.find(workload[i].id);
+        hermes_assert(
+            it != row_of_id.end() &&
+                it->second.first ==
+                    static_cast<std::size_t>(
+                        report.assignment[i]),
+            "fleet merge: request ", workload[i].id,
+            " missing from its replica report");
+        report.requests[i] =
+            report.replicaReports[it->second.first]
+                .requests[it->second.second];
+        const serving::RequestMetrics &metrics =
+            report.requests[i];
+        if (!metrics.rejected) {
+            ttft_samples.push_back(metrics.ttft());
+            within_deadline +=
+                metrics.ttft() <= config_.ttftDeadline ? 1 : 0;
+        }
+    }
+    report.p50Ttft = serving::percentile(ttft_samples, 50.0);
+    report.p99Ttft = serving::percentile(ttft_samples, 99.0);
+    report.sloAttainment =
+        workload.empty()
+            ? 1.0
+            : static_cast<double>(within_deadline) /
+                  static_cast<double>(workload.size());
+}
+
 FleetReport
 FleetSimulator::run(std::vector<serving::ServedRequest> workload)
 {
     serving::sortByArrival(workload);
 
+    // The merge joins replica rows back to the trace by request id;
+    // duplicates would make the join ambiguous.
+    {
+        std::unordered_set<std::uint64_t> seen;
+        seen.reserve(workload.size());
+        for (const serving::ServedRequest &request : workload) {
+            if (!seen.insert(request.id).second)
+                throw std::invalid_argument(
+                    "FleetSimulator: request ids must be unique "
+                    "(the report merge joins by id)");
+        }
+    }
+    if (config_.kernel == FleetKernel::TwoPhase &&
+        (sched::routerPolicyNeedsObservations(config_.policy) ||
+         config_.workStealing))
+        throw std::invalid_argument(
+            "FleetSimulator: feedback policies and work stealing "
+            "need the event-driven kernel");
+
     FleetReport report;
     report.policy = sched::routerPolicyName(config_.policy);
+    report.kernel = fleetKernelName(config_.kernel);
     report.ttftDeadline = config_.ttftDeadline;
     for (const ReplicaConfig &replica : config_.replicas)
         report.replicaNames.push_back(replica.name);
@@ -126,88 +514,15 @@ FleetSimulator::run(std::vector<serving::ServedRequest> workload)
     const std::uint64_t typical_context =
         typical_prompt + median(std::move(generates)) / 2;
 
-    const std::size_t replica_count = replicas_.size();
-    std::vector<sched::ReplicaModel> models;
-    models.reserve(replica_count);
-    for (std::size_t i = 0; i < replica_count; ++i)
-        models.push_back(
-            calibrate(i, typical_prompt, typical_context));
-    sched::Router router(config_.policy, std::move(models),
-                         config_.ttftDeadline);
+    std::vector<sched::ReplicaModel> models =
+        calibrateAll(typical_prompt, typical_context);
 
-    // Route in arrival order; each decision updates the router's
-    // backlog estimate, so later requests see earlier placements.
-    std::vector<std::vector<serving::ServedRequest>> assigned(
-        replica_count);
-    struct Placement
-    {
-        int replica = -1;
-        std::size_t slot = 0; ///< Position in the replica sub-trace.
-    };
-    std::vector<Placement> placements(workload.size());
-    report.assignment.resize(workload.size(), -1);
-    for (std::size_t i = 0; i < workload.size(); ++i) {
-        const serving::ServedRequest &request = workload[i];
-        const sched::RouteDecision decision = router.route(
-            request.arrival, request.generateTokens);
-        report.assignment[i] = decision.replica;
-        if (decision.replica < 0) {
-            ++report.shed;
-            continue;
-        }
-        auto &sub = assigned[static_cast<std::size_t>(
-            decision.replica)];
-        placements[i] = Placement{decision.replica, sub.size()};
-        sub.push_back(request);
-    }
+    if (config_.kernel == FleetKernel::EventDriven)
+        runEventDriven(report, workload, std::move(models));
+    else
+        runTwoPhase(report, workload, std::move(models));
 
-    // Ground truth: every replica serves its sub-trace with the full
-    // continuous-batching simulation.
-    for (std::size_t r = 0; r < replica_count; ++r) {
-        report.replicaReports.push_back(
-            replicas_[r]->run(assigned[r]));
-        const serving::ServingReport &replica =
-            report.replicaReports.back();
-        report.completed += replica.completed;
-        report.rejected += replica.rejected;
-        report.makespan = std::max(report.makespan,
-                                   replica.makespan);
-        report.throughputTps += replica.throughputTps;
-        report.costModelSaturated |= replica.costModelSaturated;
-    }
-    report.rejected += report.shed;
-
-    // Merge per-request metrics back into arrival order.  A replica
-    // receives its sub-trace already sorted, so its report rows line
-    // up with the slots recorded at routing time.
-    report.requests.resize(workload.size());
-    std::vector<Seconds> ttft_samples;
-    std::uint64_t within_deadline = 0;
-    for (std::size_t i = 0; i < workload.size(); ++i) {
-        if (placements[i].replica < 0) {
-            serving::RequestMetrics &metrics = report.requests[i];
-            metrics.id = workload[i].id;
-            metrics.arrival = workload[i].arrival;
-            metrics.rejected = true;
-            continue;
-        }
-        const auto &replica = report.replicaReports[
-            static_cast<std::size_t>(placements[i].replica)];
-        report.requests[i] = replica.requests[placements[i].slot];
-        const serving::RequestMetrics &metrics = report.requests[i];
-        if (!metrics.rejected) {
-            ttft_samples.push_back(metrics.ttft());
-            within_deadline +=
-                metrics.ttft() <= config_.ttftDeadline ? 1 : 0;
-        }
-    }
-    report.p50Ttft = serving::percentile(ttft_samples, 50.0);
-    report.p99Ttft = serving::percentile(ttft_samples, 99.0);
-    report.sloAttainment =
-        workload.empty()
-            ? 1.0
-            : static_cast<double>(within_deadline) /
-                  static_cast<double>(workload.size());
+    mergeReports(report, workload);
     return report;
 }
 

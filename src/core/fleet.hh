@@ -1,27 +1,41 @@
 /**
  * @file
- * Fleet serving: N engine replicas behind a request router.
+ * Fleet serving: N engine replicas co-simulated on one virtual clock.
  *
  * One ServingSimulator drives one engine instance; a production
  * deployment runs many replicas — possibly on different hardware
  * tiers or different engines — behind a router.  The FleetSimulator
- * composes both layers:
+ * composes both layers as an event-driven co-simulation
+ * (core/event_sim.hh):
  *
- *  1. a sched::Router walks the arrival trace in time order and
- *     assigns each request to a replica (or sheds it, under the
- *     SLO-aware policy), using a calibrated queueing estimate of
- *     every replica's backlog;
- *  2. each replica then serves its assigned sub-trace with the full
- *     continuous-batching simulation, so all timing remains ground
- *     truth from the decode pipeline — the router estimate only
- *     decides placement;
- *  3. per-replica reports are merged into a FleetReport: aggregate
- *     throughput (the sum over replicas), fleet-wide TTFT
+ *  1. every request arrival is an event on the shared virtual
+ *     clock; at that instant the sched::Router assigns the request
+ *     to a replica (or sheds it, under the SLO-aware policy), using
+ *     the calibrated queueing estimate of every replica's backlog
+ *     AND — for the feedback policies — the replicas' observed
+ *     ground-truth state at that very instant;
+ *  2. each replica is a resumable stepwise engine; its prefill and
+ *     decode-step completions are events on the same clock, so all
+ *     timing remains ground truth from the decode pipeline and
+ *     routing finally *sees* the consequences of its own decisions;
+ *  3. optionally, a work-stealing hook re-routes still-queued
+ *     requests from overloaded (or failed) replicas to replicas
+ *     that just went idle;
+ *  4. per-replica reports are merged — joined back to the trace by
+ *     request id, never by slot position — into a FleetReport:
+ *     aggregate throughput (the sum over replicas), fleet-wide TTFT
  *     percentiles, and SLO attainment against the TTFT deadline.
+ *
+ * The pre-kernel two-phase path (route everything up front from the
+ * estimate, then replay each replica in isolation) is kept behind
+ * FleetKernel::TwoPhase; on estimate-based policies both kernels
+ * produce bit-identical reports, which the tests pin.
  *
  * Replica ServingSimulators (and their calibrated cost caches)
  * persist across run() calls, so sweeping scenarios over one fleet
  * re-simulates engines only for unseen (batch, context) buckets.
+ * Router calibration probes all replicas in parallel on a small
+ * thread pool (each thread only touches its own replica's cache).
  */
 
 #ifndef HERMES_CORE_FLEET_HH
@@ -32,6 +46,7 @@
 #include <string>
 #include <vector>
 
+#include "core/event_sim.hh"
 #include "core/serving.hh"
 #include "model/llm_config.hh"
 #include "runtime/system_config.hh"
@@ -47,6 +62,22 @@ struct ReplicaConfig
     serving::ServingConfig serving{};
 };
 
+/** Which co-simulation core drives the fleet. */
+enum class FleetKernel
+{
+    /** Event-driven: routing at arrival events, shared clock. */
+    EventDriven,
+
+    /** PR 2 compatibility: route all up front, replay in isolation. */
+    TwoPhase,
+};
+
+/** Display name ("event" / "two-phase"). */
+std::string fleetKernelName(FleetKernel kernel);
+
+/** Parse a display name back to a kernel; throws on unknown names. */
+FleetKernel fleetKernelByName(const std::string &name);
+
 /** Fleet topology and routing policy. */
 struct FleetConfig
 {
@@ -61,6 +92,28 @@ struct FleetConfig
      * attainment against it.
      */
     Seconds ttftDeadline = 2.0;
+
+    /**
+     * Co-simulation core.  Feedback policies (true-jsq,
+     * least-backlog) and work stealing require EventDriven; asking
+     * for them under TwoPhase throws at run().
+     */
+    FleetKernel kernel = FleetKernel::EventDriven;
+
+    /**
+     * Work stealing (EventDriven only): when a replica runs dry it
+     * steals up to half of the most backlogged replica's queued —
+     * never running — requests, newest arrivals first, capped at
+     * its own batch size.  Rescues queues stranded behind slow or
+     * failed replicas under placement-blind policies.
+     */
+    bool workStealing = false;
+
+    /**
+     * Threads for router calibration across replicas (0 = one per
+     * replica, capped at the hardware concurrency).
+     */
+    std::uint32_t calibrationThreads = 0;
 };
 
 /** `count` identical replicas behind the given policy. */
@@ -70,10 +123,21 @@ FleetConfig uniformFleet(std::uint32_t count,
                          sched::RouterPolicy policy,
                          Seconds ttft_deadline = 2.0);
 
+/** What the event kernel did during one run (zero under TwoPhase). */
+struct KernelStats
+{
+    sim::EventStats events;
+
+    /** Work-stealing hook firings / requests moved. */
+    std::uint64_t steals = 0;
+    std::uint64_t stolenRequests = 0;
+};
+
 /** Fleet-level outcome of one run. */
 struct FleetReport
 {
     std::string policy;
+    std::string kernel; ///< "event" or "two-phase".
     Seconds ttftDeadline = 0.0;
 
     /** Per-replica serving reports, fleet order. */
@@ -82,7 +146,9 @@ struct FleetReport
 
     /**
      * Request -> replica index, in arrival order (parallel to
-     * `requests`); -1 marks a request shed by the router.
+     * `requests`); -1 marks a request shed by the router.  Under
+     * work stealing this is the replica that finally held the
+     * request, not the router's first placement.
      */
     std::vector<int> assignment;
 
@@ -107,15 +173,21 @@ struct FleetReport
     double sloAttainment = 0.0;
 
     bool costModelSaturated = false;
+
+    KernelStats kernelStats;
 };
 
-/** Multi-replica serving simulator (see file header). */
+/** Multi-replica co-simulator (see file header). */
 class FleetSimulator
 {
   public:
     FleetSimulator(FleetConfig config, model::LlmConfig llm);
 
-    /** Serve one arrival trace (any order; sorted internally). */
+    /**
+     * Serve one arrival trace (any order; sorted internally).
+     * Request ids must be unique: the report merge joins replica
+     * rows back to the trace by id.
+     */
     FleetReport run(std::vector<serving::ServedRequest> workload);
 
     const FleetConfig &config() const { return config_; }
@@ -128,6 +200,31 @@ class FleetSimulator
     sched::ReplicaModel calibrate(std::size_t index,
                                   std::uint64_t typical_prompt,
                                   std::uint64_t typical_context);
+
+    /** Calibrate all replicas, in parallel across a thread pool. */
+    std::vector<sched::ReplicaModel>
+    calibrateAll(std::uint64_t typical_prompt,
+                 std::uint64_t typical_context);
+
+    /** The event-driven co-simulation core. */
+    void runEventDriven(
+        FleetReport &report,
+        const std::vector<serving::ServedRequest> &workload,
+        std::vector<sched::ReplicaModel> models);
+
+    /** The PR 2 compatibility path (route, then replay). */
+    void runTwoPhase(
+        FleetReport &report,
+        const std::vector<serving::ServedRequest> &workload,
+        std::vector<sched::ReplicaModel> models);
+
+    /**
+     * Join replica report rows back to the trace by request id and
+     * fill the fleet aggregates (counts, percentiles, SLO).
+     */
+    void mergeReports(
+        FleetReport &report,
+        const std::vector<serving::ServedRequest> &workload);
 
     FleetConfig config_;
     model::LlmConfig llm_;

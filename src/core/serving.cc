@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <deque>
 
+#include "common/logging.hh"
 #include "common/rng.hh"
 #include "runtime/engine.hh"
 
@@ -119,168 +119,321 @@ ServingSimulator::servable(std::uint32_t batch, std::uint64_t seq)
     return costs(batch, seq).token >= 0.0;
 }
 
+void
+ServingSimulator::beginSession()
+{
+    requests_.clear();
+    metrics_.clear();
+    stolen_.clear();
+    pending_.clear();
+    waiting_.clear();
+    active_.clear();
+    clock_ = 0.0;
+    inflight_ = StepKind::Idle;
+    inflightEnd_ = 0.0;
+    inflightDt_ = 0.0;
+    inflightGroup_.clear();
+    deadChecked_ = false;
+    dead_ = false;
+    sessionCompleted_ = 0;
+    sessionRejected_ = 0;
+    generated_ = 0;
+    decodeTime_ = 0.0;
+    occupancyWeighted_ = 0.0;
+    peakBatch_ = 0;
+    tokenSamples_.clear();
+    ttftSamples_.clear();
+    // saturated_ is deliberately sticky: it describes the cost
+    // cache, which outlives sessions.
+}
+
+void
+ServingSimulator::deliver(const ServedRequest &request)
+{
+    const std::size_t index = requests_.size();
+    requests_.push_back(request);
+    RequestMetrics metrics;
+    metrics.id = request.id;
+    metrics.arrival = request.arrival;
+    metrics_.push_back(metrics);
+    stolen_.push_back(false);
+    pending_.push_back(index);
+}
+
+StepAction
+ServingSimulator::startNextWork(Seconds now)
+{
+    hermes_assert(!busy(), "startNextWork with work in flight");
+
+    // Capability probe at the first observed request — the same
+    // batch-1 probe the closed loop ran up front.  A dead replica
+    // (platform cannot run the model) holds every delivery without
+    // advancing its clock; finishSession rejects the holdovers,
+    // reproducing the whole-trace rejection of the old path.  Held
+    // requests stay visible to observed-state routing and remain
+    // stealable, so feedback policies and work stealing can route
+    // around the failure.
+    if (!deadChecked_ && !pending_.empty()) {
+        deadChecked_ = true;
+        dead_ =
+            costs(1, requests_[pending_.front()].promptTokens)
+                .token < 0.0;
+    }
+    if (dead_)
+        return StepAction{StepKind::Idle, clock_};
+
+    hermes_assert(now >= clock_,
+                  "startNextWork walks the clock backwards");
+    clock_ = now;
+
+    // Observe due arrivals, rejecting past the queue limit.  Free
+    // batch slots count as queue capacity: an arrival that will be
+    // admitted this very boundary is not "queued".
+    const std::size_t free_slots =
+        config_.maxBatch > active_.size()
+            ? config_.maxBatch - active_.size()
+            : 0;
+    while (!pending_.empty() &&
+           requests_[pending_.front()].arrival <= clock_) {
+        const std::size_t index = pending_.front();
+        pending_.pop_front();
+        if (waiting_.size() >= config_.maxQueue + free_slots) {
+            metrics_[index].rejected = true;
+            ++sessionRejected_;
+        } else {
+            waiting_.push_back(index);
+        }
+    }
+
+    if (active_.empty() && waiting_.empty()) {
+        if (pending_.empty())
+            return StepAction{StepKind::Idle, clock_};
+        return StepAction{
+            StepKind::WaitArrival,
+            requests_[pending_.front()].arrival};
+    }
+
+    // Continuous batching: fill free slots from the queue, then run
+    // the joint prefill of the admitted group — or, with nobody
+    // newly admitted, one decode step for the whole running batch.
+    inflightGroup_.clear();
+    while (!waiting_.empty() &&
+           active_.size() < config_.maxBatch) {
+        const std::size_t index = waiting_.front();
+        waiting_.pop_front();
+        metrics_[index].admitted = clock_;
+        inflightGroup_.push_back(index);
+        active_.push_back(Running{
+            index, requests_[index].generateTokens,
+            requests_[index].promptTokens});
+    }
+    if (!inflightGroup_.empty()) {
+        std::uint32_t max_prompt = 1;
+        for (const std::size_t index : inflightGroup_)
+            max_prompt = std::max(max_prompt,
+                                  requests_[index].promptTokens);
+        // max(0): a bucket probe can come back unsupported (KV
+        // growth at large batch); serve it at zero extra cost
+        // rather than walking the clock backwards.
+        const Seconds prefill = std::max(
+            costs(static_cast<std::uint32_t>(
+                      inflightGroup_.size()),
+                  max_prompt)
+                .prefill,
+            0.0);
+        inflight_ = StepKind::Prefill;
+        inflightEnd_ = clock_ + prefill;
+    } else {
+        const auto batch =
+            static_cast<std::uint32_t>(active_.size());
+        std::uint64_t max_seq = 1;
+        for (const Running &running : active_)
+            max_seq = std::max(max_seq, running.seq);
+        inflightDt_ = std::max(costs(batch, max_seq).token, 0.0);
+        inflight_ = StepKind::Decode;
+        inflightEnd_ = clock_ + inflightDt_;
+    }
+    peakBatch_ = std::max(
+        peakBatch_, static_cast<std::uint32_t>(active_.size()));
+    return StepAction{inflight_, inflightEnd_};
+}
+
+std::vector<std::uint64_t>
+ServingSimulator::completeWork()
+{
+    hermes_assert(busy(), "completeWork with nothing in flight");
+    clock_ = inflightEnd_;
+    if (inflight_ == StepKind::Prefill) {
+        for (const std::size_t index : inflightGroup_) {
+            metrics_[index].firstToken = clock_;
+            ttftSamples_.push_back(metrics_[index].ttft());
+        }
+        // Prefill produces the first token.  The admitted group
+        // occupies the tail of `active_` (just pushed).
+        for (std::size_t k =
+                 active_.size() - inflightGroup_.size();
+             k < active_.size(); ++k) {
+            Running &running = active_[k];
+            if (running.remaining > 0) {
+                metrics_[running.index].tokens = 1;
+                --running.remaining;
+                ++running.seq;
+                ++generated_;
+            }
+        }
+    } else {
+        const auto batch =
+            static_cast<std::uint32_t>(active_.size());
+        decodeTime_ += inflightDt_;
+        occupancyWeighted_ +=
+            static_cast<double>(batch) * inflightDt_;
+        for (Running &running : active_) {
+            ++metrics_[running.index].tokens;
+            --running.remaining;
+            ++running.seq;
+            ++generated_;
+            tokenSamples_.push_back(inflightDt_);
+        }
+    }
+    inflight_ = StepKind::Idle;
+    inflightGroup_.clear();
+
+    // Retire finished requests.
+    std::vector<std::uint64_t> retired;
+    for (auto it = active_.begin(); it != active_.end();) {
+        if (it->remaining == 0) {
+            metrics_[it->index].completed = clock_;
+            ++sessionCompleted_;
+            retired.push_back(metrics_[it->index].id);
+            it = active_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    return retired;
+}
+
+ServingReport
+ServingSimulator::finishSession()
+{
+    hermes_assert(!busy() && active_.empty(),
+                  "finishSession with work in flight");
+
+    // Whatever is still queued was never served (only a dead
+    // replica ends a drained session with holdovers).
+    for (const std::size_t index : pending_) {
+        metrics_[index].rejected = true;
+        ++sessionRejected_;
+    }
+    for (const std::size_t index : waiting_) {
+        metrics_[index].rejected = true;
+        ++sessionRejected_;
+    }
+    pending_.clear();
+    waiting_.clear();
+
+    ServingReport report;
+    report.engine = runtime::engineKindName(config_.engine);
+    report.requests.reserve(metrics_.size());
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+        if (!stolen_[i])
+            report.requests.push_back(metrics_[i]);
+    }
+    report.completed = sessionCompleted_;
+    report.rejected = sessionRejected_;
+    report.makespan = clock_;
+    report.peakBatch = peakBatch_;
+    report.costModelSaturated = saturated_;
+    report.throughputTps =
+        clock_ > 0.0
+            ? static_cast<double>(generated_) / clock_
+            : 0.0;
+    report.meanBatchOccupancy =
+        decodeTime_ > 0.0 ? occupancyWeighted_ / decodeTime_ : 0.0;
+    report.p50TokenLatency = percentile(tokenSamples_, 50.0);
+    report.p90TokenLatency = percentile(tokenSamples_, 90.0);
+    report.p99TokenLatency = percentile(tokenSamples_, 99.0);
+    report.p50Ttft = percentile(ttftSamples_, 50.0);
+    report.p99Ttft = percentile(ttftSamples_, 99.0);
+    return report;
+}
+
+std::uint32_t
+ServingSimulator::observedOutstanding() const
+{
+    return static_cast<std::uint32_t>(
+        active_.size() + waiting_.size() + pending_.size());
+}
+
+double
+ServingSimulator::observedBacklogTokens() const
+{
+    double tokens = 0.0;
+    for (const Running &running : active_)
+        tokens += static_cast<double>(running.remaining);
+    for (const std::size_t index : waiting_)
+        tokens += static_cast<double>(
+            requests_[index].generateTokens);
+    for (const std::size_t index : pending_)
+        tokens += static_cast<double>(
+            requests_[index].generateTokens);
+    return tokens;
+}
+
+std::uint32_t
+ServingSimulator::queuedCount() const
+{
+    return static_cast<std::uint32_t>(waiting_.size() +
+                                      pending_.size());
+}
+
+std::vector<ServedRequest>
+ServingSimulator::stealQueued(std::uint32_t count)
+{
+    // Newest arrivals first: under FIFO admission those would wait
+    // the longest here, so they gain the most from moving.
+    std::vector<ServedRequest> out;
+    while (out.size() < count && !pending_.empty()) {
+        const std::size_t index = pending_.back();
+        pending_.pop_back();
+        stolen_[index] = true;
+        out.push_back(requests_[index]);
+    }
+    while (out.size() < count && !waiting_.empty()) {
+        const std::size_t index = waiting_.back();
+        waiting_.pop_back();
+        stolen_[index] = true;
+        out.push_back(requests_[index]);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const ServedRequest &a, const ServedRequest &b) {
+                  return a.arrival != b.arrival
+                             ? a.arrival < b.arrival
+                             : a.id < b.id;
+              });
+    return out;
+}
+
 ServingReport
 ServingSimulator::run(std::vector<ServedRequest> workload)
 {
-    ServingReport report;
-    report.engine = runtime::engineKindName(config_.engine);
-
     sortByArrival(workload);
-
-    report.requests.resize(workload.size());
-    for (std::size_t i = 0; i < workload.size(); ++i) {
-        report.requests[i].id = workload[i].id;
-        report.requests[i].arrival = workload[i].arrival;
+    beginSession();
+    for (const ServedRequest &request : workload)
+        deliver(request);
+    // The closed loop is the stepwise protocol driven locally: the
+    // only difference from the fleet kernel is that idle gaps are
+    // skipped by re-entering at the next arrival instant.
+    for (;;) {
+        if (busy())
+            completeWork();
+        StepAction action = startNextWork(clock_);
+        if (action.kind == StepKind::WaitArrival)
+            action = startNextWork(action.until);
+        if (action.kind == StepKind::Idle)
+            break;
     }
-
-    // Capability probe: an engine that cannot run the model at all
-    // (capacity, model family) rejects the whole trace.
-    if (!workload.empty() &&
-        costs(1, workload.front().promptTokens).token < 0.0) {
-        for (auto &metrics : report.requests)
-            metrics.rejected = true;
-        report.rejected = workload.size();
-        return report;
-    }
-
-    struct Running
-    {
-        std::size_t index;        ///< Into workload / report.requests.
-        std::uint32_t remaining;  ///< Decode steps still owed.
-        std::uint64_t seq;        ///< Current context length.
-    };
-
-    std::vector<Running> active;
-    std::deque<std::size_t> waiting;
-    std::size_t next_arrival = 0;
-    Seconds clock = 0.0;
-    std::uint64_t generated = 0;
-    Seconds decode_time = 0.0;
-    double occupancy_weighted = 0.0;
-
-    std::vector<Seconds> token_samples;
-    std::vector<Seconds> ttft_samples;
-
-    const std::size_t n = workload.size();
-    while (report.completed + report.rejected < n ||
-           !active.empty()) {
-        // Move due arrivals into the admission queue, rejecting past
-        // the queue limit.  Free batch slots count as queue capacity:
-        // an arrival that will be admitted this very iteration is not
-        // "queued".
-        const std::size_t free_slots =
-            config_.maxBatch > active.size()
-                ? config_.maxBatch - active.size()
-                : 0;
-        while (next_arrival < n &&
-               workload[next_arrival].arrival <= clock) {
-            if (waiting.size() >= config_.maxQueue + free_slots) {
-                report.requests[next_arrival].rejected = true;
-                ++report.rejected;
-            } else {
-                waiting.push_back(next_arrival);
-            }
-            ++next_arrival;
-        }
-
-        if (active.empty() && waiting.empty()) {
-            if (next_arrival >= n)
-                break;
-            clock = workload[next_arrival].arrival; // Idle skip.
-            continue;
-        }
-
-        // Continuous batching: fill free slots from the queue, then
-        // run the joint prefill of the admitted group.
-        std::vector<std::size_t> admitted;
-        while (!waiting.empty() &&
-               active.size() < config_.maxBatch) {
-            const std::size_t index = waiting.front();
-            waiting.pop_front();
-            report.requests[index].admitted = clock;
-            admitted.push_back(index);
-            active.push_back(Running{
-                index, workload[index].generateTokens,
-                workload[index].promptTokens});
-        }
-        if (!admitted.empty()) {
-            std::uint32_t max_prompt = 1;
-            for (const std::size_t index : admitted)
-                max_prompt = std::max(max_prompt,
-                                      workload[index].promptTokens);
-            // max(0): a bucket probe can come back unsupported (KV
-            // growth at large batch); serve it at zero extra cost
-            // rather than walking the clock backwards.
-            clock += std::max(
-                costs(static_cast<std::uint32_t>(admitted.size()),
-                      max_prompt)
-                    .prefill,
-                0.0);
-            for (const std::size_t index : admitted) {
-                report.requests[index].firstToken = clock;
-                ttft_samples.push_back(
-                    report.requests[index].ttft());
-            }
-            // Prefill produces the first token.  The admitted group
-            // occupies the tail of `active` (just pushed).
-            for (std::size_t k = active.size() - admitted.size();
-                 k < active.size(); ++k) {
-                Running &running = active[k];
-                if (running.remaining > 0) {
-                    report.requests[running.index].tokens = 1;
-                    --running.remaining;
-                    ++running.seq;
-                    ++generated;
-                }
-            }
-        } else {
-            // One decode step for the whole running batch.
-            const auto batch =
-                static_cast<std::uint32_t>(active.size());
-            std::uint64_t max_seq = 1;
-            for (const Running &running : active)
-                max_seq = std::max(max_seq, running.seq);
-            const Seconds dt =
-                std::max(costs(batch, max_seq).token, 0.0);
-            clock += dt;
-            decode_time += dt;
-            occupancy_weighted += static_cast<double>(batch) * dt;
-            for (Running &running : active) {
-                ++report.requests[running.index].tokens;
-                --running.remaining;
-                ++running.seq;
-                ++generated;
-                token_samples.push_back(dt);
-            }
-        }
-        report.peakBatch = std::max(
-            report.peakBatch,
-            static_cast<std::uint32_t>(active.size()));
-
-        // Retire finished requests.
-        for (auto it = active.begin(); it != active.end();) {
-            if (it->remaining == 0) {
-                report.requests[it->index].completed = clock;
-                ++report.completed;
-                it = active.erase(it);
-            } else {
-                ++it;
-            }
-        }
-    }
-
-    report.makespan = clock;
-    report.costModelSaturated = saturated_;
-    report.throughputTps =
-        clock > 0.0 ? static_cast<double>(generated) / clock : 0.0;
-    report.meanBatchOccupancy =
-        decode_time > 0.0 ? occupancy_weighted / decode_time : 0.0;
-    report.p50TokenLatency = percentile(token_samples, 50.0);
-    report.p90TokenLatency = percentile(token_samples, 90.0);
-    report.p99TokenLatency = percentile(token_samples, 99.0);
-    report.p50Ttft = percentile(ttft_samples, 50.0);
-    report.p99Ttft = percentile(ttft_samples, 99.0);
-    return report;
+    return finishSession();
 }
 
 std::vector<ServedRequest>

@@ -17,6 +17,15 @@
  *    (calibrated per batch-size and context-length bucket and
  *    cached), so serving numbers inherit the full overlap model.
  *
+ * Since the event-kernel refactor the simulator is *stepwise*: one
+ * replica is a resumable engine (beginSession / deliver /
+ * startNextWork / completeWork / finishSession) that an external
+ * virtual clock — the fleet's event kernel (core/event_sim.hh) —
+ * can interleave with other replicas.  The classic closed `run()`
+ * loop is reimplemented on top of the stepwise core and reproduces
+ * the pre-refactor physics bit for bit, so single-replica callers
+ * and the golden tests are untouched.
+ *
  * The report carries per-request metrics (queue delay, TTFT,
  * end-to-end latency) and fleet-level percentiles (p50/p90/p99 token
  * latency and TTFT), the numbers a capacity planner actually needs.
@@ -26,6 +35,7 @@
 #define HERMES_CORE_SERVING_HH
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <vector>
 
@@ -46,11 +56,11 @@ struct ServedRequest
 };
 
 /**
- * Stable-sort a trace into arrival order.  The single ordering every
- * layer agrees on: the fleet router records per-replica slot indices
- * at routing time and later reads the replica's report rows by those
- * indices, which is only sound while router, workload parser, and
- * ServingSimulator::run all order requests identically.
+ * Stable-sort a trace into arrival order — the one ordering the
+ * workload generator, the router, and the serving loop agree on.
+ * (The fleet layer joins replica report rows back to the trace by
+ * request id, so ids must be unique within a fleet run; see
+ * core/fleet.hh.)
  */
 void sortByArrival(std::vector<ServedRequest> &workload);
 
@@ -128,13 +138,53 @@ struct ServingReport
     bool costModelSaturated = false;
 };
 
+/** What a replica does next on the shared clock. */
+enum class StepKind
+{
+    /** Nothing queued, nothing running. */
+    Idle,
+
+    /** Only future arrivals remain; wake at StepAction::until. */
+    WaitArrival,
+
+    /** Joint admission prefill in flight until StepAction::until. */
+    Prefill,
+
+    /** One decode step in flight until StepAction::until. */
+    Decode,
+};
+
+/** Outcome of ServingSimulator::startNextWork(). */
+struct StepAction
+{
+    StepKind kind = StepKind::Idle;
+
+    /** End of the started work, or the next arrival (WaitArrival). */
+    Seconds until = 0.0;
+};
+
 /**
- * Iteration-level continuous-batching simulator over one engine.
+ * Iteration-level continuous-batching simulator over one engine,
+ * exposed as a resumable stepwise replica engine.
  *
  * Decode-step and prefill latencies are calibrated by running the
  * engine (which itself runs on the shared decode pipeline) at the
  * bucketed batch size and context length, then cached, so large
- * traces cost only a handful of engine simulations.
+ * traces cost only a handful of engine simulations.  The cost cache
+ * persists across sessions and runs.
+ *
+ * Stepwise session protocol (driven by the fleet event kernel):
+ *
+ *   beginSession();
+ *   deliver(request);                 // at each arrival event
+ *   a = startNextWork(now);           // when idle and work exists
+ *   ... virtual clock reaches a.until ...
+ *   retired = completeWork();         // apply effects, retire
+ *   a = startNextWork(a.until);       // chain the next step
+ *   ...
+ *   report = finishSession();
+ *
+ * `run()` is exactly this protocol driven by a local loop.
  */
 class ServingSimulator
 {
@@ -147,11 +197,76 @@ class ServingSimulator
 
     const ServingConfig &config() const { return config_; }
 
+    // ---- Stepwise session API (event-driven co-simulation) ----
+
+    /** Reset session state (metrics, queues, clock) — not the cache. */
+    void beginSession();
+
+    /** Hand one arrival to the replica (admission decided later). */
+    void deliver(const ServedRequest &request);
+
     /**
-     * Calibrated-cost probes, shared with the fleet router so its
-     * replica model and the replica's own simulation agree on the
-     * physics.  Queries hit the same cache `run()` fills; unservable
-     * buckets report 0 cost and `servable() == false`.
+     * At a boundary instant `now` (>= clock()), observe due
+     * arrivals, make admission decisions, and start the next unit
+     * of work: a joint prefill of the newly admitted group, or one
+     * decode step of the running batch.  Must not be called while
+     * work is in flight (busy()).
+     */
+    StepAction startNextWork(Seconds now);
+
+    /**
+     * Finish the in-flight work at its scheduled end: emit first
+     * tokens (prefill) or advance every running request one token
+     * (decode), then retire finished requests.  Returns the retired
+     * request ids, for the kernel's request-done events.
+     */
+    std::vector<std::uint64_t> completeWork();
+
+    /** Assemble the session's ServingReport (ends the session). */
+    ServingReport finishSession();
+
+    /** Whether a prefill or decode step is in flight. */
+    bool busy() const { return inflight_ != StepKind::Idle; }
+
+    /** The replica's virtual clock (its last boundary instant). */
+    Seconds clock() const { return clock_; }
+
+    // ---- Observed state (feedback routing & work stealing) ----
+
+    /** Requests on this replica: running + queued + undecided. */
+    std::uint32_t observedOutstanding() const;
+
+    /** Ground-truth backlog in tokens still owed to requests here. */
+    double observedBacklogTokens() const;
+
+    /** Requests queued but not yet in the running batch. */
+    std::uint32_t queuedCount() const;
+
+    /**
+     * Whether this replica is known to serve the session's model
+     * (capability probe done and passed).  False until the first
+     * request is observed at a boundary.
+     */
+    bool knownServable() const { return deadChecked_ && !dead_; }
+
+    /** Whether the capability probe ran and failed (dead replica). */
+    bool knownDead() const { return deadChecked_ && dead_; }
+
+    /**
+     * Remove up to `count` queued (never running) requests, newest
+     * arrivals first, and return them in (arrival, id) order for
+     * re-delivery to another replica.  Stolen requests vanish from
+     * this replica's report.
+     */
+    std::vector<ServedRequest> stealQueued(std::uint32_t count);
+
+    // ---- Calibrated-cost probes ----
+
+    /**
+     * Shared with the fleet router so its replica model and the
+     * replica's own simulation agree on the physics.  Queries hit
+     * the same cache `run()` fills; unservable buckets report 0
+     * cost and `servable() == false`.
      */
     Seconds prefillSeconds(std::uint32_t batch,
                            std::uint64_t prompt_tokens);
@@ -168,6 +283,14 @@ class ServingSimulator
         Seconds token = 0.0;   ///< One decode step for the batch.
     };
 
+    /** One request in the running batch. */
+    struct Running
+    {
+        std::size_t index;       ///< Into requests_ / metrics_.
+        std::uint32_t remaining; ///< Decode steps still owed.
+        std::uint64_t seq;       ///< Current context length.
+    };
+
     /** Calibrated (batch bucket, seq bucket) -> step costs. */
     StepCosts &costs(std::uint32_t batch, std::uint64_t seq);
 
@@ -177,6 +300,32 @@ class ServingSimulator
     std::map<std::pair<std::uint32_t, std::uint64_t>, StepCosts>
         cache_;
     bool saturated_ = false;
+
+    // ---- Session state (reset by beginSession) ----
+    std::vector<ServedRequest> requests_; ///< Delivery order.
+    std::vector<RequestMetrics> metrics_; ///< Parallel to requests_.
+    std::vector<bool> stolen_;            ///< Excluded from report.
+    std::deque<std::size_t> pending_;     ///< Delivered, unobserved.
+    std::deque<std::size_t> waiting_;     ///< In the admission queue.
+    std::vector<Running> active_;         ///< The running batch.
+    Seconds clock_ = 0.0;
+
+    StepKind inflight_ = StepKind::Idle;
+    Seconds inflightEnd_ = 0.0;
+    Seconds inflightDt_ = 0.0;                 ///< Decode step cost.
+    std::vector<std::size_t> inflightGroup_;   ///< Prefill group.
+
+    bool deadChecked_ = false;
+    bool dead_ = false; ///< Engine cannot serve the model at all.
+
+    std::uint64_t sessionCompleted_ = 0;
+    std::uint64_t sessionRejected_ = 0;
+    std::uint64_t generated_ = 0;
+    Seconds decodeTime_ = 0.0;
+    double occupancyWeighted_ = 0.0;
+    std::uint32_t peakBatch_ = 0;
+    std::vector<Seconds> tokenSamples_;
+    std::vector<Seconds> ttftSamples_;
 };
 
 /**

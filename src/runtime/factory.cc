@@ -77,6 +77,15 @@ engineKindByName(const std::string &name)
         "engineKindByName: unknown engine '" + name + "'");
 }
 
+std::vector<std::string>
+engineKindNames()
+{
+    std::vector<std::string> names;
+    for (const EngineKind kind : allEngineKinds())
+        names.push_back(engineKindName(kind));
+    return names;
+}
+
 SystemConfig
 platformPreset(const std::string &name,
                std::uint32_t simulated_layers)

@@ -40,6 +40,9 @@ std::string engineKindName(EngineKind kind);
 /** Parse a display name back to a kind; throws on unknown names. */
 EngineKind engineKindByName(const std::string &name);
 
+/** All display names in figure order (CLI help, sweep parsing). */
+std::vector<std::string> engineKindNames();
+
 /**
  * Named platform presets for building heterogeneous fleets: replicas
  * of one fleet can run different hardware tiers behind one router.

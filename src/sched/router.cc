@@ -18,6 +18,10 @@ routerPolicyName(RouterPolicy policy)
         return "least-tokens";
     case RouterPolicy::SloAware:
         return "slo-aware";
+    case RouterPolicy::TrueJsq:
+        return "true-jsq";
+    case RouterPolicy::LeastActualBacklog:
+        return "least-backlog";
     }
     return "?";
 }
@@ -28,7 +32,16 @@ allRouterPolicies()
     return {RouterPolicy::RoundRobin,
             RouterPolicy::JoinShortestQueue,
             RouterPolicy::LeastOutstandingTokens,
-            RouterPolicy::SloAware};
+            RouterPolicy::SloAware,
+            RouterPolicy::TrueJsq,
+            RouterPolicy::LeastActualBacklog};
+}
+
+bool
+routerPolicyNeedsObservations(RouterPolicy policy)
+{
+    return policy == RouterPolicy::TrueJsq ||
+           policy == RouterPolicy::LeastActualBacklog;
 }
 
 RouterPolicy
@@ -162,15 +175,48 @@ Router::commit(std::uint32_t replica, Seconds arrival,
 }
 
 RouteDecision
-Router::route(Seconds arrival, std::uint32_t generate_tokens)
+Router::route(Seconds arrival, std::uint32_t generate_tokens,
+              const std::vector<ReplicaObservation> *observed)
 {
     const auto n =
         static_cast<std::uint32_t>(replicas_.size());
+    // Feedback policies need one observation per replica; without
+    // them (the offline two-phase path) degrade to the estimate
+    // twin rather than routing on garbage.
+    RouterPolicy policy = policy_;
+    if (routerPolicyNeedsObservations(policy) &&
+        (observed == nullptr || observed->size() != n)) {
+        policy = policy == RouterPolicy::TrueJsq
+                     ? RouterPolicy::JoinShortestQueue
+                     : RouterPolicy::LeastOutstandingTokens;
+    }
     std::uint32_t chosen = 0;
-    switch (policy_) {
+    switch (policy) {
     case RouterPolicy::RoundRobin:
         chosen = static_cast<std::uint32_t>(routed_ % n);
         break;
+    case RouterPolicy::TrueJsq: {
+        std::uint32_t best = std::numeric_limits<std::uint32_t>::max();
+        for (std::uint32_t i = 0; i < n; ++i) {
+            const std::uint32_t depth = (*observed)[i].outstanding;
+            if (depth < best) {
+                best = depth;
+                chosen = i;
+            }
+        }
+        break;
+    }
+    case RouterPolicy::LeastActualBacklog: {
+        double best = std::numeric_limits<double>::infinity();
+        for (std::uint32_t i = 0; i < n; ++i) {
+            const double backlog = (*observed)[i].backlogTokens;
+            if (backlog < best) {
+                best = backlog;
+                chosen = i;
+            }
+        }
+        break;
+    }
     case RouterPolicy::JoinShortestQueue: {
         std::uint32_t best = std::numeric_limits<std::uint32_t>::max();
         for (std::uint32_t i = 0; i < n; ++i) {

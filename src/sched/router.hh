@@ -17,11 +17,20 @@
  *    heterogeneous fleet;
  *  - SloAware: smallest estimated TTFT, and sheds (rejects at the
  *    door) requests whose best achievable TTFT estimate already
- *    misses the deadline — protecting the latency of admitted work.
+ *    misses the deadline — protecting the latency of admitted work;
+ *  - TrueJsq / LeastActualBacklog: the feedback twins of
+ *    JoinShortestQueue / LeastOutstandingTokens.  Instead of the
+ *    calibrated estimate they rank replicas by *observed* state
+ *    (actual occupancy / actual token backlog), which the fleet's
+ *    event kernel samples at the arrival instant and passes into
+ *    route().  Without observations (the offline two-phase path)
+ *    they degrade to their estimate twins.
  *
  * The model is an estimate: the replica's own ServingSimulator run
  * remains the ground truth for timing.  Estimates only decide *where*
- * a request goes (and, for SloAware, *whether* it is admitted).
+ * a request goes (and, for SloAware, *whether* it is admitted); the
+ * feedback policies replace the estimate with ground truth at the
+ * decision instant, closing the loop the estimate approximates.
  */
 
 #ifndef HERMES_SCHED_ROUTER_HH
@@ -42,9 +51,14 @@ enum class RouterPolicy
     JoinShortestQueue,
     LeastOutstandingTokens,
     SloAware,
+    TrueJsq,
+    LeastActualBacklog,
 };
 
-/** Display name ("round-robin", "jsq", "least-tokens", "slo-aware"). */
+/**
+ * Display name ("round-robin", "jsq", "least-tokens", "slo-aware",
+ * "true-jsq", "least-backlog").
+ */
 std::string routerPolicyName(RouterPolicy policy);
 
 /** All policies, in the order benches sweep them. */
@@ -52,6 +66,23 @@ std::vector<RouterPolicy> allRouterPolicies();
 
 /** Parse a display name back to a policy; throws on unknown names. */
 RouterPolicy routerPolicyByName(const std::string &name);
+
+/** Whether a policy ranks replicas by observed (not estimated) state. */
+bool routerPolicyNeedsObservations(RouterPolicy policy);
+
+/**
+ * Ground-truth replica state sampled at a routing instant by the
+ * fleet event kernel (core/event_sim.hh): what the estimate-based
+ * policies approximate, the feedback policies consume directly.
+ */
+struct ReplicaObservation
+{
+    /** Requests on the replica: running + queued + undecided. */
+    std::uint32_t outstanding = 0;
+
+    /** Tokens still owed to requests on the replica. */
+    double backlogTokens = 0.0;
+};
 
 /** The router's calibrated view of one replica. */
 struct ReplicaModel
@@ -94,9 +125,17 @@ class Router
     Router(RouterPolicy policy, std::vector<ReplicaModel> replicas,
            Seconds ttft_deadline = 2.0);
 
-    /** Route one request arriving at `arrival`. */
-    RouteDecision route(Seconds arrival,
-                        std::uint32_t generate_tokens);
+    /**
+     * Route one request arriving at `arrival`.  `observed`, when
+     * provided, carries one ground-truth ReplicaObservation per
+     * replica, sampled at this instant; the feedback policies
+     * (TrueJsq, LeastActualBacklog) rank by it and every other
+     * policy ignores it.  A feedback policy routed without
+     * observations falls back to its estimate twin.
+     */
+    RouteDecision
+    route(Seconds arrival, std::uint32_t generate_tokens,
+          const std::vector<ReplicaObservation> *observed = nullptr);
 
     std::uint32_t replicaCount() const
     {

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Event-kernel tests: deterministic total order of the shared
+ * virtual clock (core/event_sim.hh).  Fleet reports are pinned
+ * byte-identical by the regression tests, so the pop order here is
+ * load-bearing, not cosmetic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/event_sim.hh"
+
+namespace hermes::sim {
+namespace {
+
+TEST(EventSim, PopsInTimeOrderRegardlessOfPushOrder)
+{
+    EventQueue queue;
+    queue.push(3.0, EventKind::StepComplete, 1, 7);
+    queue.push(1.0, EventKind::Arrival, -1, 0);
+    queue.push(2.0, EventKind::PrefillComplete, 0, 2);
+    queue.push(1.5, EventKind::Arrival, -1, 1);
+
+    std::vector<Seconds> times;
+    while (!queue.empty())
+        times.push_back(queue.pop().time);
+    EXPECT_EQ(times, (std::vector<Seconds>{1.0, 1.5, 2.0, 3.0}));
+}
+
+TEST(EventSim, ArrivalsSortBeforeReplicaEventsAtTheSameInstant)
+{
+    // A boundary at time t must observe every arrival with
+    // arrival <= t, like the closed serving loop: fleet-level
+    // events (replica < 0) win ties against any replica event.
+    EventQueue queue;
+    queue.push(1.0, EventKind::StepComplete, 0, 0);
+    queue.push(1.0, EventKind::Arrival, -1, 5);
+    queue.push(1.0, EventKind::Wake, 2, 0);
+    queue.push(1.0, EventKind::Arrival, -1, 4);
+
+    EXPECT_EQ(queue.pop().kind, EventKind::Arrival);
+    EXPECT_EQ(queue.pop().kind, EventKind::Arrival);
+    EXPECT_EQ(queue.pop().kind, EventKind::StepComplete);
+    EXPECT_EQ(queue.pop().kind, EventKind::Wake);
+}
+
+TEST(EventSim, TiesBreakByReplicaThenKindThenId)
+{
+    EventQueue queue;
+    queue.push(2.0, EventKind::Wake, 1, 0);
+    queue.push(2.0, EventKind::StepComplete, 1, 0);
+    queue.push(2.0, EventKind::StepComplete, 0, 0);
+    queue.push(2.0, EventKind::RequestDone, 0, 9);
+    queue.push(2.0, EventKind::RequestDone, 0, 3);
+
+    // Replica 0 first; within it, request-done (lower kind rank)
+    // before step-complete, and lower id first.
+    Event event = queue.pop();
+    EXPECT_EQ(event.replica, 0);
+    EXPECT_EQ(event.kind, EventKind::RequestDone);
+    EXPECT_EQ(event.id, 3u);
+    event = queue.pop();
+    EXPECT_EQ(event.id, 9u);
+    EXPECT_EQ(queue.pop().kind, EventKind::StepComplete);
+    event = queue.pop();
+    EXPECT_EQ(event.replica, 1);
+    EXPECT_EQ(event.kind, EventKind::StepComplete);
+    EXPECT_EQ(queue.pop().kind, EventKind::Wake);
+}
+
+TEST(EventSim, IdenticalEventsPopInInsertionOrder)
+{
+    EventQueue queue;
+    for (int i = 0; i < 4; ++i)
+        queue.push(1.0, EventKind::Arrival, -1, 7);
+    std::uint64_t last = 0;
+    for (int i = 0; i < 4; ++i) {
+        const Event event = queue.pop();
+        if (i > 0)
+            EXPECT_GT(event.seq, last);
+        last = event.seq;
+    }
+}
+
+TEST(EventSim, ClockIsMonotonicAndStatsCountByKind)
+{
+    EventQueue queue;
+    queue.push(0.5, EventKind::Arrival, -1, 0);
+    queue.push(1.0, EventKind::PrefillComplete, 0, 0);
+    queue.push(2.0, EventKind::StepComplete, 0, 0);
+    queue.push(2.0, EventKind::RequestDone, 0, 0);
+    queue.push(3.0, EventKind::Wake, 1, 0);
+
+    Seconds last = 0.0;
+    while (!queue.empty()) {
+        const Event event = queue.pop();
+        EXPECT_GE(event.time, last);
+        last = event.time;
+        EXPECT_DOUBLE_EQ(queue.now(), event.time);
+        // Scheduling into the virtual present is fine...
+        queue.push(event.time, EventKind::RequestDone, 3,
+                   100 + queue.stats().popped());
+        queue.pop();
+    }
+    const EventStats &stats = queue.stats();
+    EXPECT_EQ(stats.arrivals, 1u);
+    EXPECT_EQ(stats.prefills, 1u);
+    EXPECT_EQ(stats.decodeSteps, 1u);
+    EXPECT_EQ(stats.requestsDone, 1u + 5u);
+    EXPECT_EQ(stats.wakes, 1u);
+    EXPECT_EQ(stats.popped(), 10u);
+}
+
+TEST(EventSim, KindNamesAreStable)
+{
+    EXPECT_EQ(eventKindName(EventKind::Arrival), "arrival");
+    EXPECT_EQ(eventKindName(EventKind::RequestDone),
+              "request-done");
+    EXPECT_EQ(eventKindName(EventKind::PrefillComplete),
+              "prefill-complete");
+    EXPECT_EQ(eventKindName(EventKind::StepComplete),
+              "step-complete");
+    EXPECT_EQ(eventKindName(EventKind::Wake), "wake");
+}
+
+} // namespace
+} // namespace hermes::sim

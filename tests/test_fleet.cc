@@ -76,8 +76,9 @@ checkReportInvariants(const FleetReport &report,
             EXPECT_LE(request.firstToken, request.completed);
             EXPECT_GE(report.assignment[i], 0);
         }
-        if (report.assignment[i] < 0)
+        if (report.assignment[i] < 0) {
             EXPECT_TRUE(request.rejected);
+        }
     }
     EXPECT_EQ(report.completed, completed);
     EXPECT_EQ(report.rejected, rejected);
@@ -298,6 +299,249 @@ TEST(Fleet, EmptyWorkloadYieldsEmptyReport)
     EXPECT_EQ(report.rejected, 0u);
     EXPECT_DOUBLE_EQ(report.sloAttainment, 1.0);
     EXPECT_DOUBLE_EQ(report.throughputTps, 0.0);
+}
+
+/** Compare two fleet reports field by field, exactly. */
+void
+expectIdenticalReports(const FleetReport &a, const FleetReport &b)
+{
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.rejected, b.rejected);
+    EXPECT_EQ(a.shed, b.shed);
+    EXPECT_EQ(a.assignment, b.assignment);
+    EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+    EXPECT_DOUBLE_EQ(a.throughputTps, b.throughputTps);
+    EXPECT_DOUBLE_EQ(a.p50Ttft, b.p50Ttft);
+    EXPECT_DOUBLE_EQ(a.p99Ttft, b.p99Ttft);
+    EXPECT_DOUBLE_EQ(a.sloAttainment, b.sloAttainment);
+    ASSERT_EQ(a.requests.size(), b.requests.size());
+    for (std::size_t i = 0; i < a.requests.size(); ++i) {
+        EXPECT_EQ(a.requests[i].id, b.requests[i].id);
+        EXPECT_EQ(a.requests[i].rejected, b.requests[i].rejected);
+        EXPECT_EQ(a.requests[i].tokens, b.requests[i].tokens);
+        EXPECT_DOUBLE_EQ(a.requests[i].admitted,
+                         b.requests[i].admitted);
+        EXPECT_DOUBLE_EQ(a.requests[i].firstToken,
+                         b.requests[i].firstToken);
+        EXPECT_DOUBLE_EQ(a.requests[i].completed,
+                         b.requests[i].completed);
+    }
+}
+
+TEST(EventKernel, MatchesTwoPhaseOnEveryEstimatePolicy)
+{
+    // The tentpole equivalence: on estimate-based policies the
+    // event-driven kernel must reproduce the two-phase path's
+    // per-request metrics exactly — the routing decisions are
+    // identical and each replica's boundary arithmetic is the same
+    // float sequence, merely interleaved on the shared clock.
+    for (const auto policy :
+         {sched::RouterPolicy::RoundRobin,
+          sched::RouterPolicy::JoinShortestQueue,
+          sched::RouterPolicy::LeastOutstandingTokens,
+          sched::RouterPolicy::SloAware}) {
+        for (const double rate : {8.0, 64.0}) {
+            const auto trace = smallTrace(14, rate, 9);
+            FleetConfig config =
+                uniformFleet(2, fastConfig(4), fastServing(),
+                             policy, /*ttft_deadline=*/1.5);
+            config.kernel = FleetKernel::EventDriven;
+            const auto event_report =
+                FleetSimulator(config, model::opt13b())
+                    .run(trace);
+            config.kernel = FleetKernel::TwoPhase;
+            const auto two_phase_report =
+                FleetSimulator(config, model::opt13b())
+                    .run(trace);
+            EXPECT_EQ(event_report.kernel, "event");
+            EXPECT_EQ(two_phase_report.kernel, "two-phase");
+            expectIdenticalReports(event_report,
+                                   two_phase_report);
+        }
+    }
+}
+
+TEST(EventKernel, TiedTimestampsAreDeterministic)
+{
+    // Pile arrivals onto identical instants so every tie-break in
+    // the event order is exercised; two fresh fleets must agree on
+    // everything, including the kernel's own event counts.
+    auto trace = smallTrace(16, 8.0, 9);
+    for (std::size_t i = 0; i < trace.size(); ++i)
+        trace[i].arrival =
+            static_cast<double>(i / 4) * 0.05;
+    FleetConfig config = uniformFleet(
+        3, fastConfig(4), fastServing(),
+        sched::RouterPolicy::TrueJsq, /*ttft_deadline=*/30.0);
+    config.workStealing = true;
+
+    const auto a =
+        FleetSimulator(config, model::opt13b()).run(trace);
+    const auto b =
+        FleetSimulator(config, model::opt13b()).run(trace);
+    expectIdenticalReports(a, b);
+    EXPECT_EQ(a.kernelStats.events.popped(),
+              b.kernelStats.events.popped());
+    EXPECT_EQ(a.kernelStats.steals, b.kernelStats.steals);
+    EXPECT_EQ(a.kernelStats.stolenRequests,
+              b.kernelStats.stolenRequests);
+    EXPECT_EQ(a.kernelStats.events.arrivals, trace.size());
+    EXPECT_EQ(a.kernelStats.events.requestsDone, a.completed);
+    checkReportInvariants(a, trace.size());
+}
+
+TEST(EventKernel, FeedbackPoliciesBeatEstimateJsqOnBurstyTail)
+{
+    // Under a hard burst the estimate drifts from ground truth;
+    // routing on observed state at the arrival event must win on
+    // the TTFT tail.  Scenario chosen (and pinned by determinism)
+    // so both feedback policies beat the estimate JSQ.
+    serving::ScenarioConfig scenario;
+    scenario.process = serving::ArrivalProcess::Bursty;
+    scenario.requests = 40;
+    scenario.ratePerSecond = 16.0;
+    scenario.burstiness = 8.0;
+    scenario.prompt = {96, 32, 0.0, 1.0};
+    scenario.generate = {16, 8, 0.0, 1.0};
+    scenario.seed = 5;
+    const auto trace = serving::generateWorkload(scenario);
+
+    const auto run = [&](sched::RouterPolicy policy) {
+        return uniformSimulator(2, policy, 30.0).run(trace);
+    };
+    const auto estimate =
+        run(sched::RouterPolicy::JoinShortestQueue);
+    const auto true_jsq = run(sched::RouterPolicy::TrueJsq);
+    const auto least_backlog =
+        run(sched::RouterPolicy::LeastActualBacklog);
+    EXPECT_EQ(estimate.completed, trace.size());
+    EXPECT_EQ(true_jsq.completed, trace.size());
+    EXPECT_EQ(least_backlog.completed, trace.size());
+    EXPECT_LT(true_jsq.p99Ttft, estimate.p99Ttft);
+    EXPECT_LT(least_backlog.p99Ttft, estimate.p99Ttft);
+}
+
+TEST(EventKernel, FeedbackAndStealingRequireTheEventKernel)
+{
+    const auto trace = smallTrace();
+    FleetConfig config = uniformFleet(
+        2, fastConfig(4), fastServing(),
+        sched::RouterPolicy::TrueJsq, 30.0);
+    config.kernel = FleetKernel::TwoPhase;
+    EXPECT_THROW(
+        FleetSimulator(config, model::opt13b()).run(trace),
+        std::invalid_argument);
+
+    config.policy = sched::RouterPolicy::RoundRobin;
+    config.workStealing = true;
+    EXPECT_THROW(
+        FleetSimulator(config, model::opt13b()).run(trace),
+        std::invalid_argument);
+
+    for (const std::string &name : {"event", "two-phase"})
+        EXPECT_EQ(fleetKernelName(fleetKernelByName(name)),
+                  name);
+    EXPECT_THROW(fleetKernelByName("offline"),
+                 std::invalid_argument);
+}
+
+TEST(EventKernel, DuplicateRequestIdsAreRejected)
+{
+    // The report merge joins replica rows by request id; a
+    // duplicate would make the join ambiguous, so it is an error.
+    auto trace = smallTrace();
+    trace[3].id = trace[7].id;
+    auto simulator =
+        uniformSimulator(2, sched::RouterPolicy::RoundRobin);
+    EXPECT_THROW(simulator.run(trace), std::invalid_argument);
+}
+
+TEST(WorkStealing, RescuesRequestsStrandedOnADeadReplica)
+{
+    // Replica 1 cannot serve the model; round-robin keeps routing
+    // to it anyway.  With the stealing hook, replica 0 drains the
+    // stranded queue whenever it runs dry, so *everything* is
+    // served — the fault-tolerance story the two-phase path could
+    // not express.
+    FleetConfig config;
+    config.ttftDeadline = 60.0;
+    config.policy = sched::RouterPolicy::RoundRobin;
+    ReplicaConfig healthy;
+    healthy.system = fastConfig(4);
+    healthy.serving = fastServing();
+    ReplicaConfig dead = healthy;
+    dead.system.numDimms = 0;
+    config.replicas = {healthy, dead};
+
+    const auto trace = smallTrace();
+
+    config.workStealing = false;
+    const auto stranded =
+        FleetSimulator(config, model::opt13b()).run(trace);
+    EXPECT_EQ(stranded.rejected, trace.size() / 2);
+
+    config.workStealing = true;
+    const auto rescued =
+        FleetSimulator(config, model::opt13b()).run(trace);
+    checkReportInvariants(rescued, trace.size());
+    EXPECT_EQ(rescued.completed, trace.size());
+    EXPECT_EQ(rescued.rejected, 0u);
+    EXPECT_EQ(rescued.replicaReports[1].completed, 0u);
+    EXPECT_GE(rescued.kernelStats.stolenRequests,
+              trace.size() / 2);
+    // Every stolen request ends the run assigned to the thief.
+    for (std::size_t i = 0; i < trace.size(); ++i)
+        EXPECT_EQ(rescued.assignment[i], 0);
+}
+
+TEST(WorkStealing, SimultaneousThievesResolveDeterministically)
+{
+    // Three single-slot replicas, nine simultaneous arrivals under
+    // round-robin.  Replicas 0 and 2 get one-token requests and
+    // drain at the exact same instant; replica 1's long request
+    // leaves two queued behind it.  The tie resolves in replica
+    // order: r0 steals first (taking the newest, id 7), then r2
+    // (id 4) — pinned here, and stable across reruns.
+    auto trace = smallTrace(9, 8.0, 9);
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        trace[i].arrival = 0.0;
+        trace[i].promptTokens = 64;
+        trace[i].generateTokens = i % 3 == 1 ? 200 : 1;
+    }
+    FleetConfig config = uniformFleet(
+        3, fastConfig(4), fastServing(/*max_batch=*/1),
+        sched::RouterPolicy::RoundRobin, 60.0);
+    config.workStealing = true;
+
+    const auto report =
+        FleetSimulator(config, model::opt13b()).run(trace);
+    checkReportInvariants(report, trace.size());
+    EXPECT_EQ(report.completed, trace.size());
+    EXPECT_EQ(report.kernelStats.steals, 2u);
+    EXPECT_EQ(report.kernelStats.stolenRequests, 2u);
+    EXPECT_EQ(report.assignment,
+              (std::vector<int>{0, 1, 2, 0, 2, 2, 0, 0, 2}));
+
+    const auto again =
+        FleetSimulator(config, model::opt13b()).run(trace);
+    expectIdenticalReports(report, again);
+}
+
+TEST(WorkStealing, KeepsInvariantsUnderOverload)
+{
+    // A hard burst against a small fleet: stealing must never
+    // lose, duplicate, or double-serve a request.
+    auto trace = smallTrace(24, 8.0, 9);
+    for (auto &request : trace)
+        request.arrival = 0.0;
+    FleetConfig config = uniformFleet(
+        3, fastConfig(4), fastServing(2),
+        sched::RouterPolicy::RoundRobin, 60.0);
+    config.workStealing = true;
+    const auto report =
+        FleetSimulator(config, model::opt13b()).run(trace);
+    checkReportInvariants(report, trace.size());
+    EXPECT_EQ(report.completed, trace.size());
 }
 
 TEST(Fleet, CacheReuseAcrossRunsKeepsPhysicsIdentical)

@@ -208,6 +208,120 @@ TEST(Serving, CostProbesAgreeWithServingPhysics)
     EXPECT_DOUBLE_EQ(unservable.tokenSeconds(1, 64), 0.0);
 }
 
+TEST(Serving, StepwiseSessionMatchesClosedRun)
+{
+    // The closed run() is one driver of the stepwise session
+    // protocol; an event-style driver — deliveries interleaved
+    // with step completions on a virtual clock, exactly how the
+    // fleet kernel drives a replica — must produce the identical
+    // report.
+    auto trace = syntheticWorkload(12, 25.0, 64, 12, 5);
+    sortByArrival(trace);
+
+    ServingSimulator stepwise(fastConfig(4), model::opt13b(),
+                              fastServing(4));
+    stepwise.beginSession();
+    std::size_t next = 0;
+    const std::size_t n = trace.size();
+    StepAction action{StepKind::Idle, 0.0};
+    for (;;) {
+        if (stepwise.busy()) {
+            // Deliver every arrival due before the in-flight work
+            // completes, then take the boundary.
+            while (next < n &&
+                   trace[next].arrival <= action.until) {
+                stepwise.deliver(trace[next]);
+                ++next;
+            }
+            stepwise.completeWork();
+            action = stepwise.startNextWork(stepwise.clock());
+        } else if (next < n) {
+            const Seconds now = trace[next].arrival;
+            while (next < n && trace[next].arrival <= now) {
+                stepwise.deliver(trace[next]);
+                ++next;
+            }
+            action = stepwise.startNextWork(now);
+        } else {
+            break;
+        }
+    }
+    const ServingReport a = stepwise.finishSession();
+
+    ServingSimulator closed(fastConfig(4), model::opt13b(),
+                            fastServing(4));
+    const ServingReport b = closed.run(trace);
+
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.rejected, b.rejected);
+    EXPECT_EQ(a.peakBatch, b.peakBatch);
+    EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+    EXPECT_DOUBLE_EQ(a.throughputTps, b.throughputTps);
+    EXPECT_DOUBLE_EQ(a.meanBatchOccupancy, b.meanBatchOccupancy);
+    EXPECT_DOUBLE_EQ(a.p99TokenLatency, b.p99TokenLatency);
+    EXPECT_DOUBLE_EQ(a.p50Ttft, b.p50Ttft);
+    EXPECT_DOUBLE_EQ(a.p99Ttft, b.p99Ttft);
+    ASSERT_EQ(a.requests.size(), b.requests.size());
+    for (std::size_t i = 0; i < a.requests.size(); ++i) {
+        EXPECT_EQ(a.requests[i].id, b.requests[i].id);
+        EXPECT_EQ(a.requests[i].tokens, b.requests[i].tokens);
+        EXPECT_DOUBLE_EQ(a.requests[i].admitted,
+                         b.requests[i].admitted);
+        EXPECT_DOUBLE_EQ(a.requests[i].firstToken,
+                         b.requests[i].firstToken);
+        EXPECT_DOUBLE_EQ(a.requests[i].completed,
+                         b.requests[i].completed);
+    }
+}
+
+TEST(Serving, SessionObservedStateAndStealing)
+{
+    // The ground truth the feedback router and the stealing hook
+    // consume: outstanding/queued counts track the session, and a
+    // stolen request vanishes from this replica's report.
+    ServingSimulator simulator(fastConfig(4), model::opt13b(),
+                               fastServing(2));
+    simulator.beginSession();
+    EXPECT_EQ(simulator.observedOutstanding(), 0u);
+    EXPECT_FALSE(simulator.knownServable());
+
+    auto trace = syntheticWorkload(5, 0.0, 64, 8, 3); // One burst.
+    for (const auto &request : trace)
+        simulator.deliver(request);
+    EXPECT_EQ(simulator.observedOutstanding(), 5u);
+    EXPECT_EQ(simulator.queuedCount(), 5u);
+    EXPECT_DOUBLE_EQ(simulator.observedBacklogTokens(), 5.0 * 8);
+
+    // First boundary: probe passes, 2 slots admitted, 3 queued.
+    const StepAction action = simulator.startNextWork(0.0);
+    EXPECT_EQ(action.kind, StepKind::Prefill);
+    EXPECT_TRUE(simulator.knownServable());
+    EXPECT_EQ(simulator.observedOutstanding(), 5u);
+    EXPECT_EQ(simulator.queuedCount(), 3u);
+
+    // Steal two of the queued: newest arrivals (ids 3, 4) go.
+    const auto stolen = simulator.stealQueued(2);
+    ASSERT_EQ(stolen.size(), 2u);
+    EXPECT_EQ(stolen[0].id, 3u);
+    EXPECT_EQ(stolen[1].id, 4u);
+    EXPECT_EQ(simulator.queuedCount(), 1u);
+
+    // Drain; the report covers only the five minus two stolen.
+    for (;;) {
+        if (simulator.busy())
+            simulator.completeWork();
+        if (simulator.startNextWork(simulator.clock()).kind ==
+            StepKind::Idle)
+            break;
+    }
+    const ServingReport report = simulator.finishSession();
+    EXPECT_EQ(report.requests.size(), 3u);
+    EXPECT_EQ(report.completed, 3u);
+    EXPECT_EQ(report.rejected, 0u);
+    for (const auto &request : report.requests)
+        EXPECT_NE(request.id, 3u);
+}
+
 TEST(Serving, DegeneratePolicyValuesAreGuarded)
 {
     System system(fastConfig(4));
