@@ -1,15 +1,18 @@
 /**
  * @file
- * Walkthrough of the fleet + workload APIs (README "Fleet serving").
+ * Walkthrough of the fleet + workload + control-plane APIs (README
+ * "Fleet serving" and "Writing a control policy").
  *
  * Builds a heterogeneous fleet — two default replicas running Hermes
  * plus one budget replica (half the DIMM pool) running Hermes-base —
  * generates a bursty scenario, and serves it on the event-driven
- * co-simulation kernel under estimate-based and feedback router
- * policies, with and without work stealing.
+ * co-simulation kernel under several control policies: built-ins
+ * from the registry (routing, composed with work stealing) and a
+ * custom policy written right here, which is the point of the API.
  */
 
 #include <cstdio>
+#include <memory>
 
 #include "common/table.hh"
 #include "core/fleet.hh"
@@ -17,6 +20,54 @@
 #include "core/workload.hh"
 
 using namespace hermes;
+
+namespace {
+
+/**
+ * A custom control policy no enum ever offered: long generations go
+ * to the replica with the fastest calibrated decode, short ones
+ * round-robin across the rest.  Subscribes to nothing beyond
+ * arrivals, so the kernel skips every optional hook and the
+ * observation gather.
+ */
+class LongToFastestPolicy final : public sched::ControlPolicy
+{
+  public:
+    std::string name() const override { return "long-to-fastest"; }
+
+    void begin(const sched::ControlContext &context) override
+    {
+        fastest_ = 0;
+        for (std::uint32_t r = 1; r < context.models.size(); ++r) {
+            if (context.models[r].slotTokensPerSecond >
+                context.models[fastest_].slotTokensPerSecond)
+                fastest_ = r;
+        }
+        next_ = 0;
+    }
+
+    void onArrival(const sched::ArrivalContext &context,
+                   const sched::FleetView &view,
+                   sched::FleetActions &actions) override
+    {
+        if (context.generateTokens >= 24 ||
+            view.replicaCount() <= 1) {
+            actions.routeTo(fastest_);
+            return;
+        }
+        // Round-robin over the other replicas.
+        std::uint32_t replica = next_++ % (view.replicaCount() - 1);
+        if (replica >= fastest_)
+            ++replica;
+        actions.routeTo(replica);
+    }
+
+  private:
+    std::uint32_t fastest_ = 0;
+    std::uint32_t next_ = 0;
+};
+
+} // namespace
 
 int
 main()
@@ -59,26 +110,22 @@ main()
         config.replicas.push_back(replica);
     }
 
-    // 3. Serve on the event kernel under estimate-based and
-    //    feedback policies, and once with work stealing: every
-    //    placement happens at the arrival event, so the feedback
-    //    policies route on the replicas' observed state and the
-    //    stealing hook drains queues stranded behind the slow
-    //    budget tier.
-    TextTable table({"policy", "steal", "done", "shed", "tok/s",
+    // 3. Pick a control plane per run.  Built-ins come from the
+    //    registry by name — "a+b" composes a routing policy with a
+    //    stealing policy — and a custom policy is just an object:
+    //    the kernel owns physics, the policy owns decisions, and
+    //    every decision happens at an event on the shared clock.
+    TextTable table({"control", "done", "shed", "steals", "tok/s",
                      "p99 TTFT (ms)", "SLO att.", "per-replica"});
-    struct Cell
-    {
-        sched::RouterPolicy policy;
-        bool steal;
+    std::vector<std::shared_ptr<sched::ControlPolicy>> controls = {
+        sched::controlPolicyByName("round-robin"),
+        sched::controlPolicyByName("round-robin+greedy-steal"),
+        sched::controlPolicyByName("round-robin+slo-steal"),
+        sched::controlPolicyByName("least-backlog"),
+        std::make_shared<LongToFastestPolicy>(),
     };
-    for (const Cell &cell :
-         {Cell{sched::RouterPolicy::RoundRobin, false},
-          Cell{sched::RouterPolicy::RoundRobin, true},
-          Cell{sched::RouterPolicy::LeastOutstandingTokens, false},
-          Cell{sched::RouterPolicy::LeastActualBacklog, false}}) {
-        config.policy = cell.policy;
-        config.workStealing = cell.steal;
+    for (const auto &control : controls) {
+        config.control = control;
         fleet::FleetSimulator simulator(config, llm);
         const auto report = simulator.run(workload);
 
@@ -90,19 +137,25 @@ main()
                           report.replicaReports[r].completed) +
                       " ";
         }
-        table.addRow({report.policy, cell.steal ? "yes" : "no",
+        table.addRow({report.policy,
                       std::to_string(report.completed),
                       std::to_string(report.shed),
+                      std::to_string(
+                          report.kernelStats.stolenRequests),
                       TextTable::num(report.throughputTps, 2),
                       TextTable::num(report.p99Ttft * 1e3, 1),
                       TextTable::num(report.sloAttainment, 3),
                       spread});
     }
     table.print();
-    std::printf("\nleast-tokens models the budget replica's slower "
-                "drain; least-backlog *observes* it at each arrival "
-                "event;\nwork stealing lets the Hermes tier drain "
-                "whatever round-robin strands on the budget tier\n");
+    std::printf(
+        "\nleast-backlog *observes* the budget replica's slower "
+        "drain at each arrival event;\ngreedy-steal lets the "
+        "Hermes tier drain whatever round-robin strands on the "
+        "budget tier,\nslo-steal only when the move beats the "
+        "victim's estimated wait; long-to-fastest is a custom\n"
+        "policy written in this example — see README \"Writing a "
+        "control policy\"\n");
 
     // 4. Traces round-trip through CSV for replay.
     const std::string csv = serving::toCsvTrace(workload);

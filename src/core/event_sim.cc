@@ -20,6 +20,8 @@ eventKindName(EventKind kind)
         return "step-complete";
     case EventKind::Wake:
         return "wake";
+    case EventKind::Tick:
+        return "tick";
     }
     return "?";
 }
@@ -69,6 +71,9 @@ EventQueue::pop()
         break;
     case EventKind::Wake:
         ++stats_.wakes;
+        break;
+    case EventKind::Tick:
+        ++stats_.ticks;
         break;
     }
     return event;

@@ -53,6 +53,9 @@ enum class EventKind : std::uint8_t
 
     /** An idle replica re-examines its queue (new work arrived). */
     Wake = 4,
+
+    /** Periodic control-plane heartbeat (ControlPolicy::onTick). */
+    Tick = 5,
 };
 
 /** Display name of an event kind. */
@@ -82,12 +85,13 @@ struct EventStats
     std::uint64_t prefills = 0;
     std::uint64_t decodeSteps = 0;
     std::uint64_t wakes = 0;
+    std::uint64_t ticks = 0;
 
     std::uint64_t
     popped() const
     {
         return arrivals + requestsDone + prefills + decodeSteps +
-               wakes;
+               wakes + ticks;
     }
 };
 

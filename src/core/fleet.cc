@@ -1,7 +1,9 @@
 #include "core/fleet.hh"
 
 #include <algorithm>
+#include <cstdio>
 #include <atomic>
+#include <chrono>
 #include <stdexcept>
 #include <thread>
 #include <unordered_map>
@@ -12,6 +14,15 @@
 namespace hermes::fleet {
 
 namespace {
+
+/** "r<i>", the default display name of replica i. */
+std::string
+defaultReplicaName(std::uint32_t index)
+{
+    char buffer[16];
+    std::snprintf(buffer, sizeof(buffer), "r%u", index);
+    return buffer;
+}
 
 /** Median of a (copied) sample set; 0 when empty. */
 std::uint64_t
@@ -24,6 +35,417 @@ median(std::vector<std::uint64_t> values)
                      values.end());
     return values[mid];
 }
+
+/**
+ * The event-driven co-simulation loop, wired to one ControlPolicy:
+ * the kernel owns physics (virtual clock, replica boundaries,
+ * report bookkeeping) and implements the policy's read surface
+ * (sched::FleetView) and capability-checked action surface
+ * (sched::FleetActions).  Misuse of an action throws
+ * std::logic_error before any kernel state changes.
+ */
+class EventKernel final : public sched::FleetView,
+                          public sched::FleetActions
+{
+  public:
+    EventKernel(
+        const FleetConfig &config,
+        std::vector<std::unique_ptr<serving::ServingSimulator>>
+            &replicas,
+        const std::vector<sched::ReplicaModel> &models,
+        FleetReport &report,
+        const std::vector<serving::ServedRequest> &workload,
+        sched::ControlPolicy &control)
+        : config_(config), replicas_(replicas), models_(models),
+          report_(report), workload_(workload), control_(control),
+          wants_(control.wants())
+    {
+        const std::size_t n = replicas_.size();
+        wakeScheduled_.assign(n, 0);
+        draining_.assign(n, 0);
+        deadNotified_.assign(n, 0);
+        if (wants_ & sched::ControlPolicy::kObservations)
+            observed_.resize(n); // One buffer, reused per arrival.
+        indexOfId_.reserve(workload_.size());
+        for (std::size_t i = 0; i < workload_.size(); ++i)
+            indexOfId_[workload_[i].id] = i;
+    }
+
+    /** Drive the whole co-simulation (see class doc). */
+    void
+    run()
+    {
+        control_.begin(
+            sched::ControlContext{models_, config_.ttftDeadline});
+        for (auto &replica : replicas_)
+            replica->beginSession();
+        report_.assignment.assign(workload_.size(), -1);
+        for (std::size_t i = 0; i < workload_.size(); ++i)
+            queue_.push(workload_[i].arrival,
+                        sim::EventKind::Arrival, -1, i);
+        const Seconds tick_period = control_.tickPeriod();
+        if ((wants_ & sched::ControlPolicy::kTick) &&
+            tick_period > 0.0 && !workload_.empty())
+            queue_.push(tick_period, sim::EventKind::Tick, -1, 0);
+
+        const auto wall_start =
+            std::chrono::steady_clock::now();
+        while (!queue_.empty()) {
+            const sim::Event event = queue_.pop();
+            switch (event.kind) {
+            case sim::EventKind::Arrival:
+                onArrivalEvent(event);
+                break;
+            case sim::EventKind::Wake: {
+                const auto r =
+                    static_cast<std::size_t>(event.replica);
+                wakeScheduled_[r] = 0;
+                if (!replicas_[r]->busy())
+                    advance(r, event.time);
+                break;
+            }
+            case sim::EventKind::PrefillComplete:
+            case sim::EventKind::StepComplete: {
+                const auto r =
+                    static_cast<std::size_t>(event.replica);
+                for (const std::uint64_t id :
+                     replicas_[r]->completeWork())
+                    queue_.push(event.time,
+                                sim::EventKind::RequestDone,
+                                event.replica, id);
+                if (wants_ &
+                    sched::ControlPolicy::kReplicaEvents) {
+                    const auto replica =
+                        static_cast<std::uint32_t>(r);
+                    if (event.kind ==
+                        sim::EventKind::PrefillComplete)
+                        control_.onPrefillComplete(
+                            replica, event.time, *this, *this);
+                    else
+                        control_.onStepComplete(
+                            replica, event.time, *this, *this);
+                }
+                // A hook may have restarted this very replica (a
+                // steal into the replica that just finished); only
+                // an idle replica takes a fresh boundary.
+                if (!replicas_[r]->busy())
+                    advance(r, event.time);
+                break;
+            }
+            case sim::EventKind::Tick:
+                control_.onTick(event.time, *this, *this);
+                // The heartbeat sustains itself only while other
+                // work remains, so the loop always terminates.
+                if (!queue_.empty())
+                    queue_.push(event.time + tick_period,
+                                sim::EventKind::Tick, -1, 0);
+                break;
+            case sim::EventKind::RequestDone:
+                // Pure bookkeeping; counted by the queue's stats.
+                break;
+            }
+        }
+        report_.kernelStats.loopSeconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - wall_start)
+                .count();
+        report_.kernelStats.events = queue_.stats();
+
+        for (auto &replica : replicas_)
+            report_.replicaReports.push_back(
+                replica->finishSession());
+    }
+
+    // ---- sched::FleetView ----
+
+    std::uint32_t
+    replicaCount() const override
+    {
+        return static_cast<std::uint32_t>(replicas_.size());
+    }
+
+    const sched::ReplicaModel &
+    model(std::uint32_t replica) const override
+    {
+        return models_.at(replica);
+    }
+
+    std::uint32_t
+    maxBatch(std::uint32_t replica) const override
+    {
+        return config_.replicas.at(replica).serving.maxBatch;
+    }
+
+    bool
+    busy(std::uint32_t replica) const override
+    {
+        return replicas_.at(replica)->busy();
+    }
+
+    bool
+    knownServable(std::uint32_t replica) const override
+    {
+        return replicas_.at(replica)->knownServable();
+    }
+
+    bool
+    knownDead(std::uint32_t replica) const override
+    {
+        return replicas_.at(replica)->knownDead();
+    }
+
+    bool
+    draining(std::uint32_t replica) const override
+    {
+        return draining_.at(replica) != 0;
+    }
+
+    std::uint32_t
+    queuedCount(std::uint32_t replica) const override
+    {
+        return replicas_.at(replica)->queuedCount();
+    }
+
+    std::uint32_t
+    observedOutstanding(std::uint32_t replica) const override
+    {
+        return replicas_.at(replica)->observedOutstanding();
+    }
+
+    double
+    observedBacklogTokens(std::uint32_t replica) const override
+    {
+        return replicas_.at(replica)->observedBacklogTokens();
+    }
+
+    Seconds
+    ttftDeadline() const override
+    {
+        return config_.ttftDeadline;
+    }
+
+    // ---- sched::FleetActions ----
+
+    void
+    routeTo(std::uint32_t replica) override
+    {
+        requireArrival("routeTo");
+        if (replica >= replicas_.size())
+            throw std::logic_error(
+                "FleetActions::routeTo: replica out of range");
+        if (draining_[replica])
+            throw std::logic_error(
+                "FleetActions::routeTo: replica is draining");
+        decided_ = true;
+        report_.assignment[arrivalIndex_] =
+            static_cast<int>(replica);
+        replicas_[replica]->deliver(workload_[arrivalIndex_]);
+        // Wake an idle replica once all same-instant arrivals are
+        // delivered (Wake sorts after Arrival at a tie), so a
+        // simultaneous burst prefills as one group, exactly like
+        // the closed loop.
+        if (!replicas_[replica]->busy() &&
+            !wakeScheduled_[replica]) {
+            queue_.push(queue_.now(), sim::EventKind::Wake,
+                        static_cast<std::int32_t>(replica), 0);
+            wakeScheduled_[replica] = 1;
+        }
+    }
+
+    void
+    shed() override
+    {
+        requireArrival("shed");
+        decided_ = true;
+        ++report_.shed;
+    }
+
+    std::uint32_t
+    steal(std::uint32_t thief, std::uint32_t victim,
+          std::uint32_t max_count) override
+    {
+        if (thief >= replicas_.size() ||
+            victim >= replicas_.size())
+            throw std::logic_error(
+                "FleetActions::steal: replica out of range");
+        if (thief == victim)
+            throw std::logic_error(
+                "FleetActions::steal: thief == victim");
+        if (max_count == 0)
+            throw std::logic_error(
+                "FleetActions::steal: zero count");
+        if (!replicas_[thief]->knownServable())
+            throw std::logic_error(
+                "FleetActions::steal: thief cannot serve (dead "
+                "or unprobed) — it would strand the work");
+        if (draining_[thief])
+            throw std::logic_error(
+                "FleetActions::steal: thief is draining — it "
+                "accepts no new work");
+        if (replicas_[victim]->queuedCount() == 0)
+            throw std::logic_error(
+                "FleetActions::steal: victim has no queued "
+                "requests (running requests cannot be stolen)");
+        const std::vector<serving::ServedRequest> stolen =
+            replicas_[victim]->stealQueued(max_count);
+        ++report_.kernelStats.steals;
+        report_.kernelStats.stolenRequests += stolen.size();
+        for (const serving::ServedRequest &request : stolen) {
+            report_.assignment[indexOfId_.at(request.id)] =
+                static_cast<int>(thief);
+            replicas_[thief]->deliver(request);
+        }
+        // An idle thief starts the stolen group at once, exactly
+        // like the legacy stealing hook.
+        if (!replicas_[thief]->busy())
+            schedule(thief,
+                     replicas_[thief]->startNextWork(queue_.now()));
+        return static_cast<std::uint32_t>(stolen.size());
+    }
+
+    void
+    requestSpawn() override
+    {
+        ++report_.kernelStats.spawnRequests;
+    }
+
+    void
+    requestDrain(std::uint32_t replica) override
+    {
+        if (replica >= replicas_.size())
+            throw std::logic_error(
+                "FleetActions::requestDrain: replica out of "
+                "range");
+        if (!draining_[replica]) {
+            draining_[replica] = 1;
+            ++report_.kernelStats.drainRequests;
+        }
+    }
+
+  private:
+    /** Arrival event: gather observations (if wanted), ask the
+     * policy for exactly one decision. */
+    void
+    onArrivalEvent(const sim::Event &event)
+    {
+        const serving::ServedRequest &request =
+            workload_[event.id];
+        sched::ArrivalContext context;
+        context.requestId = request.id;
+        context.arrival = request.arrival;
+        context.promptTokens = request.promptTokens;
+        context.generateTokens = request.generateTokens;
+        if (wants_ & sched::ControlPolicy::kObservations) {
+            // Sample ground truth at the decision instant into the
+            // preallocated buffer (the gather walks every
+            // replica's queues — skipped entirely for policies
+            // that do not declare kObservations).
+            for (std::size_t r = 0; r < replicas_.size(); ++r) {
+                const serving::ReplicaSnapshot snap =
+                    replicas_[r]->snapshot();
+                observed_[r].outstanding = snap.outstanding;
+                observed_[r].backlogTokens = snap.backlogTokens;
+            }
+            context.observed = &observed_;
+        }
+        inArrival_ = true;
+        decided_ = false;
+        arrivalIndex_ = event.id;
+        control_.onArrival(context, *this, *this);
+        inArrival_ = false;
+        if (!decided_) {
+            std::string message = "control policy '";
+            message += control_.name();
+            message += "' made no routing decision for request ";
+            message += std::to_string(request.id);
+            throw std::logic_error(message);
+        }
+    }
+
+    /** Schedule the follow-up event of a started unit of work. */
+    void
+    schedule(std::size_t replica,
+             const serving::StepAction &action)
+    {
+        switch (action.kind) {
+        case serving::StepKind::Prefill:
+            queue_.push(action.until,
+                        sim::EventKind::PrefillComplete,
+                        static_cast<std::int32_t>(replica), 0);
+            break;
+        case serving::StepKind::Decode:
+            queue_.push(action.until, sim::EventKind::StepComplete,
+                        static_cast<std::int32_t>(replica), 0);
+            break;
+        case serving::StepKind::WaitArrival:
+            // Unreachable: every delivery (arrival event or steal)
+            // happens at or after the request's arrival instant,
+            // so a boundary never sees a future-only queue.
+            hermes_panic("event kernel: future-only queue at a "
+                         "replica boundary");
+
+        case serving::StepKind::Idle:
+            break;
+        }
+    }
+
+    /** Start a replica's next work; fire dead/idle subscriptions. */
+    void
+    advance(std::size_t replica, Seconds now)
+    {
+        const serving::StepAction action =
+            replicas_[replica]->startNextWork(now);
+        schedule(replica, action);
+        const auto r = static_cast<std::uint32_t>(replica);
+        if (!deadNotified_[replica] &&
+            replicas_[replica]->knownDead()) {
+            deadNotified_[replica] = 1;
+            if (wants_ & sched::ControlPolicy::kDead)
+                control_.onReplicaDead(r, now, *this, *this);
+        }
+        if (action.kind == serving::StepKind::Idle &&
+            (wants_ & sched::ControlPolicy::kIdle))
+            control_.onReplicaIdle(r, now, *this, *this);
+    }
+
+    void
+    requireArrival(const char *action) const
+    {
+        std::string message = "FleetActions::";
+        message += action;
+        if (!inArrival_) {
+            message += ": only legal inside onArrival";
+            throw std::logic_error(message);
+        }
+        if (decided_) {
+            message +=
+                ": a decision was already made for this arrival";
+            throw std::logic_error(message);
+        }
+    }
+
+    const FleetConfig &config_;
+    std::vector<std::unique_ptr<serving::ServingSimulator>>
+        &replicas_;
+    const std::vector<sched::ReplicaModel> &models_;
+    FleetReport &report_;
+    const std::vector<serving::ServedRequest> &workload_;
+    sched::ControlPolicy &control_;
+    const std::uint32_t wants_;
+
+    sim::EventQueue queue_;
+    std::vector<char> wakeScheduled_;
+    std::vector<char> draining_;
+    std::vector<char> deadNotified_;
+    std::vector<sched::ReplicaObservation> observed_;
+
+    /** id -> workload index, for steal re-assignment. */
+    std::unordered_map<std::uint64_t, std::size_t> indexOfId_;
+
+    bool inArrival_ = false;
+    bool decided_ = false;
+    std::uint64_t arrivalIndex_ = 0;
+};
 
 } // namespace
 
@@ -62,7 +484,7 @@ uniformFleet(std::uint32_t count,
     config.replicas.reserve(count);
     for (std::uint32_t i = 0; i < count; ++i) {
         ReplicaConfig replica;
-        replica.name = "r" + std::to_string(i);
+        replica.name = defaultReplicaName(i);
         replica.system = system;
         replica.serving = serving;
         config.replicas.push_back(std::move(replica));
@@ -79,7 +501,8 @@ FleetSimulator::FleetSimulator(FleetConfig config,
     for (std::size_t i = 0; i < config_.replicas.size(); ++i) {
         ReplicaConfig &replica = config_.replicas[i];
         if (replica.name.empty())
-            replica.name = "r" + std::to_string(i);
+            replica.name =
+                defaultReplicaName(static_cast<std::uint32_t>(i));
         replicas_.push_back(
             std::make_unique<serving::ServingSimulator>(
                 replica.system, llm_, replica.serving));
@@ -218,182 +641,12 @@ void
 FleetSimulator::runEventDriven(
     FleetReport &report,
     const std::vector<serving::ServedRequest> &workload,
-    std::vector<sched::ReplicaModel> models)
+    std::vector<sched::ReplicaModel> models,
+    sched::ControlPolicy &control)
 {
-    const std::size_t replica_count = replicas_.size();
-    sched::Router router(config_.policy, std::move(models),
-                         config_.ttftDeadline);
-
-    for (auto &replica : replicas_)
-        replica->beginSession();
-
-    // id -> workload index, for re-assignment under work stealing
-    // (ids are unique; run() guards that).
-    std::unordered_map<std::uint64_t, std::size_t> index_of_id;
-    if (config_.workStealing) {
-        index_of_id.reserve(workload.size());
-        for (std::size_t i = 0; i < workload.size(); ++i)
-            index_of_id[workload[i].id] = i;
-    }
-
-    sim::EventQueue queue;
-    for (std::size_t i = 0; i < workload.size(); ++i)
-        queue.push(workload[i].arrival, sim::EventKind::Arrival,
-                   -1, i);
-    std::vector<char> wake_scheduled(replica_count, 0);
-    report.assignment.assign(workload.size(), -1);
-
-    const auto schedule = [&](std::size_t r,
-                              const serving::StepAction &action) {
-        switch (action.kind) {
-        case serving::StepKind::Prefill:
-            queue.push(action.until,
-                       sim::EventKind::PrefillComplete,
-                       static_cast<std::int32_t>(r), 0);
-            break;
-        case serving::StepKind::Decode:
-            queue.push(action.until, sim::EventKind::StepComplete,
-                       static_cast<std::int32_t>(r), 0);
-            break;
-        case serving::StepKind::WaitArrival:
-            // Unreachable: every delivery (arrival event or steal)
-            // happens at or after the request's arrival instant,
-            // so a boundary never sees a future-only queue.
-            hermes_panic("event kernel: future-only queue at a "
-                         "replica boundary");
-
-        case serving::StepKind::Idle:
-            break;
-        }
-    };
-
-    const auto try_steal = [&](std::size_t thief, Seconds now) {
-        // Only a replica proven able to serve may steal; a dead (or
-        // never-probed) replica would strand what it takes.
-        if (!replicas_[thief]->knownServable())
-            return;
-        std::size_t victim = replica_count;
-        std::uint32_t deepest = 0;
-        for (std::size_t r = 0; r < replica_count; ++r) {
-            if (r == thief)
-                continue;
-            // A victim must be genuinely stuck: mid-step with a
-            // queue behind it, or known dead.  An idle replica
-            // with fresh deliveries has a same-instant Wake coming
-            // and will serve them itself — stealing those would
-            // override the router's placement for no gain.
-            if (!replicas_[r]->busy() &&
-                !replicas_[r]->knownDead())
-                continue;
-            const std::uint32_t queued =
-                replicas_[r]->queuedCount();
-            if (queued > deepest) {
-                deepest = queued;
-                victim = r;
-            }
-        }
-        if (victim == replica_count || deepest == 0)
-            return;
-        const std::uint32_t cap = std::max<std::uint32_t>(
-            config_.replicas[thief].serving.maxBatch, 1);
-        const std::vector<serving::ServedRequest> stolen =
-            replicas_[victim]->stealQueued(
-                std::min((deepest + 1) / 2, cap));
-        if (stolen.empty())
-            return;
-        ++report.kernelStats.steals;
-        report.kernelStats.stolenRequests += stolen.size();
-        for (const serving::ServedRequest &request : stolen) {
-            report.assignment[index_of_id.at(request.id)] =
-                static_cast<int>(thief);
-            replicas_[thief]->deliver(request);
-        }
-        // The thief is idle, so the stolen group starts at once.
-        schedule(thief, replicas_[thief]->startNextWork(now));
-    };
-
-    const auto advance = [&](std::size_t r, Seconds now) {
-        const serving::StepAction action =
-            replicas_[r]->startNextWork(now);
-        schedule(r, action);
-        if (action.kind == serving::StepKind::Idle &&
-            config_.workStealing)
-            try_steal(r, now);
-    };
-
-    // The co-simulation loop: one virtual clock, earliest event
-    // first, deterministic tie order (see core/event_sim.hh).
-    while (!queue.empty()) {
-        const sim::Event event = queue.pop();
-        switch (event.kind) {
-        case sim::EventKind::Arrival: {
-            const serving::ServedRequest &request =
-                workload[event.id];
-            // Sample ground truth at the decision instant — only
-            // for the policies that rank by it (the gather walks
-            // every replica's queues).
-            std::vector<sched::ReplicaObservation> observed;
-            if (sched::routerPolicyNeedsObservations(
-                    config_.policy)) {
-                observed.resize(replica_count);
-                for (std::size_t r = 0; r < replica_count; ++r) {
-                    observed[r].outstanding =
-                        replicas_[r]->observedOutstanding();
-                    observed[r].backlogTokens =
-                        replicas_[r]->observedBacklogTokens();
-                }
-            }
-            const sched::RouteDecision decision = router.route(
-                request.arrival, request.generateTokens,
-                observed.empty() ? nullptr : &observed);
-            report.assignment[event.id] = decision.replica;
-            if (decision.replica < 0) {
-                ++report.shed;
-                break;
-            }
-            const auto r =
-                static_cast<std::size_t>(decision.replica);
-            replicas_[r]->deliver(request);
-            // Wake an idle replica once all same-instant arrivals
-            // are delivered (Wake sorts after Arrival at a tie), so
-            // a simultaneous burst prefills as one group, exactly
-            // like the closed loop.
-            if (!replicas_[r]->busy() && !wake_scheduled[r]) {
-                queue.push(event.time, sim::EventKind::Wake,
-                           decision.replica, 0);
-                wake_scheduled[r] = 1;
-            }
-            break;
-        }
-        case sim::EventKind::Wake: {
-            const auto r =
-                static_cast<std::size_t>(event.replica);
-            wake_scheduled[r] = 0;
-            if (!replicas_[r]->busy())
-                advance(r, event.time);
-            break;
-        }
-        case sim::EventKind::PrefillComplete:
-        case sim::EventKind::StepComplete: {
-            const auto r =
-                static_cast<std::size_t>(event.replica);
-            for (const std::uint64_t id :
-                 replicas_[r]->completeWork())
-                queue.push(event.time,
-                           sim::EventKind::RequestDone,
-                           event.replica, id);
-            advance(r, event.time);
-            break;
-        }
-        case sim::EventKind::RequestDone:
-            // Pure bookkeeping; counted by the queue's stats.
-            break;
-        }
-    }
-    report.kernelStats.events = queue.stats();
-
-    for (auto &replica : replicas_)
-        report.replicaReports.push_back(replica->finishSession());
+    EventKernel(config_, replicas_, models, report, workload,
+                control)
+        .run();
 }
 
 void
@@ -489,9 +742,28 @@ FleetSimulator::run(std::vector<serving::ServedRequest> workload)
         throw std::invalid_argument(
             "FleetSimulator: feedback policies and work stealing "
             "need the event-driven kernel");
+    if (config_.kernel == FleetKernel::TwoPhase && config_.control)
+        throw std::invalid_argument(
+            "FleetSimulator: control policies need the "
+            "event-driven kernel");
+
+    // Resolve the active control plane: an explicit policy object,
+    // or the deprecated enum/bool fields adapted onto the same API
+    // (bit-identical to the pre-control-plane kernel).
+    std::shared_ptr<sched::ControlPolicy> control =
+        config_.control;
+    if (!control && config_.kernel == FleetKernel::EventDriven) {
+        std::vector<std::shared_ptr<sched::ControlPolicy>> parts;
+        parts.push_back(sched::makeRouterPolicy(config_.policy));
+        if (config_.workStealing)
+            parts.push_back(sched::makeGreedyStealPolicy());
+        control = sched::composeControlPolicies(std::move(parts));
+    }
 
     FleetReport report;
-    report.policy = sched::routerPolicyName(config_.policy);
+    report.policy = control
+                        ? control->name()
+                        : sched::routerPolicyName(config_.policy);
     report.kernel = fleetKernelName(config_.kernel);
     report.ttftDeadline = config_.ttftDeadline;
     for (const ReplicaConfig &replica : config_.replicas)
@@ -518,7 +790,8 @@ FleetSimulator::run(std::vector<serving::ServedRequest> workload)
         calibrateAll(typical_prompt, typical_context);
 
     if (config_.kernel == FleetKernel::EventDriven)
-        runEventDriven(report, workload, std::move(models));
+        runEventDriven(report, workload, std::move(models),
+                       *control);
     else
         runTwoPhase(report, workload, std::move(models));
 

@@ -9,18 +9,20 @@
  * (core/event_sim.hh):
  *
  *  1. every request arrival is an event on the shared virtual
- *     clock; at that instant the sched::Router assigns the request
- *     to a replica (or sheds it, under the SLO-aware policy), using
- *     the calibrated queueing estimate of every replica's backlog
- *     AND — for the feedback policies — the replicas' observed
- *     ground-truth state at that very instant;
+ *     clock; at that instant the active sched::ControlPolicy
+ *     places the request on a replica (or sheds it), observing
+ *     the replicas' ground-truth state through the kernel's
+ *     FleetView and acting through its capability-checked
+ *     FleetActions surface (sched/control_policy.hh);
  *  2. each replica is a resumable stepwise engine; its prefill and
  *     decode-step completions are events on the same clock, so all
  *     timing remains ground truth from the decode pipeline and
- *     routing finally *sees* the consequences of its own decisions;
- *  3. optionally, a work-stealing hook re-routes still-queued
- *     requests from overloaded (or failed) replicas to replicas
- *     that just went idle;
+ *     the control plane finally *sees* the consequences of its own
+ *     decisions;
+ *  3. the policy's other subscriptions (onReplicaIdle, onTick,
+ *     onReplicaDead, ...) fire on the same clock — work stealing,
+ *     for example, is just a policy that reacts to onReplicaIdle
+ *     by moving queued requests to the idle replica;
  *  4. per-replica reports are merged — joined back to the trace by
  *     request id, never by slot position — into a FleetReport:
  *     aggregate throughput (the sum over replicas), fleet-wide TTFT
@@ -50,6 +52,7 @@
 #include "core/serving.hh"
 #include "model/llm_config.hh"
 #include "runtime/system_config.hh"
+#include "sched/control_policy.hh"
 #include "sched/router.hh"
 
 namespace hermes::fleet {
@@ -78,11 +81,29 @@ std::string fleetKernelName(FleetKernel kernel);
 /** Parse a display name back to a kernel; throws on unknown names. */
 FleetKernel fleetKernelByName(const std::string &name);
 
-/** Fleet topology and routing policy. */
+/** Fleet topology and control plane. */
 struct FleetConfig
 {
     std::vector<ReplicaConfig> replicas;
 
+    /**
+     * First-class control plane (sched/control_policy.hh): an
+     * event-subscribed policy object owning every placement,
+     * shedding, and stealing decision.  Build one with
+     * `sched::controlPolicyByName("least-tokens+slo-steal")` or
+     * compose your own.  Event-driven kernel only.
+     *
+     * When unset (nullptr), the deprecated `policy` /
+     * `workStealing` fields below are adapted onto the same API —
+     * bit-identical to the pre-control-plane kernel.
+     */
+    std::shared_ptr<sched::ControlPolicy> control;
+
+    /**
+     * [deprecated — stable] Routing behavior when `control` is
+     * unset.  Kept as a thin adapter over the ControlPolicy API
+     * (`sched::makeRouterPolicy`); prefer `control`.
+     */
     sched::RouterPolicy policy =
         sched::RouterPolicy::JoinShortestQueue;
 
@@ -101,11 +122,13 @@ struct FleetConfig
     FleetKernel kernel = FleetKernel::EventDriven;
 
     /**
-     * Work stealing (EventDriven only): when a replica runs dry it
-     * steals up to half of the most backlogged replica's queued —
-     * never running — requests, newest arrivals first, capped at
-     * its own batch size.  Rescues queues stranded behind slow or
-     * failed replicas under placement-blind policies.
+     * [deprecated — stable] Work stealing when `control` is unset
+     * (EventDriven only): when a replica runs dry it steals up to
+     * half of the most backlogged replica's queued — never running
+     * — requests, newest arrivals first, capped at its own batch
+     * size.  Kept as a thin adapter over the ControlPolicy API
+     * (`sched::makeGreedyStealPolicy`); prefer composing `control`
+     * with "greedy-steal" or "slo-steal".
      */
     bool workStealing = false;
 
@@ -128,9 +151,20 @@ struct KernelStats
 {
     sim::EventStats events;
 
-    /** Work-stealing hook firings / requests moved. */
+    /** Work-stealing action firings / requests moved. */
     std::uint64_t steals = 0;
     std::uint64_t stolenRequests = 0;
+
+    /** Autoscaling intents recorded (physics land with ROADMAP). */
+    std::uint64_t spawnRequests = 0;
+    std::uint64_t drainRequests = 0;
+
+    /**
+     * Wall-clock seconds spent inside the event loop itself —
+     * control-plane + bookkeeping overhead, excluding calibration.
+     * events.popped() / loopSeconds is the kernel's events/sec.
+     */
+    double loopSeconds = 0.0;
 };
 
 /** Fleet-level outcome of one run. */
@@ -210,7 +244,8 @@ class FleetSimulator
     void runEventDriven(
         FleetReport &report,
         const std::vector<serving::ServedRequest> &workload,
-        std::vector<sched::ReplicaModel> models);
+        std::vector<sched::ReplicaModel> models,
+        sched::ControlPolicy &control);
 
     /** The PR 2 compatibility path (route, then replay). */
     void runTwoPhase(

@@ -387,6 +387,19 @@ ServingSimulator::queuedCount() const
                                       pending_.size());
 }
 
+ReplicaSnapshot
+ServingSimulator::snapshot() const
+{
+    ReplicaSnapshot snap;
+    snap.outstanding = observedOutstanding();
+    snap.queued = queuedCount();
+    snap.backlogTokens = observedBacklogTokens();
+    snap.busy = busy();
+    snap.knownServable = knownServable();
+    snap.knownDead = knownDead();
+    return snap;
+}
+
 std::vector<ServedRequest>
 ServingSimulator::stealQueued(std::uint32_t count)
 {

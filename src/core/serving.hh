@@ -138,6 +138,34 @@ struct ServingReport
     bool costModelSaturated = false;
 };
 
+/**
+ * One-call observed-state snapshot of a replica at a boundary
+ * instant: everything the fleet control plane (routing feedback,
+ * stealing, future autoscaling) reads about a replica, gathered
+ * together so the kernel pays one call per replica instead of a
+ * probe per field.
+ */
+struct ReplicaSnapshot
+{
+    /** Requests on the replica: running + queued + undecided. */
+    std::uint32_t outstanding = 0;
+
+    /** Requests queued but not yet in the running batch. */
+    std::uint32_t queued = 0;
+
+    /** Tokens still owed to requests on the replica. */
+    double backlogTokens = 0.0;
+
+    /** A prefill or decode step is in flight. */
+    bool busy = false;
+
+    /** Capability probe ran and passed. */
+    bool knownServable = false;
+
+    /** Capability probe ran and failed (dead replica). */
+    bool knownDead = false;
+};
+
 /** What a replica does next on the shared clock. */
 enum class StepKind
 {
@@ -241,6 +269,9 @@ class ServingSimulator
 
     /** Requests queued but not yet in the running batch. */
     std::uint32_t queuedCount() const;
+
+    /** All observed-state probes in one call (ReplicaSnapshot). */
+    ReplicaSnapshot snapshot() const;
 
     /**
      * Whether this replica is known to serve the session's model

@@ -1,0 +1,408 @@
+#include "sched/control_policy.hh"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace hermes::sched {
+
+namespace {
+
+/**
+ * The six legacy routing behaviors as one adapter: every arrival is
+ * answered by the calibrated Router, so decisions are bit-identical
+ * to the pre-API kernel (same inputs, same float sequence).
+ */
+class RouterControlPolicy final : public ControlPolicy
+{
+  public:
+    explicit RouterControlPolicy(RouterPolicy policy)
+        : policy_(policy)
+    {
+    }
+
+    std::string name() const override
+    {
+        return routerPolicyName(policy_);
+    }
+
+    std::uint32_t wants() const override
+    {
+        return routerPolicyNeedsObservations(policy_)
+                   ? kObservations
+                   : kNone;
+    }
+
+    void begin(const ControlContext &context) override
+    {
+        router_ = std::make_unique<Router>(
+            policy_, context.models, context.ttftDeadline);
+    }
+
+    void onArrival(const ArrivalContext &context,
+                   const FleetView &view,
+                   FleetActions &actions) override
+    {
+        (void)view;
+        if (!router_)
+            throw std::logic_error(
+                "RouterControlPolicy: onArrival before begin()");
+        const RouteDecision decision =
+            router_->route(context.arrival, context.generateTokens,
+                           context.observed);
+        if (decision.replica < 0)
+            actions.shed();
+        else
+            actions.routeTo(
+                static_cast<std::uint32_t>(decision.replica));
+    }
+
+  private:
+    RouterPolicy policy_;
+    std::unique_ptr<Router> router_;
+};
+
+/**
+ * The legacy stealing hook, verbatim: deepest queue among stuck
+ * (mid-step with a queue, or dead) victims, ceil(half), capped at
+ * the thief's batch.
+ */
+class GreedyStealPolicy final : public ControlPolicy
+{
+  public:
+    std::string name() const override { return "greedy-steal"; }
+
+    std::uint32_t wants() const override { return kIdle; }
+
+    void onReplicaIdle(std::uint32_t replica, Seconds now,
+                       const FleetView &view,
+                       FleetActions &actions) override
+    {
+        (void)now;
+        // Only a replica proven able to serve may steal; a dead (or
+        // never-probed, or draining) replica would strand the work.
+        if (!view.knownServable(replica) || view.draining(replica))
+            return;
+        const std::uint32_t n = view.replicaCount();
+        std::uint32_t victim = n;
+        std::uint32_t deepest = 0;
+        for (std::uint32_t v = 0; v < n; ++v) {
+            if (v == replica)
+                continue;
+            // A victim must be genuinely stuck: mid-step with a
+            // queue behind it, or known dead.  An idle replica with
+            // fresh deliveries has a same-instant Wake coming and
+            // will serve them itself.
+            if (!view.busy(v) && !view.knownDead(v))
+                continue;
+            const std::uint32_t queued = view.queuedCount(v);
+            if (queued > deepest) {
+                deepest = queued;
+                victim = v;
+            }
+        }
+        if (victim == n || deepest == 0)
+            return;
+        const std::uint32_t cap =
+            std::max<std::uint32_t>(view.maxBatch(replica), 1);
+        actions.steal(replica, victim,
+                      std::min((deepest + 1) / 2, cap));
+    }
+};
+
+/**
+ * SLO-aware stealing: steal only when the thief's estimated TTFT
+ * for the stolen request beats the victim's (see the factory doc in
+ * control_policy.hh).
+ */
+class SloStealPolicy final : public ControlPolicy
+{
+  public:
+    std::string name() const override { return "slo-steal"; }
+
+    std::uint32_t wants() const override { return kIdle; }
+
+    void begin(const ControlContext &context) override
+    {
+        models_ = context.models;
+    }
+
+    void onReplicaIdle(std::uint32_t replica, Seconds now,
+                       const FleetView &view,
+                       FleetActions &actions) override
+    {
+        (void)now;
+        if (!view.knownServable(replica) || view.draining(replica))
+            return;
+        const std::uint32_t n = view.replicaCount();
+        std::uint32_t victim = n;
+        std::uint32_t victim_queued = 0;
+        Seconds worst_wait = 0.0;
+        for (std::uint32_t v = 0; v < n; ++v) {
+            if (v == replica)
+                continue;
+            // Same stuck-victim eligibility as greedy-steal; the
+            // ranking differs: worst estimated wait, not deepest
+            // queue.
+            if (!view.busy(v) && !view.knownDead(v))
+                continue;
+            const std::uint32_t queued = view.queuedCount(v);
+            if (queued == 0)
+                continue;
+            const Seconds wait = estimatedWait(v, view);
+            if (victim == n || wait > worst_wait) {
+                worst_wait = wait;
+                victim = v;
+                victim_queued = queued;
+            }
+        }
+        if (victim == n)
+            return;
+        // The thief is idle: its estimated TTFT for stolen work is
+        // just its calibrated group prefill.  Steal only when that
+        // strictly beats the victim's estimated wait — a slow thief
+        // declines steals that would trade one queue's depth for a
+        // worse tail.
+        const Seconds thief_ttft =
+            models_[replica].prefillSeconds;
+        if (thief_ttft >= worst_wait)
+            return;
+        const std::uint32_t cap =
+            std::max<std::uint32_t>(view.maxBatch(replica), 1);
+        actions.steal(replica, victim,
+                      std::min((victim_queued + 1) / 2, cap));
+    }
+
+  private:
+    /**
+     * Estimated TTFT a queued request faces on `replica`: observed
+     * token backlog over the calibrated full-batch drain rate, plus
+     * one prefill; infinite for a dead replica (its queue never
+     * drains).
+     */
+    Seconds
+    estimatedWait(std::uint32_t replica,
+                  const FleetView &view) const
+    {
+        if (view.knownDead(replica))
+            return std::numeric_limits<double>::infinity();
+        const ReplicaModel &model = models_[replica];
+        const double drain_rate =
+            std::max(model.slotTokensPerSecond, 1.0e-9) *
+            static_cast<double>(
+                std::max<std::uint32_t>(model.maxBatch, 1));
+        return view.observedBacklogTokens(replica) / drain_rate +
+               model.prefillSeconds;
+    }
+
+    std::vector<ReplicaModel> models_;
+};
+
+} // namespace
+
+CompositeControlPolicy::CompositeControlPolicy(
+    std::vector<std::shared_ptr<ControlPolicy>> children)
+    : children_(std::move(children))
+{
+    if (children_.empty())
+        throw std::invalid_argument(
+            "CompositeControlPolicy: no children");
+    for (const auto &child : children_) {
+        if (!child)
+            throw std::invalid_argument(
+                "CompositeControlPolicy: null child");
+    }
+}
+
+std::string
+CompositeControlPolicy::name() const
+{
+    std::string joined;
+    for (const auto &child : children_) {
+        if (!joined.empty())
+            joined += '+';
+        joined += child->name();
+    }
+    return joined;
+}
+
+std::uint32_t
+CompositeControlPolicy::wants() const
+{
+    std::uint32_t bits = kNone;
+    for (const auto &child : children_)
+        bits |= child->wants();
+    return bits;
+}
+
+Seconds
+CompositeControlPolicy::tickPeriod() const
+{
+    // The composite heartbeat is the fastest child's.
+    Seconds period = 0.0;
+    for (const auto &child : children_) {
+        const Seconds p = child->tickPeriod();
+        if (p > 0.0 && (period <= 0.0 || p < period))
+            period = p;
+    }
+    return period;
+}
+
+void
+CompositeControlPolicy::begin(const ControlContext &context)
+{
+    for (const auto &child : children_)
+        child->begin(context);
+}
+
+void
+CompositeControlPolicy::onArrival(const ArrivalContext &context,
+                                  const FleetView &view,
+                                  FleetActions &actions)
+{
+    for (const auto &child : children_)
+        child->onArrival(context, view, actions);
+}
+
+void
+CompositeControlPolicy::onPrefillComplete(std::uint32_t replica,
+                                          Seconds now,
+                                          const FleetView &view,
+                                          FleetActions &actions)
+{
+    for (const auto &child : children_) {
+        if (child->wants() & kReplicaEvents)
+            child->onPrefillComplete(replica, now, view, actions);
+    }
+}
+
+void
+CompositeControlPolicy::onStepComplete(std::uint32_t replica,
+                                       Seconds now,
+                                       const FleetView &view,
+                                       FleetActions &actions)
+{
+    for (const auto &child : children_) {
+        if (child->wants() & kReplicaEvents)
+            child->onStepComplete(replica, now, view, actions);
+    }
+}
+
+void
+CompositeControlPolicy::onReplicaIdle(std::uint32_t replica,
+                                      Seconds now,
+                                      const FleetView &view,
+                                      FleetActions &actions)
+{
+    for (const auto &child : children_) {
+        if (child->wants() & kIdle)
+            child->onReplicaIdle(replica, now, view, actions);
+    }
+}
+
+void
+CompositeControlPolicy::onReplicaDead(std::uint32_t replica,
+                                      Seconds now,
+                                      const FleetView &view,
+                                      FleetActions &actions)
+{
+    for (const auto &child : children_) {
+        if (child->wants() & kDead)
+            child->onReplicaDead(replica, now, view, actions);
+    }
+}
+
+void
+CompositeControlPolicy::onTick(Seconds now, const FleetView &view,
+                               FleetActions &actions)
+{
+    for (const auto &child : children_) {
+        if (child->wants() & kTick)
+            child->onTick(now, view, actions);
+    }
+}
+
+std::shared_ptr<ControlPolicy>
+makeRouterPolicy(RouterPolicy policy)
+{
+    return std::make_shared<RouterControlPolicy>(policy);
+}
+
+std::shared_ptr<ControlPolicy>
+makeGreedyStealPolicy()
+{
+    return std::make_shared<GreedyStealPolicy>();
+}
+
+std::shared_ptr<ControlPolicy>
+makeSloStealPolicy()
+{
+    return std::make_shared<SloStealPolicy>();
+}
+
+std::shared_ptr<ControlPolicy>
+composeControlPolicies(
+    std::vector<std::shared_ptr<ControlPolicy>> children)
+{
+    if (children.size() == 1)
+        return children.front();
+    return std::make_shared<CompositeControlPolicy>(
+        std::move(children));
+}
+
+std::vector<std::string>
+controlPolicyNames()
+{
+    std::vector<std::string> names;
+    for (const RouterPolicy policy : allRouterPolicies())
+        names.push_back(routerPolicyName(policy));
+    names.push_back("greedy-steal");
+    names.push_back("slo-steal");
+    return names;
+}
+
+namespace {
+
+std::shared_ptr<ControlPolicy>
+atomByName(const std::string &name)
+{
+    for (const RouterPolicy policy : allRouterPolicies()) {
+        if (routerPolicyName(policy) == name)
+            return makeRouterPolicy(policy);
+    }
+    if (name == "greedy-steal")
+        return makeGreedyStealPolicy();
+    if (name == "slo-steal")
+        return makeSloStealPolicy();
+    throw std::invalid_argument(
+        "controlPolicyByName: unknown policy '" + name + "'");
+}
+
+} // namespace
+
+std::shared_ptr<ControlPolicy>
+controlPolicyByName(const std::string &name)
+{
+    std::vector<std::shared_ptr<ControlPolicy>> children;
+    std::size_t start = 0;
+    while (start <= name.size()) {
+        const std::size_t plus = name.find('+', start);
+        const std::string atom =
+            name.substr(start, plus == std::string::npos
+                                   ? std::string::npos
+                                   : plus - start);
+        if (atom.empty())
+            throw std::invalid_argument(
+                "controlPolicyByName: empty atom in '" + name +
+                "'");
+        children.push_back(atomByName(atom));
+        if (plus == std::string::npos)
+            break;
+        start = plus + 1;
+    }
+    // An empty name (or empty atom) already threw inside the loop,
+    // so children is never empty here.
+    return composeControlPolicies(std::move(children));
+}
+
+} // namespace hermes::sched

@@ -1,0 +1,388 @@
+/**
+ * @file
+ * Composable fleet control plane: event-subscribed policy objects.
+ *
+ * Before this API every control behavior of the fleet was
+ * hard-wired: routing was a six-value RouterPolicy enum threaded
+ * through the event kernel, work stealing a bool with one fixed
+ * occupancy-greedy heuristic, and each new behavior (SLO-aware
+ * stealing, autoscaling, preemption) would have needed another enum
+ * value or flag inside FleetSimulator::runEventDriven.  The control
+ * plane inverts that: the kernel owns *physics* (the virtual clock,
+ * replica boundaries, report bookkeeping) and a ControlPolicy owns
+ * *decisions*.  A policy subscribes to kernel events —
+ *
+ *   onArrival          a request reached the fleet; place or shed it
+ *   onPrefillComplete  a replica finished a joint admission prefill
+ *   onStepComplete     a replica finished one decode step
+ *   onReplicaIdle      a replica ran out of work at a boundary
+ *   onReplicaDead      a replica's capability probe failed
+ *   onTick             a periodic heartbeat (tickPeriod() > 0)
+ *
+ * — observes ground truth through a read-only FleetView, and acts
+ * through a capability-checked FleetActions surface (routeTo, shed,
+ * steal, requestSpawn / requestDrain for the coming autoscaler).
+ * Illegal actions — routing twice, routing to a draining replica,
+ * stealing when the victim has only running requests — throw
+ * std::logic_error instead of corrupting kernel state.
+ *
+ * The wants() bitmask is both a subscription list and a performance
+ * contract: the kernel skips the O(replicas) observation gather at
+ * arrival events unless kObservations is declared, and never calls
+ * hooks the policy did not subscribe to.
+ *
+ * All six legacy RouterPolicy behaviors and the occupancy-greedy
+ * stealing heuristic are built-in ControlPolicy implementations
+ * behind a name registry (controlPolicyByName, mirroring
+ * engineKindByName); the old FleetConfig enum/bool path is a thin
+ * adapter over them and stays bit-identical (pinned by the golden
+ * and event-vs-two-phase equivalence tests).  The first policy the
+ * old surface could not express is SloStealPolicy ("slo-steal"):
+ * steal only when the thief's estimated TTFT for the stolen request
+ * beats the victim's.
+ */
+
+#ifndef HERMES_SCHED_CONTROL_POLICY_HH
+#define HERMES_SCHED_CONTROL_POLICY_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/units.hh"
+#include "sched/router.hh"
+
+namespace hermes::sched {
+
+/**
+ * Read-only ground truth the kernel exposes to policies, per
+ * replica.  Implemented by the fleet kernel; probes are sampled
+ * live at the instant of the hook call.
+ */
+class FleetView
+{
+  public:
+    virtual ~FleetView() = default;
+
+    virtual std::uint32_t replicaCount() const = 0;
+
+    /** The router-calibrated queueing model of a replica. */
+    virtual const ReplicaModel &model(std::uint32_t replica) const = 0;
+
+    /** Continuous-batching slot count of a replica. */
+    virtual std::uint32_t maxBatch(std::uint32_t replica) const = 0;
+
+    /** Whether a prefill or decode step is in flight right now. */
+    virtual bool busy(std::uint32_t replica) const = 0;
+
+    /** Capability probe ran and passed (replica can serve). */
+    virtual bool knownServable(std::uint32_t replica) const = 0;
+
+    /** Capability probe ran and failed (replica is dead). */
+    virtual bool knownDead(std::uint32_t replica) const = 0;
+
+    /** A drain was requested; the replica accepts no new routes. */
+    virtual bool draining(std::uint32_t replica) const = 0;
+
+    /** Requests queued but not yet in the running batch. */
+    virtual std::uint32_t queuedCount(std::uint32_t replica) const = 0;
+
+    /** Requests on the replica: running + queued + undecided. */
+    virtual std::uint32_t
+    observedOutstanding(std::uint32_t replica) const = 0;
+
+    /** Tokens still owed to requests on the replica. */
+    virtual double
+    observedBacklogTokens(std::uint32_t replica) const = 0;
+
+    /** The TTFT service-level objective of this run. */
+    virtual Seconds ttftDeadline() const = 0;
+};
+
+/**
+ * The capability-checked action surface.  Implemented by the fleet
+ * kernel; every call is validated against the current hook context
+ * and the fleet's state, and an illegal call throws
+ * std::logic_error (never corrupts kernel state):
+ *
+ *  - routeTo / shed: only inside onArrival, exactly one decision
+ *    per arrival; routing to a draining or out-of-range replica
+ *    throws;
+ *  - steal: thief must differ from the victim, be known servable,
+ *    and the victim must hold queued (never running) requests —
+ *    asking to steal from a victim whose requests are all running
+ *    throws;
+ *  - requestSpawn / requestDrain: autoscaling intents.  The kernel
+ *    records them (KernelStats) and marks drained replicas so the
+ *    routing check above can enforce them; actual spawn/drain
+ *    physics land with the autoscaler (see ROADMAP).
+ */
+class FleetActions
+{
+  public:
+    virtual ~FleetActions() = default;
+
+    /** Place the current arrival on `replica` (onArrival only). */
+    virtual void routeTo(std::uint32_t replica) = 0;
+
+    /** Reject the current arrival at the door (onArrival only). */
+    virtual void shed() = 0;
+
+    /**
+     * Move up to `max_count` queued requests from `victim` to
+     * `thief` (newest arrivals first, as stealQueued defines).
+     * Returns how many actually moved.  If the thief is idle the
+     * kernel starts its next work immediately, exactly like the
+     * legacy stealing hook.
+     */
+    virtual std::uint32_t steal(std::uint32_t thief,
+                                std::uint32_t victim,
+                                std::uint32_t max_count) = 0;
+
+    /** Ask for one more replica (recorded intent; see class doc). */
+    virtual void requestSpawn() = 0;
+
+    /**
+     * Stop routing to `replica`; it drains what it holds.  Note
+     * that the built-in routing policies do not consult draining
+     * state (the calibrated Router has no exclusion mechanism
+     * yet), so a drain intent belongs in a policy that also owns
+     * the routing decision — routing to a drained replica throws.
+     */
+    virtual void requestDrain(std::uint32_t replica) = 0;
+};
+
+/** Everything onArrival knows about the request being placed. */
+struct ArrivalContext
+{
+    std::uint64_t requestId = 0;
+    Seconds arrival = 0.0; ///< Also the current virtual time.
+    std::uint32_t promptTokens = 0;
+    std::uint32_t generateTokens = 0;
+
+    /**
+     * One ground-truth observation per replica, sampled at this
+     * instant — or nullptr when the policy did not declare
+     * kObservations (the gather is O(replicas), so it is skipped
+     * unless asked for).
+     */
+    const std::vector<ReplicaObservation> *observed = nullptr;
+};
+
+/** Per-run binding handed to ControlPolicy::begin(). */
+struct ControlContext
+{
+    /** Calibrated queueing model of every replica, fleet order. */
+    std::vector<ReplicaModel> models;
+
+    Seconds ttftDeadline = 0.0;
+};
+
+/**
+ * One control-plane behavior (see file header).  Policies are
+ * stateful across one run and reset in begin(); the same object may
+ * drive many runs and many fleets sequentially.
+ */
+class ControlPolicy
+{
+  public:
+    /** Subscription / capability bits for wants(). */
+    enum Wants : std::uint32_t
+    {
+        kNone = 0,
+
+        /** Gather ReplicaObservations before each onArrival. */
+        kObservations = 1u << 0,
+
+        /** Deliver onPrefillComplete / onStepComplete. */
+        kReplicaEvents = 1u << 1,
+
+        /** Deliver onReplicaIdle. */
+        kIdle = 1u << 2,
+
+        /** Deliver onReplicaDead. */
+        kDead = 1u << 3,
+
+        /** Deliver onTick every tickPeriod() virtual seconds. */
+        kTick = 1u << 4,
+    };
+
+    virtual ~ControlPolicy() = default;
+
+    /** Registry / report name (e.g. "jsq", "slo-steal"). */
+    virtual std::string name() const = 0;
+
+    /** OR of Wants bits; the kernel honors exactly these. */
+    virtual std::uint32_t wants() const { return kNone; }
+
+    /** Virtual-time heartbeat period; <= 0 disables onTick. */
+    virtual Seconds tickPeriod() const { return 0.0; }
+
+    /** Reset per-run state; called once before each fleet run. */
+    virtual void begin(const ControlContext &context)
+    {
+        (void)context;
+    }
+
+    /**
+     * Place (or shed) one arriving request.  Exactly one decision —
+     * routeTo or shed — must be made across all subscribed policies
+     * per arrival; the kernel throws otherwise.
+     */
+    virtual void onArrival(const ArrivalContext &context,
+                           const FleetView &view,
+                           FleetActions &actions)
+    {
+        (void)context;
+        (void)view;
+        (void)actions;
+    }
+
+    /** A replica finished a joint admission prefill (kReplicaEvents). */
+    virtual void onPrefillComplete(std::uint32_t replica, Seconds now,
+                                   const FleetView &view,
+                                   FleetActions &actions)
+    {
+        (void)replica;
+        (void)now;
+        (void)view;
+        (void)actions;
+    }
+
+    /** A replica finished one decode step (kReplicaEvents). */
+    virtual void onStepComplete(std::uint32_t replica, Seconds now,
+                                const FleetView &view,
+                                FleetActions &actions)
+    {
+        (void)replica;
+        (void)now;
+        (void)view;
+        (void)actions;
+    }
+
+    /** A replica ran out of work at a boundary (kIdle). */
+    virtual void onReplicaIdle(std::uint32_t replica, Seconds now,
+                               const FleetView &view,
+                               FleetActions &actions)
+    {
+        (void)replica;
+        (void)now;
+        (void)view;
+        (void)actions;
+    }
+
+    /** A replica's capability probe failed (kDead; fires once). */
+    virtual void onReplicaDead(std::uint32_t replica, Seconds now,
+                               const FleetView &view,
+                               FleetActions &actions)
+    {
+        (void)replica;
+        (void)now;
+        (void)view;
+        (void)actions;
+    }
+
+    /** Periodic heartbeat on the virtual clock (kTick). */
+    virtual void onTick(Seconds now, const FleetView &view,
+                        FleetActions &actions)
+    {
+        (void)now;
+        (void)view;
+        (void)actions;
+    }
+};
+
+/**
+ * Fan one event stream out to several policies (e.g. a routing
+ * policy plus a stealing policy).  wants() is the OR of the
+ * children's; every child sees every hook it subscribed to, in
+ * child order.  The one-decision-per-arrival contract applies to
+ * the composite as a whole.
+ */
+class CompositeControlPolicy : public ControlPolicy
+{
+  public:
+    explicit CompositeControlPolicy(
+        std::vector<std::shared_ptr<ControlPolicy>> children);
+
+    std::string name() const override;
+    std::uint32_t wants() const override;
+    Seconds tickPeriod() const override;
+    void begin(const ControlContext &context) override;
+    void onArrival(const ArrivalContext &context,
+                   const FleetView &view,
+                   FleetActions &actions) override;
+    void onPrefillComplete(std::uint32_t replica, Seconds now,
+                           const FleetView &view,
+                           FleetActions &actions) override;
+    void onStepComplete(std::uint32_t replica, Seconds now,
+                        const FleetView &view,
+                        FleetActions &actions) override;
+    void onReplicaIdle(std::uint32_t replica, Seconds now,
+                       const FleetView &view,
+                       FleetActions &actions) override;
+    void onReplicaDead(std::uint32_t replica, Seconds now,
+                       const FleetView &view,
+                       FleetActions &actions) override;
+    void onTick(Seconds now, const FleetView &view,
+                FleetActions &actions) override;
+
+  private:
+    std::vector<std::shared_ptr<ControlPolicy>> children_;
+};
+
+/**
+ * A routing policy over the calibrated Router (sched/router.hh):
+ * the six legacy RouterPolicy behaviors as ControlPolicy objects.
+ * Bit-identical to the pre-API kernel by construction — the same
+ * Router makes the same decisions from the same inputs.
+ */
+std::shared_ptr<ControlPolicy> makeRouterPolicy(RouterPolicy policy);
+
+/**
+ * The legacy occupancy-greedy work-stealing hook ("greedy-steal"):
+ * an idle servable replica steals ceil(half) of the deepest queue
+ * among busy-or-dead victims, capped at its own batch size.
+ */
+std::shared_ptr<ControlPolicy> makeGreedyStealPolicy();
+
+/**
+ * SLO-aware work stealing ("slo-steal") — the first policy the
+ * enum/bool surface could not express.  An idle replica picks the
+ * victim whose queued requests face the *worst estimated wait*
+ * (observed token backlog over calibrated drain rate, plus prefill;
+ * infinite for a dead victim) and steals only when its own
+ * estimated TTFT for the stolen work — its calibrated prefill,
+ * since it is idle — beats that wait.  A slow thief therefore
+ * declines steals that occupancy-greedy would take at the cost of
+ * the tail.
+ */
+std::shared_ptr<ControlPolicy> makeSloStealPolicy();
+
+/**
+ * Compose routing + auxiliary policies into one control plane.
+ * Throws std::invalid_argument when `children` is empty.
+ */
+std::shared_ptr<ControlPolicy> composeControlPolicies(
+    std::vector<std::shared_ptr<ControlPolicy>> children);
+
+/**
+ * Registry names of the built-in atoms, in display order: the six
+ * router policies ("round-robin", "jsq", "least-tokens",
+ * "slo-aware", "true-jsq", "least-backlog"), then "greedy-steal"
+ * and "slo-steal".
+ */
+std::vector<std::string> controlPolicyNames();
+
+/**
+ * Build a control policy by registry name.  A '+'-joined name
+ * ("least-tokens+slo-steal") composes atoms left to right; throws
+ * std::invalid_argument on unknown atoms or an empty name.
+ */
+std::shared_ptr<ControlPolicy>
+controlPolicyByName(const std::string &name);
+
+} // namespace hermes::sched
+
+#endif // HERMES_SCHED_CONTROL_POLICY_HH

@@ -31,6 +31,12 @@
  * a request goes (and, for SloAware, *whether* it is admitted); the
  * feedback policies replace the estimate with ground truth at the
  * decision instant, closing the loop the estimate approximates.
+ *
+ * Since the control-plane redesign (sched/control_policy.hh) the
+ * Router is the calibrated *estimator* behind the built-in routing
+ * ControlPolicy objects; configuring a fleet by RouterPolicy enum
+ * (FleetConfig::policy) is deprecated-but-stable — prefer
+ * `controlPolicyByName` / `FleetConfig::control`.
  */
 
 #ifndef HERMES_SCHED_ROUTER_HH

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Edge-case tests for the benches' Args CLI parser
+ * (bench/bench_util.hh).  The parser exits the process on misuse
+ * (that is its contract — a bench should die loudly on a typoed
+ * sweep), so the failure paths are pinned with gtest death tests;
+ * until now they were only exercised implicitly by CI smoke runs.
+ */
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench_util.hh"
+
+namespace hermes::bench {
+namespace {
+
+/** Build an Args over a token list (argv[0] supplied). */
+class ArgvFixture
+{
+  public:
+    explicit ArgvFixture(std::vector<std::string> tokens)
+        : tokens_(std::move(tokens))
+    {
+        pointers_.push_back(const_cast<char *>("bench_test"));
+        for (std::string &token : tokens_)
+            pointers_.push_back(token.data());
+    }
+
+    Args
+    args()
+    {
+        return Args(static_cast<int>(pointers_.size()),
+                    pointers_.data());
+    }
+
+  private:
+    std::vector<std::string> tokens_;
+    std::vector<char *> pointers_;
+};
+
+TEST(BenchArgs, FlagsAndOptionsParse)
+{
+    ArgvFixture fixture({"--smoke", "--policy", "jsq",
+                         "--requests", "48", "--rate", "2.5"});
+    Args args = fixture.args();
+    EXPECT_TRUE(args.flag("smoke", "smoke"));
+    EXPECT_FALSE(args.flag("verbose", "verbose"));
+    EXPECT_EQ(args.str("policy", "all", "policy"), "jsq");
+    EXPECT_EQ(args.str("scenario", "all", "scenario"), "all");
+    EXPECT_EQ(args.u32("requests", 10, "requests"), 48u);
+    EXPECT_DOUBLE_EQ(args.f64("rate", 1.0, "rate"), 2.5);
+    args.finish(); // Everything consumed: must not exit.
+}
+
+TEST(BenchArgsDeathTest, UnknownFlagExitsWithUsage)
+{
+    ArgvFixture fixture({"--smoke", "--bogus"});
+    Args args = fixture.args();
+    args.flag("smoke", "smoke");
+    EXPECT_EXIT(args.finish(), testing::ExitedWithCode(2),
+                "unknown argument: --bogus");
+}
+
+TEST(BenchArgsDeathTest, FlagMissingItsValueExits)
+{
+    // "--policy" with nothing after it cannot bind a value: the
+    // query falls back to the default and finish() rejects the
+    // dangling token instead of silently accepting the typo.
+    ArgvFixture fixture({"--policy"});
+    Args args = fixture.args();
+    EXPECT_EQ(args.str("policy", "all", "policy"), "all");
+    EXPECT_EXIT(args.finish(), testing::ExitedWithCode(2),
+                "unknown argument: --policy");
+}
+
+TEST(BenchArgsDeathTest, DuplicateFlagExits)
+{
+    // The first occurrence wins; the duplicate is left unconsumed
+    // and finish() treats it as an unknown argument, so a sweep
+    // cannot silently drop half of a contradictory command line.
+    ArgvFixture fixture(
+        {"--policy", "jsq", "--policy", "round-robin"});
+    Args args = fixture.args();
+    EXPECT_EQ(args.str("policy", "all", "policy"), "jsq");
+    EXPECT_EXIT(args.finish(), testing::ExitedWithCode(2),
+                "unknown argument: --policy");
+}
+
+TEST(BenchArgsDeathTest, SmokeFlagTakesNoValue)
+{
+    // "--smoke 5": the flag itself parses, the stray value is an
+    // error — presence flags never consume a trailing token.
+    ArgvFixture fixture({"--smoke", "5"});
+    Args args = fixture.args();
+    EXPECT_TRUE(args.flag("smoke", "smoke"));
+    EXPECT_EXIT(args.finish(), testing::ExitedWithCode(2),
+                "unknown argument: 5");
+}
+
+TEST(BenchArgsDeathTest, DuplicateSmokeFlagExits)
+{
+    ArgvFixture fixture({"--smoke", "--smoke"});
+    Args args = fixture.args();
+    EXPECT_TRUE(args.flag("smoke", "smoke"));
+    EXPECT_EXIT(args.finish(), testing::ExitedWithCode(2),
+                "unknown argument: --smoke");
+}
+
+TEST(BenchArgsDeathTest, NonNumericU32Exits)
+{
+    ArgvFixture fixture({"--requests", "many"});
+    Args args = fixture.args();
+    EXPECT_EXIT(args.u32("requests", 10, "requests"),
+                testing::ExitedWithCode(2), "not a number");
+}
+
+TEST(BenchArgsDeathTest, NegativeU32Exits)
+{
+    // strtoul would silently wrap a negative; the parser rejects
+    // anything but digits instead.
+    ArgvFixture fixture({"--requests", "-3"});
+    Args args = fixture.args();
+    EXPECT_EXIT(args.u32("requests", 10, "requests"),
+                testing::ExitedWithCode(2), "not a number");
+}
+
+TEST(BenchArgsDeathTest, NonNumericF64Exits)
+{
+    ArgvFixture fixture({"--rate", "fast"});
+    Args args = fixture.args();
+    EXPECT_EXIT(args.f64("rate", 1.0, "rate"),
+                testing::ExitedWithCode(2), "not a number");
+}
+
+TEST(BenchArgsDeathTest, HelpExitsZeroWithUsage)
+{
+    ArgvFixture fixture({"--help"});
+    Args args = fixture.args();
+    args.flag("smoke", "run the smoke subset");
+    EXPECT_EXIT(args.finish(), testing::ExitedWithCode(0),
+                "--smoke *run the smoke subset");
+}
+
+TEST(BenchArgsDeathTest, HelpWithUnknownArgumentStillFails)
+{
+    // A typo next to --help must not masquerade as success: the
+    // usage prints, but the exit code reports the error.
+    ArgvFixture fixture({"--help", "--bogus"});
+    Args args = fixture.args();
+    EXPECT_EXIT(args.finish(), testing::ExitedWithCode(2),
+                "unknown argument: --bogus");
+}
+
+} // namespace
+} // namespace hermes::bench

@@ -76,8 +76,9 @@ TEST(EventSim, IdenticalEventsPopInInsertionOrder)
     std::uint64_t last = 0;
     for (int i = 0; i < 4; ++i) {
         const Event event = queue.pop();
-        if (i > 0)
+        if (i > 0) {
             EXPECT_GT(event.seq, last);
+        }
         last = event.seq;
     }
 }
@@ -121,6 +122,24 @@ TEST(EventSim, KindNamesAreStable)
     EXPECT_EQ(eventKindName(EventKind::StepComplete),
               "step-complete");
     EXPECT_EQ(eventKindName(EventKind::Wake), "wake");
+    EXPECT_EQ(eventKindName(EventKind::Tick), "tick");
+}
+
+TEST(EventSim, TicksCountInStatsAndSortAsFleetEvents)
+{
+    // Control-plane heartbeats are fleet-level events: at a tied
+    // instant they pop before any replica event (like arrivals)
+    // and after arrivals of the same instant (higher kind rank).
+    EventQueue queue;
+    queue.push(1.0, EventKind::StepComplete, 0, 0);
+    queue.push(1.0, EventKind::Tick, -1, 0);
+    queue.push(1.0, EventKind::Arrival, -1, 3);
+
+    EXPECT_EQ(queue.pop().kind, EventKind::Arrival);
+    EXPECT_EQ(queue.pop().kind, EventKind::Tick);
+    EXPECT_EQ(queue.pop().kind, EventKind::StepComplete);
+    EXPECT_EQ(queue.stats().ticks, 1u);
+    EXPECT_EQ(queue.stats().popped(), 3u);
 }
 
 } // namespace

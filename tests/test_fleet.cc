@@ -438,7 +438,7 @@ TEST(EventKernel, FeedbackAndStealingRequireTheEventKernel)
         FleetSimulator(config, model::opt13b()).run(trace),
         std::invalid_argument);
 
-    for (const std::string &name : {"event", "two-phase"})
+    for (const char *name : {"event", "two-phase"})
         EXPECT_EQ(fleetKernelName(fleetKernelByName(name)),
                   name);
     EXPECT_THROW(fleetKernelByName("offline"),
@@ -542,6 +542,502 @@ TEST(WorkStealing, KeepsInvariantsUnderOverload)
         FleetSimulator(config, model::opt13b()).run(trace);
     checkReportInvariants(report, trace.size());
     EXPECT_EQ(report.completed, trace.size());
+}
+
+// ---- The composable control plane (sched/control_policy.hh) ----
+
+/**
+ * Explicit ControlPolicy objects must reproduce the deprecated
+ * enum/bool configuration bit for bit: the legacy fields are thin
+ * adapters over the same built-ins.
+ */
+TEST(ControlPlane, ExplicitPoliciesMatchTheDeprecatedConfig)
+{
+    const auto trace = smallTrace();
+    for (const sched::RouterPolicy policy :
+         sched::allRouterPolicies()) {
+        FleetConfig legacy = uniformFleet(
+            2, fastConfig(4), fastServing(), policy, 30.0);
+        FleetConfig explicit_config = legacy;
+        explicit_config.control = sched::controlPolicyByName(
+            sched::routerPolicyName(policy));
+        const auto a =
+            FleetSimulator(legacy, model::opt13b()).run(trace);
+        const auto b =
+            FleetSimulator(explicit_config, model::opt13b())
+                .run(trace);
+        EXPECT_EQ(a.policy, b.policy);
+        expectIdenticalReports(a, b);
+    }
+}
+
+TEST(ControlPlane, ExplicitStealingMatchesTheDeprecatedBool)
+{
+    // The dead-replica rescue scenario forces steals; the explicit
+    // "round-robin+greedy-steal" composite must reproduce the
+    // legacy workStealing bool exactly, steal counters included.
+    FleetConfig config;
+    config.ttftDeadline = 60.0;
+    config.policy = sched::RouterPolicy::RoundRobin;
+    ReplicaConfig healthy;
+    healthy.system = fastConfig(4);
+    healthy.serving = fastServing();
+    ReplicaConfig dead = healthy;
+    dead.system.numDimms = 0;
+    config.replicas = {healthy, dead};
+    const auto trace = smallTrace();
+
+    config.workStealing = true;
+    const auto legacy =
+        FleetSimulator(config, model::opt13b()).run(trace);
+
+    config.workStealing = false;
+    config.control =
+        sched::controlPolicyByName("round-robin+greedy-steal");
+    const auto explicit_report =
+        FleetSimulator(config, model::opt13b()).run(trace);
+
+    expectIdenticalReports(legacy, explicit_report);
+    EXPECT_EQ(legacy.kernelStats.steals,
+              explicit_report.kernelStats.steals);
+    EXPECT_EQ(legacy.kernelStats.stolenRequests,
+              explicit_report.kernelStats.stolenRequests);
+    EXPECT_GT(explicit_report.kernelStats.stolenRequests, 0u);
+    EXPECT_EQ(explicit_report.policy, "round-robin+greedy-steal");
+}
+
+TEST(ControlPlane, RegistryRoundTripsAndComposes)
+{
+    const auto names = sched::controlPolicyNames();
+    ASSERT_EQ(names.size(), 8u);
+    for (const std::string &name : names)
+        EXPECT_EQ(sched::controlPolicyByName(name)->name(), name);
+
+    const auto composite =
+        sched::controlPolicyByName("least-tokens+slo-steal");
+    EXPECT_EQ(composite->name(), "least-tokens+slo-steal");
+    EXPECT_TRUE(composite->wants() &
+                sched::ControlPolicy::kIdle);
+    EXPECT_FALSE(composite->wants() &
+                 sched::ControlPolicy::kObservations);
+    EXPECT_TRUE(sched::controlPolicyByName("true-jsq")->wants() &
+                sched::ControlPolicy::kObservations);
+
+    EXPECT_THROW(sched::controlPolicyByName("fifo"),
+                 std::invalid_argument);
+    EXPECT_THROW(sched::controlPolicyByName("jsq+"),
+                 std::invalid_argument);
+    EXPECT_THROW(sched::controlPolicyByName(""),
+                 std::invalid_argument);
+    EXPECT_THROW(sched::composeControlPolicies({}),
+                 std::invalid_argument);
+}
+
+TEST(ControlPlane, CustomPoliciesNeedTheEventKernel)
+{
+    FleetConfig config = uniformFleet(
+        2, fastConfig(4), fastServing(),
+        sched::RouterPolicy::RoundRobin, 30.0);
+    config.kernel = FleetKernel::TwoPhase;
+    config.control = sched::controlPolicyByName("round-robin");
+    EXPECT_THROW(
+        FleetSimulator(config, model::opt13b()).run(smallTrace()),
+        std::invalid_argument);
+}
+
+/** Routes arrivals to a fixed replica (test scaffolding). */
+class PinnedRoutePolicy : public sched::ControlPolicy
+{
+  public:
+    explicit PinnedRoutePolicy(std::uint32_t target)
+        : target_(target)
+    {
+    }
+
+    std::string name() const override { return "pinned"; }
+
+    void onArrival(const sched::ArrivalContext &,
+                   const sched::FleetView &,
+                   sched::FleetActions &actions) override
+    {
+        actions.routeTo(target_);
+    }
+
+  private:
+    std::uint32_t target_;
+};
+
+TEST(ControlPlane, CustomPolicyPlacesByItsOwnRule)
+{
+    // The API point: a user-written policy, never seen by the
+    // kernel before, places requests by its own rule.  Odd ids to
+    // replica 1, even to replica 0.
+    class ParityPolicy final : public sched::ControlPolicy
+    {
+      public:
+        std::string name() const override { return "parity"; }
+
+        void onArrival(const sched::ArrivalContext &context,
+                       const sched::FleetView &,
+                       sched::FleetActions &actions) override
+        {
+            actions.routeTo(
+                static_cast<std::uint32_t>(context.requestId % 2));
+        }
+    };
+
+    FleetConfig config = uniformFleet(
+        2, fastConfig(4), fastServing(),
+        sched::RouterPolicy::RoundRobin, 30.0);
+    config.control = std::make_shared<ParityPolicy>();
+    const auto trace = smallTrace();
+    const auto report =
+        FleetSimulator(config, model::opt13b()).run(trace);
+    checkReportInvariants(report, trace.size());
+    EXPECT_EQ(report.completed, trace.size());
+    EXPECT_EQ(report.policy, "parity");
+    for (std::size_t i = 0; i < trace.size(); ++i)
+        EXPECT_EQ(report.assignment[i],
+                  static_cast<int>(trace[i].id % 2));
+}
+
+TEST(ControlPlane, IllegalActionsThrowInsteadOfCorruptingState)
+{
+    const auto trace = smallTrace(4);
+    const auto run_with =
+        [&](std::shared_ptr<sched::ControlPolicy> control) {
+            FleetConfig config = uniformFleet(
+                2, fastConfig(4), fastServing(),
+                sched::RouterPolicy::RoundRobin, 30.0);
+            config.control = std::move(control);
+            return FleetSimulator(config, model::opt13b())
+                .run(trace);
+        };
+
+    // No decision at all.
+    class SilentPolicy final : public sched::ControlPolicy
+    {
+        std::string name() const override { return "silent"; }
+    };
+    EXPECT_THROW(run_with(std::make_shared<SilentPolicy>()),
+                 std::logic_error);
+
+    // Two decisions for one arrival.
+    class DoubleRoutePolicy final : public sched::ControlPolicy
+    {
+        std::string name() const override { return "double"; }
+        void onArrival(const sched::ArrivalContext &,
+                       const sched::FleetView &,
+                       sched::FleetActions &actions) override
+        {
+            actions.routeTo(0);
+            actions.shed();
+        }
+    };
+    EXPECT_THROW(run_with(std::make_shared<DoubleRoutePolicy>()),
+                 std::logic_error);
+
+    // Out-of-range replica.
+    EXPECT_THROW(run_with(std::make_shared<PinnedRoutePolicy>(99)),
+                 std::logic_error);
+
+    // Routing to a replica the policy itself drained.
+    class RouteDrainedPolicy final : public sched::ControlPolicy
+    {
+        std::string name() const override { return "drained"; }
+        void onArrival(const sched::ArrivalContext &,
+                       const sched::FleetView &,
+                       sched::FleetActions &actions) override
+        {
+            actions.requestDrain(1);
+            actions.routeTo(1);
+        }
+    };
+    EXPECT_THROW(run_with(std::make_shared<RouteDrainedPolicy>()),
+                 std::logic_error);
+
+    // Stealing from itself.
+    class SelfStealPolicy final : public sched::ControlPolicy
+    {
+        std::string name() const override { return "self-steal"; }
+        std::uint32_t wants() const override { return kIdle; }
+        void onArrival(const sched::ArrivalContext &,
+                       const sched::FleetView &,
+                       sched::FleetActions &actions) override
+        {
+            actions.routeTo(0);
+        }
+        void onReplicaIdle(std::uint32_t replica, Seconds,
+                           const sched::FleetView &,
+                           sched::FleetActions &actions) override
+        {
+            actions.steal(replica, replica, 1);
+        }
+    };
+    EXPECT_THROW(run_with(std::make_shared<SelfStealPolicy>()),
+                 std::logic_error);
+}
+
+TEST(ControlPlane, StealingARunningRequestThrows)
+{
+    // Request A (long) runs alone on replica 0 — nothing queued
+    // behind it.  When replica 1 drains its own short request and
+    // greedily tries to steal A anyway, the action surface throws:
+    // running requests cannot be stolen.
+    class StealRunningPolicy final : public sched::ControlPolicy
+    {
+      public:
+        std::string name() const override
+        {
+            return "steal-running";
+        }
+        std::uint32_t wants() const override { return kIdle; }
+        void onArrival(const sched::ArrivalContext &context,
+                       const sched::FleetView &,
+                       sched::FleetActions &actions) override
+        {
+            actions.routeTo(context.requestId == 0 ? 0 : 1);
+        }
+        void onReplicaIdle(std::uint32_t replica, Seconds,
+                           const sched::FleetView &,
+                           sched::FleetActions &actions) override
+        {
+            actions.steal(replica, replica == 0 ? 1 : 0, 1);
+        }
+    };
+
+    std::vector<serving::ServedRequest> trace(2);
+    trace[0].id = 0;
+    trace[0].arrival = 0.0;
+    trace[0].promptTokens = 64;
+    trace[0].generateTokens = 64; // Long: still running later.
+    trace[1].id = 1;
+    trace[1].arrival = 0.0;
+    trace[1].promptTokens = 64;
+    trace[1].generateTokens = 1; // Short: replica 1 idles first.
+
+    FleetConfig config = uniformFleet(
+        2, fastConfig(4), fastServing(1),
+        sched::RouterPolicy::RoundRobin, 30.0);
+    config.control = std::make_shared<StealRunningPolicy>();
+    EXPECT_THROW(
+        FleetSimulator(config, model::opt13b()).run(trace),
+        std::logic_error);
+}
+
+TEST(ControlPlane, StealingIntoTheCompletingReplicaIsLegal)
+{
+    // The natural "grab more work the moment I finish a step"
+    // pattern: a kReplicaEvents subscriber steals into the very
+    // replica whose step just completed.  The kernel must resume
+    // that replica through the steal (not double-start it) and
+    // still serve everything.
+    class StepStealPolicy final : public sched::ControlPolicy
+    {
+      public:
+        std::string name() const override { return "step-steal"; }
+        std::uint32_t wants() const override
+        {
+            return kReplicaEvents;
+        }
+        void onArrival(const sched::ArrivalContext &context,
+                       const sched::FleetView &,
+                       sched::FleetActions &actions) override
+        {
+            actions.routeTo(context.requestId == 0 ? 0 : 1);
+        }
+        void onStepComplete(std::uint32_t replica, Seconds,
+                            const sched::FleetView &view,
+                            sched::FleetActions &actions) override
+        {
+            if (replica == 0 && view.knownServable(0) &&
+                !view.busy(0) && view.queuedCount(1) > 0)
+                actions.steal(0, 1, 1);
+        }
+    };
+
+    std::vector<serving::ServedRequest> trace(5);
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        trace[i].id = i;
+        trace[i].arrival = 0.0;
+        trace[i].promptTokens = 64;
+        trace[i].generateTokens = i == 0 ? 6 : 2;
+    }
+    FleetConfig config = uniformFleet(
+        2, fastConfig(4), fastServing(1),
+        sched::RouterPolicy::RoundRobin, 30.0);
+    config.control = std::make_shared<StepStealPolicy>();
+    const auto report =
+        FleetSimulator(config, model::opt13b()).run(trace);
+    checkReportInvariants(report, trace.size());
+    EXPECT_EQ(report.completed, trace.size());
+    EXPECT_GT(report.kernelStats.stolenRequests, 0u);
+}
+
+TEST(ControlPlane, AutoscalingIntentsAreRecorded)
+{
+    // requestSpawn / requestDrain are intents today: the kernel
+    // records them and enforces the drain on routing, and the
+    // autoscaler (ROADMAP) turns them into physics later.
+    class DrainSecondReplicaPolicy final
+        : public sched::ControlPolicy
+    {
+      public:
+        std::string name() const override { return "drainer"; }
+        void onArrival(const sched::ArrivalContext &,
+                       const sched::FleetView &view,
+                       sched::FleetActions &actions) override
+        {
+            if (!view.draining(1)) {
+                actions.requestDrain(1);
+                actions.requestSpawn();
+            }
+            actions.routeTo(0);
+        }
+    };
+
+    FleetConfig config = uniformFleet(
+        2, fastConfig(4), fastServing(),
+        sched::RouterPolicy::RoundRobin, 30.0);
+    config.control = std::make_shared<DrainSecondReplicaPolicy>();
+    const auto trace = smallTrace();
+    const auto report =
+        FleetSimulator(config, model::opt13b()).run(trace);
+    checkReportInvariants(report, trace.size());
+    EXPECT_EQ(report.completed, trace.size());
+    EXPECT_EQ(report.kernelStats.drainRequests, 1u);
+    EXPECT_EQ(report.kernelStats.spawnRequests, 1u);
+    for (const int replica : report.assignment)
+        EXPECT_EQ(replica, 0);
+}
+
+TEST(ControlPlane, TickHeartbeatFiresWithoutPerturbingPhysics)
+{
+    // A tick subscriber that only watches must leave every
+    // physical outcome identical to the plain policy — the
+    // heartbeat rides the same virtual clock but touches nothing.
+    class WatchingTickPolicy final : public sched::ControlPolicy
+    {
+      public:
+        std::string name() const override { return "watcher"; }
+        std::uint32_t wants() const override { return kTick; }
+        Seconds tickPeriod() const override { return 0.01; }
+        void onArrival(const sched::ArrivalContext &,
+                       const sched::FleetView &,
+                       sched::FleetActions &actions) override
+        {
+            actions.routeTo(next_++ % 2);
+        }
+        void onTick(Seconds, const sched::FleetView &,
+                    sched::FleetActions &) override
+        {
+            ++ticks_;
+        }
+        std::uint64_t ticks() const { return ticks_; }
+
+      private:
+        std::uint32_t next_ = 0;
+        std::uint64_t ticks_ = 0;
+    };
+
+    const auto trace = smallTrace();
+    FleetConfig config = uniformFleet(
+        2, fastConfig(4), fastServing(),
+        sched::RouterPolicy::RoundRobin, 30.0);
+    const auto plain =
+        FleetSimulator(config, model::opt13b()).run(trace);
+
+    auto watcher = std::make_shared<WatchingTickPolicy>();
+    config.control = watcher;
+    const auto watched =
+        FleetSimulator(config, model::opt13b()).run(trace);
+
+    expectIdenticalReports(plain, watched);
+    EXPECT_GT(watcher->ticks(), 0u);
+    EXPECT_EQ(watcher->ticks(),
+              watched.kernelStats.events.ticks);
+    EXPECT_EQ(plain.kernelStats.events.ticks, 0u);
+}
+
+TEST(SloSteal, StillRescuesQueuesStrandedOnADeadReplica)
+{
+    // A dead victim's estimated wait is infinite, so SLO-aware
+    // stealing always beats it: the fault-tolerance story of the
+    // greedy hook is preserved.
+    FleetConfig config;
+    config.ttftDeadline = 60.0;
+    ReplicaConfig healthy;
+    healthy.system = fastConfig(4);
+    healthy.serving = fastServing();
+    ReplicaConfig dead = healthy;
+    dead.system.numDimms = 0;
+    config.replicas = {healthy, dead};
+    config.control =
+        sched::controlPolicyByName("round-robin+slo-steal");
+
+    const auto trace = smallTrace();
+    const auto report =
+        FleetSimulator(config, model::opt13b()).run(trace);
+    checkReportInvariants(report, trace.size());
+    EXPECT_EQ(report.completed, trace.size());
+    EXPECT_EQ(report.rejected, 0u);
+    EXPECT_GT(report.kernelStats.stolenRequests, 0u);
+}
+
+TEST(SloSteal, BeatsGreedyStealingOnABurstyHeterogeneousFleet)
+{
+    // A fast Hermes replica next to an Accelerate tier whose
+    // prefill alone (~4.3s) blows the 2s TTFT deadline.  JSQ
+    // routing keeps the slow tier lightly loaded, so it idles
+    // between bursts while the fast replica still has a short
+    // queue; occupancy-greedy stealing happily moves that queue
+    // onto the slow tier — every stolen request then pays the
+    // slow prefill — while slo-steal declines any steal whose
+    // estimated TTFT on the thief is worse than waiting out the
+    // victim's backlog.  Scenario chosen (and pinned by the
+    // determinism tests) so the divergence shows on both the TTFT
+    // tail and SLO attainment; a sweep over seeds x rates x burst
+    // factors showed every diverging cell winning on attainment.
+    serving::ScenarioConfig scenario;
+    scenario.process = serving::ArrivalProcess::Bursty;
+    scenario.requests = 24;
+    scenario.ratePerSecond = 4.0;
+    scenario.burstiness = 8.0;
+    scenario.prompt = {96, 32, 0.0, 1.0};
+    scenario.generate = {2, 1, 0.0, 1.0};
+    scenario.seed = 5;
+    const auto trace = serving::generateWorkload(scenario);
+
+    FleetConfig config;
+    config.ttftDeadline = 2.0;
+    ReplicaConfig fast;
+    fast.name = "fast";
+    fast.system = fastConfig(4);
+    fast.serving = fastServing(2);
+    ReplicaConfig slow = fast;
+    slow.name = "slow";
+    slow.serving.engine = runtime::EngineKind::Accelerate;
+    config.replicas = {fast, slow};
+
+    const auto run_with = [&](const std::string &control) {
+        config.control = sched::controlPolicyByName(control);
+        return FleetSimulator(config, model::opt13b()).run(trace);
+    };
+    const auto greedy = run_with("jsq+greedy-steal");
+    const auto slo = run_with("jsq+slo-steal");
+    checkReportInvariants(greedy, trace.size());
+    checkReportInvariants(slo, trace.size());
+
+    // Greedy actually stole onto the slow tier; slo-steal declined
+    // the losing subset of those steals.
+    EXPECT_GT(greedy.kernelStats.stolenRequests, 0u);
+    EXPECT_LT(slo.kernelStats.stolenRequests,
+              greedy.kernelStats.stolenRequests);
+    EXPECT_GT(slo.kernelStats.stolenRequests, 0u);
+
+    // The acceptance pin: strictly better tail AND attainment.
+    EXPECT_LT(slo.p99Ttft, greedy.p99Ttft);
+    EXPECT_GT(slo.sloAttainment, greedy.sloAttainment);
 }
 
 TEST(Fleet, CacheReuseAcrossRunsKeepsPhysicsIdentical)

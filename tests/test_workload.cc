@@ -47,8 +47,9 @@ TEST(Workload, EveryProcessIsDeterministicAndSorted)
             EXPECT_EQ(a[i].generateTokens, b[i].generateTokens);
             EXPECT_EQ(a[i].id, i);
             EXPECT_GE(a[i].promptTokens, 1u);
-            if (i > 0)
+            if (i > 0) {
                 EXPECT_GE(a[i].arrival, a[i - 1].arrival);
+            }
         }
     }
 }
