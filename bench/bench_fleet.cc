@@ -12,6 +12,9 @@
  * the kernel loop itself so control-plane overhead stays visible.
  * A second section compares SLO-aware stealing ("slo-steal")
  * against the occupancy-greedy heuristic on a heterogeneous fleet.
+ * Lifecycle sections compare priority preemption against stealing
+ * on an overloaded bursty fleet with high-priority traffic, and
+ * drain-migrate against abandonment on a fleet with a dead replica.
  * A final section re-runs one cell from scratch and checks the
  * rendered report is byte-identical — the reproducibility contract
  * the regression tests rely on; the process exits non-zero when it
@@ -157,15 +160,17 @@ main(int argc, char **argv)
         args.u32("requests", default_requests, "trace length");
     const double rate =
         args.f64("rate", 12.0, "mean arrival rate (req/s)");
-    const std::uint64_t seed = args.u32("seed", 17, "trace seed");
+    const std::uint64_t seed =
+        args.u64("seed", 17, "trace seed (full 64-bit range)");
     const std::string kernel_name = args.str(
         "kernel", "event", "co-simulation core: event|two-phase");
     const bool steal = args.flag(
         "steal", "[deprecated] same as --stealer greedy-steal");
     std::string stealer = args.str(
         "stealer", "none",
-        "stealing policy composed with the router: "
-        "none|greedy-steal|slo-steal");
+        "auxiliary policy composed with the router: "
+        "none|greedy-steal|slo-steal|priority-preempt|"
+        "drain-migrate");
     args.finish();
 
     if (stealer == "none")
@@ -190,8 +195,9 @@ main(int argc, char **argv)
         }
         if (!known || routing) {
             std::fprintf(stderr,
-                         "--stealer: '%s' is not a stealing "
-                         "policy (try greedy-steal|slo-steal)\n",
+                         "--stealer: '%s' is not an auxiliary "
+                         "policy (try greedy-steal|slo-steal|"
+                         "priority-preempt|drain-migrate)\n",
                          stealer.c_str());
             return 2;
         }
@@ -333,6 +339,80 @@ main(int argc, char **argv)
                  TextTable::num(report.sloAttainment, 3)});
         }
         steal_table.print();
+
+        // Request lifecycle: priority preemption on an overloaded
+        // bursty fleet (a quarter of the traffic is high priority;
+        // priority-preempt evicts low-priority running work when a
+        // high-priority request would miss its TTFT deadline), and
+        // drain-migrate rescuing a dead replica's queue by moving
+        // requests — KV included — instead of abandoning them.
+        banner("Fleet", "lifecycle: priority preemption (25% "
+                        "high-priority, bursty overload, jsq)");
+        serving::ScenarioConfig prio;
+        prio.process = serving::ArrivalProcess::Bursty;
+        prio.requests = requests;
+        prio.ratePerSecond = 16.0;
+        prio.burstiness = 8.0;
+        prio.prompt = {96, 32, 0.0, 1.0};
+        prio.generate = {48, 16, 0.0, 1.0};
+        prio.highPriorityFraction = 0.25;
+        prio.seed = 11;
+        const auto prio_trace = serving::generateWorkload(prio);
+
+        serving::ServingConfig tight = replicaServing(sweep);
+        tight.maxBatch = 2;
+        fleet::FleetConfig prio_config = fleet::uniformFleet(
+            2, platform, tight,
+            sched::RouterPolicy::JoinShortestQueue, 1.0);
+        TextTable prio_table({"control", "done", "preempts",
+                              "hi-pri p99 TTFT (ms)",
+                              "p99 TTFT (ms)", "SLO att."});
+        for (const char *name :
+             {"jsq", "jsq+slo-steal", "jsq+priority-preempt"}) {
+            prio_config.control = sched::controlPolicyByName(name);
+            fleet::FleetSimulator simulator(prio_config, llm);
+            const auto report = simulator.run(prio_trace);
+            prio_table.addRow(
+                {report.policy, std::to_string(report.completed),
+                 std::to_string(report.kernelStats.preemptions),
+                 TextTable::num(
+                     fleet::ttftPercentile(report, 99.0, 1) * 1e3,
+                     1),
+                 TextTable::num(report.p99Ttft * 1e3, 1),
+                 TextTable::num(report.sloAttainment, 3)});
+        }
+        prio_table.print();
+
+        banner("Fleet", "lifecycle: drain-migrate off a dead "
+                        "replica (round-robin keeps feeding it)");
+        fleet::FleetConfig drain_config;
+        drain_config.ttftDeadline = 30.0;
+        fleet::ReplicaConfig healthy;
+        healthy.name = "healthy";
+        healthy.system = platform;
+        healthy.serving = replicaServing(sweep);
+        fleet::ReplicaConfig broken = healthy;
+        broken.name = "broken";
+        broken.system.numDimms = 0; // Cannot serve the model.
+        drain_config.replicas = {healthy, broken};
+        TextTable drain_table({"control", "done", "abandoned",
+                               "migrations", "KV transfer (ms)"});
+        for (const char *name :
+             {"round-robin", "round-robin+drain-migrate"}) {
+            drain_config.control =
+                sched::controlPolicyByName(name);
+            fleet::FleetSimulator simulator(drain_config, llm);
+            const auto report = simulator.run(
+                serving::generateWorkload(prio));
+            drain_table.addRow(
+                {report.policy, std::to_string(report.completed),
+                 std::to_string(report.rejected),
+                 std::to_string(report.kernelStats.migrations),
+                 TextTable::num(
+                     report.kernelStats.kvTransferSeconds * 1e3,
+                     3)});
+        }
+        drain_table.print();
     }
 
     banner("Fleet", "determinism: same seed, fresh fleet");

@@ -61,7 +61,8 @@ main(int argc, char **argv)
         args.f64("rate", 1.5, "mean arrival rate (req/s)");
     const std::uint32_t batch =
         args.u32("batch", 16, "continuous-batching slots");
-    const std::uint64_t seed = args.u32("seed", 7, "trace seed");
+    const std::uint64_t seed =
+        args.u64("seed", 7, "trace seed (full 64-bit range)");
     std::string engine_help = "single engine to bench (";
     for (const std::string &name : runtime::engineKindNames())
         engine_help += name + "|";

@@ -12,6 +12,7 @@
 #ifndef HERMES_BENCH_BENCH_UTIL_HH
 #define HERMES_BENCH_BENCH_UTIL_HH
 
+#include <cerrno>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -91,6 +92,34 @@ class Args
             parsed > UINT32_MAX)
             badValue(name, value);
         return static_cast<std::uint32_t>(parsed);
+    }
+
+    /**
+     * Unsigned 64-bit option (e.g. `--seed`, whose full range the
+     * workload generator accepts); rejects unparseable values and
+     * values beyond UINT64_MAX.
+     */
+    std::uint64_t
+    u64(const std::string &name, std::uint64_t fallback,
+        const std::string &help)
+    {
+        const std::string value =
+            str(name, std::to_string(fallback), help);
+        // Digits only: strtoull would silently wrap a negative.
+        if (value.empty() ||
+            value.find_first_not_of("0123456789") !=
+                std::string::npos)
+            badValue(name, value);
+        errno = 0;
+        char *end = nullptr;
+        const unsigned long long parsed =
+            std::strtoull(value.c_str(), &end, 10);
+        // ERANGE: the value overflowed UINT64_MAX and strtoull
+        // clamped it — reject rather than silently saturate.
+        if (end == value.c_str() || *end != '\0' ||
+            errno == ERANGE)
+            badValue(name, value);
+        return static_cast<std::uint64_t>(parsed);
     }
 
     /** Floating-point option; rejects unparseable values. */

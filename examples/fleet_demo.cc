@@ -81,6 +81,11 @@ main()
                                 /*seed=*/42);
     scenario.prompt = {128, 64, 0.0, 1.0};
     scenario.generate = {16, 8, 0.0, 1.0};
+    // A quarter of the traffic is high priority: it jumps the
+    // admission queue on every replica, and the priority-preempt
+    // lifecycle policy additionally evicts low-priority running
+    // work for it when its TTFT deadline is at risk.
+    scenario.highPriorityFraction = 0.25;
     const auto workload = serving::generateWorkload(scenario);
     std::printf("scenario '%s': %zu requests, first at %.2fs, "
                 "last at %.2fs\n",
@@ -115,13 +120,15 @@ main()
     //    stealing policy — and a custom policy is just an object:
     //    the kernel owns physics, the policy owns decisions, and
     //    every decision happens at an event on the shared clock.
-    TextTable table({"control", "done", "shed", "steals", "tok/s",
+    TextTable table({"control", "done", "shed", "steals",
+                     "preempts", "tok/s", "hi-pri p99 TTFT (ms)",
                      "p99 TTFT (ms)", "SLO att.", "per-replica"});
     std::vector<std::shared_ptr<sched::ControlPolicy>> controls = {
         sched::controlPolicyByName("round-robin"),
         sched::controlPolicyByName("round-robin+greedy-steal"),
         sched::controlPolicyByName("round-robin+slo-steal"),
         sched::controlPolicyByName("least-backlog"),
+        sched::controlPolicyByName("least-backlog+priority-preempt"),
         std::make_shared<LongToFastestPolicy>(),
     };
     for (const auto &control : controls) {
@@ -142,7 +149,13 @@ main()
                       std::to_string(report.shed),
                       std::to_string(
                           report.kernelStats.stolenRequests),
+                      std::to_string(
+                          report.kernelStats.preemptions),
                       TextTable::num(report.throughputTps, 2),
+                      TextTable::num(
+                          fleet::ttftPercentile(report, 99.0, 1) *
+                              1e3,
+                          1),
                       TextTable::num(report.p99Ttft * 1e3, 1),
                       TextTable::num(report.sloAttainment, 3),
                       spread});
@@ -153,9 +166,12 @@ main()
         "drain at each arrival event;\ngreedy-steal lets the "
         "Hermes tier drain whatever round-robin strands on the "
         "budget tier,\nslo-steal only when the move beats the "
-        "victim's estimated wait; long-to-fastest is a custom\n"
-        "policy written in this example — see README \"Writing a "
-        "control policy\"\n");
+        "victim's estimated wait; priority-preempt evicts\n"
+        "low-priority running work when a high-priority request "
+        "would miss its deadline\n(the victim resumes with its KV "
+        "retained); long-to-fastest is a custom policy\nwritten "
+        "in this example — see README \"Writing a control "
+        "policy\"\n");
 
     // 4. Traces round-trip through CSV for replay.
     const std::string csv = serving::toCsvTrace(workload);

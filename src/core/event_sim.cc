@@ -22,6 +22,8 @@ eventKindName(EventKind kind)
         return "wake";
     case EventKind::Tick:
         return "tick";
+    case EventKind::ResumeReady:
+        return "resume-ready";
     }
     return "?";
 }
@@ -74,6 +76,9 @@ EventQueue::pop()
         break;
     case EventKind::Tick:
         ++stats_.ticks;
+        break;
+    case EventKind::ResumeReady:
+        ++stats_.resumes;
         break;
     }
     return event;

@@ -56,6 +56,14 @@ enum class EventKind : std::uint8_t
 
     /** Periodic control-plane heartbeat (ControlPolicy::onTick). */
     Tick = 5,
+
+    /**
+     * A migrated request's KV transfer landed: the destination
+     * replica sees the arrival only now (fleet-level event, like an
+     * arrival — transfer latency is modeled by scheduling this at
+     * preemption time + the DIMM-link KV-transfer time).
+     */
+    ResumeReady = 6,
 };
 
 /** Display name of an event kind. */
@@ -86,12 +94,13 @@ struct EventStats
     std::uint64_t decodeSteps = 0;
     std::uint64_t wakes = 0;
     std::uint64_t ticks = 0;
+    std::uint64_t resumes = 0;
 
     std::uint64_t
     popped() const
     {
         return arrivals + requestsDone + prefills + decodeSteps +
-               wakes + ticks;
+               wakes + ticks + resumes;
     }
 };
 

@@ -49,16 +49,16 @@ class EventKernel final : public sched::FleetView,
 {
   public:
     EventKernel(
-        const FleetConfig &config,
+        const FleetConfig &config, const model::LlmConfig &llm,
         std::vector<std::unique_ptr<serving::ServingSimulator>>
             &replicas,
         const std::vector<sched::ReplicaModel> &models,
         FleetReport &report,
         const std::vector<serving::ServedRequest> &workload,
         sched::ControlPolicy &control)
-        : config_(config), replicas_(replicas), models_(models),
-          report_(report), workload_(workload), control_(control),
-          wants_(control.wants())
+        : config_(config), llm_(llm), replicas_(replicas),
+          models_(models), report_(report), workload_(workload),
+          control_(control), wants_(control.wants())
     {
         const std::size_t n = replicas_.size();
         wakeScheduled_.assign(n, 0);
@@ -140,6 +140,9 @@ class EventKernel final : public sched::FleetView,
                     queue_.push(event.time + tick_period,
                                 sim::EventKind::Tick, -1, 0);
                 break;
+            case sim::EventKind::ResumeReady:
+                onResumeReadyEvent(event);
+                break;
             case sim::EventKind::RequestDone:
                 // Pure bookkeeping; counted by the queue's stats.
                 break;
@@ -218,6 +221,25 @@ class EventKernel final : public sched::FleetView,
         return replicas_.at(replica)->observedBacklogTokens();
     }
 
+    std::vector<serving::RequestInfo>
+    runningRequests(std::uint32_t replica) const override
+    {
+        return replicas_.at(replica)->runningInfos();
+    }
+
+    std::vector<serving::RequestInfo>
+    queuedRequests(std::uint32_t replica) const override
+    {
+        return replicas_.at(replica)->queuedInfos();
+    }
+
+    serving::RequestState
+    requestState(std::uint32_t replica,
+                 std::uint64_t id) const override
+    {
+        return replicas_.at(replica)->stateOf(id);
+    }
+
     Seconds
     ttftDeadline() const override
     {
@@ -244,12 +266,7 @@ class EventKernel final : public sched::FleetView,
         // delivered (Wake sorts after Arrival at a tie), so a
         // simultaneous burst prefills as one group, exactly like
         // the closed loop.
-        if (!replicas_[replica]->busy() &&
-            !wakeScheduled_[replica]) {
-            queue_.push(queue_.now(), sim::EventKind::Wake,
-                        static_cast<std::int32_t>(replica), 0);
-            wakeScheduled_[replica] = 1;
-        }
+        wakeIfIdle(replica);
     }
 
     void
@@ -304,6 +321,107 @@ class EventKernel final : public sched::FleetView,
     }
 
     void
+    preempt(std::uint32_t replica, std::uint64_t id) override
+    {
+        requireCapability(sched::ControlPolicy::kPreempt,
+                          "preempt", "kPreempt");
+        if (replica >= replicas_.size())
+            throw std::logic_error(
+                "FleetActions::preempt: replica out of range");
+        if (replicas_[replica]->busy())
+            throw std::logic_error(
+                "FleetActions::preempt: replica is mid-step — "
+                "preemption happens at decode boundaries");
+        // Throws on a queued/unknown id before any state changes.
+        const serving::ResumableRequest resumed =
+            replicas_[replica]->preempt(id);
+        ++report_.kernelStats.preemptions;
+        // The KV stays cached on the replica: requeueing is free,
+        // and the priority-aware admission decides who gets the
+        // freed slot at the next boundary.
+        replicas_[replica]->deliverResumed(resumed, queue_.now(),
+                                           resumed.contextLength());
+        wakeIfIdle(replica);
+    }
+
+    void
+    migrate(std::uint64_t id, std::uint32_t to_replica) override
+    {
+        requireCapability(sched::ControlPolicy::kMigrate,
+                          "migrate", "kMigrate");
+        if (to_replica >= replicas_.size())
+            throw std::logic_error(
+                "FleetActions::migrate: destination out of range");
+        if (draining_[to_replica])
+            throw std::logic_error(
+                "FleetActions::migrate: destination is draining — "
+                "it accepts no new work");
+        if (replicas_[to_replica]->knownDead())
+            throw std::logic_error(
+                "FleetActions::migrate: destination is dead — the "
+                "request would strand again");
+        if (resumesInFlight_.count(id) != 0)
+            throw std::logic_error(
+                "FleetActions::migrate: request " +
+                std::to_string(id) +
+                " is already migrating (KV in flight)");
+        const auto index_it = indexOfId_.find(id);
+        if (index_it == indexOfId_.end())
+            throw std::logic_error(
+                "FleetActions::migrate: unknown request " +
+                std::to_string(id));
+        const int from_signed =
+            report_.assignment[index_it->second];
+        if (from_signed < 0)
+            throw std::logic_error(
+                "FleetActions::migrate: request " +
+                std::to_string(id) +
+                " is not placed on any replica (shed?)");
+        const auto from = static_cast<std::uint32_t>(from_signed);
+        if (from == to_replica)
+            throw std::logic_error(
+                "FleetActions::migrate: request " +
+                std::to_string(id) +
+                " is already on the destination");
+
+        serving::ServingSimulator &source = *replicas_[from];
+        serving::ResumableRequest resumed;
+        switch (source.stateOf(id)) {
+        case serving::RequestState::Queued:
+            resumed = source.takeQueued(id);
+            break;
+        case serving::RequestState::Running:
+            if (source.busy())
+                throw std::logic_error(
+                    "FleetActions::migrate: source replica is "
+                    "mid-step — preemption happens at decode "
+                    "boundaries");
+            resumed = source.preempt(id);
+            break;
+        default:
+            throw std::logic_error(
+                "FleetActions::migrate: request " +
+                std::to_string(id) +
+                " is neither queued nor running on its replica");
+        }
+        ++resumed.migrations;
+        ++report_.kernelStats.migrations;
+        // The accumulated KV travels over the DIMM-link fabric; the
+        // destination sees the arrival only when the transfer lands
+        // (zero-length context — a request that never started —
+        // moves instantly).
+        const Seconds transfer = kvMigrationSeconds(
+            config_.replicas[from].system, llm_,
+            resumed.tokensGenerated == 0 ? 0
+                                         : resumed.contextLength());
+        report_.kernelStats.kvTransferSeconds += transfer;
+        queue_.push(queue_.now() + transfer,
+                    sim::EventKind::ResumeReady, -1, id);
+        resumesInFlight_.emplace(
+            id, PendingResume{std::move(resumed), to_replica});
+    }
+
+    void
     requestSpawn() override
     {
         ++report_.kernelStats.spawnRequests;
@@ -323,6 +441,69 @@ class EventKernel final : public sched::FleetView,
     }
 
   private:
+    /** A migrated request's KV transfer: what ResumeReady carries. */
+    struct PendingResume
+    {
+        serving::ResumableRequest resumed;
+        std::uint32_t destination = 0;
+    };
+
+    /** Schedule a same-instant Wake for an idle replica (once). */
+    void
+    wakeIfIdle(std::uint32_t replica)
+    {
+        if (!replicas_[replica]->busy() &&
+            !wakeScheduled_[replica]) {
+            queue_.push(queue_.now(), sim::EventKind::Wake,
+                        static_cast<std::int32_t>(replica), 0);
+            wakeScheduled_[replica] = 1;
+        }
+    }
+
+    /** Lifecycle verbs are capability-gated on wants() bits. */
+    void
+    requireCapability(std::uint32_t bit, const char *action,
+                      const char *bit_name) const
+    {
+        if (!(wants_ & bit)) {
+            std::string message = "FleetActions::";
+            message += action;
+            message += ": the policy did not declare the ";
+            message += bit_name;
+            message += " capability in wants()";
+            throw std::logic_error(message);
+        }
+    }
+
+    /** A migrated request's KV landed: deliver to the destination. */
+    void
+    onResumeReadyEvent(const sim::Event &event)
+    {
+        const auto it = resumesInFlight_.find(event.id);
+        hermes_assert(it != resumesInFlight_.end(),
+                      "ResumeReady without a migration in flight");
+        const PendingResume pending = std::move(it->second);
+        resumesInFlight_.erase(it);
+        report_.assignment[indexOfId_.at(event.id)] =
+            static_cast<int>(pending.destination);
+        // A never-started request (tokensGenerated == 0) carries no
+        // KV, so nothing was cached by the transfer and it re-runs
+        // a full prefill; a started one rejoins for free — the KV
+        // just arrived.  Either way the lifecycle counters travel
+        // with it.  The destination was validated when migrate()
+        // was called; one that started draining while the KV was
+        // in flight still receives the request (it was committed
+        // before the drain, like in-flight routed work), and one
+        // whose capability probe later fails holds it like any
+        // other delivery.
+        replicas_[pending.destination]->deliverResumed(
+            pending.resumed, event.time,
+            pending.resumed.tokensGenerated == 0
+                ? 0
+                : pending.resumed.contextLength());
+        wakeIfIdle(pending.destination);
+    }
+
     /** Arrival event: gather observations (if wanted), ask the
      * policy for exactly one decision. */
     void
@@ -335,16 +516,20 @@ class EventKernel final : public sched::FleetView,
         context.arrival = request.arrival;
         context.promptTokens = request.promptTokens;
         context.generateTokens = request.generateTokens;
+        context.priority = request.priority;
         if (wants_ & sched::ControlPolicy::kObservations) {
             // Sample ground truth at the decision instant into the
             // preallocated buffer (the gather walks every
             // replica's queues — skipped entirely for policies
-            // that do not declare kObservations).
+            // that do not declare kObservations).  The two direct
+            // probes, not snapshot(): the one-call snapshot now
+            // also copies the per-request lifecycle vectors, which
+            // this hot path does not want to allocate.
             for (std::size_t r = 0; r < replicas_.size(); ++r) {
-                const serving::ReplicaSnapshot snap =
-                    replicas_[r]->snapshot();
-                observed_[r].outstanding = snap.outstanding;
-                observed_[r].backlogTokens = snap.backlogTokens;
+                observed_[r].outstanding =
+                    replicas_[r]->observedOutstanding();
+                observed_[r].backlogTokens =
+                    replicas_[r]->observedBacklogTokens();
             }
             context.observed = &observed_;
         }
@@ -425,6 +610,7 @@ class EventKernel final : public sched::FleetView,
     }
 
     const FleetConfig &config_;
+    const model::LlmConfig &llm_;
     std::vector<std::unique_ptr<serving::ServingSimulator>>
         &replicas_;
     const std::vector<sched::ReplicaModel> &models_;
@@ -432,6 +618,10 @@ class EventKernel final : public sched::FleetView,
     const std::vector<serving::ServedRequest> &workload_;
     sched::ControlPolicy &control_;
     const std::uint32_t wants_;
+
+    /** Migrations whose KV transfer has not landed yet, by id. */
+    std::unordered_map<std::uint64_t, PendingResume>
+        resumesInFlight_;
 
     sim::EventQueue queue_;
     std::vector<char> wakeScheduled_;
@@ -448,6 +638,36 @@ class EventKernel final : public sched::FleetView,
 };
 
 } // namespace
+
+Seconds
+kvMigrationSeconds(const runtime::SystemConfig &system,
+                   const model::LlmConfig &llm,
+                   std::uint64_t context_tokens)
+{
+    if (context_tokens == 0)
+        return 0.0;
+    const Bytes bytes = static_cast<Bytes>(context_tokens) *
+                        llm.kvBytesPerToken();
+    // One point-to-point transfer on the source's link fabric (a
+    // dead replica may report zero DIMMs; the fabric still needs
+    // two endpoints to price the hop).
+    const interconnect::DimmLinkNetwork network(
+        std::max<std::uint32_t>(system.numDimms, 2), system.link);
+    return network.migrationTime(
+        {interconnect::Transfer{0, 1, bytes}});
+}
+
+Seconds
+ttftPercentile(const FleetReport &report, double p,
+               std::uint32_t min_priority)
+{
+    std::vector<Seconds> samples;
+    for (const serving::RequestMetrics &request : report.requests) {
+        if (!request.rejected && request.priority >= min_priority)
+            samples.push_back(request.ttft());
+    }
+    return serving::percentile(std::move(samples), p);
+}
 
 std::string
 fleetKernelName(FleetKernel kernel)
@@ -644,7 +864,7 @@ FleetSimulator::runEventDriven(
     std::vector<sched::ReplicaModel> models,
     sched::ControlPolicy &control)
 {
-    EventKernel(config_, replicas_, models, report, workload,
+    EventKernel(config_, llm_, replicas_, models, report, workload,
                 control)
         .run();
 }

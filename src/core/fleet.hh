@@ -146,6 +146,19 @@ FleetConfig uniformFleet(std::uint32_t count,
                          sched::RouterPolicy policy,
                          Seconds ttft_deadline = 2.0);
 
+/**
+ * DIMM-link KV-transfer time for migrating `context_tokens` of
+ * accumulated KV cache between replicas: the cost the event kernel
+ * charges before a migrated request's ResumeReady event fires, and
+ * the cost a test can assert is proportional to context length.
+ * Reuses the decode pipeline's migration interconnect model
+ * (interconnect::DimmLinkNetwork) with the source replica's link
+ * parameters; zero when there is no context to move.
+ */
+Seconds kvMigrationSeconds(const runtime::SystemConfig &system,
+                           const model::LlmConfig &llm,
+                           std::uint64_t context_tokens);
+
 /** What the event kernel did during one run (zero under TwoPhase). */
 struct KernelStats
 {
@@ -154,6 +167,13 @@ struct KernelStats
     /** Work-stealing action firings / requests moved. */
     std::uint64_t steals = 0;
     std::uint64_t stolenRequests = 0;
+
+    /** Request-lifecycle verbs (FleetActions::preempt / migrate). */
+    std::uint64_t preemptions = 0;
+    std::uint64_t migrations = 0;
+
+    /** Virtual seconds spent in DIMM-link KV transfers (migrate). */
+    double kvTransferSeconds = 0.0;
 
     /** Autoscaling intents recorded (physics land with ROADMAP). */
     std::uint64_t spawnRequests = 0;
@@ -210,6 +230,14 @@ struct FleetReport
 
     KernelStats kernelStats;
 };
+
+/**
+ * TTFT percentile over the served (non-rejected) requests with
+ * priority >= `min_priority` — how a priority tier's tail reads
+ * from a FleetReport (0 covers everything, matching p99Ttft).
+ */
+Seconds ttftPercentile(const FleetReport &report, double p,
+                       std::uint32_t min_priority = 0);
 
 /** Multi-replica co-simulator (see file header). */
 class FleetSimulator

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 #include "common/logging.hh"
 #include "common/rng.hh"
@@ -22,6 +24,28 @@ powerOfTwoAtLeast(std::uint32_t value)
 }
 
 } // namespace
+
+std::string
+requestStateName(RequestState state)
+{
+    switch (state) {
+    case RequestState::Unknown:
+        return "unknown";
+    case RequestState::Queued:
+        return "queued";
+    case RequestState::Prefilling:
+        return "prefilling";
+    case RequestState::Running:
+        return "running";
+    case RequestState::Preempted:
+        return "preempted";
+    case RequestState::Done:
+        return "done";
+    case RequestState::Shed:
+        return "shed";
+    }
+    return "?";
+}
 
 void
 sortByArrival(std::vector<ServedRequest> &workload)
@@ -124,10 +148,13 @@ ServingSimulator::beginSession()
 {
     requests_.clear();
     metrics_.clear();
-    stolen_.clear();
+    moved_.clear();
+    resumedTokens_.clear();
+    cachedTokens_.clear();
     pending_.clear();
     waiting_.clear();
     active_.clear();
+    prioritized_ = false;
     clock_ = 0.0;
     inflight_ = StepKind::Idle;
     inflightEnd_ = 0.0;
@@ -155,9 +182,144 @@ ServingSimulator::deliver(const ServedRequest &request)
     RequestMetrics metrics;
     metrics.id = request.id;
     metrics.arrival = request.arrival;
+    metrics.priority = request.priority;
     metrics_.push_back(metrics);
-    stolen_.push_back(false);
+    moved_.push_back(Moved::No);
+    resumedTokens_.push_back(0);
+    cachedTokens_.push_back(0);
+    prioritized_ |= request.priority != 0;
     pending_.push_back(index);
+}
+
+void
+ServingSimulator::deliverResumed(const ResumableRequest &resumed,
+                                 Seconds now,
+                                 std::uint64_t cached_tokens)
+{
+    hermes_assert(resumed.tokensGenerated == 0 ||
+                      resumed.tokensGenerated <
+                          resumed.request.generateTokens,
+                  "deliverResumed: request ", resumed.request.id,
+                  " has no tokens left to generate");
+    const std::size_t index = requests_.size();
+    // The stored copy carries the re-arrival instant for queue
+    // ordering; the original arrival lives on in the metrics row.
+    ServedRequest stored = resumed.request;
+    stored.arrival = now;
+    requests_.push_back(stored);
+    RequestMetrics metrics;
+    metrics.id = resumed.request.id;
+    metrics.arrival = resumed.request.arrival;
+    metrics.priority = resumed.request.priority;
+    metrics.admitted = resumed.admitted;
+    metrics.firstToken = resumed.firstToken;
+    metrics.tokens = resumed.tokensGenerated;
+    metrics.preemptions = resumed.preemptions;
+    metrics.migrations = resumed.migrations;
+    metrics_.push_back(metrics);
+    moved_.push_back(Moved::No);
+    resumedTokens_.push_back(resumed.tokensGenerated);
+    cachedTokens_.push_back(
+        std::min(cached_tokens, resumed.contextLength()));
+    prioritized_ |= resumed.request.priority != 0;
+    pending_.push_back(index);
+}
+
+ResumableRequest
+ServingSimulator::resumableAt(std::size_t index) const
+{
+    ResumableRequest out;
+    out.request = requests_[index];
+    out.request.arrival = metrics_[index].arrival;
+    out.tokensGenerated = metrics_[index].tokens;
+    out.admitted = metrics_[index].admitted;
+    out.firstToken = metrics_[index].firstToken;
+    out.preemptions = metrics_[index].preemptions;
+    out.migrations = metrics_[index].migrations;
+    return out;
+}
+
+ResumableRequest
+ServingSimulator::preempt(std::uint64_t id)
+{
+    hermes_assert(!busy(), "preempt mid-step: preemption happens "
+                           "at decode boundaries");
+    for (auto it = active_.begin(); it != active_.end(); ++it) {
+        const std::size_t index = it->index;
+        if (metrics_[index].id != id)
+            continue;
+        ResumableRequest out = resumableAt(index);
+        ++out.preemptions;
+        moved_[index] = Moved::Preempted;
+        active_.erase(it);
+        return out;
+    }
+    throw std::logic_error(
+        "ServingSimulator::preempt: request " + std::to_string(id) +
+        " is not running here (queued/unknown ids cannot be "
+        "preempted)");
+}
+
+ResumableRequest
+ServingSimulator::takeQueued(std::uint64_t id)
+{
+    const auto extract =
+        [&](std::deque<std::size_t> &queue) -> std::ptrdiff_t {
+        for (std::size_t k = 0; k < queue.size(); ++k) {
+            const std::size_t index = queue[k];
+            if (metrics_[index].id != id)
+                continue;
+            queue.erase(queue.begin() +
+                        static_cast<std::ptrdiff_t>(k));
+            return static_cast<std::ptrdiff_t>(index);
+        }
+        return -1;
+    };
+    std::ptrdiff_t found = extract(waiting_);
+    if (found < 0)
+        found = extract(pending_);
+    if (found < 0)
+        throw std::logic_error(
+            "ServingSimulator::takeQueued: request " +
+            std::to_string(id) + " is not queued here");
+    const auto index = static_cast<std::size_t>(found);
+    ResumableRequest out = resumableAt(index);
+    moved_[index] = Moved::Stolen;
+    return out;
+}
+
+RequestState
+ServingSimulator::stateOf(std::uint64_t id) const
+{
+    // Newest entry wins: a locally resumed request shadows the
+    // Preempted entry it left behind.
+    for (std::size_t i = metrics_.size(); i-- > 0;) {
+        if (metrics_[i].id != id)
+            continue;
+        if (moved_[i] == Moved::Preempted)
+            return RequestState::Preempted;
+        if (moved_[i] == Moved::Stolen)
+            return RequestState::Unknown;
+        for (const std::size_t index : inflightGroup_) {
+            if (index == i)
+                return RequestState::Prefilling;
+        }
+        for (const Running &running : active_) {
+            if (running.index == i)
+                return RequestState::Running;
+        }
+        for (const std::size_t index : waiting_) {
+            if (index == i)
+                return RequestState::Queued;
+        }
+        for (const std::size_t index : pending_) {
+            if (index == i)
+                return RequestState::Queued;
+        }
+        return metrics_[i].rejected ? RequestState::Shed
+                                    : RequestState::Done;
+    }
+    return RequestState::Unknown;
 }
 
 StepAction
@@ -197,7 +359,10 @@ ServingSimulator::startNextWork(Seconds now)
            requests_[pending_.front()].arrival <= clock_) {
         const std::size_t index = pending_.front();
         pending_.pop_front();
-        if (waiting_.size() >= config_.maxQueue + free_slots) {
+        // Resumed entries held queue capacity once already — a
+        // preempted request is never dropped at its own requeue.
+        if (resumedTokens_[index] == 0 &&
+            waiting_.size() >= config_.maxQueue + free_slots) {
             metrics_[index].rejected = true;
             ++sessionRejected_;
         } else {
@@ -213,34 +378,70 @@ ServingSimulator::startNextWork(Seconds now)
             requests_[pending_.front()].arrival};
     }
 
-    // Continuous batching: fill free slots from the queue, then run
-    // the joint prefill of the admitted group — or, with nobody
-    // newly admitted, one decode step for the whole running batch.
+    // Continuous batching: fill free slots from the queue — highest
+    // priority first, FIFO among equals, so all-default-priority
+    // traffic admits in the historical order — then run the joint
+    // prefill of the admitted group, or, with nobody newly
+    // admitted, one decode step for the whole running batch.
     inflightGroup_.clear();
     while (!waiting_.empty() &&
            active_.size() < config_.maxBatch) {
-        const std::size_t index = waiting_.front();
-        waiting_.pop_front();
-        metrics_[index].admitted = clock_;
+        // Fast path: a session that never saw a non-default
+        // priority admits pure FIFO without scanning the queue —
+        // this is the kernel hot path the events/sec bench tracks.
+        std::size_t pick = 0;
+        if (prioritized_) {
+            for (std::size_t k = 1; k < waiting_.size(); ++k) {
+                if (requests_[waiting_[k]].priority >
+                    requests_[waiting_[pick]].priority)
+                    pick = k;
+            }
+        }
+        const std::size_t index = waiting_[pick];
+        waiting_.erase(waiting_.begin() +
+                       static_cast<std::ptrdiff_t>(pick));
+        if (resumedTokens_[index] == 0)
+            metrics_[index].admitted = clock_;
         inflightGroup_.push_back(index);
         active_.push_back(Running{
-            index, requests_[index].generateTokens,
-            requests_[index].promptTokens});
+            index,
+            requests_[index].generateTokens -
+                resumedTokens_[index],
+            requests_[index].promptTokens +
+                resumedTokens_[index]});
     }
     if (!inflightGroup_.empty()) {
-        std::uint32_t max_prompt = 1;
-        for (const std::size_t index : inflightGroup_)
-            max_prompt = std::max(max_prompt,
-                                  requests_[index].promptTokens);
+        // A fresh request prefills its whole prompt; a resumed one
+        // only the context suffix its host has no KV for — zero
+        // when the KV was retained locally or transferred ahead of
+        // the delivery, in which case rejoining is free.
+        std::uint64_t max_prompt = 0;
+        for (const std::size_t index : inflightGroup_) {
+            std::uint64_t charged;
+            if (resumedTokens_[index] == 0) {
+                charged = std::max<std::uint64_t>(
+                    requests_[index].promptTokens, 1);
+            } else {
+                const std::uint64_t context =
+                    static_cast<std::uint64_t>(
+                        requests_[index].promptTokens) +
+                    resumedTokens_[index];
+                charged = context - cachedTokens_[index];
+            }
+            max_prompt = std::max(max_prompt, charged);
+        }
         // max(0): a bucket probe can come back unsupported (KV
         // growth at large batch); serve it at zero extra cost
         // rather than walking the clock backwards.
-        const Seconds prefill = std::max(
-            costs(static_cast<std::uint32_t>(
-                      inflightGroup_.size()),
-                  max_prompt)
-                .prefill,
-            0.0);
+        const Seconds prefill =
+            max_prompt == 0
+                ? 0.0
+                : std::max(
+                      costs(static_cast<std::uint32_t>(
+                                inflightGroup_.size()),
+                            max_prompt)
+                          .prefill,
+                      0.0);
         inflight_ = StepKind::Prefill;
         inflightEnd_ = clock_ + prefill;
     } else {
@@ -265,17 +466,21 @@ ServingSimulator::completeWork()
     clock_ = inflightEnd_;
     if (inflight_ == StepKind::Prefill) {
         for (const std::size_t index : inflightGroup_) {
-            metrics_[index].firstToken = clock_;
-            ttftSamples_.push_back(metrics_[index].ttft());
+            // A resumed request already emitted its first token on
+            // some earlier admission; its TTFT is sampled once.
+            if (resumedTokens_[index] == 0) {
+                metrics_[index].firstToken = clock_;
+                ttftSamples_.push_back(metrics_[index].ttft());
+            }
         }
-        // Prefill produces the first token.  The admitted group
+        // Prefill produces the (next) token.  The admitted group
         // occupies the tail of `active_` (just pushed).
         for (std::size_t k =
                  active_.size() - inflightGroup_.size();
              k < active_.size(); ++k) {
             Running &running = active_[k];
             if (running.remaining > 0) {
-                metrics_[running.index].tokens = 1;
+                ++metrics_[running.index].tokens;
                 --running.remaining;
                 ++running.seq;
                 ++generated_;
@@ -336,7 +541,7 @@ ServingSimulator::finishSession()
     report.engine = runtime::engineKindName(config_.engine);
     report.requests.reserve(metrics_.size());
     for (std::size_t i = 0; i < metrics_.size(); ++i) {
-        if (!stolen_[i])
+        if (moved_[i] == Moved::No)
             report.requests.push_back(metrics_[i]);
     }
     report.completed = sessionCompleted_;
@@ -373,11 +578,53 @@ ServingSimulator::observedBacklogTokens() const
         tokens += static_cast<double>(running.remaining);
     for (const std::size_t index : waiting_)
         tokens += static_cast<double>(
-            requests_[index].generateTokens);
+            requests_[index].generateTokens -
+            resumedTokens_[index]);
     for (const std::size_t index : pending_)
         tokens += static_cast<double>(
-            requests_[index].generateTokens);
+            requests_[index].generateTokens -
+            resumedTokens_[index]);
     return tokens;
+}
+
+std::vector<RequestInfo>
+ServingSimulator::runningInfos() const
+{
+    std::vector<RequestInfo> out;
+    out.reserve(active_.size());
+    for (const Running &running : active_) {
+        RequestInfo info;
+        info.id = metrics_[running.index].id;
+        info.priority = requests_[running.index].priority;
+        info.arrival = metrics_[running.index].arrival;
+        info.tokensGenerated = metrics_[running.index].tokens;
+        info.remainingTokens = running.remaining;
+        out.push_back(info);
+    }
+    return out;
+}
+
+std::vector<RequestInfo>
+ServingSimulator::queuedInfos() const
+{
+    std::vector<RequestInfo> out;
+    out.reserve(waiting_.size() + pending_.size());
+    const auto append = [&](const std::deque<std::size_t> &queue) {
+        for (const std::size_t index : queue) {
+            RequestInfo info;
+            info.id = metrics_[index].id;
+            info.priority = requests_[index].priority;
+            info.arrival = metrics_[index].arrival;
+            info.tokensGenerated = metrics_[index].tokens;
+            info.remainingTokens =
+                requests_[index].generateTokens -
+                resumedTokens_[index];
+            out.push_back(info);
+        }
+    };
+    append(waiting_);
+    append(pending_);
+    return out;
 }
 
 std::uint32_t
@@ -397,6 +644,8 @@ ServingSimulator::snapshot() const
     snap.busy = busy();
     snap.knownServable = knownServable();
     snap.knownDead = knownDead();
+    snap.runningRequests = runningInfos();
+    snap.queuedRequests = queuedInfos();
     return snap;
 }
 
@@ -404,20 +653,23 @@ std::vector<ServedRequest>
 ServingSimulator::stealQueued(std::uint32_t count)
 {
     // Newest arrivals first: under FIFO admission those would wait
-    // the longest here, so they gain the most from moving.
+    // the longest here, so they gain the most from moving.  Resumed
+    // entries are skipped — their KV lives here (see header).
     std::vector<ServedRequest> out;
-    while (out.size() < count && !pending_.empty()) {
-        const std::size_t index = pending_.back();
-        pending_.pop_back();
-        stolen_[index] = true;
-        out.push_back(requests_[index]);
-    }
-    while (out.size() < count && !waiting_.empty()) {
-        const std::size_t index = waiting_.back();
-        waiting_.pop_back();
-        stolen_[index] = true;
-        out.push_back(requests_[index]);
-    }
+    const auto take_from = [&](std::deque<std::size_t> &queue) {
+        for (std::size_t k = queue.size();
+             k-- > 0 && out.size() < count;) {
+            const std::size_t index = queue[k];
+            if (resumedTokens_[index] != 0)
+                continue;
+            queue.erase(queue.begin() +
+                        static_cast<std::ptrdiff_t>(k));
+            moved_[index] = Moved::Stolen;
+            out.push_back(requests_[index]);
+        }
+    };
+    take_from(pending_);
+    take_from(waiting_);
     std::sort(out.begin(), out.end(),
               [](const ServedRequest &a, const ServedRequest &b) {
                   return a.arrival != b.arrival

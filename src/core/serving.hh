@@ -29,6 +29,25 @@
  * The report carries per-request metrics (queue delay, TTFT,
  * end-to-end latency) and fleet-level percentiles (p50/p90/p99 token
  * latency and TTFT), the numbers a capacity planner actually needs.
+ *
+ * Requests move through an explicit lifecycle state machine:
+ *
+ *     Queued ──► Prefilling ──► Running ──► Done
+ *        │                        │
+ *        └──────► Shed            └──► Preempted ──► Queued  (resume)
+ *
+ * A running request can be *preempted* at a decode boundary:
+ * preempt(id) removes it from the batch and returns a
+ * ResumableRequest carrying everything needed to continue elsewhere
+ * — the original request, the tokens generated so far, and its
+ * accumulated KV context length.  deliverResumed() re-enters such a
+ * request: the joint admission prefill charges only the context
+ * suffix the new host has no KV for (zero when the KV was retained
+ * locally or transferred ahead of the delivery; the fleet layer
+ * prices that transfer over the DIMM-link model).  Admission is
+ * priority-aware — higher ServedRequest::priority requests leave the
+ * queue first, FIFO among equals, so all-default-priority traffic is
+ * bit-identical to the historical FIFO order.
  */
 
 #ifndef HERMES_CORE_SERVING_HH
@@ -53,6 +72,91 @@ struct ServedRequest
     Seconds arrival = 0.0;
     std::uint32_t promptTokens = 128;
     std::uint32_t generateTokens = 128;
+
+    /**
+     * Scheduling priority: higher values leave the admission queue
+     * first (FIFO among equals) and are what the priority-preempt
+     * control policy protects.  0 — the default — reproduces the
+     * historical pure-FIFO admission bit for bit.
+     */
+    std::uint32_t priority = 0;
+};
+
+/** Where a request currently is in its lifecycle (see file header). */
+enum class RequestState
+{
+    /** Not (or no longer) tracked by the probed replica. */
+    Unknown,
+
+    /** Delivered, waiting for an admission slot. */
+    Queued,
+
+    /** In the in-flight joint admission prefill group. */
+    Prefilling,
+
+    /** In the running batch, generating tokens. */
+    Running,
+
+    /** Preempted at a decode boundary; resumable elsewhere/later. */
+    Preempted,
+
+    /** All tokens generated. */
+    Done,
+
+    /** Rejected at admission (or shed at the fleet router). */
+    Shed,
+};
+
+/** Display name of a lifecycle state ("queued", "running", ...). */
+std::string requestStateName(RequestState state);
+
+/**
+ * A preempted request, ready to resume: the original request plus
+ * the progress and KV context it accumulated before preemption.
+ * Produced by ServingSimulator::preempt() / takeQueued() and
+ * consumed by deliverResumed() — on the same replica (KV retained,
+ * free re-prefill) or on another one (the fleet layer charges a
+ * DIMM-link KV transfer proportional to contextLength() first).
+ */
+struct ResumableRequest
+{
+    ServedRequest request;
+
+    /** Decode tokens already emitted (0: never started running). */
+    std::uint32_t tokensGenerated = 0;
+
+    /** Original lifecycle timestamps, preserved across resumes. */
+    Seconds admitted = 0.0;
+    Seconds firstToken = 0.0;
+
+    /** Lifetime preemption / migration counts, this one included. */
+    std::uint32_t preemptions = 0;
+    std::uint32_t migrations = 0;
+
+    /** KV-cache length accumulated so far (prompt + generated). */
+    std::uint64_t
+    contextLength() const
+    {
+        return static_cast<std::uint64_t>(request.promptTokens) +
+               tokensGenerated;
+    }
+};
+
+/**
+ * One queued or running request as the control plane sees it: the
+ * inputs a lifecycle policy (priority preemption, drain migration)
+ * ranks by.
+ */
+struct RequestInfo
+{
+    std::uint64_t id = 0;
+    std::uint32_t priority = 0;
+
+    /** Original arrival; age at a boundary is `now - arrival`. */
+    Seconds arrival = 0.0;
+
+    std::uint32_t tokensGenerated = 0;
+    std::uint32_t remainingTokens = 0;
 };
 
 /**
@@ -91,10 +195,15 @@ struct RequestMetrics
     std::uint64_t id = 0;
     bool rejected = false;
     Seconds arrival = 0.0;
-    Seconds admitted = 0.0;   ///< Joined the running batch.
-    Seconds firstToken = 0.0; ///< Prefill complete.
+    Seconds admitted = 0.0;   ///< Joined the running batch (first time).
+    Seconds firstToken = 0.0; ///< Prefill complete (first time).
     Seconds completed = 0.0;
     std::uint32_t tokens = 0;
+    std::uint32_t priority = 0;
+
+    /** Lifecycle counters, carried across resumes/migrations. */
+    std::uint32_t preemptions = 0;
+    std::uint32_t migrations = 0;
 
     Seconds queueDelay() const { return admitted - arrival; }
     Seconds ttft() const { return firstToken - arrival; }
@@ -164,6 +273,12 @@ struct ReplicaSnapshot
 
     /** Capability probe ran and failed (dead replica). */
     bool knownDead = false;
+
+    /** The running batch, batch order (== runningInfos()). */
+    std::vector<RequestInfo> runningRequests;
+
+    /** Queued requests, admission order (== queuedInfos()). */
+    std::vector<RequestInfo> queuedRequests;
 };
 
 /** What a replica does next on the shared clock. */
@@ -234,6 +349,41 @@ class ServingSimulator
     void deliver(const ServedRequest &request);
 
     /**
+     * Re-enter a preempted request at instant `now` (its effective
+     * re-arrival for queue ordering; lifecycle timestamps keep the
+     * original arrival/admitted/firstToken).  `cached_tokens` is how
+     * much of its KV context is already resident on this replica:
+     * the full contextLength() when the request resumes where it was
+     * preempted or after a KV transfer, 0 for a cold resume — the
+     * admission prefill charges only the un-cached suffix.  A
+     * never-started request (tokensGenerated == 0) re-enters as a
+     * fresh arrival, but keeps its lifecycle counters.
+     */
+    void deliverResumed(const ResumableRequest &resumed, Seconds now,
+                        std::uint64_t cached_tokens);
+
+    /**
+     * Preempt running request `id` at a decode boundary: remove it
+     * from the batch (it vanishes from this replica's report, like a
+     * stolen request) and return the state needed to resume it.  Its
+     * KV stays cached here, so a local deliverResumed() with
+     * cached_tokens == contextLength() re-prefills nothing.  Throws
+     * std::logic_error when the request is queued or unknown here,
+     * and must not be called while work is in flight (busy()).
+     */
+    ResumableRequest preempt(std::uint64_t id);
+
+    /**
+     * Remove queued (never running) request `id` for migration to
+     * another replica, preserving any resume state it carries.
+     * Throws std::logic_error when `id` is not queued here.
+     */
+    ResumableRequest takeQueued(std::uint64_t id);
+
+    /** Lifecycle state of request `id` on this replica. */
+    RequestState stateOf(std::uint64_t id) const;
+
+    /**
      * At a boundary instant `now` (>= clock()), observe due
      * arrivals, make admission decisions, and start the next unit
      * of work: a joint prefill of the newly admitted group, or one
@@ -270,6 +420,12 @@ class ServingSimulator
     /** Requests queued but not yet in the running batch. */
     std::uint32_t queuedCount() const;
 
+    /** The running batch (includes an in-flight admission group). */
+    std::vector<RequestInfo> runningInfos() const;
+
+    /** Queued requests in admission order (waiting, then pending). */
+    std::vector<RequestInfo> queuedInfos() const;
+
     /** All observed-state probes in one call (ReplicaSnapshot). */
     ReplicaSnapshot snapshot() const;
 
@@ -287,7 +443,9 @@ class ServingSimulator
      * Remove up to `count` queued (never running) requests, newest
      * arrivals first, and return them in (arrival, id) order for
      * re-delivery to another replica.  Stolen requests vanish from
-     * this replica's report.
+     * this replica's report.  Resumed entries are skipped — their KV
+     * lives here, and a plain steal would silently drop it; use the
+     * fleet's migrate verb to move them with their context.
      */
     std::vector<ServedRequest> stealQueued(std::uint32_t count);
 
@@ -325,6 +483,10 @@ class ServingSimulator
     /** Calibrated (batch bucket, seq bucket) -> step costs. */
     StepCosts &costs(std::uint32_t batch, std::uint64_t seq);
 
+    /** Entry `index` packaged for resume (counters as recorded —
+     * preempt() adds its own increment). */
+    ResumableRequest resumableAt(std::size_t index) const;
+
     runtime::SystemConfig system_;
     model::LlmConfig llm_;
     ServingConfig config_;
@@ -332,13 +494,35 @@ class ServingSimulator
         cache_;
     bool saturated_ = false;
 
+    /** Why an entry left this replica (excluded from its report). */
+    enum class Moved : char
+    {
+        No = 0,
+        Stolen,
+        Preempted,
+    };
+
     // ---- Session state (reset by beginSession) ----
     std::vector<ServedRequest> requests_; ///< Delivery order.
     std::vector<RequestMetrics> metrics_; ///< Parallel to requests_.
-    std::vector<bool> stolen_;            ///< Excluded from report.
+    std::vector<Moved> moved_;            ///< Excluded from report.
+
+    /** Tokens a resumed entry generated before (re)delivery here;
+     * 0 marks a fresh arrival.  Parallel to requests_. */
+    std::vector<std::uint32_t> resumedTokens_;
+
+    /** KV context tokens resident here at delivery (resumed entries
+     * only); the admission prefill charges context minus this. */
+    std::vector<std::uint64_t> cachedTokens_;
+
     std::deque<std::size_t> pending_;     ///< Delivered, unobserved.
     std::deque<std::size_t> waiting_;     ///< In the admission queue.
     std::vector<Running> active_;         ///< The running batch.
+
+    /** Some delivery carried a non-default priority: admission
+     * scans for the max instead of taking the FIFO head. */
+    bool prioritized_ = false;
+
     Seconds clock_ = 0.0;
 
     StepKind inflight_ = StepKind::Idle;

@@ -158,10 +158,12 @@ generateWorkload(const ScenarioConfig &scenario)
     if (scenario.process == ArrivalProcess::Replay)
         return parseCsvTrace(scenario.replayCsv);
 
-    // Independent streams for arrivals and lengths: adding a request
-    // never shifts the lengths of the ones before it.
+    // Independent streams for arrivals, lengths, and priorities:
+    // adding a request never shifts the lengths of the ones before
+    // it, and turning priorities on never shifts arrivals/lengths.
     Rng arrival_rng(scenario.seed ^ 0xa27c3f11d5b86e09ULL);
     Rng length_rng(scenario.seed ^ 0x3c96b41f0e72a5cdULL);
+    Rng priority_rng(scenario.seed ^ 0x91f4be5a60d8c723ULL);
 
     const auto instants = arrivalInstants(scenario, arrival_rng);
     std::vector<ServedRequest> workload;
@@ -173,6 +175,9 @@ generateWorkload(const ScenarioConfig &scenario)
         request.promptTokens = scenario.prompt.sample(length_rng);
         request.generateTokens =
             scenario.generate.sample(length_rng);
+        if (scenario.highPriorityFraction > 0.0 &&
+            priority_rng.chance(scenario.highPriorityFraction))
+            request.priority = scenario.highPriority;
         workload.push_back(request);
     }
     return workload;
@@ -194,18 +199,26 @@ parseCsvTrace(const std::string &csv)
         double arrival = 0.0;
         long long prompt = 0;
         long long generate = 0;
+        long long priority = 0;
         char comma1 = 0;
         char comma2 = 0;
         std::istringstream row(line);
         row >> arrival >> comma1 >> prompt >> comma2 >> generate;
-        const bool fields_ok = !row.fail();
+        bool fields_ok =
+            !row.fail() && comma1 == ',' && comma2 == ',';
+        // Optional fourth column: priority.  Old three-column rows
+        // parse with the default priority 0.
+        char comma3 = 0;
+        if (fields_ok && row >> comma3) {
+            fields_ok = comma3 == ',' &&
+                        static_cast<bool>(row >> priority);
+        }
         char trailing = 0;
         const bool garbage = // Non-whitespace leftovers.
             fields_ok && static_cast<bool>(row >> trailing);
-        if (!fields_ok || garbage || comma1 != ',' ||
-            comma2 != ',' || arrival < 0.0 || prompt < 1 ||
-            generate < 0 || prompt > UINT32_MAX ||
-            generate > UINT32_MAX) {
+        if (!fields_ok || garbage || arrival < 0.0 || prompt < 1 ||
+            generate < 0 || priority < 0 || prompt > UINT32_MAX ||
+            generate > UINT32_MAX || priority > UINT32_MAX) {
             throw std::invalid_argument(
                 "parseCsvTrace: malformed row " +
                 std::to_string(line_no) + ": '" + line + "'");
@@ -215,6 +228,7 @@ parseCsvTrace(const std::string &csv)
         request.promptTokens = static_cast<std::uint32_t>(prompt);
         request.generateTokens =
             static_cast<std::uint32_t>(generate);
+        request.priority = static_cast<std::uint32_t>(priority);
         workload.push_back(request);
     }
     sortByArrival(workload);
@@ -226,12 +240,23 @@ parseCsvTrace(const std::string &csv)
 std::string
 toCsvTrace(const std::vector<ServedRequest> &workload)
 {
+    // The priority column is emitted only when some request uses
+    // it, so all-default traces keep their historical byte-exact
+    // three-column form (and stay readable by older parsers).
+    bool prioritized = false;
+    for (const ServedRequest &request : workload)
+        prioritized |= request.priority != 0;
+
     std::ostringstream out;
-    out << "# arrival_s,prompt,generate\n";
+    out << (prioritized ? "# arrival_s,prompt,generate,priority\n"
+                        : "# arrival_s,prompt,generate\n");
     out.precision(17);
     for (const ServedRequest &request : workload) {
         out << request.arrival << ',' << request.promptTokens << ','
-            << request.generateTokens << '\n';
+            << request.generateTokens;
+        if (prioritized)
+            out << ',' << request.priority;
+        out << '\n';
     }
     return out.str();
 }

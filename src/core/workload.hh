@@ -98,9 +98,22 @@ struct ScenarioConfig
     LengthDistribution prompt{256, 128, 0.05, 4.0};
     LengthDistribution generate{64, 32, 0.0, 1.0};
 
+    /**
+     * Fraction of requests marked high priority (drawn from a
+     * dedicated RNG stream, so 0 — the default — produces traces
+     * bit-identical to the pre-priority generator).
+     */
+    double highPriorityFraction = 0.0;
+
+    /** Priority level assigned to the high-priority fraction. */
+    std::uint32_t highPriority = 1;
+
     std::uint64_t seed = 1;
 
-    /** Replay only: CSV text (`arrival_s,prompt,generate` per line). */
+    /**
+     * Replay only: CSV text (`arrival_s,prompt,generate[,priority]`
+     * per line).
+     */
     std::string replayCsv;
 };
 
@@ -112,8 +125,10 @@ struct ScenarioConfig
 std::vector<ServedRequest> generateWorkload(const ScenarioConfig &scenario);
 
 /**
- * Parse a replayed trace: one `arrival_s,prompt,generate` triple per
- * line; blank lines and lines starting with '#' are skipped.  Throws
+ * Parse a replayed trace: one `arrival_s,prompt,generate` triple —
+ * optionally extended with a fourth `priority` column — per line;
+ * blank lines and lines starting with '#' are skipped.  Old
+ * three-column traces parse with the default priority 0.  Throws
  * std::invalid_argument on malformed rows.
  */
 std::vector<ServedRequest> parseCsvTrace(const std::string &csv);

@@ -198,6 +198,209 @@ class SloStealPolicy final : public ControlPolicy
     std::vector<ReplicaModel> models_;
 };
 
+/**
+ * Priority preemption (see the factory doc in control_policy.hh):
+ * at each replica boundary, evict the lowest-priority running
+ * request when a strictly-higher-priority queued request would miss
+ * its TTFT deadline waiting for a slot to free naturally and
+ * admitting it now would still meet (or at least approach) it.
+ */
+class PriorityPreemptPolicy final : public ControlPolicy
+{
+  public:
+    std::string name() const override { return "priority-preempt"; }
+
+    std::uint32_t wants() const override
+    {
+        return kReplicaEvents | kPreempt;
+    }
+
+    void begin(const ControlContext &context) override
+    {
+        models_ = context.models;
+        deadline_ = context.ttftDeadline;
+    }
+
+    void onPrefillComplete(std::uint32_t replica, Seconds now,
+                           const FleetView &view,
+                           FleetActions &actions) override
+    {
+        maybePreempt(replica, now, view, actions);
+    }
+
+    void onStepComplete(std::uint32_t replica, Seconds now,
+                        const FleetView &view,
+                        FleetActions &actions) override
+    {
+        maybePreempt(replica, now, view, actions);
+    }
+
+  private:
+    void
+    maybePreempt(std::uint32_t replica, Seconds now,
+                 const FleetView &view, FleetActions &actions)
+    {
+        if (view.busy(replica) || !view.knownServable(replica))
+            return;
+        const std::vector<serving::RequestInfo> running =
+            view.runningRequests(replica);
+        // A free slot means the queue head is admitted at this very
+        // boundary anyway — nothing to evict for.
+        if (running.empty() ||
+            running.size() < view.maxBatch(replica))
+            return;
+        const std::vector<serving::RequestInfo> queued =
+            view.queuedRequests(replica);
+        if (queued.empty())
+            return;
+
+        // The endangered request: highest priority queued, oldest
+        // among equals (matches what admission would pick).
+        const serving::RequestInfo *protect = &queued.front();
+        for (const serving::RequestInfo &info : queued) {
+            if (info.priority > protect->priority)
+                protect = &info;
+        }
+
+        // The victim: lowest priority strictly below the protected
+        // request's, most remaining work among equals (frees the
+        // slot for the longest), then highest id for determinism.
+        const serving::RequestInfo *victim = nullptr;
+        for (const serving::RequestInfo &info : running) {
+            if (info.priority >= protect->priority)
+                continue;
+            if (victim == nullptr ||
+                info.priority < victim->priority ||
+                (info.priority == victim->priority &&
+                 (info.remainingTokens > victim->remainingTokens ||
+                  (info.remainingTokens ==
+                       victim->remainingTokens &&
+                   info.id > victim->id))))
+                victim = &info;
+        }
+        if (victim == nullptr)
+            return;
+
+        // Would the protected request miss its deadline waiting
+        // for a slot to free naturally?  The soonest natural slot
+        // is the least-remaining running request finishing at the
+        // calibrated full-batch step rate; after that the request
+        // still pays its admission prefill.
+        const ReplicaModel &model = models_[replica];
+        const Seconds step =
+            model.slotTokensPerSecond > 0.0
+                ? 1.0 / model.slotTokensPerSecond
+                : deadline_;
+        std::uint32_t soonest = running.front().remainingTokens;
+        for (const serving::RequestInfo &info : running)
+            soonest = std::min(soonest, info.remainingTokens);
+        const Seconds age = now - protect->arrival;
+        const Seconds natural =
+            age + static_cast<double>(soonest) * step +
+            model.prefillSeconds;
+        if (natural <= deadline_)
+            return;
+        actions.preempt(replica, victim->id);
+    }
+
+    std::vector<ReplicaModel> models_;
+    Seconds deadline_ = 0.0;
+};
+
+/**
+ * Drain/dead-replica migration (see the factory doc in
+ * control_policy.hh): evacuate queued work from dead and draining
+ * replicas, and running work from draining replicas at their decode
+ * boundaries, onto the least-loaded healthy replica.
+ */
+class DrainMigratePolicy final : public ControlPolicy
+{
+  public:
+    std::string name() const override { return "drain-migrate"; }
+
+    std::uint32_t wants() const override
+    {
+        return kReplicaEvents | kIdle | kDead | kMigrate;
+    }
+
+    void onReplicaDead(std::uint32_t replica, Seconds now,
+                       const FleetView &view,
+                       FleetActions &actions) override
+    {
+        (void)now;
+        evacuateQueued(replica, view, actions);
+    }
+
+    void onReplicaIdle(std::uint32_t replica, Seconds now,
+                       const FleetView &view,
+                       FleetActions &actions) override
+    {
+        // A dead replica takes an idle boundary whenever fresh
+        // deliveries reach it (it never starts work), so routing
+        // policies that keep feeding it are drained continually.
+        (void)now;
+        if (view.knownDead(replica) || view.draining(replica))
+            evacuateQueued(replica, view, actions);
+    }
+
+    void onPrefillComplete(std::uint32_t replica, Seconds now,
+                           const FleetView &view,
+                           FleetActions &actions) override
+    {
+        onStepComplete(replica, now, view, actions);
+    }
+
+    void onStepComplete(std::uint32_t replica, Seconds now,
+                        const FleetView &view,
+                        FleetActions &actions) override
+    {
+        (void)now;
+        if (!view.draining(replica) || view.busy(replica))
+            return;
+        // The draining replica is at a decode boundary: hand its
+        // running requests (KV included) to healthy replicas, then
+        // whatever is still queued behind them.
+        for (const serving::RequestInfo &info :
+             view.runningRequests(replica)) {
+            const std::uint32_t to = destination(replica, view);
+            if (to >= view.replicaCount())
+                return;
+            actions.migrate(info.id, to);
+        }
+        evacuateQueued(replica, view, actions);
+    }
+
+  private:
+    /** Least-loaded healthy replica, or replicaCount() when none. */
+    std::uint32_t
+    destination(std::uint32_t from, const FleetView &view) const
+    {
+        const std::uint32_t n = view.replicaCount();
+        std::uint32_t best = n;
+        for (std::uint32_t r = 0; r < n; ++r) {
+            if (r == from || view.knownDead(r) || view.draining(r))
+                continue;
+            if (best == n || view.observedOutstanding(r) <
+                                 view.observedOutstanding(best))
+                best = r;
+        }
+        return best;
+    }
+
+    void
+    evacuateQueued(std::uint32_t replica, const FleetView &view,
+                   FleetActions &actions)
+    {
+        for (const serving::RequestInfo &info :
+             view.queuedRequests(replica)) {
+            const std::uint32_t to = destination(replica, view);
+            if (to >= view.replicaCount())
+                return;
+            actions.migrate(info.id, to);
+        }
+    }
+};
+
 } // namespace
 
 CompositeControlPolicy::CompositeControlPolicy(
@@ -341,6 +544,18 @@ makeSloStealPolicy()
 }
 
 std::shared_ptr<ControlPolicy>
+makePriorityPreemptPolicy()
+{
+    return std::make_shared<PriorityPreemptPolicy>();
+}
+
+std::shared_ptr<ControlPolicy>
+makeDrainMigratePolicy()
+{
+    return std::make_shared<DrainMigratePolicy>();
+}
+
+std::shared_ptr<ControlPolicy>
 composeControlPolicies(
     std::vector<std::shared_ptr<ControlPolicy>> children)
 {
@@ -358,6 +573,8 @@ controlPolicyNames()
         names.push_back(routerPolicyName(policy));
     names.push_back("greedy-steal");
     names.push_back("slo-steal");
+    names.push_back("priority-preempt");
+    names.push_back("drain-migrate");
     return names;
 }
 
@@ -374,6 +591,10 @@ atomByName(const std::string &name)
         return makeGreedyStealPolicy();
     if (name == "slo-steal")
         return makeSloStealPolicy();
+    if (name == "priority-preempt")
+        return makePriorityPreemptPolicy();
+    if (name == "drain-migrate")
+        return makeDrainMigratePolicy();
     throw std::invalid_argument(
         "controlPolicyByName: unknown policy '" + name + "'");
 }

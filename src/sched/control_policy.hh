@@ -21,9 +21,11 @@
  *
  * — observes ground truth through a read-only FleetView, and acts
  * through a capability-checked FleetActions surface (routeTo, shed,
- * steal, requestSpawn / requestDrain for the coming autoscaler).
- * Illegal actions — routing twice, routing to a draining replica,
- * stealing when the victim has only running requests — throw
+ * steal, the request-lifecycle verbs preempt / migrate, and
+ * requestSpawn / requestDrain for the coming autoscaler).  Illegal
+ * actions — routing twice, routing to a draining replica, stealing
+ * when the victim has only running requests, preempting a queued or
+ * unknown request, migrating to a draining or dead replica — throw
  * std::logic_error instead of corrupting kernel state.
  *
  * The wants() bitmask is both a subscription list and a performance
@@ -51,6 +53,7 @@
 #include <vector>
 
 #include "common/units.hh"
+#include "core/serving.hh"
 #include "sched/router.hh"
 
 namespace hermes::sched {
@@ -96,6 +99,21 @@ class FleetView
     virtual double
     observedBacklogTokens(std::uint32_t replica) const = 0;
 
+    /**
+     * The replica's running batch — ids, priorities, ages, progress
+     * — sampled live.  What a preemption policy ranks victims by.
+     */
+    virtual std::vector<serving::RequestInfo>
+    runningRequests(std::uint32_t replica) const = 0;
+
+    /** The replica's queued requests, admission order. */
+    virtual std::vector<serving::RequestInfo>
+    queuedRequests(std::uint32_t replica) const = 0;
+
+    /** Lifecycle state of request `id` on `replica`. */
+    virtual serving::RequestState
+    requestState(std::uint32_t replica, std::uint64_t id) const = 0;
+
     /** The TTFT service-level objective of this run. */
     virtual Seconds ttftDeadline() const = 0;
 };
@@ -140,6 +158,40 @@ class FleetActions
                                 std::uint32_t victim,
                                 std::uint32_t max_count) = 0;
 
+    /**
+     * Preempt running request `id` on `replica` at the current
+     * boundary and requeue it there: its KV stays cached on the
+     * replica, so resuming locally re-prefills nothing — the freed
+     * slot goes to whatever the priority-aware admission picks next.
+     * Capability-gated on Wants::kPreempt.  Throws std::logic_error
+     * when the policy did not declare kPreempt, the replica is
+     * mid-step (preemption happens at decode boundaries — defer to
+     * its next onStepComplete), or `id` is queued/unknown there.
+     */
+    virtual void preempt(std::uint32_t replica,
+                         std::uint64_t id) = 0;
+
+    /**
+     * Move request `id` — running (preempted first) or still queued
+     * — from the replica that holds it to `to_replica`, KV cache
+     * included.  The KV travels over the DIMM-link fabric: the
+     * destination sees the arrival only after a transfer delay
+     * proportional to the request's context length
+     * (fleet::kvMigrationSeconds; zero for a request that never
+     * started).  Capability-gated on Wants::kMigrate.  Throws
+     * std::logic_error when the policy did not declare kMigrate,
+     * the destination is out of range, draining, dead, or already
+     * holds the request, the request is unknown / shed / already in
+     * flight, or it is running on a replica that is mid-step.  The
+     * destination is validated at call time: one that starts
+     * draining while the KV is in flight still receives the
+     * request (it was committed before the drain), and one whose
+     * lazy capability probe fails later holds it like any other
+     * delivery.
+     */
+    virtual void migrate(std::uint64_t id,
+                         std::uint32_t to_replica) = 0;
+
     /** Ask for one more replica (recorded intent; see class doc). */
     virtual void requestSpawn() = 0;
 
@@ -160,6 +212,7 @@ struct ArrivalContext
     Seconds arrival = 0.0; ///< Also the current virtual time.
     std::uint32_t promptTokens = 0;
     std::uint32_t generateTokens = 0;
+    std::uint32_t priority = 0;
 
     /**
      * One ground-truth observation per replica, sampled at this
@@ -206,6 +259,12 @@ class ControlPolicy
 
         /** Deliver onTick every tickPeriod() virtual seconds. */
         kTick = 1u << 4,
+
+        /** May call FleetActions::preempt (lifecycle capability). */
+        kPreempt = 1u << 5,
+
+        /** May call FleetActions::migrate (lifecycle capability). */
+        kMigrate = 1u << 6,
     };
 
     virtual ~ControlPolicy() = default;
@@ -361,6 +420,30 @@ std::shared_ptr<ControlPolicy> makeGreedyStealPolicy();
 std::shared_ptr<ControlPolicy> makeSloStealPolicy();
 
 /**
+ * Priority preemption ("priority-preempt") — the first lifecycle
+ * policy.  At every replica boundary it looks for a queued request
+ * whose projected TTFT — its age plus the wait for a batch slot to
+ * free naturally plus the calibrated prefill — misses the deadline
+ * while preempting would still save it, and evicts the
+ * lowest-priority running request of strictly lower priority (ties:
+ * most remaining work).  The victim requeues on the same replica
+ * with its KV retained (free re-admission); the priority-aware
+ * admission hands the freed slot to the protected request at the
+ * same boundary.  Compose with a router ("jsq+priority-preempt").
+ */
+std::shared_ptr<ControlPolicy> makePriorityPreemptPolicy();
+
+/**
+ * Drain/dead-replica migration ("drain-migrate") — requests leave a
+ * failing replica instead of being abandoned.  Queued work on a
+ * dead or draining replica, and running work on a draining replica
+ * at its decode boundaries, migrates to the least-loaded healthy
+ * replica, paying the DIMM-link KV transfer for whatever context it
+ * accumulated.  Compose with a router ("round-robin+drain-migrate").
+ */
+std::shared_ptr<ControlPolicy> makeDrainMigratePolicy();
+
+/**
  * Compose routing + auxiliary policies into one control plane.
  * Throws std::invalid_argument when `children` is empty.
  */
@@ -370,8 +453,8 @@ std::shared_ptr<ControlPolicy> composeControlPolicies(
 /**
  * Registry names of the built-in atoms, in display order: the six
  * router policies ("round-robin", "jsq", "least-tokens",
- * "slo-aware", "true-jsq", "least-backlog"), then "greedy-steal"
- * and "slo-steal".
+ * "slo-aware", "true-jsq", "least-backlog"), then "greedy-steal",
+ * "slo-steal", "priority-preempt", and "drain-migrate".
  */
 std::vector<std::string> controlPolicyNames();
 

@@ -127,6 +127,50 @@ TEST(BenchArgsDeathTest, NegativeU32Exits)
                 testing::ExitedWithCode(2), "not a number");
 }
 
+TEST(BenchArgs, U64ParsesTheFullSeedRange)
+{
+    // --seed takes the workload generator's whole 64-bit range —
+    // the u32 parser would reject anything past 4294967295.
+    ArgvFixture fixture({"--seed", "18446744073709551615"});
+    Args args = fixture.args();
+    EXPECT_EQ(args.u64("seed", 1, "seed"), UINT64_MAX);
+    args.finish();
+}
+
+TEST(BenchArgs, U64FallsBackWhenAbsent)
+{
+    ArgvFixture fixture({});
+    Args args = fixture.args();
+    EXPECT_EQ(args.u64("seed", 17, "seed"), 17u);
+    args.finish();
+}
+
+TEST(BenchArgsDeathTest, U64OverflowExits)
+{
+    // One past UINT64_MAX: strtoull would clamp with ERANGE; the
+    // parser must reject instead of silently saturating the seed.
+    ArgvFixture fixture({"--seed", "18446744073709551616"});
+    Args args = fixture.args();
+    EXPECT_EXIT(args.u64("seed", 1, "seed"),
+                testing::ExitedWithCode(2), "not a number");
+}
+
+TEST(BenchArgsDeathTest, NegativeU64Exits)
+{
+    ArgvFixture fixture({"--seed", "-7"});
+    Args args = fixture.args();
+    EXPECT_EXIT(args.u64("seed", 1, "seed"),
+                testing::ExitedWithCode(2), "not a number");
+}
+
+TEST(BenchArgsDeathTest, NonNumericU64Exits)
+{
+    ArgvFixture fixture({"--seed", "lucky"});
+    Args args = fixture.args();
+    EXPECT_EXIT(args.u64("seed", 1, "seed"),
+                testing::ExitedWithCode(2), "not a number");
+}
+
 TEST(BenchArgsDeathTest, NonNumericF64Exits)
 {
     ArgvFixture fixture({"--rate", "fast"});

@@ -609,7 +609,7 @@ TEST(ControlPlane, ExplicitStealingMatchesTheDeprecatedBool)
 TEST(ControlPlane, RegistryRoundTripsAndComposes)
 {
     const auto names = sched::controlPolicyNames();
-    ASSERT_EQ(names.size(), 8u);
+    ASSERT_EQ(names.size(), 10u);
     for (const std::string &name : names)
         EXPECT_EQ(sched::controlPolicyByName(name)->name(), name);
 
@@ -622,6 +622,12 @@ TEST(ControlPlane, RegistryRoundTripsAndComposes)
                  sched::ControlPolicy::kObservations);
     EXPECT_TRUE(sched::controlPolicyByName("true-jsq")->wants() &
                 sched::ControlPolicy::kObservations);
+    EXPECT_TRUE(
+        sched::controlPolicyByName("priority-preempt")->wants() &
+        sched::ControlPolicy::kPreempt);
+    EXPECT_TRUE(
+        sched::controlPolicyByName("drain-migrate")->wants() &
+        sched::ControlPolicy::kMigrate);
 
     EXPECT_THROW(sched::controlPolicyByName("fifo"),
                  std::invalid_argument);
@@ -1038,6 +1044,428 @@ TEST(SloSteal, BeatsGreedyStealingOnABurstyHeterogeneousFleet)
     // The acceptance pin: strictly better tail AND attainment.
     EXPECT_LT(slo.p99Ttft, greedy.p99Ttft);
     EXPECT_GT(slo.sloAttainment, greedy.sloAttainment);
+}
+
+// ---- The request lifecycle (preempt / resume / migrate) ----
+
+TEST(Lifecycle, MigrationCostsAKvTransferProportionalToContext)
+{
+    // kvMigrationSeconds is the DIMM-link price of moving a
+    // request's accumulated KV: linear in context length above the
+    // per-transfer hop latency, zero when nothing accumulated.
+    const auto system = fastConfig(4);
+    const auto llm = model::opt13b();
+    EXPECT_DOUBLE_EQ(kvMigrationSeconds(system, llm, 0), 0.0);
+    const Seconds hop = system.link.hopLatency;
+    const Seconds t1 = kvMigrationSeconds(system, llm, 1000);
+    const Seconds t2 = kvMigrationSeconds(system, llm, 2000);
+    EXPECT_GT(t1, hop);
+    EXPECT_GT(t2, t1);
+    EXPECT_NEAR(t2 - hop, 2.0 * (t1 - hop), 1e-12 * (t2 - hop));
+
+    // A policy that migrates the lone running request after a few
+    // decode steps: the kernel must charge exactly that transfer
+    // and the destination must finish the request.
+    class MigrateOncePolicy final : public sched::ControlPolicy
+    {
+      public:
+        std::string name() const override { return "migrate-once"; }
+        std::uint32_t wants() const override
+        {
+            return kReplicaEvents | kMigrate;
+        }
+        void onArrival(const sched::ArrivalContext &,
+                       const sched::FleetView &,
+                       sched::FleetActions &actions) override
+        {
+            actions.routeTo(0);
+        }
+        void onStepComplete(std::uint32_t replica, Seconds,
+                            const sched::FleetView &view,
+                            sched::FleetActions &actions) override
+        {
+            if (migrated_ || replica != 0)
+                return;
+            const auto running = view.runningRequests(0);
+            if (running.empty() ||
+                running.front().tokensGenerated < 3)
+                return;
+            tokensAtMigration_ = running.front().tokensGenerated;
+            actions.migrate(running.front().id, 1);
+            migrated_ = true;
+        }
+        std::uint32_t tokensAtMigration() const
+        {
+            return tokensAtMigration_;
+        }
+
+      private:
+        bool migrated_ = false;
+        std::uint32_t tokensAtMigration_ = 0;
+    };
+
+    std::vector<serving::ServedRequest> trace(1);
+    trace[0] = serving::ServedRequest{0, 0.0, 64, 12, 0};
+    FleetConfig config = uniformFleet(
+        2, system, fastServing(2),
+        sched::RouterPolicy::RoundRobin, 30.0);
+    auto policy = std::make_shared<MigrateOncePolicy>();
+    config.control = policy;
+    const auto report =
+        FleetSimulator(config, llm).run(trace);
+
+    checkReportInvariants(report, trace.size());
+    EXPECT_EQ(report.completed, 1u);
+    EXPECT_EQ(report.kernelStats.migrations, 1u);
+    EXPECT_EQ(report.kernelStats.preemptions, 0u);
+    EXPECT_EQ(report.kernelStats.events.resumes, 1u);
+    EXPECT_EQ(report.assignment, (std::vector<int>{1}));
+    EXPECT_GE(policy->tokensAtMigration(), 3u);
+    // The pinned cost: one transfer of (prompt + generated) tokens
+    // of KV at the source's link parameters, nothing else.
+    EXPECT_DOUBLE_EQ(
+        report.kernelStats.kvTransferSeconds,
+        kvMigrationSeconds(system, llm,
+                           64 + policy->tokensAtMigration()));
+    // The request finished on the destination with every token and
+    // its migration recorded; the source reports nothing.
+    EXPECT_TRUE(report.replicaReports[0].requests.empty());
+    ASSERT_EQ(report.replicaReports[1].requests.size(), 1u);
+    EXPECT_EQ(report.requests[0].tokens, 12u);
+    EXPECT_EQ(report.requests[0].migrations, 1u);
+}
+
+TEST(Lifecycle, PriorityPreemptBeatsSloStealOnHighPriorityTail)
+{
+    // The acceptance pin: on an overloaded bursty fleet with a
+    // high-priority slice, "jsq+priority-preempt" must strictly
+    // improve the high-priority p99 TTFT over "jsq+slo-steal" —
+    // stealing can only move queued work between replicas, while
+    // preemption evicts low-priority running work the moment a
+    // high-priority request would miss its deadline.
+    serving::ScenarioConfig scenario;
+    scenario.process = serving::ArrivalProcess::Bursty;
+    scenario.requests = 24;
+    scenario.ratePerSecond = 16.0;
+    scenario.burstiness = 8.0;
+    scenario.prompt = {96, 32, 0.0, 1.0};
+    scenario.generate = {48, 16, 0.0, 1.0};
+    scenario.highPriorityFraction = 0.25;
+    scenario.seed = 11;
+    const auto trace = serving::generateWorkload(scenario);
+    std::size_t high_priority = 0;
+    for (const auto &request : trace)
+        high_priority += request.priority > 0 ? 1 : 0;
+    ASSERT_GT(high_priority, 2u);
+    ASSERT_LT(high_priority, trace.size() / 2);
+
+    FleetConfig config = uniformFleet(
+        2, fastConfig(4), fastServing(2),
+        sched::RouterPolicy::JoinShortestQueue,
+        /*ttft_deadline=*/1.0);
+    const auto run_with = [&](const char *control) {
+        config.control = sched::controlPolicyByName(control);
+        return FleetSimulator(config, model::opt13b()).run(trace);
+    };
+    const auto steal = run_with("jsq+slo-steal");
+    const auto preempt = run_with("jsq+priority-preempt");
+    checkReportInvariants(steal, trace.size());
+    checkReportInvariants(preempt, trace.size());
+    EXPECT_EQ(steal.completed, trace.size());
+    EXPECT_EQ(preempt.completed, trace.size());
+    EXPECT_GT(preempt.kernelStats.preemptions, 0u);
+
+    const Seconds steal_hi = ttftPercentile(steal, 99.0, 1);
+    const Seconds preempt_hi = ttftPercentile(preempt, 99.0, 1);
+    EXPECT_LT(preempt_hi, steal_hi);
+    // The preempted low-priority work is resumed, not lost: every
+    // request still completes with all its tokens.
+    for (const auto &request : preempt.requests)
+        EXPECT_GE(request.tokens, 1u);
+}
+
+TEST(Lifecycle, DrainMigrateCompletesWhatADeadReplicaAbandons)
+{
+    // Round-robin keeps feeding a dead replica.  Without lifecycle
+    // verbs those requests are abandoned (no idle thief ever shows
+    // up to steal on this loaded fleet); with "drain-migrate" every
+    // one of them moves to the healthy replica and completes.
+    FleetConfig config;
+    config.ttftDeadline = 60.0;
+    config.policy = sched::RouterPolicy::RoundRobin;
+    ReplicaConfig healthy;
+    healthy.system = fastConfig(4);
+    healthy.serving = fastServing();
+    ReplicaConfig dead = healthy;
+    dead.system.numDimms = 0;
+    config.replicas = {healthy, dead};
+    const auto trace = smallTrace();
+
+    const auto abandoned =
+        FleetSimulator(config, model::opt13b()).run(trace);
+    EXPECT_EQ(abandoned.rejected, trace.size() / 2);
+
+    config.control =
+        sched::controlPolicyByName("round-robin+drain-migrate");
+    const auto rescued =
+        FleetSimulator(config, model::opt13b()).run(trace);
+    checkReportInvariants(rescued, trace.size());
+    EXPECT_EQ(rescued.completed, trace.size());
+    EXPECT_EQ(rescued.rejected, 0u);
+    EXPECT_EQ(rescued.replicaReports[1].completed, 0u);
+    EXPECT_GE(rescued.kernelStats.migrations, trace.size() / 2);
+    // Nothing on the dead replica ever started, so the transfers
+    // carried no KV: the moves are instant re-routes.
+    EXPECT_DOUBLE_EQ(rescued.kernelStats.kvTransferSeconds, 0.0);
+    for (std::size_t i = 0; i < trace.size(); ++i)
+        EXPECT_EQ(rescued.assignment[i], 0);
+    // The per-request lifecycle counter survives a never-started
+    // migration: exactly the moved rows carry migrations == 1.
+    std::uint64_t migrated_rows = 0;
+    for (const auto &request : rescued.requests)
+        migrated_rows += request.migrations != 0 ? 1 : 0;
+    EXPECT_EQ(migrated_rows, rescued.kernelStats.migrations);
+}
+
+TEST(Lifecycle, DrainMigrateEvacuatesRunningWorkWithItsKv)
+{
+    // A policy drains replica 1 mid-run; drain-migrate hands its
+    // running requests (KV included, at a DIMM-link cost) to the
+    // healthy replica at the next decode boundary, and everything
+    // still completes exactly once.
+    class DrainSecondMidRunPolicy final
+        : public sched::ControlPolicy
+    {
+      public:
+        std::string name() const override { return "drain-at-4"; }
+        void onArrival(const sched::ArrivalContext &context,
+                       const sched::FleetView &view,
+                       sched::FleetActions &actions) override
+        {
+            if (context.requestId >= 4 && !view.draining(1))
+                actions.requestDrain(1);
+            actions.routeTo(view.draining(1)
+                                ? 0
+                                : static_cast<std::uint32_t>(
+                                      context.requestId % 2));
+        }
+    };
+
+    FleetConfig config = uniformFleet(
+        2, fastConfig(4), fastServing(2),
+        sched::RouterPolicy::RoundRobin, 60.0);
+    config.control = sched::composeControlPolicies(
+        {std::make_shared<DrainSecondMidRunPolicy>(),
+         sched::controlPolicyByName("drain-migrate")});
+    const auto trace = smallTrace(12, 4.0, 9);
+    const auto report =
+        FleetSimulator(config, model::opt13b()).run(trace);
+    checkReportInvariants(report, trace.size());
+    EXPECT_EQ(report.completed, trace.size());
+    EXPECT_GT(report.kernelStats.migrations, 0u);
+    // At least one migrated request had started running, so its KV
+    // transfer took real virtual time.
+    EXPECT_GT(report.kernelStats.kvTransferSeconds, 0.0);
+    // The drained replica kept nothing that arrived after the
+    // drain: every request it reports was one of the early ones.
+    for (const auto &request :
+         report.replicaReports[1].requests)
+        EXPECT_LT(request.id, 4u);
+}
+
+TEST(Lifecycle, IllegalLifecycleActionsThrow)
+{
+    const auto trace = smallTrace(6, 4.0, 9);
+    const auto run_with =
+        [&](std::shared_ptr<sched::ControlPolicy> control) {
+            FleetConfig config = uniformFleet(
+                2, fastConfig(4), fastServing(1),
+                sched::RouterPolicy::RoundRobin, 30.0);
+            config.control = std::move(control);
+            return FleetSimulator(config, model::opt13b())
+                .run(trace);
+        };
+
+    // The verbs are capability-gated: acting without declaring
+    // kPreempt / kMigrate throws even when the action itself would
+    // be legal.
+    class UndeclaredPreemptPolicy final
+        : public sched::ControlPolicy
+    {
+        std::string name() const override { return "undeclared"; }
+        std::uint32_t wants() const override
+        {
+            return kReplicaEvents;
+        }
+        void onArrival(const sched::ArrivalContext &,
+                       const sched::FleetView &,
+                       sched::FleetActions &actions) override
+        {
+            actions.routeTo(0);
+        }
+        void onStepComplete(std::uint32_t, Seconds,
+                            const sched::FleetView &view,
+                            sched::FleetActions &actions) override
+        {
+            const auto running = view.runningRequests(0);
+            if (!running.empty())
+                actions.preempt(0, running.front().id);
+        }
+    };
+    EXPECT_THROW(
+        run_with(std::make_shared<UndeclaredPreemptPolicy>()),
+        std::logic_error);
+
+    // Preempting a queued (not running) request throws.
+    class PreemptQueuedPolicy final : public sched::ControlPolicy
+    {
+        std::string name() const override
+        {
+            return "preempt-queued";
+        }
+        std::uint32_t wants() const override
+        {
+            return kReplicaEvents | kPreempt;
+        }
+        void onArrival(const sched::ArrivalContext &,
+                       const sched::FleetView &,
+                       sched::FleetActions &actions) override
+        {
+            actions.routeTo(0);
+        }
+        void onStepComplete(std::uint32_t, Seconds,
+                            const sched::FleetView &view,
+                            sched::FleetActions &actions) override
+        {
+            const auto queued = view.queuedRequests(0);
+            if (!queued.empty())
+                actions.preempt(0, queued.front().id);
+        }
+    };
+    EXPECT_THROW(
+        run_with(std::make_shared<PreemptQueuedPolicy>()),
+        std::logic_error);
+
+    // Migrating to a replica the policy itself drained throws, as
+    // does migrating a request that does not exist.
+    class MigrateToDrainedPolicy final
+        : public sched::ControlPolicy
+    {
+        std::string name() const override
+        {
+            return "migrate-to-drained";
+        }
+        std::uint32_t wants() const override
+        {
+            return kReplicaEvents | kMigrate;
+        }
+        void onArrival(const sched::ArrivalContext &context,
+                       const sched::FleetView &view,
+                       sched::FleetActions &actions) override
+        {
+            if (!view.draining(1))
+                actions.requestDrain(1);
+            (void)context;
+            actions.routeTo(0);
+        }
+        void onStepComplete(std::uint32_t, Seconds,
+                            const sched::FleetView &view,
+                            sched::FleetActions &actions) override
+        {
+            const auto running = view.runningRequests(0);
+            if (!running.empty())
+                actions.migrate(running.front().id, 1);
+        }
+    };
+    EXPECT_THROW(
+        run_with(std::make_shared<MigrateToDrainedPolicy>()),
+        std::logic_error);
+
+    class MigrateUnknownPolicy final : public sched::ControlPolicy
+    {
+        std::string name() const override
+        {
+            return "migrate-unknown";
+        }
+        std::uint32_t wants() const override
+        {
+            return kReplicaEvents | kMigrate;
+        }
+        void onArrival(const sched::ArrivalContext &,
+                       const sched::FleetView &,
+                       sched::FleetActions &actions) override
+        {
+            actions.routeTo(0);
+        }
+        void onStepComplete(std::uint32_t, Seconds,
+                            const sched::FleetView &,
+                            sched::FleetActions &actions) override
+        {
+            actions.migrate(987654, 1);
+        }
+    };
+    EXPECT_THROW(
+        run_with(std::make_shared<MigrateUnknownPolicy>()),
+        std::logic_error);
+}
+
+TEST(Lifecycle, RequestStateIsVisibleThroughTheFleetView)
+{
+    // The state machine is observable from a policy: a watched
+    // request reads Queued before admission, Running at boundaries
+    // afterwards, Done once retired, and names round-trip.
+    EXPECT_EQ(serving::requestStateName(
+                  serving::RequestState::Preempted),
+              "preempted");
+    class WatchStatesPolicy final : public sched::ControlPolicy
+    {
+      public:
+        std::string name() const override { return "watcher"; }
+        std::uint32_t wants() const override
+        {
+            return kReplicaEvents;
+        }
+        void onArrival(const sched::ArrivalContext &,
+                       const sched::FleetView &view,
+                       sched::FleetActions &actions) override
+        {
+            // Request 0 has been delivered yet? Before its own
+            // arrival decision it is unknown.
+            if (!sawQueued_)
+                sawQueued_ = view.requestState(0, 0) ==
+                             serving::RequestState::Queued;
+            actions.routeTo(0);
+        }
+        void onStepComplete(std::uint32_t, Seconds,
+                            const sched::FleetView &view,
+                            sched::FleetActions &actions) override
+        {
+            (void)actions;
+            const auto state = view.requestState(0, 0);
+            sawRunning_ |= state == serving::RequestState::Running;
+            sawDone_ |= state == serving::RequestState::Done;
+        }
+        bool sawQueued() const { return sawQueued_; }
+        bool sawRunning() const { return sawRunning_; }
+        bool sawDone() const { return sawDone_; }
+
+      private:
+        bool sawQueued_ = false;
+        bool sawRunning_ = false;
+        bool sawDone_ = false;
+    };
+
+    FleetConfig config = uniformFleet(
+        2, fastConfig(4), fastServing(1),
+        sched::RouterPolicy::RoundRobin, 30.0);
+    auto watcher = std::make_shared<WatchStatesPolicy>();
+    config.control = watcher;
+    const auto trace = smallTrace(4, 2.0, 9);
+    const auto report =
+        FleetSimulator(config, model::opt13b()).run(trace);
+    EXPECT_EQ(report.completed, trace.size());
+    EXPECT_TRUE(watcher->sawRunning());
+    EXPECT_TRUE(watcher->sawDone());
 }
 
 TEST(Fleet, CacheReuseAcrossRunsKeepsPhysicsIdentical)

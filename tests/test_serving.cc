@@ -4,6 +4,9 @@
  * admission control, per-request metrics and fleet percentiles.
  */
 
+#include <memory>
+#include <stdexcept>
+
 #include <gtest/gtest.h>
 
 #include "core/hermes.hh"
@@ -320,6 +323,296 @@ TEST(Serving, SessionObservedStateAndStealing)
     EXPECT_EQ(report.rejected, 0u);
     for (const auto &request : report.requests)
         EXPECT_NE(request.id, 3u);
+}
+
+TEST(Serving, PriorityJumpsTheAdmissionQueue)
+{
+    // Five simultaneous arrivals on one slot; id 3 is high
+    // priority.  FIFO would serve 0,1,2,3,4; priority-aware
+    // admission serves 0 (already admitted when 3 is observed at
+    // the same boundary... all are observed together, so the first
+    // pick is the high-priority one), then FIFO among the rest.
+    auto trace = syntheticWorkload(5, 0.0, 64, 4, 3);
+    trace[3].priority = 2;
+    ServingSimulator simulator(fastConfig(4), model::opt13b(),
+                               fastServing(1));
+    const ServingReport report = simulator.run(trace);
+    EXPECT_EQ(report.completed, 5u);
+    Seconds admitted3 = 0.0;
+    for (const auto &request : report.requests) {
+        if (request.id == 3) {
+            admitted3 = request.admitted;
+            EXPECT_EQ(request.priority, 2u);
+        }
+    }
+    for (const auto &request : report.requests) {
+        if (request.id != 3) {
+            EXPECT_GT(request.admitted, admitted3);
+        }
+    }
+}
+
+TEST(Serving, AllDefaultPrioritiesReproduceFifoAdmission)
+{
+    // The priority-aware admission must be invisible on a
+    // default-priority trace: FIFO order, bit-identical times.
+    auto trace = syntheticWorkload(8, 30.0, 64, 8, 5);
+    ServingSimulator simulator(fastConfig(4), model::opt13b(),
+                               fastServing(2));
+    const ServingReport report = simulator.run(trace);
+    EXPECT_EQ(report.completed, 8u);
+    for (std::size_t i = 1; i < report.requests.size(); ++i)
+        EXPECT_LE(report.requests[i - 1].admitted,
+                  report.requests[i].admitted);
+}
+
+TEST(Serving, PreemptReturnsStateAndResumesLocallyForFree)
+{
+    // One slot, two requests: preempt the running one mid-flight,
+    // requeue it locally with its KV cached — it must complete with
+    // its original TTFT and all tokens accounted exactly once.
+    std::vector<ServedRequest> trace(2);
+    trace[0] = ServedRequest{0, 0.0, 64, 12, 0};
+    trace[1] = ServedRequest{1, 0.0, 64, 4, 0};
+
+    ServingSimulator simulator(fastConfig(4), model::opt13b(),
+                               fastServing(1));
+    simulator.beginSession();
+    for (const auto &request : trace)
+        simulator.deliver(request);
+
+    // Admit request 0 (FIFO) and decode a few steps.
+    StepAction action = simulator.startNextWork(0.0);
+    ASSERT_EQ(action.kind, StepKind::Prefill);
+    simulator.completeWork();
+    EXPECT_EQ(simulator.stateOf(0), RequestState::Running);
+    EXPECT_EQ(simulator.stateOf(1), RequestState::Queued);
+    for (int step = 0; step < 3; ++step) {
+        action = simulator.startNextWork(simulator.clock());
+        ASSERT_EQ(action.kind, StepKind::Decode);
+        simulator.completeWork();
+    }
+    const std::uint32_t tokens_so_far =
+        simulator.snapshot().runningRequests.front().tokensGenerated;
+    EXPECT_EQ(tokens_so_far, 4u); // Prefill token + 3 decode steps.
+
+    // Queued / unknown ids cannot be preempted.
+    EXPECT_THROW(simulator.preempt(1), std::logic_error);
+    EXPECT_THROW(simulator.preempt(99), std::logic_error);
+
+    const ResumableRequest resumed = simulator.preempt(0);
+    EXPECT_EQ(resumed.request.id, 0u);
+    EXPECT_EQ(resumed.tokensGenerated, 4u);
+    EXPECT_EQ(resumed.contextLength(), 64u + 4u);
+    EXPECT_EQ(resumed.preemptions, 1u);
+    EXPECT_GT(resumed.firstToken, 0.0);
+    EXPECT_EQ(simulator.stateOf(0), RequestState::Preempted);
+
+    // Resume locally with the KV retained: free re-admission.
+    simulator.deliverResumed(resumed, simulator.clock(),
+                             resumed.contextLength());
+    EXPECT_EQ(simulator.stateOf(0), RequestState::Queued);
+    for (;;) {
+        if (simulator.busy())
+            simulator.completeWork();
+        if (simulator.startNextWork(simulator.clock()).kind ==
+            StepKind::Idle)
+            break;
+    }
+    const ServingReport report = simulator.finishSession();
+    EXPECT_EQ(simulator.stateOf(0), RequestState::Done);
+    EXPECT_EQ(report.completed, 2u);
+    ASSERT_EQ(report.requests.size(), 2u); // Old entry excluded.
+    for (const auto &request : report.requests) {
+        if (request.id != 0)
+            continue;
+        EXPECT_EQ(request.tokens, 12u);
+        EXPECT_EQ(request.preemptions, 1u);
+        EXPECT_DOUBLE_EQ(request.firstToken, resumed.firstToken);
+        EXPECT_DOUBLE_EQ(request.admitted, resumed.admitted);
+        EXPECT_GT(request.completed, resumed.firstToken);
+    }
+}
+
+TEST(Serving, RequeuedPreemptionBypassesTheAdmissionCap)
+{
+    // maxQueue 0: fresh overflow is rejected, but a preempted
+    // request held queue capacity once already — its requeue must
+    // never be dropped.
+    ServingConfig config = fastServing(1);
+    config.maxQueue = 0;
+    ServingSimulator simulator(fastConfig(4), model::opt13b(),
+                               config);
+    simulator.beginSession();
+    simulator.deliver(ServedRequest{0, 0.0, 64, 8, 0});
+    simulator.startNextWork(0.0);
+    simulator.completeWork(); // Request 0 running.
+    // A fresh arrival lands, then request 0 is preempted and
+    // requeued behind it: at the next boundary the fresh arrival
+    // takes the one slot's worth of capacity, and without the
+    // bypass the requeued request would be dropped.
+    simulator.deliver(
+        ServedRequest{1, simulator.clock(), 64, 8, 0});
+    const ResumableRequest resumed = simulator.preempt(0);
+    simulator.deliverResumed(resumed, simulator.clock(),
+                             resumed.contextLength());
+    for (;;) {
+        if (simulator.busy())
+            simulator.completeWork();
+        if (simulator.startNextWork(simulator.clock()).kind ==
+            StepKind::Idle)
+            break;
+    }
+    const ServingReport report = simulator.finishSession();
+    EXPECT_EQ(report.completed, 2u);
+    EXPECT_EQ(report.rejected, 0u);
+    for (const auto &request : report.requests)
+        EXPECT_EQ(request.tokens, 8u);
+}
+
+TEST(Serving, ColdResumePaysTheUncachedSuffixPrefill)
+{
+    // The same preempted request resumed on a fresh replica: with
+    // the KV transferred (cached == context) rejoining is free;
+    // cold (cached == 0) it must re-prefill the whole context and
+    // finish strictly later.
+    std::vector<ServedRequest> trace(1);
+    trace[0] = ServedRequest{0, 0.0, 512, 16, 0};
+
+    const auto preempt_after = [&](int steps) {
+        auto simulator = std::make_unique<ServingSimulator>(
+            fastConfig(4), model::opt13b(), fastServing(1));
+        simulator->beginSession();
+        simulator->deliver(trace[0]);
+        simulator->startNextWork(0.0);
+        simulator->completeWork();
+        for (int s = 0; s < steps; ++s) {
+            simulator->startNextWork(simulator->clock());
+            simulator->completeWork();
+        }
+        return simulator->preempt(0);
+    };
+
+    const auto drain_from = [&](const ResumableRequest &resumed,
+                                std::uint64_t cached) {
+        ServingSimulator simulator(fastConfig(4), model::opt13b(),
+                                   fastServing(1));
+        simulator.beginSession();
+        simulator.deliverResumed(resumed, 1.0, cached);
+        for (;;) {
+            if (simulator.busy())
+                simulator.completeWork();
+            StepAction action =
+                simulator.startNextWork(simulator.clock());
+            if (action.kind == StepKind::WaitArrival)
+                action = simulator.startNextWork(action.until);
+            if (action.kind == StepKind::Idle)
+                break;
+        }
+        return simulator.finishSession();
+    };
+
+    const ResumableRequest resumed = preempt_after(7);
+    const ServingReport warm =
+        drain_from(resumed, resumed.contextLength());
+    const ServingReport cold = drain_from(resumed, 0);
+    ASSERT_EQ(warm.completed, 1u);
+    ASSERT_EQ(cold.completed, 1u);
+    EXPECT_EQ(warm.requests[0].tokens, 16u);
+    EXPECT_EQ(cold.requests[0].tokens, 16u);
+    // Identical decode work, but cold pays a ~512-token re-prefill.
+    EXPECT_LT(warm.requests[0].completed,
+              cold.requests[0].completed);
+    // TTFT is history on both: the first token was emitted before
+    // the preemption and the timestamp travels with the request.
+    EXPECT_DOUBLE_EQ(warm.requests[0].firstToken,
+                     resumed.firstToken);
+    EXPECT_DOUBLE_EQ(cold.requests[0].firstToken,
+                     resumed.firstToken);
+}
+
+TEST(Serving, SnapshotAgreesWithIndividualProbesAfterPreemption)
+{
+    // The one-call ReplicaSnapshot must agree field by field with
+    // the individual observed-state probes at every boundary of a
+    // session — including right after a preemption reshuffled the
+    // batch and the queue.
+    const auto check = [](const ServingSimulator &simulator) {
+        const ReplicaSnapshot snap = simulator.snapshot();
+        EXPECT_EQ(snap.outstanding,
+                  simulator.observedOutstanding());
+        EXPECT_EQ(snap.queued, simulator.queuedCount());
+        EXPECT_DOUBLE_EQ(snap.backlogTokens,
+                         simulator.observedBacklogTokens());
+        EXPECT_EQ(snap.busy, simulator.busy());
+        EXPECT_EQ(snap.knownServable, simulator.knownServable());
+        EXPECT_EQ(snap.knownDead, simulator.knownDead());
+        const auto running = simulator.runningInfos();
+        const auto queued = simulator.queuedInfos();
+        ASSERT_EQ(snap.runningRequests.size(), running.size());
+        ASSERT_EQ(snap.queuedRequests.size(), queued.size());
+        for (std::size_t i = 0; i < running.size(); ++i) {
+            EXPECT_EQ(snap.runningRequests[i].id, running[i].id);
+            EXPECT_EQ(snap.runningRequests[i].priority,
+                      running[i].priority);
+            EXPECT_DOUBLE_EQ(snap.runningRequests[i].arrival,
+                             running[i].arrival);
+            EXPECT_EQ(snap.runningRequests[i].tokensGenerated,
+                      running[i].tokensGenerated);
+            EXPECT_EQ(snap.runningRequests[i].remainingTokens,
+                      running[i].remainingTokens);
+        }
+        for (std::size_t i = 0; i < queued.size(); ++i) {
+            EXPECT_EQ(snap.queuedRequests[i].id, queued[i].id);
+            EXPECT_EQ(snap.queuedRequests[i].priority,
+                      queued[i].priority);
+            EXPECT_DOUBLE_EQ(snap.queuedRequests[i].arrival,
+                             queued[i].arrival);
+            EXPECT_EQ(snap.queuedRequests[i].tokensGenerated,
+                      queued[i].tokensGenerated);
+            EXPECT_EQ(snap.queuedRequests[i].remainingTokens,
+                      queued[i].remainingTokens);
+        }
+    };
+
+    auto trace = syntheticWorkload(6, 0.0, 64, 8, 3);
+    trace[4].priority = 3;
+    ServingSimulator simulator(fastConfig(4), model::opt13b(),
+                               fastServing(2));
+    simulator.beginSession();
+    check(simulator);
+    for (const auto &request : trace)
+        simulator.deliver(request);
+    check(simulator);
+    simulator.startNextWork(0.0);
+    check(simulator); // Mid-prefill (busy).
+    simulator.completeWork();
+    check(simulator);
+    simulator.startNextWork(simulator.clock());
+    simulator.completeWork();
+
+    // Preempt one running request and requeue it locally.
+    const auto running = simulator.runningInfos();
+    ASSERT_FALSE(running.empty());
+    const ResumableRequest resumed =
+        simulator.preempt(running.front().id);
+    check(simulator);
+    simulator.deliverResumed(resumed, simulator.clock(),
+                             resumed.contextLength());
+    check(simulator);
+
+    for (;;) {
+        if (simulator.busy()) {
+            simulator.completeWork();
+            check(simulator);
+        }
+        if (simulator.startNextWork(simulator.clock()).kind ==
+            StepKind::Idle)
+            break;
+    }
+    check(simulator);
+    const ServingReport report = simulator.finishSession();
+    EXPECT_EQ(report.completed, 6u);
 }
 
 TEST(Serving, DegeneratePolicyValuesAreGuarded)

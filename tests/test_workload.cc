@@ -160,12 +160,78 @@ TEST(Workload, CsvParserSortsSkipsAndRejects)
                  std::invalid_argument);
     // Trailing garbage and out-of-range token counts must be loud,
     // not silently dropped or wrapped.
-    EXPECT_THROW(parseCsvTrace("1.0,64,8,999\n"),
-                 std::invalid_argument);
     EXPECT_THROW(parseCsvTrace("1.0,64,8junk\n"),
                  std::invalid_argument);
     EXPECT_THROW(parseCsvTrace("1.0,5000000000,8\n"),
                  std::invalid_argument);
+}
+
+TEST(Workload, CsvPriorityColumnRoundTripsWithLegacyDefault)
+{
+    // Old three-column rows parse with the default priority 0; the
+    // optional fourth column carries it explicitly.
+    const auto trace = parseCsvTrace("0.5, 32, 4\n"
+                                     "1.5, 64, 8, 2\n");
+    ASSERT_EQ(trace.size(), 2u);
+    EXPECT_EQ(trace[0].priority, 0u);
+    EXPECT_EQ(trace[1].priority, 2u);
+
+    // A prioritized trace serializes with the column and survives
+    // the round trip; an all-default trace keeps the legacy
+    // three-column form old parsers accept.
+    const std::string csv = toCsvTrace(trace);
+    EXPECT_NE(csv.find("priority"), std::string::npos);
+    const auto replayed = parseCsvTrace(csv);
+    ASSERT_EQ(replayed.size(), 2u);
+    EXPECT_EQ(replayed[0].priority, 0u);
+    EXPECT_EQ(replayed[1].priority, 2u);
+
+    auto plain = trace;
+    plain[1].priority = 0;
+    const std::string legacy = toCsvTrace(plain);
+    EXPECT_EQ(legacy.find("priority"), std::string::npos);
+    EXPECT_EQ(parseCsvTrace(legacy).size(), 2u);
+
+    // A malformed fourth column is loud, like every other field.
+    EXPECT_THROW(parseCsvTrace("1.0,64,8,\n"),
+                 std::invalid_argument);
+    EXPECT_THROW(parseCsvTrace("1.0,64,8,low\n"),
+                 std::invalid_argument);
+    EXPECT_THROW(parseCsvTrace("1.0,64,8,-1\n"),
+                 std::invalid_argument);
+    EXPECT_THROW(parseCsvTrace("1.0,64,8,1,junk\n"),
+                 std::invalid_argument);
+    EXPECT_THROW(parseCsvTrace("1.0,64,8,5000000000\n"),
+                 std::invalid_argument);
+}
+
+TEST(Workload, PriorityStreamIsIndependentAndDeterministic)
+{
+    // Turning priorities on must not shift arrivals or lengths
+    // (dedicated RNG stream), and the high-priority fraction is
+    // reproducible for a seed.
+    ScenarioConfig plain =
+        smallScenario(ArrivalProcess::Bursty, 32, 4.0);
+    ScenarioConfig prioritized = plain;
+    prioritized.highPriorityFraction = 0.3;
+    prioritized.highPriority = 7;
+
+    const auto a = generateWorkload(plain);
+    const auto b = generateWorkload(prioritized);
+    const auto c = generateWorkload(prioritized);
+    ASSERT_EQ(a.size(), b.size());
+    std::size_t high = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a[i].arrival, b[i].arrival);
+        EXPECT_EQ(a[i].promptTokens, b[i].promptTokens);
+        EXPECT_EQ(a[i].generateTokens, b[i].generateTokens);
+        EXPECT_EQ(a[i].priority, 0u);
+        EXPECT_TRUE(b[i].priority == 0 || b[i].priority == 7);
+        EXPECT_EQ(b[i].priority, c[i].priority);
+        high += b[i].priority != 0 ? 1 : 0;
+    }
+    EXPECT_GT(high, 0u);
+    EXPECT_LT(high, a.size());
 }
 
 TEST(Workload, ScenarioByNameCoversStandardSetOnly)
