@@ -147,19 +147,28 @@ main(int argc, char **argv)
     const bool scale = args.flag(
         "scale", "32-replica scale config (replicas=32, "
                  "requests=2000; 200 under --smoke)");
+    const bool huge = args.flag(
+        "huge", "million-request tier (replicas=1024, "
+                "requests=1000000, jsq + steady only; 64 "
+                "replicas / 20000 requests under --smoke)");
     const std::string policy_name = args.str(
-        "policy", "all", "router policy name, or 'all'");
+        "policy", huge ? "jsq" : "all",
+        "router policy name, or 'all'");
     const std::string scenario_name = args.str(
-        "scenario", "all", "arrival scenario name, or 'all'");
+        "scenario", huge ? "steady" : "all",
+        "arrival scenario name, or 'all'");
     const std::uint32_t replicas = args.u32(
-        "replicas", scale ? 32 : 0,
+        "replicas", huge ? (smoke ? 64 : 1024) : (scale ? 32 : 0),
         "fleet size; 0 sweeps {2, 4}");
     const std::uint32_t default_requests =
-        scale ? (smoke ? 200 : 2000) : (smoke ? 10 : 48);
+        huge ? (smoke ? 20000 : 1000000)
+             : (scale ? (smoke ? 200 : 2000) : (smoke ? 10 : 48));
     const std::uint32_t requests =
         args.u32("requests", default_requests, "trace length");
-    const double rate =
-        args.f64("rate", 12.0, "mean arrival rate (req/s)");
+    // Same per-replica offered load as --scale (12 req/s over 32
+    // replicas), so the huge tier exercises queueing, not idling.
+    const double rate = args.f64(
+        "rate", huge ? 384.0 : 12.0, "mean arrival rate (req/s)");
     const std::uint64_t seed =
         args.u64("seed", 17, "trace seed (full 64-bit range)");
     const std::string kernel_name = args.str(
@@ -171,6 +180,10 @@ main(int argc, char **argv)
         "auxiliary policy composed with the router: "
         "none|greedy-steal|slo-steal|priority-preempt|"
         "drain-migrate");
+    const std::string json_path = args.out(
+        "json", "write a machine-readable run summary "
+                "(events/sec, loop wall time, peak RSS, config) "
+                "to this path");
     args.finish();
 
     if (stealer == "none")
@@ -293,6 +306,44 @@ main(int argc, char **argv)
         "note: slo-aware sheds requests whose estimated TTFT "
         "misses the deadline;\ntrue-jsq/least-backlog route on "
         "observed replica state at the arrival event\n");
+
+    bool json_ok = true;
+    if (!json_path.empty()) {
+        // Machine-readable mirror of the kernel-loop measurement;
+        // tools/check_bench_regression.py compares events_per_sec
+        // against the committed BENCH_fleet.json in CI.
+        std::string tier =
+            huge ? "huge" : (scale ? "scale" : "default");
+        if (smoke)
+            tier += "-smoke";
+        JsonObject json;
+        json.set("bench", "bench_fleet");
+        json.set("tier", tier);
+        json.set("kernel",
+                 fleet::fleetKernelName(sweep.kernel));
+        json.set("model", "OPT-13B");
+        json.setU64("replicas", sweep.fleetSizes.front());
+        json.setU64("requests", requests);
+        json.setF64("rate_per_sec", rate);
+        json.setU64("seed", seed);
+        json.set("scenario", scenario_name);
+        json.set("policy", policy_name);
+        json.setU64("events", meter.events);
+        json.setF64("loop_ms", meter.seconds * 1e3);
+        json.setF64("events_per_sec",
+                    meter.seconds > 0.0
+                        ? static_cast<double>(meter.events) /
+                              meter.seconds
+                        : 0.0);
+        json.setU64("peak_rss_kib", peakRssKib());
+        json_ok = json.writeFile(json_path);
+    }
+    if (huge) {
+        // The huge tier exists to prove the kernel completes a
+        // million-request fleet; the policy-comparison sections
+        // and the double-run determinism check stay with --scale.
+        return json_ok ? 0 : 1;
+    }
 
     if (sweep.kernel == fleet::FleetKernel::EventDriven) {
         // SLO-aware stealing vs the occupancy-greedy heuristic on
@@ -436,5 +487,5 @@ main(int argc, char **argv)
             identical = row == first;
     }
     std::printf("byte-identical: %s\n", identical ? "yes" : "NO");
-    return identical ? 0 : 1;
+    return identical && json_ok ? 0 : 1;
 }

@@ -69,6 +69,9 @@ main(int argc, char **argv)
     engine_help += "...), or 'compare'";
     const std::string engine_name =
         args.str("engine", "compare", engine_help);
+    const std::string json_path = args.out(
+        "json", "write a machine-readable summary of the engine "
+                "comparison to this path");
     args.finish();
 
     const auto llm = model::modelByName(model_name);
@@ -114,6 +117,29 @@ main(int argc, char **argv)
     table.print();
     std::printf("\nnote: token latencies are decode-step times under "
                 "contention; TTFT includes queueing + prefill\n");
+
+    if (!json_path.empty()) {
+        // One flat object per engine would need nesting; the
+        // comparison's headline (the Hermes row) is what sweeps
+        // track, so emit that plus the shared run config.
+        JsonObject json;
+        json.set("bench", "bench_serving");
+        json.set("model", model_name);
+        json.set("scenario", scenario_name);
+        json.setU64("requests", requests);
+        json.setF64("rate_per_sec", rate);
+        json.setU64("max_batch", batch);
+        json.setU64("seed", seed);
+        json.setBool("smoke", smoke);
+        json.set("engine", reports.front().engine);
+        json.setU64("completed", reports.front().completed);
+        json.setF64("throughput_tps",
+                    reports.front().throughputTps);
+        json.setF64("p99_ttft_ms", reports.front().p99Ttft * 1e3);
+        json.setU64("peak_rss_kib", peakRssKib());
+        if (!json.writeFile(json_path))
+            return 1;
+    }
     if (smoke)
         return 0;
 

@@ -19,6 +19,10 @@
 #include <string>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "core/hermes.hh"
 
 namespace hermes::bench {
@@ -122,6 +126,27 @@ class Args
         return static_cast<std::uint64_t>(parsed);
     }
 
+    /**
+     * Output-path option, e.g. `--json BENCH_fleet.json`.  Empty
+     * (the default) means "don't write the file" — benches print
+     * their human tables either way and only emit the
+     * machine-readable mirror when asked.
+     */
+    std::string
+    out(const std::string &name, const std::string &help)
+    {
+        registerOption("--" + name + " <path>", help);
+        for (std::size_t i = 0; i < tokens_.size(); ++i) {
+            if (tokens_[i] == "--" + name &&
+                i + 1 < tokens_.size()) {
+                consumed_[i] = true;
+                consumed_[i + 1] = true;
+                return tokens_[i + 1];
+            }
+        }
+        return std::string();
+    }
+
     /** Floating-point option; rejects unparseable values. */
     double
     f64(const std::string &name, double fallback,
@@ -189,6 +214,339 @@ class Args
     std::vector<bool> consumed_;
     std::vector<std::string> usage_;
 };
+
+/** Escape `text` for a JSON string literal (quotes not added). */
+inline std::string
+jsonEscape(const std::string &text)
+{
+    std::string escaped;
+    escaped.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+        case '"': escaped += "\\\""; break;
+        case '\\': escaped += "\\\\"; break;
+        case '\b': escaped += "\\b"; break;
+        case '\f': escaped += "\\f"; break;
+        case '\n': escaped += "\\n"; break;
+        case '\r': escaped += "\\r"; break;
+        case '\t': escaped += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buffer[8];
+                std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                escaped += buffer;
+            } else {
+                escaped += c;
+            }
+        }
+    }
+    return escaped;
+}
+
+/**
+ * Inverse of jsonEscape: decode the escapes inside a JSON string
+ * literal (without its surrounding quotes).  Returns false on a
+ * malformed escape; `\uXXXX` is supported for the Basic Latin
+ * range only — everything jsonEscape itself can produce.
+ */
+inline bool
+jsonUnescape(const std::string &text, std::string &decoded)
+{
+    decoded.clear();
+    decoded.reserve(text.size());
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        if (text[i] != '\\') {
+            decoded += text[i];
+            continue;
+        }
+        if (++i >= text.size())
+            return false;
+        switch (text[i]) {
+        case '"': decoded += '"'; break;
+        case '\\': decoded += '\\'; break;
+        case '/': decoded += '/'; break;
+        case 'b': decoded += '\b'; break;
+        case 'f': decoded += '\f'; break;
+        case 'n': decoded += '\n'; break;
+        case 'r': decoded += '\r'; break;
+        case 't': decoded += '\t'; break;
+        case 'u': {
+            if (i + 4 >= text.size())
+                return false;
+            unsigned code = 0;
+            for (int d = 0; d < 4; ++d) {
+                const char h = text[++i];
+                code <<= 4;
+                if (h >= '0' && h <= '9')
+                    code |= static_cast<unsigned>(h - '0');
+                else if (h >= 'a' && h <= 'f')
+                    code |= static_cast<unsigned>(h - 'a' + 10);
+                else if (h >= 'A' && h <= 'F')
+                    code |= static_cast<unsigned>(h - 'A' + 10);
+                else
+                    return false;
+            }
+            if (code > 0x7f)
+                return false;
+            decoded += static_cast<char>(code);
+            break;
+        }
+        default:
+            return false;
+        }
+    }
+    return true;
+}
+
+/**
+ * Minimal flat JSON object — the machine-readable mirror of a
+ * bench run (BENCH_*.json): string / integer / float / bool
+ * values, insertion order preserved, no nesting.  The CI
+ * regression checker (tools/check_bench_regression.py) reads these
+ * files with a real JSON parser; parse() exists so the C++ tests
+ * can pin the emitter's escaping and round-trip without one.
+ */
+class JsonObject
+{
+  public:
+    void
+    set(const std::string &key, const std::string &value)
+    {
+        entries_.push_back(
+            {key, "\"" + jsonEscape(value) + "\""});
+    }
+
+    void
+    set(const std::string &key, const char *value)
+    {
+        set(key, std::string(value));
+    }
+
+    void
+    setU64(const std::string &key, std::uint64_t value)
+    {
+        entries_.push_back({key, std::to_string(value)});
+    }
+
+    void
+    setF64(const std::string &key, double value)
+    {
+        // %.17g survives a decimal round-trip for any double.
+        char buffer[40];
+        std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+        entries_.push_back({key, buffer});
+    }
+
+    void
+    setBool(const std::string &key, bool value)
+    {
+        entries_.push_back({key, value ? "true" : "false"});
+    }
+
+    /** Render as one pretty-printed JSON object. */
+    std::string
+    dump() const
+    {
+        std::string text = "{\n";
+        for (std::size_t i = 0; i < entries_.size(); ++i) {
+            text += "  \"" + jsonEscape(entries_[i].key) +
+                    "\": " + entries_[i].raw;
+            if (i + 1 < entries_.size())
+                text += ",";
+            text += "\n";
+        }
+        text += "}\n";
+        return text;
+    }
+
+    /** Write dump() to `path`; false (with perror) on failure. */
+    bool
+    writeFile(const std::string &path) const
+    {
+        std::FILE *file = std::fopen(path.c_str(), "w");
+        if (file == nullptr) {
+            std::perror(path.c_str());
+            return false;
+        }
+        const std::string text = dump();
+        const bool ok =
+            std::fwrite(text.data(), 1, text.size(), file) ==
+            text.size();
+        return std::fclose(file) == 0 && ok;
+    }
+
+    /**
+     * Parse a flat JSON object of scalars (what dump() emits).
+     * Returns false on nesting or malformed input.
+     */
+    static bool
+    parse(const std::string &text, JsonObject &object)
+    {
+        object.entries_.clear();
+        std::size_t i = 0;
+        const auto skipSpace = [&] {
+            while (i < text.size() &&
+                   (text[i] == ' ' || text[i] == '\t' ||
+                    text[i] == '\n' || text[i] == '\r'))
+                ++i;
+        };
+        // A JSON string literal starting at text[i] == '"';
+        // leaves `i` one past the closing quote.
+        const auto readString = [&](std::string &raw) {
+            raw.clear();
+            if (i >= text.size() || text[i] != '"')
+                return false;
+            for (++i; i < text.size(); ++i) {
+                if (text[i] == '\\') {
+                    if (i + 1 >= text.size())
+                        return false;
+                    raw += text[i];
+                    raw += text[++i];
+                } else if (text[i] == '"') {
+                    ++i;
+                    return true;
+                } else {
+                    raw += text[i];
+                }
+            }
+            return false;
+        };
+        skipSpace();
+        if (i >= text.size() || text[i] != '{')
+            return false;
+        ++i;
+        skipSpace();
+        if (i < text.size() && text[i] == '}')
+            return tail(text, i + 1);
+        while (true) {
+            skipSpace();
+            Entry entry;
+            std::string raw_key;
+            if (!readString(raw_key) ||
+                !jsonUnescape(raw_key, entry.key))
+                return false;
+            skipSpace();
+            if (i >= text.size() || text[i] != ':')
+                return false;
+            ++i;
+            skipSpace();
+            if (i >= text.size())
+                return false;
+            if (text[i] == '"') {
+                std::string raw;
+                if (!readString(raw))
+                    return false;
+                entry.raw = "\"" + raw + "\"";
+            } else if (text[i] == '{' || text[i] == '[') {
+                return false; // Flat objects only.
+            } else {
+                while (i < text.size() && text[i] != ',' &&
+                       text[i] != '}' && text[i] != ' ' &&
+                       text[i] != '\n' && text[i] != '\r' &&
+                       text[i] != '\t')
+                    entry.raw += text[i++];
+                if (entry.raw.empty())
+                    return false;
+            }
+            object.entries_.push_back(entry);
+            skipSpace();
+            if (i >= text.size())
+                return false;
+            if (text[i] == ',') {
+                ++i;
+                continue;
+            }
+            if (text[i] == '}')
+                return tail(text, i + 1);
+            return false;
+        }
+    }
+
+    std::size_t size() const { return entries_.size(); }
+
+    bool
+    has(const std::string &key) const
+    {
+        return findRaw(key) != nullptr;
+    }
+
+    /** Decoded string value; empty when absent or not a string. */
+    std::string
+    str(const std::string &key) const
+    {
+        const std::string *raw = findRaw(key);
+        std::string decoded;
+        if (raw == nullptr || raw->size() < 2 ||
+            raw->front() != '"' || raw->back() != '"' ||
+            !jsonUnescape(raw->substr(1, raw->size() - 2),
+                          decoded))
+            return std::string();
+        return decoded;
+    }
+
+    /** Numeric value (integers included); 0.0 when absent. */
+    double
+    number(const std::string &key) const
+    {
+        const std::string *raw = findRaw(key);
+        if (raw == nullptr || raw->empty() ||
+            raw->front() == '"')
+            return 0.0;
+        return std::strtod(raw->c_str(), nullptr);
+    }
+
+  private:
+    struct Entry
+    {
+        std::string key;
+        std::string raw; ///< Rendered token, quotes included.
+    };
+
+    /** Only whitespace may follow the closing brace. */
+    static bool
+    tail(const std::string &text, std::size_t i)
+    {
+        for (; i < text.size(); ++i) {
+            if (text[i] != ' ' && text[i] != '\t' &&
+                text[i] != '\n' && text[i] != '\r')
+                return false;
+        }
+        return true;
+    }
+
+    const std::string *
+    findRaw(const std::string &key) const
+    {
+        for (const Entry &entry : entries_) {
+            if (entry.key == key)
+                return &entry.raw;
+        }
+        return nullptr;
+    }
+
+    std::vector<Entry> entries_;
+};
+
+/** Peak resident set size of this process in KiB (0 = unknown). */
+inline std::uint64_t
+peakRssKib()
+{
+#if defined(__unix__) || defined(__APPLE__)
+    struct rusage usage = {};
+    if (getrusage(RUSAGE_SELF, &usage) != 0)
+        return 0;
+#if defined(__APPLE__)
+    // macOS reports ru_maxrss in bytes, Linux in KiB.
+    return static_cast<std::uint64_t>(usage.ru_maxrss) / 1024;
+#else
+    return static_cast<std::uint64_t>(usage.ru_maxrss);
+#endif
+#else
+    return 0;
+#endif
+}
 
 /** Platform for bench runs: Sec. V-A1 defaults, 6-layer sample. */
 inline SystemConfig

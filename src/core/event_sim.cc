@@ -1,10 +1,39 @@
 #include "core/event_sim.hh"
 
+#include <algorithm>
 #include <tuple>
 
 #include "common/logging.hh"
 
 namespace hermes::sim {
+namespace {
+
+/** Strict "earlier than" under the documented total order. */
+bool
+earlier(const Event &a, const Event &b)
+{
+    // Total order (earliest pops first): time, then replica with
+    // fleet-level events (replica < 0) ahead of every replica's, so
+    // a boundary at time t observes all arrivals with arrival <= t;
+    // then kind, id, and finally insertion order.  No two events
+    // ever compare equal (seq is unique), so any correct merge over
+    // the shards pops the byte-identical sequence a single heap
+    // would.
+    return std::tie(a.time, a.replica, a.kind, a.id, a.seq) <
+           std::tie(b.time, b.replica, b.kind, b.id, b.seq);
+}
+
+/** Heap predicate for std::push_heap (max-heap on "later"). */
+struct Later
+{
+    bool
+    operator()(const Event &a, const Event &b) const
+    {
+        return earlier(b, a);
+    }
+};
+
+} // namespace
 
 std::string
 eventKindName(EventKind kind)
@@ -28,16 +57,27 @@ eventKindName(EventKind kind)
     return "?";
 }
 
-bool
-EventQueue::Later::operator()(const Event &a, const Event &b) const
+void
+EventQueue::Heap::push(const Event &event)
 {
-    // Total order (earliest pops first): time, then replica with
-    // fleet-level events (replica < 0) ahead of every replica's, so
-    // a boundary at time t observes all arrivals with arrival <= t;
-    // then kind, id, and finally insertion order.  No two events
-    // ever compare equal, so pop order is deterministic.
-    return std::tie(a.time, a.replica, a.kind, a.id, a.seq) >
-           std::tie(b.time, b.replica, b.kind, b.id, b.seq);
+    events.push_back(event);
+    std::push_heap(events.begin(), events.end(), Later{});
+}
+
+void
+EventQueue::Heap::pop()
+{
+    std::pop_heap(events.begin(), events.end(), Later{});
+    events.pop_back();
+}
+
+EventQueue::Heap &
+EventQueue::replicaQueue(std::int32_t replica)
+{
+    const auto index = static_cast<std::size_t>(replica);
+    if (index >= replica_.size())
+        replica_.resize(index + 1);
+    return replica_[index];
 }
 
 void
@@ -48,16 +88,140 @@ EventQueue::push(Seconds time, EventKind kind, std::int32_t replica,
                   "event scheduled in the virtual past: ",
                   eventKindName(kind), " at ", time, " < now ",
                   now_);
-    heap_.push(Event{time, kind, replica, id, seq_++});
+    const Event event{time, kind, replica, id, seq_++};
+    if (replica < 0) {
+        fleet_.push(event);
+    } else {
+        Heap &queue = replicaQueue(replica);
+        queue.push(event);
+        // New head of its shard: register it as a merge candidate.
+        // A displaced previous head stays behind as a stale entry
+        // and is discarded lazily at pop time.
+        if (queue.top().seq == event.seq)
+            heads_.push(event);
+    }
+    ++size_;
+}
+
+void
+EventQueue::pushSorted(Seconds time, EventKind kind,
+                       std::uint64_t id)
+{
+    hermes_assert(time >= now_,
+                  "event scheduled in the virtual past: ",
+                  eventKindName(kind), " at ", time, " < now ",
+                  now_);
+    const Event event{time, kind, -1, id, seq_++};
+    hermes_assert(sorted_.empty() ||
+                      !earlier(event, sorted_.back()),
+                  "pushSorted out of order: ", eventKindName(kind),
+                  " at ", time, " id ", id);
+    sorted_.push_back(event);
+    ++size_;
+}
+
+void
+EventQueue::shard(std::uint32_t replicas)
+{
+    if (replicas > replica_.size())
+        replica_.resize(replicas);
+}
+
+void
+EventQueue::reserve(std::size_t events)
+{
+    if (replica_.empty()) {
+        // Unsharded: everything funnels into the fleet heap.
+        fleet_.reserve(events);
+        return;
+    }
+    // Each shard holds only its replica's in-flight events — a
+    // handful per batch in steady state — so a capped slice of the
+    // total budget covers it without allocating events × replicas.
+    const std::size_t slice = std::min<std::size_t>(
+        512, events / replica_.size() + 8);
+    for (Heap &queue : replica_)
+        queue.reserve(slice);
+    // Amortized ≤ 2 merge candidates per in-flight shard head plus
+    // lazily-discarded stale entries.
+    heads_.reserve(4 * replica_.size() + 16);
+    fleet_.reserve(std::min<std::size_t>(events, 4096));
+}
+
+void
+EventQueue::reserveSorted(std::size_t events)
+{
+    sorted_.reserve(sorted_.size() + events);
+}
+
+void
+EventQueue::dropStaleHeads()
+{
+    while (!heads_.empty()) {
+        const Event &head = heads_.top();
+        const Heap &queue =
+            replica_[static_cast<std::size_t>(head.replica)];
+        // seq is unique, so an exact match proves this candidate is
+        // still its shard's live head.
+        if (!queue.empty() && queue.top().seq == head.seq)
+            return;
+        heads_.pop();
+    }
 }
 
 Event
 EventQueue::pop()
 {
-    hermes_assert(!heap_.empty(), "pop from empty event queue");
-    const Event event = heap_.top();
-    heap_.pop();
+    hermes_assert(size_ > 0, "pop from empty event queue");
+    dropStaleHeads();
+
+    // Three-way merge: presorted fleet stream, fleet heap, and the
+    // validated earliest replica head.
+    const Event *best = nullptr;
+    enum class Source { Sorted, Fleet, Replica } source = Source::Sorted;
+    if (sortedNext_ < sorted_.size())
+        best = &sorted_[sortedNext_];
+    if (!fleet_.empty() &&
+        (best == nullptr || earlier(fleet_.top(), *best))) {
+        best = &fleet_.top();
+        source = Source::Fleet;
+    }
+    if (!heads_.empty() &&
+        (best == nullptr || earlier(heads_.top(), *best))) {
+        best = &heads_.top();
+        source = Source::Replica;
+    }
+    hermes_assert(best != nullptr, "event queue shards all empty");
+
+    const Event event = *best;
+    switch (source) {
+    case Source::Sorted:
+        ++sortedNext_;
+        // Recycle the consumed prefix once the stream fully drains
+        // so interleaved preload phases do not accumulate.
+        if (sortedNext_ == sorted_.size()) {
+            sorted_.clear();
+            sortedNext_ = 0;
+        }
+        break;
+    case Source::Fleet:
+        fleet_.pop();
+        break;
+    case Source::Replica: {
+        Heap &queue =
+            replica_[static_cast<std::size_t>(event.replica)];
+        queue.pop();
+        heads_.pop();
+        // The shard's next event (possibly a previously displaced
+        // head) becomes a merge candidate.
+        if (!queue.empty())
+            heads_.push(queue.top());
+        break;
+    }
+    }
+    --size_;
     now_ = event.time;
+
     switch (event.kind) {
     case EventKind::Arrival:
         ++stats_.arrivals;
@@ -81,6 +245,7 @@ EventQueue::pop()
         ++stats_.resumes;
         break;
     }
+    ++stats_.poppedEvents;
     return event;
 }
 

@@ -22,13 +22,24 @@
  * at the same instant — so a boundary at time t always observes
  * every arrival with arrival <= t, exactly like the monolithic
  * serving loop it replaces.
+ *
+ * Since the million-request rework the queue is *sharded*: one
+ * small binary heap per replica plus a lazy min-merge over the
+ * replica heads, so a pop costs O(log(events-in-flight-per-replica)
+ * + log(replicas)) instead of O(log(total-events)) on one huge
+ * heap.  Only fleet-level events (replica < 0: arrivals, ticks,
+ * resume-readies) need global ordering; the arrival trace — known
+ * and sorted up front — bypasses heaps entirely through a presorted
+ * stream consumed by a cursor.  The pop order is *identical* to the
+ * single-heap order: the comparator defines a strict total order
+ * (the insertion sequence is unique), so any correct merge yields
+ * the same sequence, which a golden test pins byte for byte.
  */
 
 #ifndef HERMES_CORE_EVENT_SIM_HH
 #define HERMES_CORE_EVENT_SIM_HH
 
 #include <cstdint>
-#include <queue>
 #include <string>
 #include <vector>
 
@@ -96,12 +107,15 @@ struct EventStats
     std::uint64_t ticks = 0;
     std::uint64_t resumes = 0;
 
-    std::uint64_t
-    popped() const
-    {
-        return arrivals + requestsDone + prefills + decodeSteps +
-               wakes + ticks + resumes;
-    }
+    /**
+     * Total popped events, kept as its own counter bumped once per
+     * pop() — the per-kind fields above always sum to it (pinned by
+     * test), but the hot loop reads one field instead of re-adding
+     * seven.
+     */
+    std::uint64_t poppedEvents = 0;
+
+    std::uint64_t popped() const { return poppedEvents; }
 };
 
 /**
@@ -109,6 +123,12 @@ struct EventStats
  * clock.  pop() returns the globally earliest event under the total
  * order documented in the file header and advances now(); pushing
  * an event earlier than now() is a kernel bug and panics.
+ *
+ * Internally sharded (see file header): call shard() + reserve()
+ * before a large run so every heap is preallocated, and preload the
+ * sorted arrival trace with reserveSorted() + pushSorted().  All of
+ * that is optional — push()/pop() alone behave exactly like the
+ * historical single heap.
  */
 class EventQueue
 {
@@ -117,11 +137,42 @@ class EventQueue
     void push(Seconds time, EventKind kind, std::int32_t replica,
               std::uint64_t id);
 
+    /**
+     * Append a *fleet-level* event (replica -1) to the presorted
+     * stream: O(1), no heap.  Events must be appended in
+     * nondecreasing (time, kind, id) order — the kernel bulk-loads
+     * the arrival trace this way (the workload is sorted and event
+     * ids are ascending workload indices).  Appending out of order
+     * panics.  pop() merges the stream against the heaps under the
+     * full comparator, so the result is order-identical to having
+     * push()ed every event.
+     */
+    void pushSorted(Seconds time, EventKind kind, std::uint64_t id);
+
+    /**
+     * Pre-create `replicas` subqueues so replica events shard
+     * without on-demand growth.  Pushing to a replica index beyond
+     * the shard count still works (the shard set grows).
+     */
+    void shard(std::uint32_t replicas);
+
+    /**
+     * Pre-reserve heap capacity for about `events` scheduled events
+     * so heap growth never reallocates mid-run.  Call after shard():
+     * the budget is spread over the replica subqueues (each holds
+     * only its replica's in-flight events, so the per-shard slice is
+     * capped), the head-merge heap, and the fleet-level heap.
+     */
+    void reserve(std::size_t events);
+
+    /** Pre-reserve the presorted stream for `events` pushSorted(). */
+    void reserveSorted(std::size_t events);
+
     /** Pop the earliest event (queue must not be empty). */
     Event pop();
 
-    bool empty() const { return heap_.empty(); }
-    std::size_t size() const { return heap_.size(); }
+    bool empty() const { return size_ == 0; }
+    std::size_t size() const { return size_; }
 
     /** Virtual clock: the time of the last popped event. */
     Seconds now() const { return now_; }
@@ -130,13 +181,42 @@ class EventQueue
     const EventStats &stats() const { return stats_; }
 
   private:
-    /** std::priority_queue is a max-heap: order by "later than". */
-    struct Later
+    /** Min-heap over events (std::push_heap with "later than"). */
+    struct Heap
     {
-        bool operator()(const Event &a, const Event &b) const;
+        std::vector<Event> events;
+
+        bool empty() const { return events.empty(); }
+        const Event &top() const { return events.front(); }
+        void reserve(std::size_t n) { events.reserve(n); }
+        void push(const Event &event);
+        void pop();
     };
 
-    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+    /** Subqueue for `replica`, growing the shard set on demand. */
+    Heap &replicaQueue(std::int32_t replica);
+
+    /** Drop head-merge entries whose event is no longer its
+     * subqueue's head (or was popped); `seq` is unique, so an exact
+     * match identifies the head event. */
+    void dropStaleHeads();
+
+    /**
+     * Fleet-level events: the presorted stream (consumed by cursor)
+     * plus a heap for events scheduled during the run (ticks,
+     * resume-readies).
+     */
+    std::vector<Event> sorted_;
+    std::size_t sortedNext_ = 0;
+    Heap fleet_;
+
+    /** Per-replica subqueues and the lazy min-merge over their
+     * heads: heads_ holds candidate head events (possibly stale —
+     * validated against the subqueue top at pop time). */
+    std::vector<Heap> replica_;
+    Heap heads_;
+
+    std::size_t size_ = 0;
     Seconds now_ = 0.0;
     std::uint64_t seq_ = 0;
     EventStats stats_;

@@ -4,10 +4,10 @@
 #include <cstdio>
 #include <atomic>
 #include <chrono>
+#include <limits>
 #include <stdexcept>
 #include <thread>
-#include <unordered_map>
-#include <unordered_set>
+#include <utility>
 
 #include "common/logging.hh"
 
@@ -37,6 +37,83 @@ median(std::vector<std::uint64_t> values)
 }
 
 /**
+ * Immutable request-id -> workload-index map.  Trace ids are almost
+ * always dense (0..n-1 from the generators), so the common case is
+ * one direct vector lookup; scattered ids fall back to binary
+ * search over a sorted array.  Replaces the hash maps the kernel
+ * used to probe on every steal / migrate / report-merge lookup.
+ */
+class IdIndex
+{
+  public:
+    static constexpr std::size_t npos =
+        std::numeric_limits<std::size_t>::max();
+
+    explicit IdIndex(
+        const std::vector<serving::ServedRequest> &workload)
+    {
+        std::uint64_t max_id = 0;
+        for (const serving::ServedRequest &request : workload)
+            max_id = std::max(max_id, request.id);
+        const std::size_t n = workload.size();
+        if (n > 0 && max_id < 2 * n + 64) {
+            dense_.assign(static_cast<std::size_t>(max_id) + 1,
+                          npos);
+            for (std::size_t i = 0; i < n; ++i) {
+                std::size_t &slot =
+                    dense_[static_cast<std::size_t>(
+                        workload[i].id)];
+                duplicate_ |= slot != npos;
+                slot = i;
+            }
+        } else {
+            sorted_.reserve(n);
+            for (std::size_t i = 0; i < n; ++i)
+                sorted_.emplace_back(workload[i].id, i);
+            std::sort(sorted_.begin(), sorted_.end());
+            for (std::size_t k = 1; k < sorted_.size(); ++k)
+                duplicate_ |=
+                    sorted_[k].first == sorted_[k - 1].first;
+        }
+    }
+
+    /** Workload index of `id`, or npos when absent. */
+    std::size_t
+    find(std::uint64_t id) const
+    {
+        if (!sorted_.empty()) {
+            const auto it = std::lower_bound(
+                sorted_.begin(), sorted_.end(),
+                std::make_pair(id, std::size_t{0}));
+            return it != sorted_.end() && it->first == id
+                       ? it->second
+                       : npos;
+        }
+        return id < dense_.size()
+                   ? dense_[static_cast<std::size_t>(id)]
+                   : npos;
+    }
+
+    /** Workload index of `id`; the id must be present. */
+    std::size_t
+    at(std::uint64_t id) const
+    {
+        const std::size_t index = find(id);
+        hermes_assert(index != npos,
+                      "IdIndex: unknown request id ", id);
+        return index;
+    }
+
+    /** Some id occurred more than once in the workload. */
+    bool hasDuplicateIds() const { return duplicate_; }
+
+  private:
+    std::vector<std::size_t> dense_;
+    std::vector<std::pair<std::uint64_t, std::size_t>> sorted_;
+    bool duplicate_ = false;
+};
+
+/**
  * The event-driven co-simulation loop, wired to one ControlPolicy:
  * the kernel owns physics (virtual clock, replica boundaries,
  * report bookkeeping) and implements the policy's read surface
@@ -58,7 +135,8 @@ class EventKernel final : public sched::FleetView,
         sched::ControlPolicy &control)
         : config_(config), llm_(llm), replicas_(replicas),
           models_(models), report_(report), workload_(workload),
-          control_(control), wants_(control.wants())
+          control_(control), wants_(control.wants()),
+          idIndex_(workload)
     {
         const std::size_t n = replicas_.size();
         wakeScheduled_.assign(n, 0);
@@ -66,9 +144,6 @@ class EventKernel final : public sched::FleetView,
         deadNotified_.assign(n, 0);
         if (wants_ & sched::ControlPolicy::kObservations)
             observed_.resize(n); // One buffer, reused per arrival.
-        indexOfId_.reserve(workload_.size());
-        for (std::size_t i = 0; i < workload_.size(); ++i)
-            indexOfId_[workload_[i].id] = i;
     }
 
     /** Drive the whole co-simulation (see class doc). */
@@ -77,12 +152,29 @@ class EventKernel final : public sched::FleetView,
     {
         control_.begin(
             sched::ControlContext{models_, config_.ttftDeadline});
-        for (auto &replica : replicas_)
+        // Pre-reserve the per-replica session tables for a fair
+        // share of the trace (a hint: stealing and skew can exceed
+        // it) so bulk phases do not reallocate them mid-run.
+        const std::size_t expected =
+            workload_.size() / replicas_.size() + 16;
+        for (auto &replica : replicas_) {
             replica->beginSession();
+            replica->reserveSession(expected);
+        }
         report_.assignment.assign(workload_.size(), -1);
+        // Shard the event queue per replica and pre-reserve every
+        // heap from the trace size (about four events per request:
+        // arrival, prefill share, decode steps, done) so heap
+        // growth never reallocates mid-run.  The workload is sorted
+        // by arrival and the event id is the ascending workload
+        // index, so the whole trace preloads as a presorted stream
+        // — no heap at all for the dominant event kind.
+        queue_.shard(static_cast<std::uint32_t>(replicas_.size()));
+        queue_.reserve(workload_.size() * 4 + 64);
+        queue_.reserveSorted(workload_.size());
         for (std::size_t i = 0; i < workload_.size(); ++i)
-            queue_.push(workload_[i].arrival,
-                        sim::EventKind::Arrival, -1, i);
+            queue_.pushSorted(workload_[i].arrival,
+                              sim::EventKind::Arrival, i);
         const Seconds tick_period = control_.tickPeriod();
         if ((wants_ & sched::ControlPolicy::kTick) &&
             tick_period > 0.0 && !workload_.empty())
@@ -308,7 +400,7 @@ class EventKernel final : public sched::FleetView,
         ++report_.kernelStats.steals;
         report_.kernelStats.stolenRequests += stolen.size();
         for (const serving::ServedRequest &request : stolen) {
-            report_.assignment[indexOfId_.at(request.id)] =
+            report_.assignment[idIndex_.at(request.id)] =
                 static_cast<int>(thief);
             replicas_[thief]->deliver(request);
         }
@@ -360,18 +452,18 @@ class EventKernel final : public sched::FleetView,
             throw std::logic_error(
                 "FleetActions::migrate: destination is dead — the "
                 "request would strand again");
-        if (resumesInFlight_.count(id) != 0)
+        if (pendingResume(id) != resumesInFlight_.end())
             throw std::logic_error(
                 "FleetActions::migrate: request " +
                 std::to_string(id) +
                 " is already migrating (KV in flight)");
-        const auto index_it = indexOfId_.find(id);
-        if (index_it == indexOfId_.end())
+        const std::size_t workload_index = idIndex_.find(id);
+        if (workload_index == IdIndex::npos)
             throw std::logic_error(
                 "FleetActions::migrate: unknown request " +
                 std::to_string(id));
         const int from_signed =
-            report_.assignment[index_it->second];
+            report_.assignment[workload_index];
         if (from_signed < 0)
             throw std::logic_error(
                 "FleetActions::migrate: request " +
@@ -417,8 +509,8 @@ class EventKernel final : public sched::FleetView,
         report_.kernelStats.kvTransferSeconds += transfer;
         queue_.push(queue_.now() + transfer,
                     sim::EventKind::ResumeReady, -1, id);
-        resumesInFlight_.emplace(
-            id, PendingResume{std::move(resumed), to_replica});
+        resumesInFlight_.push_back(
+            {id, PendingResume{std::move(resumed), to_replica}});
     }
 
     void
@@ -475,16 +567,28 @@ class EventKernel final : public sched::FleetView,
         }
     }
 
+    /** The in-flight migration of `id`, or end() when none. */
+    std::vector<std::pair<std::uint64_t, PendingResume>>::iterator
+    pendingResume(std::uint64_t id)
+    {
+        return std::find_if(
+            resumesInFlight_.begin(), resumesInFlight_.end(),
+            [id](const auto &entry) { return entry.first == id; });
+    }
+
     /** A migrated request's KV landed: deliver to the destination. */
     void
     onResumeReadyEvent(const sim::Event &event)
     {
-        const auto it = resumesInFlight_.find(event.id);
+        const auto it = pendingResume(event.id);
         hermes_assert(it != resumesInFlight_.end(),
                       "ResumeReady without a migration in flight");
         const PendingResume pending = std::move(it->second);
-        resumesInFlight_.erase(it);
-        report_.assignment[indexOfId_.at(event.id)] =
+        // Unordered removal: each id is unique among in-flight
+        // migrations, and nothing orders the pending list.
+        *it = std::move(resumesInFlight_.back());
+        resumesInFlight_.pop_back();
+        report_.assignment[idIndex_.at(event.id)] =
             static_cast<int>(pending.destination);
         // A never-started request (tokensGenerated == 0) carries no
         // KV, so nothing was cached by the transfer and it re-runs
@@ -619,8 +723,9 @@ class EventKernel final : public sched::FleetView,
     sched::ControlPolicy &control_;
     const std::uint32_t wants_;
 
-    /** Migrations whose KV transfer has not landed yet, by id. */
-    std::unordered_map<std::uint64_t, PendingResume>
+    /** Migrations whose KV transfer has not landed yet (a handful
+     * at a time, so a scanned flat list beats a hash map). */
+    std::vector<std::pair<std::uint64_t, PendingResume>>
         resumesInFlight_;
 
     sim::EventQueue queue_;
@@ -629,8 +734,8 @@ class EventKernel final : public sched::FleetView,
     std::vector<char> deadNotified_;
     std::vector<sched::ReplicaObservation> observed_;
 
-    /** id -> workload index, for steal re-assignment. */
-    std::unordered_map<std::uint64_t, std::size_t> indexOfId_;
+    /** id -> workload index, for steal/migrate re-assignment. */
+    const IdIndex idIndex_;
 
     bool inArrival_ = false;
     bool decided_ = false;
@@ -718,6 +823,7 @@ FleetSimulator::FleetSimulator(FleetConfig config,
 {
     if (config_.replicas.empty())
         throw std::invalid_argument("FleetSimulator: no replicas");
+    cacheGroupOf_.resize(config_.replicas.size());
     for (std::size_t i = 0; i < config_.replicas.size(); ++i) {
         ReplicaConfig &replica = config_.replicas[i];
         if (replica.name.empty())
@@ -726,13 +832,29 @@ FleetSimulator::FleetSimulator(FleetConfig config,
         replicas_.push_back(
             std::make_unique<serving::ServingSimulator>(
                 replica.system, llm_, replica.serving));
+        // Equal-config replicas share one calibrated cost cache
+        // (bit-identical physics, see cacheGroupOf_): a uniform
+        // fleet pays each cold (batch, context) bucket one engine
+        // simulation instead of one per replica.
+        cacheGroupOf_[i] = i;
+        for (std::size_t j = 0; j < i; ++j) {
+            if (cacheGroupOf_[j] == j &&
+                config_.replicas[j].system == replica.system &&
+                config_.replicas[j].serving == replica.serving) {
+                cacheGroupOf_[i] = j;
+                replicas_[i]->shareCostCacheWith(*replicas_[j]);
+                break;
+            }
+        }
     }
 }
 
 sched::ReplicaModel
 FleetSimulator::calibrate(std::size_t index,
                           std::uint64_t typical_prompt,
-                          std::uint64_t typical_context)
+                          std::uint64_t typical_context,
+                          std::uint64_t max_prompt,
+                          std::uint64_t max_context)
 {
     serving::ServingSimulator &simulator = *replicas_[index];
     const std::uint32_t max_batch = std::max<std::uint32_t>(
@@ -767,56 +889,100 @@ FleetSimulator::calibrate(std::size_t index,
     model.prefillSeconds =
         simulator.prefillSeconds(max_batch, typical_prompt);
     model.slotTokensPerSecond = 1.0 / step;
+    // Warm the cost cache across the whole batch ramp at both the
+    // workload-typical contexts and the workload maxima (heavy-
+    // tailed prompt distributions put a few requests one context
+    // bucket up): the admission loop touches every power-of-two
+    // batch bucket as batches grow, and probing the buckets here —
+    // outside the measured event loop, once per cache group —
+    // turns mid-run engine simulations into cache hits.
+    const std::uint64_t far_prompt =
+        std::max<std::uint64_t>(max_prompt, 1);
+    const std::uint64_t far_context =
+        std::max<std::uint64_t>(max_context, 1);
+    for (std::uint32_t ramp = 1;; ramp *= 2) {
+        const std::uint32_t batch = std::min(ramp, max_batch);
+        simulator.prefillSeconds(batch, typical_prompt);
+        simulator.tokenSeconds(batch, typical_context);
+        simulator.prefillSeconds(batch, far_prompt);
+        simulator.tokenSeconds(batch, far_context);
+        if (ramp >= max_batch)
+            break;
+    }
     return model;
 }
 
 std::vector<sched::ReplicaModel>
 FleetSimulator::calibrateAll(std::uint64_t typical_prompt,
-                             std::uint64_t typical_context)
+                             std::uint64_t typical_context,
+                             std::uint64_t max_prompt,
+                             std::uint64_t max_context)
 {
     const std::size_t count = replicas_.size();
     std::vector<sched::ReplicaModel> models(count);
+
+    // Only cache-group representatives run cold engine
+    // simulations; members re-probe afterwards against the warm
+    // shared cache — pure hits, and their own saturation flags
+    // latch exactly as if they had calibrated cold.  A uniform
+    // 1024-replica fleet calibrates once, not 1024 times.
+    std::vector<std::size_t> leaders;
+    leaders.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        if (cacheGroupOf_[i] == i)
+            leaders.push_back(i);
+    }
 
     unsigned hardware = std::thread::hardware_concurrency();
     if (hardware == 0)
         hardware = 1;
     const std::size_t workers = std::min<std::size_t>(
-        count, config_.calibrationThreads > 0
-                   ? config_.calibrationThreads
-                   : hardware);
+        leaders.size(), config_.calibrationThreads > 0
+                            ? config_.calibrationThreads
+                            : hardware);
     if (workers <= 1) {
-        for (std::size_t i = 0; i < count; ++i)
-            models[i] =
-                calibrate(i, typical_prompt, typical_context);
-        return models;
+        for (const std::size_t i : leaders)
+            models[i] = calibrate(i, typical_prompt,
+                                  typical_context, max_prompt,
+                                  max_context);
+    } else {
+        // Each worker claims whole representatives, so one cost
+        // cache is only ever touched by one thread and the
+        // calibrated models are identical to the serial loop
+        // regardless of scheduling.  Heterogeneous-fleet sweeps
+        // stop paying one engine simulation chain per group in
+        // series.
+        std::atomic<std::size_t> next{0};
+        std::vector<std::exception_ptr> errors(workers);
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (std::size_t w = 0; w < workers; ++w) {
+            pool.emplace_back([&, w] {
+                try {
+                    for (std::size_t k = next.fetch_add(1);
+                         k < leaders.size();
+                         k = next.fetch_add(1))
+                        models[leaders[k]] = calibrate(
+                            leaders[k], typical_prompt,
+                            typical_context, max_prompt,
+                            max_context);
+                } catch (...) {
+                    errors[w] = std::current_exception();
+                }
+            });
+        }
+        for (std::thread &thread : pool)
+            thread.join();
+        for (const std::exception_ptr &error : errors) {
+            if (error)
+                std::rethrow_exception(error);
+        }
     }
-
-    // Each worker claims whole replicas, so one replica's cost
-    // cache is only ever touched by one thread and the calibrated
-    // models are identical to the serial loop regardless of
-    // scheduling.  Large-fleet sweeps stop paying one engine
-    // simulation chain per replica in series.
-    std::atomic<std::size_t> next{0};
-    std::vector<std::exception_ptr> errors(workers);
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (std::size_t w = 0; w < workers; ++w) {
-        pool.emplace_back([&, w] {
-            try {
-                for (std::size_t i = next.fetch_add(1); i < count;
-                     i = next.fetch_add(1))
-                    models[i] = calibrate(i, typical_prompt,
-                                          typical_context);
-            } catch (...) {
-                errors[w] = std::current_exception();
-            }
-        });
-    }
-    for (std::thread &thread : pool)
-        thread.join();
-    for (const std::exception_ptr &error : errors) {
-        if (error)
-            std::rethrow_exception(error);
+    for (std::size_t i = 0; i < count; ++i) {
+        if (cacheGroupOf_[i] != i)
+            models[i] = calibrate(i, typical_prompt,
+                                  typical_context, max_prompt,
+                                  max_context);
     }
     return models;
 }
@@ -890,14 +1056,17 @@ FleetSimulator::mergeReports(
     // id, never by slot position, so the merge cannot silently
     // misalign when a replica reorders, drops, or (under work
     // stealing) gains rows relative to the router's bookkeeping.
-    std::unordered_map<std::uint64_t,
-                       std::pair<std::size_t, std::size_t>>
-        row_of_id;
+    const IdIndex ids(workload);
+    std::vector<std::pair<std::size_t, std::size_t>> row_of(
+        workload.size(), {IdIndex::npos, IdIndex::npos});
     for (std::size_t r = 0; r < report.replicaReports.size();
          ++r) {
         const auto &rows = report.replicaReports[r].requests;
-        for (std::size_t j = 0; j < rows.size(); ++j)
-            row_of_id[rows[j].id] = {r, j};
+        for (std::size_t j = 0; j < rows.size(); ++j) {
+            const std::size_t slot = ids.find(rows[j].id);
+            if (slot != IdIndex::npos)
+                row_of[slot] = {r, j};
+        }
     }
 
     report.requests.resize(workload.size());
@@ -911,17 +1080,14 @@ FleetSimulator::mergeReports(
             metrics.rejected = true;
             continue;
         }
-        const auto it = row_of_id.find(workload[i].id);
+        const std::pair<std::size_t, std::size_t> row = row_of[i];
         hermes_assert(
-            it != row_of_id.end() &&
-                it->second.first ==
-                    static_cast<std::size_t>(
-                        report.assignment[i]),
+            row.first == static_cast<std::size_t>(
+                             report.assignment[i]),
             "fleet merge: request ", workload[i].id,
             " missing from its replica report");
         report.requests[i] =
-            report.replicaReports[it->second.first]
-                .requests[it->second.second];
+            report.replicaReports[row.first].requests[row.second];
         const serving::RequestMetrics &metrics =
             report.requests[i];
         if (!metrics.rejected) {
@@ -946,16 +1112,10 @@ FleetSimulator::run(std::vector<serving::ServedRequest> workload)
 
     // The merge joins replica rows back to the trace by request id;
     // duplicates would make the join ambiguous.
-    {
-        std::unordered_set<std::uint64_t> seen;
-        seen.reserve(workload.size());
-        for (const serving::ServedRequest &request : workload) {
-            if (!seen.insert(request.id).second)
-                throw std::invalid_argument(
-                    "FleetSimulator: request ids must be unique "
-                    "(the report merge joins by id)");
-        }
-    }
+    if (IdIndex(workload).hasDuplicateIds())
+        throw std::invalid_argument(
+            "FleetSimulator: request ids must be unique "
+            "(the report merge joins by id)");
     if (config_.kernel == FleetKernel::TwoPhase &&
         (sched::routerPolicyNeedsObservations(config_.policy) ||
          config_.workStealing))
@@ -995,9 +1155,17 @@ FleetSimulator::run(std::vector<serving::ServedRequest> workload)
     std::vector<std::uint64_t> generates;
     prompts.reserve(workload.size());
     generates.reserve(workload.size());
+    std::uint64_t max_prompt = 0;
+    std::uint64_t max_context = 0;
     for (const serving::ServedRequest &request : workload) {
         prompts.push_back(request.promptTokens);
         generates.push_back(request.generateTokens);
+        max_prompt = std::max<std::uint64_t>(
+            max_prompt, request.promptTokens);
+        max_context = std::max<std::uint64_t>(
+            max_context, static_cast<std::uint64_t>(
+                             request.promptTokens) +
+                             request.generateTokens);
     }
     const std::uint64_t typical_prompt =
         std::max<std::uint64_t>(median(std::move(prompts)), 1);
@@ -1006,8 +1174,8 @@ FleetSimulator::run(std::vector<serving::ServedRequest> workload)
     const std::uint64_t typical_context =
         typical_prompt + median(std::move(generates)) / 2;
 
-    std::vector<sched::ReplicaModel> models =
-        calibrateAll(typical_prompt, typical_context);
+    std::vector<sched::ReplicaModel> models = calibrateAll(
+        typical_prompt, typical_context, max_prompt, max_context);
 
     if (config_.kernel == FleetKernel::EventDriven)
         runEventDriven(report, workload, std::move(models),

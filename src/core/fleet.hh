@@ -257,16 +257,23 @@ class FleetSimulator
   private:
     /**
      * Calibrate the router's view of replica `index` at the
-     * workload's typical prompt length and decode context.
+     * workload's typical prompt length and decode context, and
+     * warm the replica's cost cache across the batch ramp up to
+     * the workload's maximum prompt/context so the event loop
+     * itself runs on cache hits.
      */
     sched::ReplicaModel calibrate(std::size_t index,
                                   std::uint64_t typical_prompt,
-                                  std::uint64_t typical_context);
+                                  std::uint64_t typical_context,
+                                  std::uint64_t max_prompt,
+                                  std::uint64_t max_context);
 
     /** Calibrate all replicas, in parallel across a thread pool. */
     std::vector<sched::ReplicaModel>
     calibrateAll(std::uint64_t typical_prompt,
-                 std::uint64_t typical_context);
+                 std::uint64_t typical_context,
+                 std::uint64_t max_prompt,
+                 std::uint64_t max_context);
 
     /** The event-driven co-simulation core. */
     void runEventDriven(
@@ -293,6 +300,17 @@ class FleetSimulator
     model::LlmConfig llm_;
     std::vector<std::unique_ptr<serving::ServingSimulator>>
         replicas_;
+
+    /**
+     * Cost-cache sharing groups: replica i adopted the calibrated
+     * step-cost cache of replica cacheGroupOf_[i] (its own index
+     * when it leads a group).  Engine physics are pure functions of
+     * the (system, model, serving) configuration, so equal-config
+     * replicas share bit-identically — a uniform fleet pays each
+     * cold (batch, context) bucket once instead of once per
+     * replica, and calibration probes one representative per group.
+     */
+    std::vector<std::size_t> cacheGroupOf_;
 };
 
 } // namespace hermes::fleet

@@ -1,6 +1,7 @@
 #include "core/serving.hh"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <stdexcept>
 #include <string>
@@ -61,7 +62,7 @@ ServingSimulator::ServingSimulator(runtime::SystemConfig system,
                                    model::LlmConfig llm,
                                    ServingConfig config)
     : system_(std::move(system)), llm_(std::move(llm)),
-      config_(config)
+      config_(config), cache_(std::make_shared<CostCache>())
 {
     // Explicit guards: degenerate policy values would otherwise
     // divide by zero or stall the admission loop.
@@ -72,19 +73,45 @@ ServingSimulator::ServingSimulator(runtime::SystemConfig system,
         std::max<std::uint32_t>(config_.seqBucket, 1);
 }
 
-ServingSimulator::StepCosts &
+ServingSimulator::StepCosts
 ServingSimulator::costs(std::uint32_t batch, std::uint64_t seq)
 {
     const std::uint32_t batch_bucket = std::min(
         powerOfTwoAtLeast(std::max<std::uint32_t>(batch, 1)),
         powerOfTwoAtLeast(config_.maxBatch));
+    // Row by log2 of the power-of-two batch bucket; column by
+    // context bucket index, with the sorted per-row tail catching
+    // contexts past the dense cap.
+    const auto row =
+        static_cast<std::size_t>(std::countr_zero(batch_bucket));
+    const std::uint64_t column = seq / config_.seqBucket;
     const std::uint64_t seq_bucket =
-        (seq / config_.seqBucket + 1) * config_.seqBucket;
+        (column + 1) * config_.seqBucket;
 
-    const auto key = std::make_pair(batch_bucket, seq_bucket);
-    auto it = cache_.find(key);
-    if (it != cache_.end())
-        return it->second;
+    CostCache &cache = *cache_;
+    if (cache.dense.size() <= row) {
+        cache.dense.resize(row + 1);
+        cache.overflow.resize(row + 1);
+    }
+    if (column < CostCache::kMaxDenseColumns) {
+        auto &cells = cache.dense[row];
+        if (cells.size() <= column)
+            cells.resize(column + 1);
+        if (cells[column].present) {
+            saturated_ |= cells[column].costs.saturatedFallback;
+            return cells[column].costs;
+        }
+    } else {
+        const auto &tail = cache.overflow[row];
+        const auto it = std::lower_bound(
+            tail.begin(), tail.end(), seq_bucket,
+            [](const std::pair<std::uint64_t, StepCosts> &entry,
+               std::uint64_t key) { return entry.first < key; });
+        if (it != tail.end() && it->first == seq_bucket) {
+            saturated_ |= it->second.saturatedFallback;
+            return it->second;
+        }
+    }
 
     // One engine simulation per bucket: the engine itself runs on the
     // shared decode pipeline, so serving latencies inherit the full
@@ -105,13 +132,14 @@ ServingSimulator::costs(std::uint32_t batch, std::uint64_t seq)
     // cache grows with batch and context).  Fall back to the largest
     // supported batch bucket and flag the run as saturated rather
     // than serving the step at a corrupt zero cost.
+    StepCosts step;
     while (!result.supported && request.batch > 1) {
         request.batch /= 2;
         result = engine->run(request);
+        step.saturatedFallback = true;
         saturated_ = true;
     }
 
-    StepCosts step;
     if (result.supported) {
         step.prefill = result.prefillTime;
         step.token =
@@ -120,7 +148,28 @@ ServingSimulator::costs(std::uint32_t batch, std::uint64_t seq)
         step.prefill = -1.0; // Sentinel: engine cannot serve this.
         step.token = -1.0;
     }
-    return cache_.emplace(key, step).first->second;
+    if (column < CostCache::kMaxDenseColumns) {
+        cache.dense[row][column] =
+            CostCache::Entry{step, true};
+    } else {
+        auto &tail = cache.overflow[row];
+        const auto it = std::lower_bound(
+            tail.begin(), tail.end(), seq_bucket,
+            [](const std::pair<std::uint64_t, StepCosts> &entry,
+               std::uint64_t key) { return entry.first < key; });
+        tail.insert(it, {seq_bucket, step});
+    }
+    return step;
+}
+
+void
+ServingSimulator::shareCostCacheWith(ServingSimulator &other)
+{
+    hermes_assert(system_ == other.system_ && llm_ == other.llm_ &&
+                      config_ == other.config_,
+                  "shareCostCacheWith across differing replica "
+                  "configurations: costs would not be identical");
+    cache_ = other.cache_;
 }
 
 Seconds
@@ -154,6 +203,8 @@ ServingSimulator::beginSession()
     pending_.clear();
     waiting_.clear();
     active_.clear();
+    backlogOwed_ = 0;
+    retired_.clear();
     prioritized_ = false;
     clock_ = 0.0;
     inflight_ = StepKind::Idle;
@@ -175,6 +226,19 @@ ServingSimulator::beginSession()
 }
 
 void
+ServingSimulator::reserveSession(std::size_t expected_requests)
+{
+    requests_.reserve(expected_requests);
+    metrics_.reserve(expected_requests);
+    moved_.reserve(expected_requests);
+    resumedTokens_.reserve(expected_requests);
+    cachedTokens_.reserve(expected_requests);
+    active_.reserve(config_.maxBatch);
+    inflightGroup_.reserve(config_.maxBatch);
+    retired_.reserve(config_.maxBatch);
+}
+
+void
 ServingSimulator::deliver(const ServedRequest &request)
 {
     const std::size_t index = requests_.size();
@@ -188,6 +252,7 @@ ServingSimulator::deliver(const ServedRequest &request)
     resumedTokens_.push_back(0);
     cachedTokens_.push_back(0);
     prioritized_ |= request.priority != 0;
+    backlogOwed_ += request.generateTokens;
     pending_.push_back(index);
 }
 
@@ -222,6 +287,8 @@ ServingSimulator::deliverResumed(const ResumableRequest &resumed,
     cachedTokens_.push_back(
         std::min(cached_tokens, resumed.contextLength()));
     prioritized_ |= resumed.request.priority != 0;
+    backlogOwed_ += resumed.request.generateTokens -
+                    resumed.tokensGenerated;
     pending_.push_back(index);
 }
 
@@ -251,6 +318,7 @@ ServingSimulator::preempt(std::uint64_t id)
         ResumableRequest out = resumableAt(index);
         ++out.preemptions;
         moved_[index] = Moved::Preempted;
+        backlogOwed_ -= it->remaining;
         active_.erase(it);
         return out;
     }
@@ -285,6 +353,8 @@ ServingSimulator::takeQueued(std::uint64_t id)
     const auto index = static_cast<std::size_t>(found);
     ResumableRequest out = resumableAt(index);
     moved_[index] = Moved::Stolen;
+    backlogOwed_ -= requests_[index].generateTokens -
+                    resumedTokens_[index];
     return out;
 }
 
@@ -365,6 +435,7 @@ ServingSimulator::startNextWork(Seconds now)
             waiting_.size() >= config_.maxQueue + free_slots) {
             metrics_[index].rejected = true;
             ++sessionRejected_;
+            backlogOwed_ -= requests_[index].generateTokens;
         } else {
             waiting_.push_back(index);
         }
@@ -459,7 +530,7 @@ ServingSimulator::startNextWork(Seconds now)
     return StepAction{inflight_, inflightEnd_};
 }
 
-std::vector<std::uint64_t>
+const std::vector<std::uint64_t> &
 ServingSimulator::completeWork()
 {
     hermes_assert(busy(), "completeWork with nothing in flight");
@@ -484,6 +555,7 @@ ServingSimulator::completeWork()
                 --running.remaining;
                 ++running.seq;
                 ++generated_;
+                --backlogOwed_;
             }
         }
     } else {
@@ -497,25 +569,29 @@ ServingSimulator::completeWork()
             --running.remaining;
             ++running.seq;
             ++generated_;
+            --backlogOwed_;
             tokenSamples_.push_back(inflightDt_);
         }
     }
     inflight_ = StepKind::Idle;
     inflightGroup_.clear();
 
-    // Retire finished requests.
-    std::vector<std::uint64_t> retired;
-    for (auto it = active_.begin(); it != active_.end();) {
-        if (it->remaining == 0) {
-            metrics_[it->index].completed = clock_;
+    // Retire finished requests: one order-preserving compaction
+    // pass into the reused retired-ids buffer.
+    retired_.clear();
+    std::size_t write = 0;
+    for (std::size_t read = 0; read < active_.size(); ++read) {
+        const Running &running = active_[read];
+        if (running.remaining == 0) {
+            metrics_[running.index].completed = clock_;
             ++sessionCompleted_;
-            retired.push_back(metrics_[it->index].id);
-            it = active_.erase(it);
+            retired_.push_back(metrics_[running.index].id);
         } else {
-            ++it;
+            active_[write++] = running;
         }
     }
-    return retired;
+    active_.resize(write);
+    return retired_;
 }
 
 ServingReport
@@ -536,6 +612,7 @@ ServingSimulator::finishSession()
     }
     pending_.clear();
     waiting_.clear();
+    backlogOwed_ = 0;
 
     ServingReport report;
     report.engine = runtime::engineKindName(config_.engine);
@@ -573,18 +650,10 @@ ServingSimulator::observedOutstanding() const
 double
 ServingSimulator::observedBacklogTokens() const
 {
-    double tokens = 0.0;
-    for (const Running &running : active_)
-        tokens += static_cast<double>(running.remaining);
-    for (const std::size_t index : waiting_)
-        tokens += static_cast<double>(
-            requests_[index].generateTokens -
-            resumedTokens_[index]);
-    for (const std::size_t index : pending_)
-        tokens += static_cast<double>(
-            requests_[index].generateTokens -
-            resumedTokens_[index]);
-    return tokens;
+    // Incrementally maintained (see backlogOwed_): token counts are
+    // integral, so this equals the historical walk over active_ +
+    // waiting_ + pending_ exactly.
+    return static_cast<double>(backlogOwed_);
 }
 
 std::vector<RequestInfo>
@@ -665,6 +734,7 @@ ServingSimulator::stealQueued(std::uint32_t count)
             queue.erase(queue.begin() +
                         static_cast<std::ptrdiff_t>(k));
             moved_[index] = Moved::Stolen;
+            backlogOwed_ -= requests_[index].generateTokens;
             out.push_back(requests_[index]);
         }
     };
@@ -684,6 +754,7 @@ ServingSimulator::run(std::vector<ServedRequest> workload)
 {
     sortByArrival(workload);
     beginSession();
+    reserveSession(workload.size());
     for (const ServedRequest &request : workload)
         deliver(request);
     // The closed loop is the stepwise protocol driven locally: the

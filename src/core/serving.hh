@@ -55,7 +55,8 @@
 
 #include <cstdint>
 #include <deque>
-#include <map>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/units.hh"
@@ -187,6 +188,8 @@ struct ServingConfig
 
     /** Workload seed forwarded to the engine's activation trace. */
     std::uint64_t seed = 1;
+
+    bool operator==(const ServingConfig &) const = default;
 };
 
 /** Lifecycle timestamps and counters of one served request. */
@@ -345,6 +348,28 @@ class ServingSimulator
     /** Reset session state (metrics, queues, clock) — not the cache. */
     void beginSession();
 
+    /**
+     * Pre-reserve the per-request session tables for about
+     * `expected_requests` deliveries so a bulk preload (the fleet
+     * kernel knows the trace size up front) never reallocates them
+     * mid-run.  Optional; call after beginSession().
+     */
+    void reserveSession(std::size_t expected_requests);
+
+    /**
+     * Adopt `other`'s calibrated step-cost cache (and drop this
+     * simulator's own).  Engine physics are pure functions of the
+     * (system, model, serving) configuration, so equal-config
+     * replicas sharing one cache get bit-identical costs while
+     * paying for each cold (batch, context) bucket once per fleet
+     * instead of once per replica — the difference between O(fleet)
+     * and O(replicas) engine simulations on the kernel hot path.
+     * Asserts the configurations are equal.  Not thread-safe
+     * against concurrent cost queries; the fleet calibrates one
+     * group representative per thread instead.
+     */
+    void shareCostCacheWith(ServingSimulator &other);
+
     /** Hand one arrival to the replica (admission decided later). */
     void deliver(const ServedRequest &request);
 
@@ -396,9 +421,11 @@ class ServingSimulator
      * Finish the in-flight work at its scheduled end: emit first
      * tokens (prefill) or advance every running request one token
      * (decode), then retire finished requests.  Returns the retired
-     * request ids, for the kernel's request-done events.
+     * request ids, for the kernel's request-done events — a
+     * reference into a buffer reused across steps, valid until the
+     * next completeWork() on this simulator.
      */
-    std::vector<std::uint64_t> completeWork();
+    const std::vector<std::uint64_t> &completeWork();
 
     /** Assemble the session's ServingReport (ends the session). */
     ServingReport finishSession();
@@ -470,6 +497,10 @@ class ServingSimulator
     {
         Seconds prefill = 0.0; ///< Whole prompting stage.
         Seconds token = 0.0;   ///< One decode step for the batch.
+
+        /** Bucket fell back to a smaller batch (capacity); every
+         * simulator touching it reports saturated(). */
+        bool saturatedFallback = false;
     };
 
     /** One request in the running batch. */
@@ -480,8 +511,33 @@ class ServingSimulator
         std::uint64_t seq;       ///< Current context length.
     };
 
+    /**
+     * Calibrated step costs as a flat table: rows by log2(batch
+     * bucket) — a handful, batch buckets are powers of two capped
+     * at maxBatch — and columns by context bucket index
+     * (seq / seqBucket), dense up to kMaxDenseColumns with a sorted
+     * per-row tail for freak contexts so a tiny seqBucket cannot
+     * balloon the dense rows.  Replaces the ordered map the hot
+     * loop used to walk on every step; shared across equal-config
+     * replicas via shareCostCacheWith().
+     */
+    struct CostCache
+    {
+        struct Entry
+        {
+            StepCosts costs;
+            bool present = false;
+        };
+
+        static constexpr std::uint64_t kMaxDenseColumns = 4096;
+
+        std::vector<std::vector<Entry>> dense;
+        std::vector<std::vector<std::pair<std::uint64_t, StepCosts>>>
+            overflow; ///< Per row, sorted by context bucket.
+    };
+
     /** Calibrated (batch bucket, seq bucket) -> step costs. */
-    StepCosts &costs(std::uint32_t batch, std::uint64_t seq);
+    StepCosts costs(std::uint32_t batch, std::uint64_t seq);
 
     /** Entry `index` packaged for resume (counters as recorded —
      * preempt() adds its own increment). */
@@ -490,8 +546,7 @@ class ServingSimulator
     runtime::SystemConfig system_;
     model::LlmConfig llm_;
     ServingConfig config_;
-    std::map<std::pair<std::uint32_t, std::uint64_t>, StepCosts>
-        cache_;
+    std::shared_ptr<CostCache> cache_;
     bool saturated_ = false;
 
     /** Why an entry left this replica (excluded from its report). */
@@ -518,6 +573,19 @@ class ServingSimulator
     std::deque<std::size_t> pending_;     ///< Delivered, unobserved.
     std::deque<std::size_t> waiting_;     ///< In the admission queue.
     std::vector<Running> active_;         ///< The running batch.
+
+    /**
+     * Tokens still owed to requests on this replica, maintained
+     * incrementally at every delivery / admission / token /
+     * preempt / steal instead of walking all three queues per
+     * observation — observedBacklogTokens() is O(1) on the kernel's
+     * per-arrival gather path.  Token counts are integral, so the
+     * counter equals the historical summation exactly.
+     */
+    std::uint64_t backlogOwed_ = 0;
+
+    /** Retired-ids buffer reused across completeWork() calls. */
+    std::vector<std::uint64_t> retired_;
 
     /** Some delivery carried a non-default priority: admission
      * scans for the max instead of taking the FIFO head. */

@@ -40,6 +40,8 @@ struct DimmConfig
      */
     std::uint32_t rankParallelism = 4;
 
+    bool operator==(const DimmConfig &) const = default;
+
     std::uint32_t banksPerRank() const { return bankGroups * banksPerGroup; }
 
     /** Rows per bank implied by the capacity and geometry. */

@@ -42,6 +42,8 @@ struct TimingParams
     Cycles tREFI = 12480; ///< Average refresh interval (7.8 us).
     Cycles tRFC = 560;    ///< Refresh cycle time (350 ns, 16 Gb dies).
 
+    bool operator==(const TimingParams &) const = default;
+
     /** Seconds per command-clock cycle. */
     double clockPeriod() const { return 1.0 / clockHz; }
 

@@ -47,6 +47,8 @@ struct GpuSpec
     /** Fixed cost of launching one kernel from the host. */
     Seconds kernelLaunchOverhead = 5.0e-6;
 
+    bool operator==(const GpuSpec &) const = default;
+
     FlopsPerSecond
     effectiveCompute() const
     {

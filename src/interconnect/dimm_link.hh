@@ -47,6 +47,8 @@ struct DimmLinkConfig
 
     /** Driver/syscall overhead per host-mediated migration batch. */
     Seconds hostBatchOverhead = 30.0e-6;
+
+    bool operator==(const DimmLinkConfig &) const = default;
 };
 
 /** One neuron-migration transfer between two DIMMs. */

@@ -39,6 +39,8 @@ struct PcieConfig
 
     /** Extra per-chunk setup when a transfer is split into chunks. */
     Seconds perChunkOverhead = 2.5e-6;
+
+    bool operator==(const PcieConfig &) const = default;
 };
 
 /** Latency/bandwidth model of one PCIe link. */

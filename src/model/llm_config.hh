@@ -45,6 +45,8 @@ struct LlmConfig
     std::uint32_t mlpMatrices = 2; ///< 2: up+down; 3: gate+up+down.
     Activation activation = Activation::NativeRelu;
 
+    bool operator==(const LlmConfig &) const = default;
+
     std::uint32_t headDim() const { return hidden / heads; }
     std::uint32_t kvDim() const { return kvHeads * headDim(); }
 

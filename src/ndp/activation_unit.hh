@@ -28,6 +28,8 @@ struct ActivationUnitConfig
 
     /** Depth of the comparator / adder trees (log2 of 256 lanes). */
     Cycles treeDepth = 8;
+
+    bool operator==(const ActivationUnitConfig &) const = default;
 };
 
 /** Cycle model of the activation datapath. */

@@ -32,6 +32,8 @@ struct GemvUnitConfig
     /** Reduction tree + accumulator pipeline depth (fill cycles). */
     Cycles pipelineDepth = 16;
 
+    bool operator==(const GemvUnitConfig &) const = default;
+
     /** Sustained multiply-accumulates per cycle. */
     double
     macsPerCycle() const

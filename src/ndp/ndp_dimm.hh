@@ -34,6 +34,8 @@ struct NdpDimmConfig
 
     /** NDP command dispatch cost over the memory command interface. */
     Seconds commandOverhead = 1.0e-6;
+
+    bool operator==(const NdpDimmConfig &) const = default;
 };
 
 /** Latency breakdown of one NDP kernel invocation. */

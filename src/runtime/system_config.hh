@@ -38,6 +38,8 @@ struct HostCpuConfig
      */
     Seconds layerSyncOverhead = 150.0e-6;
 
+    bool operator==(const HostCpuConfig &) const = default;
+
     BytesPerSecond
     effectiveGatherBandwidth() const
     {
@@ -57,6 +59,8 @@ struct SchedulingConfig
 
     /** Oracle rebalance instead of Algorithm 1 (upper bound). */
     bool oracleRebalance = false;
+
+    bool operator==(const SchedulingConfig &) const = default;
 };
 
 /** Whole-platform configuration. */
@@ -85,6 +89,13 @@ struct SystemConfig
 
     /** Host-side predictor scan cost per neuron (LLC-resident). */
     Seconds predictorPerNeuron = 1.0e-11;
+
+    /**
+     * Memberwise equality: engine physics are pure functions of the
+     * configuration, so equal-config replicas can share calibrated
+     * cost caches (core/serving.hh) with bit-identical results.
+     */
+    bool operator==(const SystemConfig &) const = default;
 
     /** Aggregate NDP-DIMM weight capacity. */
     Bytes

@@ -81,6 +81,8 @@ struct SparsityConfig
 
     /** Master seed; sequences derive sub-seeds from it. */
     std::uint64_t seed = 1;
+
+    bool operator==(const SparsityConfig &) const = default;
 };
 
 /** Activation state of one block (attention or MLP) of one layer. */

@@ -198,5 +198,106 @@ TEST(BenchArgsDeathTest, HelpWithUnknownArgumentStillFails)
                 "unknown argument: --bogus");
 }
 
+TEST(BenchArgs, OutFlagBindsAPathAndDefaultsEmpty)
+{
+    ArgvFixture fixture({"--json", "BENCH_fleet.json"});
+    Args args = fixture.args();
+    EXPECT_EQ(args.out("json", "summary path"),
+              "BENCH_fleet.json");
+    EXPECT_EQ(args.out("csv", "table path"), "");
+    args.finish();
+}
+
+TEST(BenchArgsDeathTest, OutFlagMissingItsPathExits)
+{
+    ArgvFixture fixture({"--json"});
+    Args args = fixture.args();
+    EXPECT_EQ(args.out("json", "summary path"), "");
+    EXPECT_EXIT(args.finish(), testing::ExitedWithCode(2),
+                "unknown argument: --json");
+}
+
+TEST(BenchJson, EscapeCoversQuotesBackslashesAndControls)
+{
+    EXPECT_EQ(jsonEscape("plain"), "plain");
+    EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+    EXPECT_EQ(jsonEscape("line\nbreak\ttab"),
+              "line\\nbreak\\ttab");
+    // Control characters below 0x20 without a shorthand escape
+    // become \u00XX.
+    EXPECT_EQ(jsonEscape(std::string("\x01", 1)), "\\u0001");
+    EXPECT_EQ(jsonEscape(std::string("\x1f", 1)), "\\u001f");
+}
+
+TEST(BenchJson, UnescapeInvertsEscapeAndRejectsMalformed)
+{
+    const std::string original =
+        "q\"uote\\slash\nnew\ttab\x01ctl";
+    std::string decoded;
+    ASSERT_TRUE(jsonUnescape(jsonEscape(original), decoded));
+    EXPECT_EQ(decoded, original);
+
+    EXPECT_FALSE(jsonUnescape("dangling\\", decoded));
+    EXPECT_FALSE(jsonUnescape("\\q", decoded));
+    EXPECT_FALSE(jsonUnescape("\\u12", decoded));
+    EXPECT_FALSE(jsonUnescape("\\uzzzz", decoded));
+}
+
+TEST(BenchJson, ObjectDumpAndParseRoundTrip)
+{
+    JsonObject object;
+    object.set("bench", "bench_fleet");
+    object.set("tier", "scale-smoke");
+    object.set("note", "quotes \" and \\ and\nnewlines");
+    object.setU64("events", 324001);
+    object.setF64("events_per_sec", 287697.25);
+    object.setBool("smoke", true);
+
+    JsonObject parsed;
+    ASSERT_TRUE(JsonObject::parse(object.dump(), parsed));
+    EXPECT_EQ(parsed.size(), 6u);
+    EXPECT_EQ(parsed.str("bench"), "bench_fleet");
+    EXPECT_EQ(parsed.str("note"),
+              "quotes \" and \\ and\nnewlines");
+    EXPECT_DOUBLE_EQ(parsed.number("events"), 324001.0);
+    EXPECT_DOUBLE_EQ(parsed.number("events_per_sec"), 287697.25);
+    EXPECT_TRUE(parsed.has("smoke"));
+    EXPECT_FALSE(parsed.has("missing"));
+    EXPECT_EQ(parsed.str("missing"), "");
+    EXPECT_DOUBLE_EQ(parsed.number("missing"), 0.0);
+    // A second dump of the parse is byte-identical: the emitter
+    // and parser agree on escaping and ordering.
+    EXPECT_EQ(parsed.dump(), object.dump());
+}
+
+TEST(BenchJson, F64SurvivesADecimalRoundTrip)
+{
+    // %.17g must reproduce any double bit-exactly — the committed
+    // baseline's events_per_sec is compared against live runs.
+    const double value = 29011.123456789012345;
+    JsonObject object;
+    object.setF64("events_per_sec", value);
+    JsonObject parsed;
+    ASSERT_TRUE(JsonObject::parse(object.dump(), parsed));
+    EXPECT_EQ(parsed.number("events_per_sec"), value);
+}
+
+TEST(BenchJson, ParseRejectsNestingAndTrailingGarbage)
+{
+    JsonObject parsed;
+    EXPECT_TRUE(JsonObject::parse("{}", parsed));
+    EXPECT_TRUE(JsonObject::parse("  { \"k\": 1 }\n", parsed));
+    EXPECT_FALSE(JsonObject::parse("", parsed));
+    EXPECT_FALSE(JsonObject::parse("[1, 2]", parsed));
+    EXPECT_FALSE(
+        JsonObject::parse("{\"k\": {\"nested\": 1}}", parsed));
+    EXPECT_FALSE(JsonObject::parse("{\"k\": [1]}", parsed));
+    EXPECT_FALSE(JsonObject::parse("{\"k\": 1} extra", parsed));
+    EXPECT_FALSE(JsonObject::parse("{\"k\": }", parsed));
+    EXPECT_FALSE(JsonObject::parse("{\"k\" 1}", parsed));
+    EXPECT_FALSE(JsonObject::parse("{\"k\": 1", parsed));
+}
+
 } // namespace
 } // namespace hermes::bench

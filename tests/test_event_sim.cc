@@ -6,6 +6,10 @@
  * load-bearing, not cosmetic.
  */
 
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "core/event_sim.hh"
@@ -140,6 +144,143 @@ TEST(EventSim, TicksCountInStatsAndSortAsFleetEvents)
     EXPECT_EQ(queue.pop().kind, EventKind::StepComplete);
     EXPECT_EQ(queue.stats().ticks, 1u);
     EXPECT_EQ(queue.stats().popped(), 3u);
+}
+
+TEST(EventSim, ShardedGoldenSequenceMatchesSingleHeapOrder)
+{
+    // The sharded queue (per-replica subqueues + lazy min-merge)
+    // must pop the byte-identical sequence a single heap would:
+    // the comparator (time, replica, kind, id, seq) is a strict
+    // total order, so we pin the pop order against a stable sort
+    // of the push stream — which is exactly what any correct
+    // priority queue yields, sharded or not.
+    constexpr int kShards = 8;
+    EventQueue queue;
+    queue.shard(kShards);
+    queue.reserve(512);
+
+    struct Pushed
+    {
+        Seconds time;
+        EventKind kind;
+        std::int32_t replica;
+        std::uint64_t id;
+        std::size_t order; // Push order: the seq tie-break.
+    };
+    const EventKind kinds[] = {
+        EventKind::RequestDone, EventKind::PrefillComplete,
+        EventKind::StepComplete, EventKind::Wake,
+        EventKind::ResumeReady};
+
+    // Deterministic LCG so the interleaving is reproducible and
+    // heavy on ties: only 8 distinct timestamps over 400 events.
+    std::uint64_t state = 0x9e3779b97f4a7c15ULL;
+    const auto next = [&state]() {
+        state = state * 6364136223846793005ULL +
+                1442695040888963407ULL;
+        return state >> 33;
+    };
+
+    std::vector<Pushed> reference;
+    for (std::size_t i = 0; i < 400; ++i) {
+        const Seconds time =
+            static_cast<Seconds>(next() % 8) * 0.25;
+        // One in five events is fleet-level (replica -1).
+        const std::int32_t replica =
+            next() % 5 == 0
+                ? -1
+                : static_cast<std::int32_t>(next() % kShards);
+        const EventKind kind =
+            replica < 0 ? EventKind::Arrival : kinds[next() % 5];
+        const std::uint64_t id = next() % 16;
+        queue.push(time, kind, replica, id);
+        reference.push_back({time, kind, replica, id, i});
+    }
+
+    // seq is assigned in push order, so a stable sort on the
+    // (time, replica, kind, id) prefix is the full total order.
+    std::stable_sort(
+        reference.begin(), reference.end(),
+        [](const Pushed &a, const Pushed &b) {
+            return std::tie(a.time, a.replica, a.kind, a.id) <
+                   std::tie(b.time, b.replica, b.kind, b.id);
+        });
+
+    for (std::size_t i = 0; i < reference.size(); ++i) {
+        const Event event = queue.pop();
+        ASSERT_DOUBLE_EQ(event.time, reference[i].time) << i;
+        ASSERT_EQ(event.replica, reference[i].replica) << i;
+        ASSERT_EQ(event.kind, reference[i].kind) << i;
+        ASSERT_EQ(event.id, reference[i].id) << i;
+    }
+    EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventSim, SortedStreamMergesWithHeapEvents)
+{
+    // pushSorted feeds the presorted arrival stream through a flat
+    // cursor instead of the heap; the merge must still respect the
+    // full total order against heap-side pushes.
+    EventQueue queue;
+    queue.shard(2);
+    queue.reserveSorted(3);
+    queue.pushSorted(1.0, EventKind::Arrival, 0);
+    queue.pushSorted(2.0, EventKind::Arrival, 1);
+    queue.pushSorted(2.0, EventKind::Arrival, 2);
+    queue.push(1.5, EventKind::StepComplete, 0, 0);
+    queue.push(2.0, EventKind::Wake, 1, 0);
+    queue.push(0.5, EventKind::Tick, -1, 0);
+
+    std::vector<EventKind> kinds;
+    std::vector<std::uint64_t> ids;
+    while (!queue.empty()) {
+        const Event event = queue.pop();
+        kinds.push_back(event.kind);
+        ids.push_back(event.id);
+    }
+    EXPECT_EQ(kinds,
+              (std::vector<EventKind>{
+                  EventKind::Tick, EventKind::Arrival,
+                  EventKind::StepComplete, EventKind::Arrival,
+                  EventKind::Arrival, EventKind::Wake}));
+    EXPECT_EQ(ids, (std::vector<std::uint64_t>{0, 0, 0, 1, 2, 0}));
+}
+
+TEST(EventSim, PerKindCountersSumToPopped)
+{
+    // popped() is a single counter bumped in pop(); the seven
+    // per-kind counters must partition it exactly.
+    EventQueue queue;
+    queue.shard(4);
+    std::uint64_t state = 17;
+    const auto next = [&state]() {
+        state = state * 6364136223846793005ULL +
+                1442695040888963407ULL;
+        return state >> 33;
+    };
+    const EventKind kinds[] = {
+        EventKind::Arrival,      EventKind::RequestDone,
+        EventKind::PrefillComplete, EventKind::StepComplete,
+        EventKind::Wake,         EventKind::Tick,
+        EventKind::ResumeReady};
+    for (int i = 0; i < 100; ++i) {
+        const EventKind kind = kinds[next() % 7];
+        const std::int32_t replica =
+            kind == EventKind::Arrival || kind == EventKind::Tick
+                ? -1
+                : static_cast<std::int32_t>(next() % 4);
+        queue.push(static_cast<Seconds>(next() % 10), kind,
+                   replica, i);
+    }
+    while (!queue.empty())
+        queue.pop();
+
+    const EventStats &stats = queue.stats();
+    EXPECT_EQ(stats.arrivals + stats.requestsDone +
+                  stats.prefills + stats.decodeSteps +
+                  stats.wakes + stats.ticks + stats.resumes,
+              stats.popped());
+    EXPECT_EQ(stats.popped(), 100u);
 }
 
 } // namespace

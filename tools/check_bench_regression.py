@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Guard the fleet kernel's events/sec against silent regressions.
+
+Two modes:
+
+  check (default)
+      Compare a fresh bench run against the committed baseline and
+      fail when events/sec regressed beyond the tolerance:
+
+          check_bench_regression.py --baseline BENCH_fleet.json \
+              --current build/BENCH_fleet.json [--tolerance 0.2]
+
+      The current file is the flat JSON one `bench_fleet --json`
+      writes; its "tier" field selects which baseline tier to
+      compare against (CI runs `--scale --smoke`, so it compares
+      the "scale-smoke" tier).
+
+  merge
+      Rebuild the committed baseline from one or more fresh runs
+      (one flat JSON per tier):
+
+          check_bench_regression.py --merge BENCH_fleet.json \
+              scale.json huge.json ... [--seed-baseline 29011]
+
+      `--seed-baseline` pins the pre-optimization measurement the
+      perf trajectory is tracked against; omitted, an existing
+      baseline's pin is carried over.
+
+Standard library only — CI runs it with a bare python3.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, ValueError) as error:
+        sys.exit(f"{path}: {error}")
+
+
+def check(args):
+    current = load(args.current)
+    baseline = load(args.baseline)
+    tier = current.get("tier")
+    if not tier:
+        sys.exit(f"{args.current}: no 'tier' field")
+    tiers = baseline.get("tiers", {})
+    pinned = tiers.get(tier)
+    if pinned is None:
+        print(
+            f"note: baseline has no '{tier}' tier "
+            f"(tiers: {', '.join(sorted(tiers)) or 'none'}); "
+            "nothing to compare"
+        )
+        return
+    now = float(current.get("events_per_sec", 0.0))
+    then = float(pinned.get("events_per_sec", 0.0))
+    if then <= 0.0:
+        sys.exit(f"{args.baseline}: tier '{tier}' pins no "
+                 "events_per_sec")
+    floor = then * (1.0 - args.tolerance)
+    ratio = now / then
+    print(
+        f"tier {tier}: {now:,.0f} events/s vs pinned "
+        f"{then:,.0f} ({ratio:.2f}x, floor {floor:,.0f})"
+    )
+    if now < floor:
+        sys.exit(
+            f"REGRESSION: events/sec fell more than "
+            f"{args.tolerance:.0%} below the committed baseline — "
+            "if the slowdown is intentional, regenerate "
+            "BENCH_fleet.json with --merge and commit it"
+        )
+    print("ok: within tolerance")
+
+
+def merge(args):
+    merged = {"bench": "bench_fleet", "tiers": {}}
+    previous = load(args.merge) if os.path.exists(args.merge) else {}
+    if args.seed_baseline is not None:
+        merged["seed_baseline_events_per_sec"] = args.seed_baseline
+    elif "seed_baseline_events_per_sec" in previous:
+        merged["seed_baseline_events_per_sec"] = previous[
+            "seed_baseline_events_per_sec"
+        ]
+    for path in args.runs:
+        run = load(path)
+        tier = run.get("tier")
+        if not tier:
+            sys.exit(f"{path}: no 'tier' field")
+        merged["tiers"][tier] = run
+    with open(args.merge, "w", encoding="utf-8") as handle:
+        json.dump(merged, handle, indent=2)
+        handle.write("\n")
+    print(f"{args.merge}: tiers {', '.join(sorted(merged['tiers']))}")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("--baseline", help="committed BENCH_fleet.json")
+    parser.add_argument("--current", help="fresh run to check")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.2,
+        help="allowed fractional regression (default 0.2)",
+    )
+    parser.add_argument(
+        "--merge", metavar="OUT", help="rebuild OUT from per-tier runs"
+    )
+    parser.add_argument(
+        "--seed-baseline",
+        type=float,
+        default=None,
+        help="pin the pre-optimization events/sec in the merged file",
+    )
+    parser.add_argument("runs", nargs="*", help="per-tier runs to merge")
+    args = parser.parse_args()
+
+    if args.merge:
+        if not args.runs:
+            parser.error("--merge needs at least one run file")
+        merge(args)
+    elif args.baseline and args.current:
+        check(args)
+    else:
+        parser.error("need --baseline and --current, or --merge")
+
+
+if __name__ == "__main__":
+    main()
