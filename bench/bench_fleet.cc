@@ -15,6 +15,10 @@
  * Lifecycle sections compare priority preemption against stealing
  * on an overloaded bursty fleet with high-priority traffic, and
  * drain-migrate against abandonment on a fleet with a dead replica.
+ * `--scenario multiturn` is a closed-loop conversational tier of
+ * its own: multi-turn sessions (core/workload.hh) scored on
+ * end-to-end turn latency, comparing KV-affinity routing against
+ * jsq and true-jsq.
  * A final section re-runs one cell from scratch and checks the
  * rendered report is byte-identical — the reproducibility contract
  * the regression tests rely on; the process exits non-zero when it
@@ -167,8 +171,15 @@ main(int argc, char **argv)
         args.u32("requests", default_requests, "trace length");
     // Same per-replica offered load as --scale (12 req/s over 32
     // replicas), so the huge tier exercises queueing, not idling.
+    // Multiturn interprets the rate as session starts (a closed
+    // loop: each session re-arrives by itself until it ends), so
+    // its default is conversational, not open-loop.
     const double rate = args.f64(
-        "rate", huge ? 384.0 : 12.0, "mean arrival rate (req/s)");
+        "rate",
+        scenario_name == "multiturn" ? 0.6
+        : huge                       ? 384.0
+                                     : 12.0,
+        "mean arrival rate (req/s; sessions/s for multiturn)");
     const std::uint64_t seed =
         args.u64("seed", 17, "trace seed (full 64-bit range)");
     const std::string kernel_name = args.str(
@@ -206,6 +217,9 @@ main(int argc, char **argv)
         } catch (const std::invalid_argument &) {
             routing = false;
         }
+        // "affinity" routes but is not a RouterPolicy enum value,
+        // so the registry probe above cannot catch it.
+        routing = routing || stealer == "affinity";
         if (!known || routing) {
             std::fprintf(stderr,
                          "--stealer: '%s' is not an auxiliary "
@@ -214,6 +228,134 @@ main(int argc, char **argv)
                          stealer.c_str());
             return 2;
         }
+    }
+
+    if (scenario_name == "multiturn") {
+        // Multi-turn conversations are a closed loop — a follow-up
+        // turn arrives think-time after its predecessor completes —
+        // so this scenario gets its own section instead of riding
+        // the open-loop sweep: KV-affinity routing against jsq and
+        // true-jsq on a uniform fleet, scored on the end-to-end
+        // turn latency a conversation actually blocks on.
+        if (fleet::fleetKernelByName(kernel_name) !=
+            fleet::FleetKernel::EventDriven) {
+            std::fprintf(stderr, "multiturn sessions need "
+                                 "--kernel event\n");
+            return 2;
+        }
+        const auto llm = model::modelByName("OPT-13B");
+        const SystemConfig platform = benchPlatform();
+        const auto trace = serving::generateSessionWorkload(
+            serving::scenarioByName("multiturn", requests, rate,
+                                    seed));
+        std::uint64_t continues = 0;
+        for (const std::int64_t next : trace.successor)
+            continues += next >= 0 ? 1 : 0;
+
+        banner("Fleet", "multiturn: KV-affinity vs jsq on "
+                        "conversational sessions, OPT-13B");
+        std::printf("kernel: event; %u sessions (%zu turns, %llu "
+                    "follow-ups) at %.2f sessions/s\n",
+                    requests, trace.requests.size(),
+                    static_cast<unsigned long long>(continues),
+                    rate);
+
+        std::vector<std::uint32_t> sizes =
+            replicas > 0 ? std::vector<std::uint32_t>{replicas}
+            : smoke      ? std::vector<std::uint32_t>{2}
+                         : std::vector<std::uint32_t>{2, 4};
+        serving::ServingConfig serving_config;
+        serving_config.maxBatch = 8;
+        serving_config.calibrationTokens = 6;
+
+        const auto run_control =
+            [&](std::uint32_t fleet_size, const char *control) {
+                fleet::FleetConfig config = fleet::uniformFleet(
+                    fleet_size, platform, serving_config,
+                    sched::RouterPolicy::JoinShortestQueue, 1.5);
+                config.control =
+                    sched::controlPolicyByName(control);
+                return fleet::FleetSimulator(config, llm)
+                    .run(trace);
+            };
+
+        LoopMeter meter;
+        TextTable table({"control", "replicas", "done",
+                         "continues", "tok/s", "p99 TTFT (ms)",
+                         "e2e p50 (s)", "e2e p99 (s)"});
+        for (const std::uint32_t fleet_size : sizes) {
+            for (const char *control :
+                 {"jsq", "true-jsq", "affinity"}) {
+                const auto report =
+                    run_control(fleet_size, control);
+                meter.add(report);
+                table.addRow(
+                    {report.policy, std::to_string(fleet_size),
+                     std::to_string(report.completed),
+                     std::to_string(
+                         report.kernelStats.events
+                             .sessionContinues),
+                     TextTable::num(report.throughputTps, 2),
+                     TextTable::num(report.p99Ttft * 1e3, 1),
+                     TextTable::num(
+                         fleet::latencyPercentile(report, 50.0),
+                         3),
+                     TextTable::num(
+                         fleet::latencyPercentile(report, 99.0),
+                         3)});
+            }
+        }
+        table.print();
+        meter.print("\nkernel loop");
+        std::printf("note: affinity sticks a follow-up to the "
+                    "replica still holding its session KV when "
+                    "the cached history outweighs the backlog "
+                    "gap\n");
+
+        bool json_ok = true;
+        if (!json_path.empty()) {
+            JsonObject json;
+            json.set("bench", "bench_fleet");
+            json.set("tier", smoke ? "multiturn-smoke"
+                                   : "multiturn");
+            json.set("kernel", "event");
+            json.set("model", "OPT-13B");
+            json.setU64("replicas", sizes.front());
+            json.setU64("requests", requests);
+            json.setF64("rate_per_sec", rate);
+            json.setU64("seed", seed);
+            json.set("scenario", scenario_name);
+            json.set("policy", policy_name);
+            json.setU64("events", meter.events);
+            json.setF64("loop_ms", meter.seconds * 1e3);
+            json.setF64("events_per_sec",
+                        meter.seconds > 0.0
+                            ? static_cast<double>(meter.events) /
+                                  meter.seconds
+                            : 0.0);
+            json.setU64("peak_rss_kib", peakRssKib());
+            json_ok = json.writeFile(json_path);
+        }
+
+        banner("Fleet", "determinism: same seed, fresh fleet");
+        std::string first;
+        bool identical = true;
+        for (int trial = 0; trial < 2; ++trial) {
+            const auto report =
+                run_control(sizes.front(), "affinity");
+            const std::string row =
+                fleetRow(report) + " e2eP99=" +
+                TextTable::num(
+                    fleet::latencyPercentile(report, 99.0), 4);
+            std::printf("trial %d: %s\n", trial, row.c_str());
+            if (trial == 0)
+                first = row;
+            else
+                identical = row == first;
+        }
+        std::printf("byte-identical: %s\n",
+                    identical ? "yes" : "NO");
+        return identical && json_ok ? 0 : 1;
     }
 
     Sweep sweep;

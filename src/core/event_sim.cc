@@ -53,6 +53,8 @@ eventKindName(EventKind kind)
         return "tick";
     case EventKind::ResumeReady:
         return "resume-ready";
+    case EventKind::SessionContinue:
+        return "session-continue";
     }
     return "?";
 }
@@ -243,6 +245,9 @@ EventQueue::pop()
         break;
     case EventKind::ResumeReady:
         ++stats_.resumes;
+        break;
+    case EventKind::SessionContinue:
+        ++stats_.sessionContinues;
         break;
     }
     ++stats_.poppedEvents;

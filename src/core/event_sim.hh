@@ -75,6 +75,15 @@ enum class EventKind : std::uint8_t
      * preemption time + the DIMM-link KV-transfer time).
      */
     ResumeReady = 6,
+
+    /**
+     * A session's follow-up turn arrives: scheduled at the previous
+     * turn's completion + think time (fleet-level event; its id is
+     * the follow-up's workload index).  Only session runs emit it —
+     * arrival times that depend on completion times are exactly
+     * what the open-loop two-phase path cannot express.
+     */
+    SessionContinue = 7,
 };
 
 /** Display name of an event kind. */
@@ -106,6 +115,7 @@ struct EventStats
     std::uint64_t wakes = 0;
     std::uint64_t ticks = 0;
     std::uint64_t resumes = 0;
+    std::uint64_t sessionContinues = 0;
 
     /**
      * Total popped events, kept as its own counter bumped once per

@@ -36,6 +36,46 @@ median(std::vector<std::uint64_t> values)
     return values[mid];
 }
 
+/** The calibration operating point a workload implies. */
+struct WorkloadShape
+{
+    std::uint64_t typicalPrompt = 1;
+    std::uint64_t typicalContext = 1;
+    std::uint64_t maxPrompt = 0;
+    std::uint64_t maxContext = 0;
+};
+
+/**
+ * The router's typical request shape depends only on the workload:
+ * compute it once, calibrate every replica against it.
+ */
+WorkloadShape
+workloadShape(const std::vector<serving::ServedRequest> &workload)
+{
+    std::vector<std::uint64_t> prompts;
+    std::vector<std::uint64_t> generates;
+    prompts.reserve(workload.size());
+    generates.reserve(workload.size());
+    WorkloadShape shape;
+    for (const serving::ServedRequest &request : workload) {
+        prompts.push_back(request.promptTokens);
+        generates.push_back(request.generateTokens);
+        shape.maxPrompt = std::max<std::uint64_t>(
+            shape.maxPrompt, request.promptTokens);
+        shape.maxContext = std::max<std::uint64_t>(
+            shape.maxContext, static_cast<std::uint64_t>(
+                                  request.promptTokens) +
+                                  request.generateTokens);
+    }
+    shape.typicalPrompt =
+        std::max<std::uint64_t>(median(std::move(prompts)), 1);
+    // Decode runs at a context that grows from the prompt; half the
+    // typical generation is the representative midpoint.
+    shape.typicalContext =
+        shape.typicalPrompt + median(std::move(generates)) / 2;
+    return shape;
+}
+
 /**
  * Immutable request-id -> workload-index map.  Trace ids are almost
  * always dense (0..n-1 from the generators), so the common case is
@@ -132,18 +172,30 @@ class EventKernel final : public sched::FleetView,
         const std::vector<sched::ReplicaModel> &models,
         FleetReport &report,
         const std::vector<serving::ServedRequest> &workload,
-        sched::ControlPolicy &control)
+        sched::ControlPolicy &control,
+        const serving::SessionTrace *sessions = nullptr,
+        std::vector<serving::ServedRequest> *mutable_workload =
+            nullptr)
         : config_(config), llm_(llm), replicas_(replicas),
           models_(models), report_(report), workload_(workload),
           control_(control), wants_(control.wants()),
+          sessions_(sessions), mutableWorkload_(mutable_workload),
           idIndex_(workload)
     {
         const std::size_t n = replicas_.size();
         wakeScheduled_.assign(n, 0);
         draining_.assign(n, 0);
         deadNotified_.assign(n, 0);
-        if (wants_ & sched::ControlPolicy::kObservations)
+        if (wants_ & sched::ControlPolicy::kObservations) {
             observed_.resize(n); // One buffer, reused per arrival.
+            // All replicas start dirty so the first gather samples
+            // everyone; afterwards only replicas the kernel touched
+            // since the last arrival are re-probed.
+            observedDirty_.assign(n, 1);
+        }
+        hermes_assert(sessions_ == nullptr ||
+                          mutableWorkload_ != nullptr,
+                      "session kernel needs the mutable workload");
     }
 
     /** Drive the whole co-simulation (see class doc). */
@@ -172,9 +224,22 @@ class EventKernel final : public sched::FleetView,
         queue_.shard(static_cast<std::uint32_t>(replicas_.size()));
         queue_.reserve(workload_.size() * 4 + 64);
         queue_.reserveSorted(workload_.size());
-        for (std::size_t i = 0; i < workload_.size(); ++i)
-            queue_.pushSorted(workload_[i].arrival,
-                              sim::EventKind::Arrival, i);
+        if (sessions_ == nullptr) {
+            for (std::size_t i = 0; i < workload_.size(); ++i)
+                queue_.pushSorted(workload_[i].arrival,
+                                  sim::EventKind::Arrival, i);
+        } else {
+            // Session mode: only first turns have workload-known
+            // arrival instants (nondecreasing, ids ascending — the
+            // presorted stream still applies).  Follow-up turns are
+            // scheduled as SessionContinue events when their
+            // predecessor completes.
+            for (std::size_t i = 0; i < workload_.size(); ++i) {
+                if (sessions_->turnOf[i] == 0)
+                    queue_.pushSorted(workload_[i].arrival,
+                                      sim::EventKind::Arrival, i);
+            }
+        }
         const Seconds tick_period = control_.tickPeriod();
         if ((wants_ & sched::ControlPolicy::kTick) &&
             tick_period > 0.0 && !workload_.empty())
@@ -200,6 +265,7 @@ class EventKernel final : public sched::FleetView,
             case sim::EventKind::StepComplete: {
                 const auto r =
                     static_cast<std::size_t>(event.replica);
+                markObservedDirty(r);
                 for (const std::uint64_t id :
                      replicas_[r]->completeWork())
                     queue_.push(event.time,
@@ -236,7 +302,13 @@ class EventKernel final : public sched::FleetView,
                 onResumeReadyEvent(event);
                 break;
             case sim::EventKind::RequestDone:
-                // Pure bookkeeping; counted by the queue's stats.
+                // Pure bookkeeping for plain traces; in session
+                // mode a completed turn schedules its follow-up.
+                if (sessions_ != nullptr)
+                    onRequestDoneEvent(event);
+                break;
+            case sim::EventKind::SessionContinue:
+                onSessionContinueEvent(event);
                 break;
             }
         }
@@ -332,6 +404,13 @@ class EventKernel final : public sched::FleetView,
         return replicas_.at(replica)->stateOf(id);
     }
 
+    std::uint64_t
+    cachedSessionTokens(std::uint32_t replica,
+                        std::uint64_t session) const override
+    {
+        return replicas_.at(replica)->cachedSessionTokens(session);
+    }
+
     Seconds
     ttftDeadline() const override
     {
@@ -353,6 +432,7 @@ class EventKernel final : public sched::FleetView,
         decided_ = true;
         report_.assignment[arrivalIndex_] =
             static_cast<int>(replica);
+        markObservedDirty(replica);
         replicas_[replica]->deliver(workload_[arrivalIndex_]);
         // Wake an idle replica once all same-instant arrivals are
         // delivered (Wake sorts after Arrival at a tie), so a
@@ -397,6 +477,8 @@ class EventKernel final : public sched::FleetView,
                 "requests (running requests cannot be stolen)");
         const std::vector<serving::ServedRequest> stolen =
             replicas_[victim]->stealQueued(max_count);
+        markObservedDirty(thief);
+        markObservedDirty(victim);
         ++report_.kernelStats.steals;
         report_.kernelStats.stolenRequests += stolen.size();
         for (const serving::ServedRequest &request : stolen) {
@@ -427,6 +509,7 @@ class EventKernel final : public sched::FleetView,
         // Throws on a queued/unknown id before any state changes.
         const serving::ResumableRequest resumed =
             replicas_[replica]->preempt(id);
+        markObservedDirty(replica);
         ++report_.kernelStats.preemptions;
         // The KV stays cached on the replica: requeueing is free,
         // and the priority-aware admission decides who gets the
@@ -497,6 +580,7 @@ class EventKernel final : public sched::FleetView,
                 " is neither queued nor running on its replica");
         }
         ++resumed.migrations;
+        markObservedDirty(from);
         ++report_.kernelStats.migrations;
         // The accumulated KV travels over the DIMM-link fabric; the
         // destination sees the arrival only when the transfer lands
@@ -539,6 +623,18 @@ class EventKernel final : public sched::FleetView,
         serving::ResumableRequest resumed;
         std::uint32_t destination = 0;
     };
+
+    /**
+     * The kernel is the only actor that mutates replicas, so any
+     * mutation marks the replica's cached observation stale; the
+     * per-arrival gather then refreshes only the marked ones.
+     */
+    void
+    markObservedDirty(std::size_t replica)
+    {
+        if (!observedDirty_.empty())
+            observedDirty_[replica] = 1;
+    }
 
     /** Schedule a same-instant Wake for an idle replica (once). */
     void
@@ -600,12 +696,46 @@ class EventKernel final : public sched::FleetView,
         // before the drain, like in-flight routed work), and one
         // whose capability probe later fails holds it like any
         // other delivery.
+        markObservedDirty(pending.destination);
         replicas_[pending.destination]->deliverResumed(
             pending.resumed, event.time,
             pending.resumed.tokensGenerated == 0
                 ? 0
                 : pending.resumed.contextLength());
         wakeIfIdle(pending.destination);
+    }
+
+    /** A completed turn schedules its session's follow-up. */
+    void
+    onRequestDoneEvent(const sim::Event &event)
+    {
+        const std::size_t index = idIndex_.at(event.id);
+        const std::int64_t next = sessions_->successor[index];
+        if (next < 0)
+            return;
+        // The follow-up arrives think-time after this completion;
+        // its event id is the successor's workload index, exactly
+        // like a preloaded arrival's.
+        const std::size_t next_index =
+            idIndex_.at(static_cast<std::uint64_t>(next));
+        queue_.push(event.time + sessions_->thinkAfter[index],
+                    sim::EventKind::SessionContinue, -1,
+                    next_index);
+    }
+
+    /** A follow-up turn's think time elapsed: it arrives now. */
+    void
+    onSessionContinueEvent(const sim::Event &event)
+    {
+        hermes_assert(sessions_ != nullptr,
+                      "SessionContinue outside a session run");
+        // The trace's stored arrival was a placeholder; the real
+        // arrival instant is only known now.  The kernel owns the
+        // mutable trace copy, so the report merge and the routed
+        // request both see the true instant.
+        (*mutableWorkload_)[static_cast<std::size_t>(event.id)]
+            .arrival = event.time;
+        onArrivalEvent(event);
     }
 
     /** Arrival event: gather observations (if wanted), ask the
@@ -621,15 +751,20 @@ class EventKernel final : public sched::FleetView,
         context.promptTokens = request.promptTokens;
         context.generateTokens = request.generateTokens;
         context.priority = request.priority;
+        context.sessionId = request.sessionId;
         if (wants_ & sched::ControlPolicy::kObservations) {
             // Sample ground truth at the decision instant into the
-            // preallocated buffer (the gather walks every
-            // replica's queues — skipped entirely for policies
-            // that do not declare kObservations).  The two direct
-            // probes, not snapshot(): the one-call snapshot now
-            // also copies the per-request lifecycle vectors, which
-            // this hot path does not want to allocate.
+            // preallocated buffer.  The two direct probes, not
+            // snapshot(): the one-call snapshot now also copies the
+            // per-request lifecycle vectors, which this hot path
+            // does not want to allocate.  Only replicas the kernel
+            // touched since the last gather are re-probed — the
+            // values cannot have changed otherwise, so the refresh
+            // is bit-identical to a full rebuild.
             for (std::size_t r = 0; r < replicas_.size(); ++r) {
+                if (!observedDirty_[r])
+                    continue;
+                observedDirty_[r] = 0;
                 observed_[r].outstanding =
                     replicas_[r]->observedOutstanding();
                 observed_[r].backlogTokens =
@@ -682,6 +817,7 @@ class EventKernel final : public sched::FleetView,
     void
     advance(std::size_t replica, Seconds now)
     {
+        markObservedDirty(replica);
         const serving::StepAction action =
             replicas_[replica]->startNextWork(now);
         schedule(replica, action);
@@ -723,6 +859,16 @@ class EventKernel final : public sched::FleetView,
     sched::ControlPolicy &control_;
     const std::uint32_t wants_;
 
+    /**
+     * Session mode (nullptr for plain traces): the continuation
+     * plan, and the run's own mutable copy of the trace whose
+     * placeholder follow-up arrivals the kernel overwrites at
+     * done + think (workload_ aliases it).
+     */
+    const serving::SessionTrace *sessions_ = nullptr;
+    std::vector<serving::ServedRequest> *mutableWorkload_ =
+        nullptr;
+
     /** Migrations whose KV transfer has not landed yet (a handful
      * at a time, so a scanned flat list beats a hash map). */
     std::vector<std::pair<std::uint64_t, PendingResume>>
@@ -733,6 +879,10 @@ class EventKernel final : public sched::FleetView,
     std::vector<char> draining_;
     std::vector<char> deadNotified_;
     std::vector<sched::ReplicaObservation> observed_;
+
+    /** Which observed_ rows are stale (empty without
+     * kObservations); see markObservedDirty(). */
+    std::vector<char> observedDirty_;
 
     /** id -> workload index, for steal/migrate re-assignment. */
     const IdIndex idIndex_;
@@ -770,6 +920,18 @@ ttftPercentile(const FleetReport &report, double p,
     for (const serving::RequestMetrics &request : report.requests) {
         if (!request.rejected && request.priority >= min_priority)
             samples.push_back(request.ttft());
+    }
+    return serving::percentile(std::move(samples), p);
+}
+
+Seconds
+latencyPercentile(const FleetReport &report, double p,
+                  std::uint32_t min_priority)
+{
+    std::vector<Seconds> samples;
+    for (const serving::RequestMetrics &request : report.requests) {
+        if (!request.rejected && request.priority >= min_priority)
+            samples.push_back(request.latency());
     }
     return serving::percentile(std::move(samples), p);
 }
@@ -1028,10 +1190,12 @@ FleetSimulator::runEventDriven(
     FleetReport &report,
     const std::vector<serving::ServedRequest> &workload,
     std::vector<sched::ReplicaModel> models,
-    sched::ControlPolicy &control)
+    sched::ControlPolicy &control,
+    const serving::SessionTrace *sessions,
+    std::vector<serving::ServedRequest> *mutable_workload)
 {
     EventKernel(config_, llm_, replicas_, models, report, workload,
-                control)
+                control, sessions, mutable_workload)
         .run();
 }
 
@@ -1149,33 +1313,10 @@ FleetSimulator::run(std::vector<serving::ServedRequest> workload)
     for (const ReplicaConfig &replica : config_.replicas)
         report.replicaNames.push_back(replica.name);
 
-    // The router's typical request shape depends only on the
-    // workload: compute it once, calibrate every replica against it.
-    std::vector<std::uint64_t> prompts;
-    std::vector<std::uint64_t> generates;
-    prompts.reserve(workload.size());
-    generates.reserve(workload.size());
-    std::uint64_t max_prompt = 0;
-    std::uint64_t max_context = 0;
-    for (const serving::ServedRequest &request : workload) {
-        prompts.push_back(request.promptTokens);
-        generates.push_back(request.generateTokens);
-        max_prompt = std::max<std::uint64_t>(
-            max_prompt, request.promptTokens);
-        max_context = std::max<std::uint64_t>(
-            max_context, static_cast<std::uint64_t>(
-                             request.promptTokens) +
-                             request.generateTokens);
-    }
-    const std::uint64_t typical_prompt =
-        std::max<std::uint64_t>(median(std::move(prompts)), 1);
-    // Decode runs at a context that grows from the prompt; half the
-    // typical generation is the representative midpoint.
-    const std::uint64_t typical_context =
-        typical_prompt + median(std::move(generates)) / 2;
-
-    std::vector<sched::ReplicaModel> models = calibrateAll(
-        typical_prompt, typical_context, max_prompt, max_context);
+    const WorkloadShape shape = workloadShape(workload);
+    std::vector<sched::ReplicaModel> models =
+        calibrateAll(shape.typicalPrompt, shape.typicalContext,
+                     shape.maxPrompt, shape.maxContext);
 
     if (config_.kernel == FleetKernel::EventDriven)
         runEventDriven(report, workload, std::move(models),
@@ -1183,6 +1324,80 @@ FleetSimulator::run(std::vector<serving::ServedRequest> workload)
     else
         runTwoPhase(report, workload, std::move(models));
 
+    mergeReports(report, workload);
+    return report;
+}
+
+FleetReport
+FleetSimulator::run(const serving::SessionTrace &sessions)
+{
+    if (config_.kernel != FleetKernel::EventDriven)
+        throw std::invalid_argument(
+            "FleetSimulator: session traces need the event-driven "
+            "kernel — follow-up arrival instants depend on "
+            "completion instants, which the open-loop two-phase "
+            "path cannot express");
+    const std::size_t turns = sessions.requests.size();
+    if (sessions.turnOf.size() != turns ||
+        sessions.successor.size() != turns ||
+        sessions.thinkAfter.size() != turns)
+        throw std::invalid_argument(
+            "FleetSimulator: session trace parallel arrays "
+            "disagree on size");
+    if (IdIndex(sessions.requests).hasDuplicateIds())
+        throw std::invalid_argument(
+            "FleetSimulator: request ids must be unique "
+            "(the report merge joins by id)");
+    // The kernel preloads first turns as a presorted stream, so
+    // their arrivals must be nondecreasing in trace order (the
+    // generator's natural order; follow-up arrivals are decided by
+    // the simulation and may be anything).
+    Seconds last_start = 0.0;
+    for (std::size_t i = 0; i < turns; ++i) {
+        if (sessions.turnOf[i] != 0)
+            continue;
+        if (sessions.requests[i].arrival < last_start)
+            throw std::invalid_argument(
+                "FleetSimulator: session first-turn arrivals must "
+                "be nondecreasing in trace order");
+        last_start = sessions.requests[i].arrival;
+    }
+
+    // The run's own mutable copy of the trace: the kernel
+    // overwrites each follow-up turn's placeholder arrival when it
+    // actually fires.  No arrival sort — the continuation plan is
+    // indexed by workload position.
+    std::vector<serving::ServedRequest> workload =
+        sessions.requests;
+
+    std::shared_ptr<sched::ControlPolicy> control =
+        config_.control;
+    if (!control) {
+        std::vector<std::shared_ptr<sched::ControlPolicy>> parts;
+        parts.push_back(sched::makeRouterPolicy(config_.policy));
+        if (config_.workStealing)
+            parts.push_back(sched::makeGreedyStealPolicy());
+        control = sched::composeControlPolicies(std::move(parts));
+    }
+
+    FleetReport report;
+    report.policy = control->name();
+    report.kernel = fleetKernelName(config_.kernel);
+    report.ttftDeadline = config_.ttftDeadline;
+    for (const ReplicaConfig &replica : config_.replicas)
+        report.replicaNames.push_back(replica.name);
+
+    const WorkloadShape shape = workloadShape(workload);
+    std::vector<sched::ReplicaModel> models =
+        calibrateAll(shape.typicalPrompt, shape.typicalContext,
+                     shape.maxPrompt, shape.maxContext);
+
+    runEventDriven(report, workload, std::move(models), *control,
+                   &sessions, &workload);
+
+    // Merge against the mutated copy, so served follow-up turns
+    // carry their true arrival instants (turns whose predecessor
+    // was shed never arrived and merge as rejected).
     mergeReports(report, workload);
     return report;
 }

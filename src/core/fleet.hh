@@ -50,6 +50,7 @@
 
 #include "core/event_sim.hh"
 #include "core/serving.hh"
+#include "core/workload.hh"
 #include "model/llm_config.hh"
 #include "runtime/system_config.hh"
 #include "sched/control_policy.hh"
@@ -239,6 +240,16 @@ struct FleetReport
 Seconds ttftPercentile(const FleetReport &report, double p,
                        std::uint32_t min_priority = 0);
 
+/**
+ * End-to-end latency (arrival -> completion) percentile over the
+ * served requests with priority >= `min_priority`.  The multi-turn
+ * headline metric: a conversation blocks on the *whole* turn, not
+ * just its first token, so KV-affinity wins show up here even when
+ * TTFT ties.
+ */
+Seconds latencyPercentile(const FleetReport &report, double p,
+                          std::uint32_t min_priority = 0);
+
 /** Multi-replica co-simulator (see file header). */
 class FleetSimulator
 {
@@ -251,6 +262,17 @@ class FleetSimulator
      * rows back to the trace by id.
      */
     FleetReport run(std::vector<serving::ServedRequest> workload);
+
+    /**
+     * Serve a multi-turn session trace (core/workload.hh).  Only
+     * each session's first turn is scheduled up front; every
+     * follow-up turn arrives think-time after its predecessor
+     * completes — a closed-loop arrival process only the
+     * event-driven kernel can express, so TwoPhase throws.
+     * Follow-up turns whose predecessor was shed or rejected never
+     * arrive and are reported as rejected (the conversation ended).
+     */
+    FleetReport run(const serving::SessionTrace &sessions);
 
     const FleetConfig &config() const { return config_; }
 
@@ -275,12 +297,20 @@ class FleetSimulator
                  std::uint64_t max_prompt,
                  std::uint64_t max_context);
 
-    /** The event-driven co-simulation core. */
+    /**
+     * The event-driven co-simulation core.  `sessions` (with its
+     * parallel mutable `workload` copy) switches the kernel into
+     * session mode: first turns only are preloaded, follow-ups are
+     * scheduled as SessionContinue events at done + think.
+     */
     void runEventDriven(
         FleetReport &report,
         const std::vector<serving::ServedRequest> &workload,
         std::vector<sched::ReplicaModel> models,
-        sched::ControlPolicy &control);
+        sched::ControlPolicy &control,
+        const serving::SessionTrace *sessions = nullptr,
+        std::vector<serving::ServedRequest> *mutable_workload =
+            nullptr);
 
     /** The PR 2 compatibility path (route, then replay). */
     void runTwoPhase(

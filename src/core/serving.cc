@@ -198,12 +198,15 @@ ServingSimulator::beginSession()
     requests_.clear();
     metrics_.clear();
     moved_.clear();
+    resumed_.clear();
     resumedTokens_.clear();
     cachedTokens_.clear();
     pending_.clear();
     waiting_.clear();
     active_.clear();
     backlogOwed_ = 0;
+    sessionKv_.clear();
+    kvResidentTokens_ = 0;
     retired_.clear();
     prioritized_ = false;
     clock_ = 0.0;
@@ -231,6 +234,7 @@ ServingSimulator::reserveSession(std::size_t expected_requests)
     requests_.reserve(expected_requests);
     metrics_.reserve(expected_requests);
     moved_.reserve(expected_requests);
+    resumed_.reserve(expected_requests);
     resumedTokens_.reserve(expected_requests);
     cachedTokens_.reserve(expected_requests);
     active_.reserve(config_.maxBatch);
@@ -249,6 +253,7 @@ ServingSimulator::deliver(const ServedRequest &request)
     metrics.priority = request.priority;
     metrics_.push_back(metrics);
     moved_.push_back(Moved::No);
+    resumed_.push_back(0);
     resumedTokens_.push_back(0);
     cachedTokens_.push_back(0);
     prioritized_ |= request.priority != 0;
@@ -283,6 +288,7 @@ ServingSimulator::deliverResumed(const ResumableRequest &resumed,
     metrics.migrations = resumed.migrations;
     metrics_.push_back(metrics);
     moved_.push_back(Moved::No);
+    resumed_.push_back(1);
     resumedTokens_.push_back(resumed.tokensGenerated);
     cachedTokens_.push_back(
         std::min(cached_tokens, resumed.contextLength()));
@@ -290,6 +296,58 @@ ServingSimulator::deliverResumed(const ResumableRequest &resumed,
     backlogOwed_ += resumed.request.generateTokens -
                     resumed.tokensGenerated;
     pending_.push_back(index);
+}
+
+std::uint64_t
+ServingSimulator::consumeSessionKv(std::uint64_t session,
+                                   std::uint64_t prompt_tokens)
+{
+    for (std::size_t k = 0; k < sessionKv_.size(); ++k) {
+        if (sessionKv_[k].session != session)
+            continue;
+        const std::uint64_t cached =
+            std::min(sessionKv_[k].tokens, prompt_tokens);
+        hermes_assert(kvResidentTokens_ >= sessionKv_[k].tokens,
+                      "session KV accounting underflow");
+        kvResidentTokens_ -= sessionKv_[k].tokens;
+        sessionKv_.erase(sessionKv_.begin() +
+                         static_cast<std::ptrdiff_t>(k));
+        return cached;
+    }
+    return 0;
+}
+
+void
+ServingSimulator::retireSessionKv(std::uint64_t session,
+                                  std::uint64_t context_tokens)
+{
+    // The session's turns run one at a time, so its entry was
+    // consumed at admission and is normally absent; fold in any
+    // leftover defensively (concurrent same-session turns).
+    const std::uint64_t stale = consumeSessionKv(session, 0);
+    (void)stale;
+    sessionKv_.push_back(SessionKv{session, context_tokens});
+    kvResidentTokens_ += context_tokens;
+    if (config_.kvCapacityTokens == 0)
+        return;
+    while (kvResidentTokens_ > config_.kvCapacityTokens &&
+           sessionKv_.size() > 1) {
+        kvResidentTokens_ -= sessionKv_.front().tokens;
+        sessionKv_.erase(sessionKv_.begin());
+    }
+    // A single conversation larger than the whole budget keeps its
+    // KV (evicting the only resident session would thrash every
+    // turn); anything beyond that is over-budget by construction.
+}
+
+std::uint64_t
+ServingSimulator::cachedSessionTokens(std::uint64_t session) const
+{
+    for (const SessionKv &entry : sessionKv_) {
+        if (entry.session == session)
+            return entry.tokens;
+    }
+    return 0;
 }
 
 ResumableRequest
@@ -318,6 +376,9 @@ ServingSimulator::preempt(std::uint64_t id)
         ResumableRequest out = resumableAt(index);
         ++out.preemptions;
         moved_[index] = Moved::Preempted;
+        hermes_assert(backlogOwed_ >= it->remaining,
+                      "backlog underflow preempting request ",
+                      metrics_[index].id);
         backlogOwed_ -= it->remaining;
         active_.erase(it);
         return out;
@@ -353,8 +414,15 @@ ServingSimulator::takeQueued(std::uint64_t id)
     const auto index = static_cast<std::size_t>(found);
     ResumableRequest out = resumableAt(index);
     moved_[index] = Moved::Stolen;
-    backlogOwed_ -= requests_[index].generateTokens -
-                    resumedTokens_[index];
+    // A resumed entry contributed only its un-generated remainder
+    // at delivery; subtract exactly that so the counter returns to
+    // its pre-delivery value.
+    const std::uint64_t owed = requests_[index].generateTokens -
+                               resumedTokens_[index];
+    hermes_assert(backlogOwed_ >= owed,
+                  "backlog underflow taking queued request ",
+                  metrics_[index].id);
+    backlogOwed_ -= owed;
     return out;
 }
 
@@ -431,10 +499,17 @@ ServingSimulator::startNextWork(Seconds now)
         pending_.pop_front();
         // Resumed entries held queue capacity once already — a
         // preempted request is never dropped at its own requeue.
-        if (resumedTokens_[index] == 0 &&
+        // Discriminated by the explicit flag: a zero-token resumed
+        // entry (taken from a queue before its first prefill) is
+        // just as exempt as one with progress.
+        if (!resumed_[index] &&
             waiting_.size() >= config_.maxQueue + free_slots) {
             metrics_[index].rejected = true;
             ++sessionRejected_;
+            hermes_assert(backlogOwed_ >=
+                              requests_[index].generateTokens,
+                          "backlog underflow shedding request ",
+                          metrics_[index].id);
             backlogOwed_ -= requests_[index].generateTokens;
         } else {
             waiting_.push_back(index);
@@ -485,13 +560,28 @@ ServingSimulator::startNextWork(Seconds now)
         // A fresh request prefills its whole prompt; a resumed one
         // only the context suffix its host has no KV for — zero
         // when the KV was retained locally or transferred ahead of
-        // the delivery, in which case rejoining is free.
+        // the delivery, in which case rejoining is free.  A fresh
+        // *session turn* consumes its conversation's resident KV:
+        // the cached history prefix is free, only the new suffix is
+        // charged.  (The entry leaves the LRU table while in use —
+        // pinned by the running request — and returns, grown, when
+        // the turn retires.)
         std::uint64_t max_prompt = 0;
         for (const std::size_t index : inflightGroup_) {
             std::uint64_t charged;
             if (resumedTokens_[index] == 0) {
                 charged = std::max<std::uint64_t>(
                     requests_[index].promptTokens, 1);
+                if (!resumed_[index] &&
+                    requests_[index].sessionId != 0) {
+                    const std::uint64_t cached = consumeSessionKv(
+                        requests_[index].sessionId,
+                        requests_[index].promptTokens);
+                    charged = requests_[index].promptTokens > cached
+                                  ? requests_[index].promptTokens -
+                                        cached
+                                  : 0;
+                }
             } else {
                 const std::uint64_t context =
                     static_cast<std::uint64_t>(
@@ -564,6 +654,10 @@ ServingSimulator::completeWork()
         decodeTime_ += inflightDt_;
         occupancyWeighted_ +=
             static_cast<double>(batch) * inflightDt_;
+        // Every running request owes at least the token this step
+        // emits; once per step, not per token (hot path).
+        hermes_assert(backlogOwed_ >= active_.size(),
+                      "backlog underflow in decode step");
         for (Running &running : active_) {
             ++metrics_[running.index].tokens;
             --running.remaining;
@@ -586,6 +680,12 @@ ServingSimulator::completeWork()
             metrics_[running.index].completed = clock_;
             ++sessionCompleted_;
             retired_.push_back(metrics_[running.index].id);
+            // The turn's full context (running.seq = prompt +
+            // generated) stays warm for the session's next turn,
+            // subject to the KV budget.
+            if (requests_[running.index].sessionId != 0)
+                retireSessionKv(requests_[running.index].sessionId,
+                                running.seq);
         } else {
             active_[write++] = running;
         }
@@ -715,6 +815,7 @@ ServingSimulator::snapshot() const
     snap.knownDead = knownDead();
     snap.runningRequests = runningInfos();
     snap.queuedRequests = queuedInfos();
+    snap.cachedSessions = sessionKv_;
     return snap;
 }
 
@@ -723,17 +824,23 @@ ServingSimulator::stealQueued(std::uint32_t count)
 {
     // Newest arrivals first: under FIFO admission those would wait
     // the longest here, so they gain the most from moving.  Resumed
-    // entries are skipped — their KV lives here (see header).
+    // entries are skipped — even zero-token ones carry resume state
+    // (lifecycle counters, original timestamps) a plain steal would
+    // silently drop (see header).
     std::vector<ServedRequest> out;
     const auto take_from = [&](std::deque<std::size_t> &queue) {
         for (std::size_t k = queue.size();
              k-- > 0 && out.size() < count;) {
             const std::size_t index = queue[k];
-            if (resumedTokens_[index] != 0)
+            if (resumed_[index])
                 continue;
             queue.erase(queue.begin() +
                         static_cast<std::ptrdiff_t>(k));
             moved_[index] = Moved::Stolen;
+            hermes_assert(backlogOwed_ >=
+                              requests_[index].generateTokens,
+                          "backlog underflow stealing request ",
+                          metrics_[index].id);
             backlogOwed_ -= requests_[index].generateTokens;
             out.push_back(requests_[index]);
         }

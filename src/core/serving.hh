@@ -81,6 +81,15 @@ struct ServedRequest
      * historical pure-FIFO admission bit for bit.
      */
     std::uint32_t priority = 0;
+
+    /**
+     * Multi-turn conversation this request is one turn of; 0 — the
+     * default — marks an independent request and skips all session
+     * KV accounting.  Follow-up turns whose session KV is resident
+     * on the replica prefill only the un-cached suffix of their
+     * prompt (the conversation history is the cached prefix).
+     */
+    std::uint64_t sessionId = 0;
 };
 
 /** Where a request currently is in its lifecycle (see file header). */
@@ -189,6 +198,15 @@ struct ServingConfig
     /** Workload seed forwarded to the engine's activation trace. */
     std::uint64_t seed = 1;
 
+    /**
+     * Session KV memory budget in tokens; 0 — the default — is
+     * unlimited (bit-identical to the pre-session behavior).  When
+     * retiring a session turn would push the resident total past
+     * this, the least-recently-used sessions' KV is evicted and
+     * their next turn re-prefills its full context.
+     */
+    std::uint64_t kvCapacityTokens = 0;
+
     bool operator==(const ServingConfig &) const = default;
 };
 
@@ -251,6 +269,17 @@ struct ServingReport
 };
 
 /**
+ * KV residency of one conversation on a replica: the context tokens
+ * kept warm for the session's next turn.  What the affinity router
+ * scores sticky routing by.
+ */
+struct SessionKv
+{
+    std::uint64_t session = 0;
+    std::uint64_t tokens = 0;
+};
+
+/**
  * One-call observed-state snapshot of a replica at a boundary
  * instant: everything the fleet control plane (routing feedback,
  * stealing, future autoscaling) reads about a replica, gathered
@@ -282,6 +311,9 @@ struct ReplicaSnapshot
 
     /** Queued requests, admission order (== queuedInfos()). */
     std::vector<RequestInfo> queuedRequests;
+
+    /** Resident session KV, LRU first (== the eviction order). */
+    std::vector<SessionKv> cachedSessions;
 };
 
 /** What a replica does next on the shared clock. */
@@ -457,6 +489,14 @@ class ServingSimulator
     ReplicaSnapshot snapshot() const;
 
     /**
+     * KV context tokens of `session` resident here (0 when absent
+     * or evicted).  A follow-up turn routed here prefills only its
+     * prompt minus this prefix; the affinity policy scores replicas
+     * by exactly this probe (through the snapshot).
+     */
+    std::uint64_t cachedSessionTokens(std::uint64_t session) const;
+
+    /**
      * Whether this replica is known to serve the session's model
      * (capability probe done and passed).  False until the first
      * request is observed at a boundary.
@@ -543,6 +583,24 @@ class ServingSimulator
      * preempt() adds its own increment). */
     ResumableRequest resumableAt(std::size_t index) const;
 
+    /**
+     * Take `session`'s KV out of the residency table (it is pinned
+     * by the admitting request until retire).  Returns the cached
+     * tokens, capped at `prompt_tokens` — a follow-up turn's prompt
+     * always extends the history it grew from, so the cached prefix
+     * can never exceed the prompt.
+     */
+    std::uint64_t consumeSessionKv(std::uint64_t session,
+                                   std::uint64_t prompt_tokens);
+
+    /**
+     * (Re-)insert `session` at the MRU end with `context_tokens`
+     * resident, then evict LRU sessions while over
+     * kvCapacityTokens (capacity 0: unlimited).
+     */
+    void retireSessionKv(std::uint64_t session,
+                         std::uint64_t context_tokens);
+
     runtime::SystemConfig system_;
     model::LlmConfig llm_;
     ServingConfig config_;
@@ -562,8 +620,18 @@ class ServingSimulator
     std::vector<RequestMetrics> metrics_; ///< Parallel to requests_.
     std::vector<Moved> moved_;            ///< Excluded from report.
 
-    /** Tokens a resumed entry generated before (re)delivery here;
-     * 0 marks a fresh arrival.  Parallel to requests_. */
+    /**
+     * Entry arrived via deliverResumed() (it carries resume state
+     * and its KV must never be silently dropped).  Parallel to
+     * requests_.  This is the discriminator — resumedTokens_ can
+     * legitimately be 0 for a resumed entry that never started
+     * (takeQueued before its first prefill), so token counts must
+     * not double as the fresh/resumed flag.
+     */
+    std::vector<char> resumed_;
+
+    /** Tokens a resumed entry generated before (re)delivery here.
+     * Parallel to requests_. */
     std::vector<std::uint32_t> resumedTokens_;
 
     /** KV context tokens resident here at delivery (resumed entries
@@ -583,6 +651,20 @@ class ServingSimulator
      * counter equals the historical summation exactly.
      */
     std::uint64_t backlogOwed_ = 0;
+
+    /**
+     * Resident session KV, LRU order (front evicted first, back
+     * most recently retired).  Touched only by session turns
+     * (sessionId != 0): an entry is *consumed* when a fresh turn of
+     * the session is admitted (the KV is then pinned by the running
+     * request, invisible to routing) and re-inserted, grown by the
+     * turn's tokens, when the turn retires.  kvResidentTokens_
+     * tracks the total; retiring past kvCapacityTokens evicts from
+     * the front.  Sessions per replica stay small, so linear scans
+     * beat a map here.
+     */
+    std::vector<SessionKv> sessionKv_;
+    std::uint64_t kvResidentTokens_ = 0;
 
     /** Retired-ids buffer reused across completeWork() calls. */
     std::vector<std::uint64_t> retired_;

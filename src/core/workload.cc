@@ -183,6 +183,64 @@ generateWorkload(const ScenarioConfig &scenario)
     return workload;
 }
 
+SessionTrace
+generateSessionWorkload(const ScenarioConfig &scenario)
+{
+    // Independent streams, same discipline as generateWorkload:
+    // session starts reuse the arrival stream, per-turn lengths the
+    // length stream; turn counts and think times get a dedicated
+    // stream so tuning them never shifts arrivals or lengths.
+    Rng arrival_rng(scenario.seed ^ 0xa27c3f11d5b86e09ULL);
+    Rng length_rng(scenario.seed ^ 0x3c96b41f0e72a5cdULL);
+    Rng session_rng(scenario.seed ^ 0x6f2d8c4b9e1a3750ULL);
+
+    const auto starts = arrivalInstants(scenario, arrival_rng);
+
+    SessionTrace trace;
+    for (std::size_t s = 0; s < starts.size(); ++s) {
+        const std::uint64_t session =
+            static_cast<std::uint64_t>(s) + 1; // 0 = no session.
+        const std::uint32_t turns =
+            scenario.turns.sample(session_rng);
+        std::uint64_t history = 0;
+        for (std::uint32_t turn = 0; turn < turns; ++turn) {
+            ServedRequest request;
+            request.id = trace.requests.size();
+            // Follow-up arrivals are simulation-determined (done +
+            // think); the session start is a placeholder the fleet
+            // kernel overwrites.
+            request.arrival = starts[s];
+            // The prompt replays the whole conversation so far plus
+            // a fresh user message; with the session KV resident,
+            // only that fresh suffix actually prefills.
+            const std::uint64_t message =
+                scenario.prompt.sample(length_rng);
+            request.promptTokens = static_cast<std::uint32_t>(
+                std::min<std::uint64_t>(history + message,
+                                        UINT32_MAX));
+            request.generateTokens =
+                scenario.generate.sample(length_rng);
+            request.sessionId = session;
+            history = static_cast<std::uint64_t>(
+                          request.promptTokens) +
+                      request.generateTokens;
+
+            const double think = std::max(
+                0.0, scenario.thinkMeanSeconds +
+                         scenario.thinkSpreadSeconds *
+                             gaussian(session_rng));
+            const bool last = turn + 1 == turns;
+            trace.requests.push_back(request);
+            trace.turnOf.push_back(turn);
+            trace.successor.push_back(
+                last ? -1
+                     : static_cast<std::int64_t>(request.id) + 1);
+            trace.thinkAfter.push_back(last ? 0.0 : think);
+        }
+    }
+    return trace;
+}
+
 std::vector<ServedRequest>
 parseCsvTrace(const std::string &csv)
 {
@@ -294,6 +352,20 @@ scenarioByName(const std::string &name, std::uint32_t requests,
                       rate_per_second / 3.0
                 : 60.0;
         scenario.diurnalDepth = 0.8;
+    } else if (name == "multiturn") {
+        // Conversational traffic: Poisson session starts, 2-6 turns
+        // per conversation, ~2 s of think time between turns.
+        // Messages are document-heavy (pasted context, retrieved
+        // chunks) with chat-length replies, so the conversation
+        // context reaches the multi-thousand-token regime where
+        // re-prefilling history is the dominant per-turn cost —
+        // exactly the regime KV-affinity routing targets.
+        scenario.process = ArrivalProcess::Poisson;
+        scenario.turns = LengthDistribution{4, 2, 0.0, 1.0};
+        scenario.thinkMeanSeconds = 2.0;
+        scenario.thinkSpreadSeconds = 0.5;
+        scenario.prompt = LengthDistribution{3072, 512, 0.0, 1.0};
+        scenario.generate = LengthDistribution{48, 16, 0.0, 1.0};
     } else {
         throw std::invalid_argument(
             "scenarioByName: unknown scenario '" + name + "'");

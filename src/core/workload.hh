@@ -108,6 +108,23 @@ struct ScenarioConfig
     /** Priority level assigned to the high-priority fraction. */
     std::uint32_t highPriority = 1;
 
+    /**
+     * Multi-turn sessions (generateSessionWorkload): turns per
+     * conversation.  The default mean 1 / spread 0 makes every
+     * session single-turn — generateSessionWorkload then degenerates
+     * to independent arrivals.  In session mode `requests` counts
+     * *sessions*, not turns.
+     */
+    LengthDistribution turns{1, 0, 0.0, 1.0};
+
+    /**
+     * Think time between a turn completing and the follow-up
+     * arriving: gaussian(thinkMeanSeconds, thinkSpreadSeconds)
+     * clamped to >= 0.
+     */
+    double thinkMeanSeconds = 2.0;
+    double thinkSpreadSeconds = 0.5;
+
     std::uint64_t seed = 1;
 
     /**
@@ -123,6 +140,42 @@ struct ScenarioConfig
  * seed => bit-identical trace.
  */
 std::vector<ServedRequest> generateWorkload(const ScenarioConfig &scenario);
+
+/**
+ * A multi-turn conversational workload: the turns plus the
+ * continuation plan the fleet kernel schedules them by.  Only a
+ * session's *first* turn has a workload-determined arrival instant;
+ * every follow-up turn arrives a think-time after its predecessor
+ * completes, which only the simulation can decide — its stored
+ * `arrival` is a placeholder (the session start) until the kernel
+ * overwrites it at `done + thinkAfter`.
+ *
+ * All vectors are parallel to `requests` (index == request id):
+ * `turnOf[i]` is i's zero-based turn number within its session,
+ * `successor[i]` the request id of the next turn (-1: last turn),
+ * and `thinkAfter[i]` the think-time gap the successor waits after
+ * i completes.  Context grows with the conversation: turn k's
+ * prompt is the full history (previous prompt + generated tokens)
+ * plus a fresh user message.
+ */
+struct SessionTrace
+{
+    std::vector<ServedRequest> requests;
+    std::vector<std::uint32_t> turnOf;
+    std::vector<std::int64_t> successor;
+    std::vector<Seconds> thinkAfter;
+};
+
+/**
+ * Generate the seeded session trace described by `scenario`:
+ * `scenario.requests` conversations, first turns arriving by the
+ * scenario's arrival process, turn counts from `scenario.turns`,
+ * think times from thinkMeanSeconds/thinkSpreadSeconds.  Session
+ * ids are 1..sessions (0 is reserved for "no session"); request ids
+ * are dense 0..turns-1, grouped by session in first-arrival order.
+ * Same config and seed => bit-identical trace.
+ */
+SessionTrace generateSessionWorkload(const ScenarioConfig &scenario);
 
 /**
  * Parse a replayed trace: one `arrival_s,prompt,generate` triple —
@@ -144,7 +197,12 @@ std::vector<ScenarioConfig>
 standardScenarios(std::uint32_t requests, double rate_per_second,
                   std::uint64_t seed);
 
-/** One standard scenario by name; throws on an unknown name. */
+/**
+ * One standard scenario by name; throws on an unknown name.  Besides
+ * the standard sweep, "multiturn" names the conversational scenario
+ * consumed through generateSessionWorkload() (Poisson session
+ * starts, 2-6 turns, ~2 s think time).
+ */
 ScenarioConfig scenarioByName(const std::string &name,
                               std::uint32_t requests,
                               double rate_per_second,

@@ -401,6 +401,76 @@ class DrainMigratePolicy final : public ControlPolicy
     }
 };
 
+/**
+ * KV-affinity session routing (see the factory doc in
+ * control_policy.hh): sticky-route follow-up turns to the replica
+ * holding their conversation's KV, unless the load gap outweighs
+ * the resident prefix; everything else joins the shortest queue.
+ */
+class AffinityPolicy final : public ControlPolicy
+{
+  public:
+    std::string name() const override { return "affinity"; }
+
+    std::uint32_t wants() const override { return kObservations; }
+
+    void onArrival(const ArrivalContext &context,
+                   const FleetView &view,
+                   FleetActions &actions) override
+    {
+        const std::uint32_t n = view.replicaCount();
+        // Ground-truth JSQ over the routable replicas (first
+        // minimum wins, matching true-jsq's determinism).
+        std::uint32_t least = n;
+        for (std::uint32_t r = 0; r < n; ++r) {
+            if (view.draining(r) || view.knownDead(r))
+                continue;
+            if (least == n ||
+                (*context.observed)[r].outstanding <
+                    (*context.observed)[least].outstanding)
+                least = r;
+        }
+        if (least == n) {
+            // Every replica is draining or dead; routing anywhere
+            // would throw.
+            actions.shed();
+            return;
+        }
+        if (context.sessionId == 0) {
+            actions.routeTo(least);
+            return;
+        }
+        // Sticky candidate: the replica holding the session's KV.
+        // At most one holds it (residency moves with the serving
+        // replica and is consumed on re-admission).
+        std::uint32_t holder = n;
+        std::uint64_t cached = 0;
+        for (std::uint32_t r = 0; r < n; ++r) {
+            cached = view.cachedSessionTokens(r, context.sessionId);
+            if (cached > 0) {
+                holder = r;
+                break;
+            }
+        }
+        if (holder == n || view.draining(holder) ||
+            view.knownDead(holder)) {
+            // First turn, KV evicted, or the sticky replica cannot
+            // take new work: plain JSQ.
+            actions.routeTo(least);
+            return;
+        }
+        // Stick when the prefill tokens the resident prefix saves
+        // at least cover the extra token backlog the sticky replica
+        // carries over the least-loaded one.
+        const double gap =
+            (*context.observed)[holder].backlogTokens -
+            (*context.observed)[least].backlogTokens;
+        actions.routeTo(static_cast<double>(cached) >= gap
+                            ? holder
+                            : least);
+    }
+};
+
 } // namespace
 
 CompositeControlPolicy::CompositeControlPolicy(
@@ -556,6 +626,12 @@ makeDrainMigratePolicy()
 }
 
 std::shared_ptr<ControlPolicy>
+makeAffinityPolicy()
+{
+    return std::make_shared<AffinityPolicy>();
+}
+
+std::shared_ptr<ControlPolicy>
 composeControlPolicies(
     std::vector<std::shared_ptr<ControlPolicy>> children)
 {
@@ -575,6 +651,7 @@ controlPolicyNames()
     names.push_back("slo-steal");
     names.push_back("priority-preempt");
     names.push_back("drain-migrate");
+    names.push_back("affinity");
     return names;
 }
 
@@ -595,6 +672,8 @@ atomByName(const std::string &name)
         return makePriorityPreemptPolicy();
     if (name == "drain-migrate")
         return makeDrainMigratePolicy();
+    if (name == "affinity")
+        return makeAffinityPolicy();
     throw std::invalid_argument(
         "controlPolicyByName: unknown policy '" + name + "'");
 }

@@ -114,6 +114,17 @@ class FleetView
     virtual serving::RequestState
     requestState(std::uint32_t replica, std::uint64_t id) const = 0;
 
+    /**
+     * KV-cache tokens `replica` still holds for `session` (0 when
+     * nothing is resident — never cached, or evicted under KV
+     * memory pressure).  What a KV-affinity router scores sticky
+     * placements by: a resident prefix is prompt prefill the
+     * follow-up turn does not pay again.
+     */
+    virtual std::uint64_t
+    cachedSessionTokens(std::uint32_t replica,
+                        std::uint64_t session) const = 0;
+
     /** The TTFT service-level objective of this run. */
     virtual Seconds ttftDeadline() const = 0;
 };
@@ -213,6 +224,9 @@ struct ArrivalContext
     std::uint32_t promptTokens = 0;
     std::uint32_t generateTokens = 0;
     std::uint32_t priority = 0;
+
+    /** Conversation this request belongs to; 0 = standalone. */
+    std::uint64_t sessionId = 0;
 
     /**
      * One ground-truth observation per replica, sampled at this
@@ -444,6 +458,22 @@ std::shared_ptr<ControlPolicy> makePriorityPreemptPolicy();
 std::shared_ptr<ControlPolicy> makeDrainMigratePolicy();
 
 /**
+ * KV-affinity session routing ("affinity") — the multi-turn router.
+ * A follow-up turn's prompt repeats its whole conversation history,
+ * and the replica that served the previous turn may still hold that
+ * history's KV cache (FleetView::cachedSessionTokens), making its
+ * prefill almost free.  The policy routes a session turn back to
+ * the replica holding its KV unless the load gap argues otherwise:
+ * it sticks when the resident tokens (prefill work saved) at least
+ * cover the token-backlog gap to the least-loaded replica (extra
+ * queueing taken on).  Standalone requests (session 0), first
+ * turns, turns whose KV was evicted, and turns whose sticky replica
+ * is draining or dead all fall back to ground-truth
+ * join-shortest-queue over observed outstanding requests.
+ */
+std::shared_ptr<ControlPolicy> makeAffinityPolicy();
+
+/**
  * Compose routing + auxiliary policies into one control plane.
  * Throws std::invalid_argument when `children` is empty.
  */
@@ -454,7 +484,8 @@ std::shared_ptr<ControlPolicy> composeControlPolicies(
  * Registry names of the built-in atoms, in display order: the six
  * router policies ("round-robin", "jsq", "least-tokens",
  * "slo-aware", "true-jsq", "least-backlog"), then "greedy-steal",
- * "slo-steal", "priority-preempt", and "drain-migrate".
+ * "slo-steal", "priority-preempt", "drain-migrate", and
+ * "affinity".
  */
 std::vector<std::string> controlPolicyNames();
 

@@ -127,6 +127,10 @@ TEST(EventSim, KindNamesAreStable)
               "step-complete");
     EXPECT_EQ(eventKindName(EventKind::Wake), "wake");
     EXPECT_EQ(eventKindName(EventKind::Tick), "tick");
+    EXPECT_EQ(eventKindName(EventKind::ResumeReady),
+              "resume-ready");
+    EXPECT_EQ(eventKindName(EventKind::SessionContinue),
+              "session-continue");
 }
 
 TEST(EventSim, TicksCountInStatsAndSortAsFleetEvents)
@@ -248,7 +252,7 @@ TEST(EventSim, SortedStreamMergesWithHeapEvents)
 
 TEST(EventSim, PerKindCountersSumToPopped)
 {
-    // popped() is a single counter bumped in pop(); the seven
+    // popped() is a single counter bumped in pop(); the eight
     // per-kind counters must partition it exactly.
     EventQueue queue;
     queue.shard(4);
@@ -262,11 +266,13 @@ TEST(EventSim, PerKindCountersSumToPopped)
         EventKind::Arrival,      EventKind::RequestDone,
         EventKind::PrefillComplete, EventKind::StepComplete,
         EventKind::Wake,         EventKind::Tick,
-        EventKind::ResumeReady};
+        EventKind::ResumeReady,  EventKind::SessionContinue};
     for (int i = 0; i < 100; ++i) {
-        const EventKind kind = kinds[next() % 7];
+        const EventKind kind = kinds[next() % 8];
         const std::int32_t replica =
-            kind == EventKind::Arrival || kind == EventKind::Tick
+            kind == EventKind::Arrival ||
+                    kind == EventKind::Tick ||
+                    kind == EventKind::SessionContinue
                 ? -1
                 : static_cast<std::int32_t>(next() % 4);
         queue.push(static_cast<Seconds>(next() % 10), kind,
@@ -278,7 +284,8 @@ TEST(EventSim, PerKindCountersSumToPopped)
     const EventStats &stats = queue.stats();
     EXPECT_EQ(stats.arrivals + stats.requestsDone +
                   stats.prefills + stats.decodeSteps +
-                  stats.wakes + stats.ticks + stats.resumes,
+                  stats.wakes + stats.ticks + stats.resumes +
+                  stats.sessionContinues,
               stats.popped());
     EXPECT_EQ(stats.popped(), 100u);
 }

@@ -294,7 +294,8 @@ TEST(Fleet, EmptyWorkloadYieldsEmptyReport)
 {
     auto simulator =
         uniformSimulator(2, sched::RouterPolicy::SloAware);
-    const auto report = simulator.run({});
+    const auto report =
+        simulator.run(std::vector<serving::ServedRequest>{});
     EXPECT_EQ(report.completed, 0u);
     EXPECT_EQ(report.rejected, 0u);
     EXPECT_DOUBLE_EQ(report.sloAttainment, 1.0);
@@ -609,7 +610,7 @@ TEST(ControlPlane, ExplicitStealingMatchesTheDeprecatedBool)
 TEST(ControlPlane, RegistryRoundTripsAndComposes)
 {
     const auto names = sched::controlPolicyNames();
-    ASSERT_EQ(names.size(), 10u);
+    ASSERT_EQ(names.size(), 11u);
     for (const std::string &name : names)
         EXPECT_EQ(sched::controlPolicyByName(name)->name(), name);
 
@@ -1466,6 +1467,152 @@ TEST(Lifecycle, RequestStateIsVisibleThroughTheFleetView)
     EXPECT_EQ(report.completed, trace.size());
     EXPECT_TRUE(watcher->sawRunning());
     EXPECT_TRUE(watcher->sawDone());
+}
+
+// ---- Multi-turn sessions and KV-affinity routing ----
+
+serving::SessionTrace
+conversationalTrace(std::uint32_t sessions, double rate,
+                    std::uint64_t seed)
+{
+    return serving::generateSessionWorkload(
+        serving::scenarioByName("multiturn", sessions, rate, seed));
+}
+
+TEST(Sessions, FollowupsArriveThinkTimeAfterThePreviousTurn)
+{
+    // The closed-loop contract: a follow-up turn is not an open
+    // arrival — it fires exactly think-time after its predecessor
+    // completes, and the whole chain replays deterministically.
+    const auto trace = conversationalTrace(6, 4.0, 9);
+    FleetConfig config = uniformFleet(
+        2, fastConfig(4), fastServing(2),
+        sched::RouterPolicy::JoinShortestQueue, 30.0);
+
+    const auto report =
+        FleetSimulator(config, model::opt13b()).run(trace);
+    checkReportInvariants(report, trace.requests.size());
+    EXPECT_EQ(report.completed, trace.requests.size());
+
+    std::uint64_t followups = 0;
+    for (std::size_t i = 0; i < trace.requests.size(); ++i) {
+        if (trace.turnOf[i] == 0)
+            continue;
+        ++followups;
+        const std::size_t prev = i - 1;
+        ASSERT_FALSE(report.requests[prev].rejected);
+        ASSERT_FALSE(report.requests[i].rejected);
+        EXPECT_DOUBLE_EQ(report.requests[i].arrival,
+                         report.requests[prev].completed +
+                             trace.thinkAfter[prev]);
+        EXPECT_GT(report.requests[i].arrival,
+                  report.requests[prev].completed);
+    }
+    EXPECT_GT(followups, 0u);
+    EXPECT_EQ(report.kernelStats.events.sessionContinues,
+              followups);
+
+    // Same trace, fresh simulator: byte-identical physics.
+    const auto replay =
+        FleetSimulator(config, model::opt13b()).run(trace);
+    EXPECT_EQ(report.assignment, replay.assignment);
+    EXPECT_DOUBLE_EQ(report.makespan, replay.makespan);
+
+    // Closed-loop arrivals need the event kernel.
+    config.kernel = FleetKernel::TwoPhase;
+    EXPECT_THROW(
+        FleetSimulator(config, model::opt13b()).run(trace),
+        std::invalid_argument);
+}
+
+TEST(Sessions, AffinityBeatsJsqOnMultiTurnTailLatency)
+{
+    // The headline pin: on a conversational workload the affinity
+    // policy keeps follow-up turns on the replica still holding
+    // their session KV, so grown contexts skip re-prefill; jsq
+    // scatters turns by queue depth and pays the full prompt every
+    // time.  The win is end-to-end latency (a conversation blocks
+    // on the whole turn), pinned on the p99 tail.
+    const auto trace = conversationalTrace(12, 0.3, 7);
+    FleetConfig config = uniformFleet(
+        2, fastConfig(4), fastServing(2),
+        sched::RouterPolicy::JoinShortestQueue, 120.0);
+
+    const auto run_with = [&](const std::string &control) {
+        config.control = sched::controlPolicyByName(control);
+        return FleetSimulator(config, model::opt13b()).run(trace);
+    };
+    const auto affinity = run_with("affinity");
+    const auto jsq = run_with("jsq");
+    checkReportInvariants(affinity, trace.requests.size());
+    checkReportInvariants(jsq, trace.requests.size());
+    EXPECT_EQ(affinity.completed, trace.requests.size());
+    EXPECT_EQ(jsq.completed, trace.requests.size());
+    EXPECT_GT(affinity.kernelStats.events.sessionContinues, 0u);
+
+    EXPECT_LT(latencyPercentile(affinity, 99.0),
+              latencyPercentile(jsq, 99.0));
+    EXPECT_LT(latencyPercentile(affinity, 50.0),
+              latencyPercentile(jsq, 50.0));
+}
+
+TEST(Sessions, AffinityFallsBackWhenTheStickyReplicaDrains)
+{
+    // KV residency must not pin a conversation to a replica on its
+    // way out: once the holder is draining, affinity re-routes the
+    // follow-up like jsq instead of throwing on an illegal route.
+    serving::SessionTrace two_turn;
+    serving::ServedRequest first{0, 0.0, 64, 8, 0};
+    first.sessionId = 1;
+    serving::ServedRequest second{1, 0.0, 136, 8, 0};
+    second.sessionId = 1;
+    two_turn.requests = {first, second};
+    two_turn.turnOf = {0, 1};
+    two_turn.successor = {1, -1};
+    two_turn.thinkAfter = {0.5, 0.0};
+
+    class DrainHolderPolicy final : public sched::ControlPolicy
+    {
+      public:
+        std::string name() const override { return "drain-holder"; }
+        std::uint32_t wants() const override
+        {
+            return kReplicaEvents;
+        }
+        void onPrefillComplete(std::uint32_t replica, Seconds,
+                               const sched::FleetView &,
+                               sched::FleetActions &actions) override
+        {
+            if (replica == 0 && !drained_) {
+                drained_ = true;
+                actions.requestDrain(0);
+            }
+        }
+
+      private:
+        bool drained_ = false;
+    };
+
+    FleetConfig config = uniformFleet(
+        2, fastConfig(4), fastServing(2),
+        sched::RouterPolicy::JoinShortestQueue, 30.0);
+
+    // Sticky baseline: both turns land on replica 0.
+    config.control = sched::controlPolicyByName("affinity");
+    const auto sticky =
+        FleetSimulator(config, model::opt13b()).run(two_turn);
+    EXPECT_EQ(sticky.assignment, (std::vector<int>{0, 0}));
+    EXPECT_EQ(sticky.completed, 2u);
+
+    // Drain the holder mid-conversation: the follow-up re-routes.
+    config.control = sched::composeControlPolicies(
+        {sched::controlPolicyByName("affinity"),
+         std::make_shared<DrainHolderPolicy>()});
+    const auto drained =
+        FleetSimulator(config, model::opt13b()).run(two_turn);
+    EXPECT_EQ(drained.assignment, (std::vector<int>{0, 1}));
+    EXPECT_EQ(drained.completed, 2u);
+    checkReportInvariants(drained, 2u);
 }
 
 TEST(Fleet, CacheReuseAcrossRunsKeepsPhysicsIdentical)

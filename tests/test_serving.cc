@@ -573,6 +573,11 @@ TEST(Serving, SnapshotAgreesWithIndividualProbesAfterPreemption)
             EXPECT_EQ(snap.queuedRequests[i].remainingTokens,
                       queued[i].remainingTokens);
         }
+        for (const SessionKv &entry : snap.cachedSessions) {
+            EXPECT_GT(entry.session, 0u);
+            EXPECT_EQ(simulator.cachedSessionTokens(entry.session),
+                      entry.tokens);
+        }
     };
 
     auto trace = syntheticWorkload(6, 0.0, 64, 8, 3);
@@ -613,6 +618,227 @@ TEST(Serving, SnapshotAgreesWithIndividualProbesAfterPreemption)
     check(simulator);
     const ServingReport report = simulator.finishSession();
     EXPECT_EQ(report.completed, 6u);
+}
+
+namespace {
+
+/** Serve everything a replica holds, back to idle. */
+void
+drainReplica(ServingSimulator &simulator)
+{
+    for (;;) {
+        if (simulator.busy())
+            simulator.completeWork();
+        if (simulator.startNextWork(simulator.clock()).kind ==
+            StepKind::Idle)
+            break;
+    }
+}
+
+/** A one-turn session request (sessionId 0 marks no session). */
+ServedRequest
+sessionRequest(std::uint64_t id, std::uint64_t session,
+               std::uint32_t prompt, std::uint32_t generate)
+{
+    ServedRequest request{id, 0.0, prompt, generate, 0};
+    request.sessionId = session;
+    return request;
+}
+
+} // namespace
+
+TEST(Serving, SessionKvResidencyTracksRetirementAndLru)
+{
+    ServingSimulator simulator(fastConfig(4), model::opt13b(),
+                               fastServing(1));
+    simulator.beginSession();
+    EXPECT_EQ(simulator.cachedSessionTokens(1), 0u);
+
+    simulator.deliver(sessionRequest(0, 1, 256, 8));
+    drainReplica(simulator);
+    // The retired turn's whole context stays resident for its
+    // session (prompt plus everything generated).
+    const std::uint64_t resident = simulator.cachedSessionTokens(1);
+    EXPECT_GE(resident, 256u);
+
+    simulator.deliver(sessionRequest(1, 2, 256, 8));
+    drainReplica(simulator);
+    // LRU order in the snapshot: session 1 (older) first.
+    const ReplicaSnapshot snap = simulator.snapshot();
+    ASSERT_EQ(snap.cachedSessions.size(), 2u);
+    EXPECT_EQ(snap.cachedSessions[0].session, 1u);
+    EXPECT_EQ(snap.cachedSessions[1].session, 2u);
+
+    // A follow-up turn consumes its session's residency at
+    // admission (the entry is pinned in use), then re-caches the
+    // grown context at retirement.
+    simulator.deliver(sessionRequest(2, 1, 300, 8));
+    simulator.startNextWork(simulator.clock());
+    EXPECT_EQ(simulator.cachedSessionTokens(1), 0u);
+    drainReplica(simulator);
+    EXPECT_GT(simulator.cachedSessionTokens(1), resident);
+
+    const ServingReport report = simulator.finishSession();
+    EXPECT_EQ(report.completed, 3u);
+}
+
+TEST(Serving, KvEvictionUnderMemoryPressureForcesRePrefill)
+{
+    // Two sessions against a KV budget that holds only one
+    // context: serving session 2 evicts session 1's residency
+    // (LRU), so session 1's follow-up re-prefills its whole prompt
+    // and finishes strictly later than with an unlimited budget.
+    const auto follow_up_completed =
+        [](std::uint64_t capacity_tokens) {
+            ServingConfig config = fastServing(1);
+            config.kvCapacityTokens = capacity_tokens;
+            // Fine-grained cost buckets: the default 512-token
+            // bucket would price a 64-token and a 328-token prefill
+            // identically, hiding the re-prefill cost this test
+            // pins.
+            config.seqBucket = 64;
+            ServingSimulator simulator(fastConfig(4),
+                                       model::opt13b(), config);
+            simulator.beginSession();
+            simulator.deliver(sessionRequest(0, 1, 256, 8));
+            drainReplica(simulator);
+            simulator.deliver(sessionRequest(1, 2, 256, 8));
+            drainReplica(simulator);
+            if (capacity_tokens != 0) {
+                // Session 2's retirement pushed session 1 out.
+                EXPECT_EQ(simulator.cachedSessionTokens(1), 0u);
+                EXPECT_GT(simulator.cachedSessionTokens(2), 0u);
+            } else {
+                EXPECT_GT(simulator.cachedSessionTokens(1), 0u);
+            }
+            // Session 1's follow-up: history (256 + 8) + fresh
+            // message.
+            simulator.deliver(sessionRequest(2, 1, 328, 8));
+            drainReplica(simulator);
+            const ServingReport report = simulator.finishSession();
+            EXPECT_EQ(report.completed, 3u);
+            for (const auto &request : report.requests) {
+                if (request.id == 2)
+                    return request.completed;
+            }
+            ADD_FAILURE() << "follow-up turn missing from report";
+            return 0.0;
+        };
+
+    const Seconds warm = follow_up_completed(0);   // Unlimited.
+    const Seconds cold = follow_up_completed(300); // One context.
+    // Identical arrivals and decode work; the evicted run re-pays
+    // the ~328-token prompt prefill the resident run skipped.
+    EXPECT_LT(warm, cold);
+}
+
+namespace {
+
+/**
+ * A resumed request with tokensGenerated == 0: queued work taken
+ * off a replica (takeQueued — the migrate verb's source for queued
+ * requests) before it ever prefilled.  deliverResumed explicitly
+ * allows this shape; the regression tests below pin that it is
+ * treated as *resumed* (never shed at requeue, never stolen as a
+ * plain request), not misclassified as fresh.
+ */
+ResumableRequest
+zeroTokenResumable()
+{
+    ServingSimulator source(fastConfig(4), model::opt13b(),
+                            fastServing(1));
+    source.beginSession();
+    source.deliver(ServedRequest{0, 0.0, 64, 8, 0});
+    source.deliver(ServedRequest{1, 0.0, 64, 8, 0});
+    source.startNextWork(0.0); // Admits 0; 1 stays queued.
+    ResumableRequest moved = source.takeQueued(1);
+    ++moved.migrations; // What the fleet's migrate verb records.
+    return moved;
+}
+
+} // namespace
+
+TEST(Serving, ZeroTokenResumedEntrySurvivesRequeueOverflow)
+{
+    const ResumableRequest moved = zeroTokenResumable();
+    ASSERT_EQ(moved.tokensGenerated, 0u);
+
+    // Destination under admission pressure: one slot, zero queue.
+    // A fresh arrival past capacity is rejected; the resumed entry
+    // held queue capacity once already and must never be.
+    ServingConfig tight = fastServing(1);
+    tight.maxQueue = 0;
+    ServingSimulator replica(fastConfig(4), model::opt13b(),
+                             tight);
+    replica.beginSession();
+    replica.deliver(ServedRequest{2, 0.0, 64, 8, 0});
+    replica.startNextWork(0.0);
+    replica.completeWork(); // Request 2 running.
+
+    replica.deliver(ServedRequest{3, replica.clock(), 64, 8, 0});
+    replica.deliverResumed(moved, replica.clock(), 0);
+    for (;;) {
+        if (replica.busy())
+            replica.completeWork();
+        if (replica.startNextWork(replica.clock()).kind ==
+            StepKind::Idle)
+            break;
+    }
+    const ServingReport report = replica.finishSession();
+    // The fresh overflow (id 3) is shed; the zero-token resumed
+    // entry (id 1) is not, and completes with all its tokens.
+    EXPECT_EQ(report.completed, 2u);
+    EXPECT_EQ(report.rejected, 1u);
+    for (const auto &request : report.requests) {
+        if (request.id == 1) {
+            EXPECT_FALSE(request.rejected);
+            EXPECT_EQ(request.tokens, 8u);
+            EXPECT_EQ(request.migrations, 1u);
+        }
+        if (request.id == 3)
+            EXPECT_TRUE(request.rejected);
+    }
+}
+
+TEST(Serving, ZeroTokenResumedEntryIsNeverStolenWithoutItsKv)
+{
+    const ResumableRequest moved = zeroTokenResumable();
+
+    ServingSimulator replica(fastConfig(4), model::opt13b(),
+                             fastServing(1));
+    replica.beginSession();
+    replica.deliverResumed(moved, 0.0, 0);
+
+    // stealQueued moves plain ServedRequests and drops resume
+    // state; a resumed entry — zero-token included — must be
+    // skipped.  (Use the migrate verb to move it with its KV.)
+    const auto stolen = replica.stealQueued(4);
+    EXPECT_TRUE(stolen.empty());
+
+    // The migrate path round-trips it with counters intact and the
+    // backlog counter returning exactly to zero (no wrap).
+    const ResumableRequest again =
+        replica.takeQueued(moved.request.id);
+    EXPECT_EQ(again.tokensGenerated, 0u);
+    EXPECT_EQ(again.migrations, 1u);
+    EXPECT_DOUBLE_EQ(replica.observedBacklogTokens(), 0.0);
+
+    ServingSimulator destination(fastConfig(4), model::opt13b(),
+                                 fastServing(1));
+    destination.beginSession();
+    destination.deliverResumed(again, 0.0, 0);
+    for (;;) {
+        if (destination.busy())
+            destination.completeWork();
+        if (destination.startNextWork(destination.clock()).kind ==
+            StepKind::Idle)
+            break;
+    }
+    const ServingReport report = destination.finishSession();
+    ASSERT_EQ(report.completed, 1u);
+    EXPECT_EQ(report.requests.size(), 1u);
+    EXPECT_EQ(report.requests[0].tokens, 8u);
+    EXPECT_EQ(report.requests[0].migrations, 1u);
 }
 
 TEST(Serving, DegeneratePolicyValuesAreGuarded)

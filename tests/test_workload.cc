@@ -243,6 +243,113 @@ TEST(Workload, ScenarioByNameCoversStandardSetOnly)
     EXPECT_EQ(set[2].name, "diurnal");
     EXPECT_THROW(scenarioByName("lunar", 16, 2.0, 3),
                  std::invalid_argument);
+    // The conversational scenario lives beside the standard sweep
+    // (consumed through generateSessionWorkload, so it is not part
+    // of the open-loop set).
+    EXPECT_EQ(scenarioByName("multiturn", 16, 2.0, 3).name,
+              "multiturn");
+}
+
+TEST(Workload, SessionGeneratorIsDeterministicAndWellFormed)
+{
+    ScenarioConfig scenario =
+        smallScenario(ArrivalProcess::Poisson, 12, 2.0);
+    scenario.turns = {3, 2, 0.0, 1.0}; // 1..5 turns per session.
+    scenario.thinkMeanSeconds = 1.5;
+    scenario.thinkSpreadSeconds = 0.5;
+
+    const SessionTrace a = generateSessionWorkload(scenario);
+    const SessionTrace b = generateSessionWorkload(scenario);
+    ASSERT_EQ(a.requests.size(), b.requests.size());
+    ASSERT_EQ(a.turnOf.size(), a.requests.size());
+    ASSERT_EQ(a.successor.size(), a.requests.size());
+    ASSERT_EQ(a.thinkAfter.size(), a.requests.size());
+
+    std::size_t sessions = 0;
+    std::size_t multi_turn = 0;
+    for (std::size_t i = 0; i < a.requests.size(); ++i) {
+        // Bit-identical across runs of the same config + seed.
+        EXPECT_DOUBLE_EQ(a.requests[i].arrival,
+                         b.requests[i].arrival);
+        EXPECT_EQ(a.requests[i].promptTokens,
+                  b.requests[i].promptTokens);
+        EXPECT_EQ(a.requests[i].generateTokens,
+                  b.requests[i].generateTokens);
+        EXPECT_EQ(a.requests[i].sessionId, b.requests[i].sessionId);
+        EXPECT_EQ(a.turnOf[i], b.turnOf[i]);
+        EXPECT_EQ(a.successor[i], b.successor[i]);
+        EXPECT_DOUBLE_EQ(a.thinkAfter[i], b.thinkAfter[i]);
+
+        // Structure: dense ids, session ids from 1, chained
+        // successors, nonnegative think gaps (0 on last turns).
+        EXPECT_EQ(a.requests[i].id, i);
+        EXPECT_GE(a.requests[i].sessionId, 1u);
+        if (a.turnOf[i] == 0)
+            ++sessions;
+        else
+            ++multi_turn;
+        if (a.successor[i] >= 0) {
+            const auto next =
+                static_cast<std::size_t>(a.successor[i]);
+            ASSERT_EQ(next, i + 1);
+            EXPECT_EQ(a.turnOf[next], a.turnOf[i] + 1);
+            EXPECT_EQ(a.requests[next].sessionId,
+                      a.requests[i].sessionId);
+            EXPECT_GE(a.thinkAfter[i], 0.0);
+            // Context grows with the conversation: the follow-up
+            // prompt replays the whole history plus a fresh
+            // message.
+            EXPECT_GT(a.requests[next].promptTokens,
+                      a.requests[i].promptTokens +
+                          a.requests[i].generateTokens);
+        } else {
+            EXPECT_DOUBLE_EQ(a.thinkAfter[i], 0.0);
+        }
+    }
+    EXPECT_EQ(sessions, 12u);
+    EXPECT_GT(multi_turn, 0u); // Mean 3 turns: follow-ups exist.
+
+    // First turns arrive in nondecreasing order (the fleet kernel
+    // preloads them as a presorted stream).
+    Seconds last_start = 0.0;
+    for (std::size_t i = 0; i < a.requests.size(); ++i) {
+        if (a.turnOf[i] != 0)
+            continue;
+        EXPECT_GE(a.requests[i].arrival, last_start);
+        last_start = a.requests[i].arrival;
+    }
+
+    // A different seed moves the trace.
+    scenario.seed = 22;
+    const SessionTrace c = generateSessionWorkload(scenario);
+    bool differs = c.requests.size() != a.requests.size();
+    for (std::size_t i = 0;
+         !differs && i < a.requests.size(); ++i)
+        differs |= a.requests[i].arrival != c.requests[i].arrival ||
+                   a.requests[i].promptTokens !=
+                       c.requests[i].promptTokens;
+    EXPECT_TRUE(differs);
+}
+
+TEST(Workload, MultiturnScenarioCountsSessionsNotTurns)
+{
+    const auto scenario = scenarioByName("multiturn", 8, 2.0, 7);
+    const SessionTrace trace = generateSessionWorkload(scenario);
+
+    std::size_t sessions = 0;
+    std::uint32_t turns_in_session = 0;
+    for (std::size_t i = 0; i < trace.requests.size(); ++i) {
+        if (trace.turnOf[i] == 0)
+            ++sessions;
+        if (trace.successor[i] < 0) {
+            // 2-6 turns per conversation, per the scenario doc.
+            turns_in_session = trace.turnOf[i] + 1;
+            EXPECT_GE(turns_in_session, 2u);
+            EXPECT_LE(turns_in_session, 6u);
+        }
+    }
+    EXPECT_EQ(sessions, 8u); // `requests` counts sessions here.
+    EXPECT_GT(trace.requests.size(), 8u);
 }
 
 TEST(Workload, BurstPastQueueLimitAccountsEveryRequest)

@@ -16,8 +16,10 @@ Two modes:
       the "scale-smoke" tier).
 
   merge
-      Rebuild the committed baseline from one or more fresh runs
-      (one flat JSON per tier):
+      Fold one or more fresh runs (one flat JSON per tier) into
+      the committed baseline.  Tiers already in the baseline but
+      not among the runs are carried over unchanged, so adding a
+      new tier does not force re-measuring every other one:
 
           check_bench_regression.py --merge BENCH_fleet.json \
               scale.json huge.json ... [--seed-baseline 29011]
@@ -80,8 +82,11 @@ def check(args):
 
 
 def merge(args):
-    merged = {"bench": "bench_fleet", "tiers": {}}
     previous = load(args.merge) if os.path.exists(args.merge) else {}
+    merged = {
+        "bench": "bench_fleet",
+        "tiers": dict(previous.get("tiers", {})),
+    }
     if args.seed_baseline is not None:
         merged["seed_baseline_events_per_sec"] = args.seed_baseline
     elif "seed_baseline_events_per_sec" in previous:
