@@ -54,6 +54,7 @@ struct Sweep
     std::string stealer; ///< "" = none; else a registry name.
     Seconds ttftDeadline = 1.5;
     std::uint32_t maxBatch = 8;
+    serving::CostModel cost = serving::CostModel::Exact;
 };
 
 serving::ServingConfig
@@ -62,6 +63,7 @@ replicaServing(const Sweep &sweep)
     serving::ServingConfig config;
     config.maxBatch = sweep.maxBatch;
     config.calibrationTokens = 6;
+    config.costModel = sweep.cost;
     return config;
 }
 
@@ -119,24 +121,28 @@ struct LoopMeter
 {
     std::uint64_t events = 0;
     double seconds = 0.0;
+    double calibrationSeconds = 0.0;
 
     void
     add(const fleet::FleetReport &report)
     {
         events += report.kernelStats.events.popped();
         seconds += report.kernelStats.loopSeconds;
+        calibrationSeconds +=
+            report.kernelStats.calibrationSeconds;
     }
 
     void
     print(const char *label) const
     {
         std::printf("%s: %llu kernel events in %.1f ms (%.0f "
-                    "events/s)\n",
+                    "events/s) + %.1f ms calibration\n",
                     label, static_cast<unsigned long long>(events),
                     seconds * 1e3,
                     seconds > 0.0
                         ? static_cast<double>(events) / seconds
-                        : 0.0);
+                        : 0.0,
+                    calibrationSeconds * 1e3);
     }
 };
 
@@ -161,24 +167,31 @@ main(int argc, char **argv)
     const std::string scenario_name = args.str(
         "scenario", huge ? "steady" : "all",
         "arrival scenario name, or 'all'");
+    const bool multiturn = scenario_name == "multiturn";
     const std::uint32_t replicas = args.u32(
-        "replicas", huge ? (smoke ? 64 : 1024) : (scale ? 32 : 0),
+        "replicas",
+        huge    ? (smoke ? 64 : 1024)
+        : scale ? (multiturn ? 64u : 32u)
+                : 0,
         "fleet size; 0 sweeps {2, 4}");
     const std::uint32_t default_requests =
-        huge ? (smoke ? 20000 : 1000000)
-             : (scale ? (smoke ? 200 : 2000) : (smoke ? 10 : 48));
+        huge      ? (smoke ? 20000 : 1000000)
+        : scale   ? (multiturn ? (smoke ? 256u : 10000u)
+                               : (smoke ? 200u : 2000u))
+        : (smoke ? 10 : 48);
     const std::uint32_t requests =
         args.u32("requests", default_requests, "trace length");
     // Same per-replica offered load as --scale (12 req/s over 32
     // replicas), so the huge tier exercises queueing, not idling.
     // Multiturn interprets the rate as session starts (a closed
     // loop: each session re-arrives by itself until it ends), so
-    // its default is conversational, not open-loop.
+    // its default is conversational, not open-loop — 0.3
+    // sessions/s per replica, scaled with the fleet at --scale.
     const double rate = args.f64(
         "rate",
-        scenario_name == "multiturn" ? 0.6
-        : huge                       ? 384.0
-                                     : 12.0,
+        multiturn ? (scale ? 19.2 : 0.6)
+        : huge    ? 384.0
+                  : 12.0,
         "mean arrival rate (req/s; sessions/s for multiturn)");
     const std::uint64_t seed =
         args.u64("seed", 17, "trace seed (full 64-bit range)");
@@ -191,11 +204,30 @@ main(int argc, char **argv)
         "auxiliary policy composed with the router: "
         "none|greedy-steal|slo-steal|priority-preempt|"
         "drain-migrate");
+    const std::string cost_name = args.str(
+        "cost", "auto",
+        "cost-surface fill: exact|interp|auto (auto picks interp "
+        "for multiturn — growing contexts would otherwise pay one "
+        "engine simulation per context bucket — and exact "
+        "elsewhere)");
     const std::string json_path = args.out(
         "json", "write a machine-readable run summary "
                 "(events/sec, loop wall time, peak RSS, config) "
                 "to this path");
     args.finish();
+
+    serving::CostModel cost_model = serving::CostModel::Exact;
+    if (cost_name == "auto") {
+        cost_model = multiturn ? serving::CostModel::Interp
+                               : serving::CostModel::Exact;
+    } else {
+        try {
+            cost_model = serving::costModelByName(cost_name);
+        } catch (const std::invalid_argument &error) {
+            std::fprintf(stderr, "--cost: %s\n", error.what());
+            return 2;
+        }
+    }
 
     if (stealer == "none")
         stealer.clear();
@@ -254,8 +286,10 @@ main(int argc, char **argv)
 
         banner("Fleet", "multiturn: KV-affinity vs jsq on "
                         "conversational sessions, OPT-13B");
-        std::printf("kernel: event; %u sessions (%zu turns, %llu "
-                    "follow-ups) at %.2f sessions/s\n",
+        std::printf("kernel: event; cost model: %s; %u sessions "
+                    "(%zu turns, %llu follow-ups) at %.2f "
+                    "sessions/s\n",
+                    serving::costModelName(cost_model).c_str(),
                     requests, trace.requests.size(),
                     static_cast<unsigned long long>(continues),
                     rate);
@@ -267,6 +301,15 @@ main(int argc, char **argv)
         serving::ServingConfig serving_config;
         serving_config.maxBatch = 8;
         serving_config.calibrationTokens = 6;
+        serving_config.costModel = cost_model;
+        // The scale tier measures the kernel against fleet-sized
+        // conversational traffic; true-jsq adds a third full run
+        // without changing the story, so it stays with the base
+        // tier.
+        const std::vector<const char *> controls =
+            scale ? std::vector<const char *>{"jsq", "affinity"}
+                  : std::vector<const char *>{"jsq", "true-jsq",
+                                              "affinity"};
 
         const auto run_control =
             [&](std::uint32_t fleet_size, const char *control) {
@@ -284,8 +327,7 @@ main(int argc, char **argv)
                          "continues", "tok/s", "p99 TTFT (ms)",
                          "e2e p50 (s)", "e2e p99 (s)"});
         for (const std::uint32_t fleet_size : sizes) {
-            for (const char *control :
-                 {"jsq", "true-jsq", "affinity"}) {
+            for (const char *control : controls) {
                 const auto report =
                     run_control(fleet_size, control);
                 meter.add(report);
@@ -314,12 +356,17 @@ main(int argc, char **argv)
 
         bool json_ok = true;
         if (!json_path.empty()) {
+            std::string tier =
+                scale ? "multiturn-scale" : "multiturn";
+            if (smoke)
+                tier += "-smoke";
             JsonObject json;
             json.set("bench", "bench_fleet");
-            json.set("tier", smoke ? "multiturn-smoke"
-                                   : "multiturn");
+            json.set("tier", tier);
             json.set("kernel", "event");
             json.set("model", "OPT-13B");
+            json.set("cost_model",
+                     serving::costModelName(cost_model));
             json.setU64("replicas", sizes.front());
             json.setU64("requests", requests);
             json.setF64("rate_per_sec", rate);
@@ -328,6 +375,8 @@ main(int argc, char **argv)
             json.set("policy", policy_name);
             json.setU64("events", meter.events);
             json.setF64("loop_ms", meter.seconds * 1e3);
+            json.setF64("calibration_ms",
+                        meter.calibrationSeconds * 1e3);
             json.setF64("events_per_sec",
                         meter.seconds > 0.0
                             ? static_cast<double>(meter.events) /
@@ -361,6 +410,7 @@ main(int argc, char **argv)
     Sweep sweep;
     sweep.kernel = fleet::fleetKernelByName(kernel_name);
     sweep.stealer = stealer;
+    sweep.cost = cost_model;
     if (policy_name == "all") {
         sweep.policies = sched::allRouterPolicies();
         if (smoke)
@@ -464,6 +514,8 @@ main(int argc, char **argv)
         json.set("kernel",
                  fleet::fleetKernelName(sweep.kernel));
         json.set("model", "OPT-13B");
+        json.set("cost_model",
+                 serving::costModelName(cost_model));
         json.setU64("replicas", sweep.fleetSizes.front());
         json.setU64("requests", requests);
         json.setF64("rate_per_sec", rate);
@@ -472,6 +524,8 @@ main(int argc, char **argv)
         json.set("policy", policy_name);
         json.setU64("events", meter.events);
         json.setF64("loop_ms", meter.seconds * 1e3);
+        json.setF64("calibration_ms",
+                    meter.calibrationSeconds * 1e3);
         json.setF64("events_per_sec",
                     meter.seconds > 0.0
                         ? static_cast<double>(meter.events) /

@@ -1149,6 +1149,73 @@ FleetSimulator::calibrateAll(std::uint64_t typical_prompt,
     return models;
 }
 
+double
+FleetSimulator::totalCalibrationSeconds() const
+{
+    double total = 0.0;
+    for (std::size_t i = 0; i < replicas_.size(); ++i) {
+        if (cacheGroupOf_[i] == i)
+            total += replicas_[i]->calibrationSeconds();
+    }
+    return total;
+}
+
+void
+FleetSimulator::warmSessionCosts(std::uint64_t max_context)
+{
+    unsigned hardware = std::thread::hardware_concurrency();
+    if (hardware == 0)
+        hardware = 1;
+    const std::uint32_t threads =
+        config_.calibrationThreads > 0
+            ? config_.calibrationThreads
+            : static_cast<std::uint32_t>(hardware);
+    // Warming the whole trajectory grid up front computes cells a
+    // lazy run may never touch (e.g. full-batch decodes at the very
+    // largest contexts); that trade only wins when the pool can
+    // overlap the simulations.  Single-threaded, lazy misses pick
+    // exactly the anchors the run needs — skip.
+    if (threads <= 1)
+        return;
+    for (std::size_t i = 0; i < replicas_.size(); ++i) {
+        if (cacheGroupOf_[i] != i)
+            continue;
+        const serving::ServingConfig &serving =
+            config_.replicas[i].serving;
+        const std::uint32_t max_batch =
+            std::max<std::uint32_t>(serving.maxBatch, 1);
+        const std::uint32_t bucket =
+            std::max<std::uint32_t>(serving.seqBucket, 1);
+        const std::uint64_t max_column =
+            std::max<std::uint64_t>(max_context, 1) / bucket;
+        std::uint64_t rows = 0;
+        for (std::uint32_t ramp = 1;; ramp *= 2) {
+            ++rows;
+            if (ramp >= max_batch)
+                break;
+        }
+        // Exact mode simulates the whole grid — skip oversized ones
+        // (tiny seqBucket); interp mode collapses the grid to the
+        // log-spaced anchors inside warmCosts.
+        if (serving.costModel == serving::CostModel::Exact &&
+            rows * (max_column + 1) > 4096)
+            continue;
+        std::vector<serving::CostProbe> probes;
+        probes.reserve(rows * (max_column + 1));
+        for (std::uint32_t ramp = 1;; ramp *= 2) {
+            const std::uint32_t batch =
+                std::min(ramp, max_batch);
+            for (std::uint64_t column = 0; column <= max_column;
+                 ++column)
+                probes.push_back(serving::CostProbe{
+                    batch, column * bucket});
+            if (ramp >= max_batch)
+                break;
+        }
+        replicas_[i]->warmCosts(probes, threads);
+    }
+}
+
 void
 FleetSimulator::runTwoPhase(
     FleetReport &report,
@@ -1314,15 +1381,27 @@ FleetSimulator::run(std::vector<serving::ServedRequest> workload)
         report.replicaNames.push_back(replica.name);
 
     const WorkloadShape shape = workloadShape(workload);
+    const double calibration_start = totalCalibrationSeconds();
     std::vector<sched::ReplicaModel> models =
         calibrateAll(shape.typicalPrompt, shape.typicalContext,
                      shape.maxPrompt, shape.maxContext);
+    const double calibration_warm = totalCalibrationSeconds();
 
     if (config_.kernel == FleetKernel::EventDriven)
         runEventDriven(report, workload, std::move(models),
                        *control);
     else
         runTwoPhase(report, workload, std::move(models));
+
+    // Cold buckets the loop still hit ran engine simulations on the
+    // event thread; subtract that wall time so loopSeconds prices
+    // the kernel, and report the full calibration bill separately.
+    const double calibration_end = totalCalibrationSeconds();
+    report.kernelStats.calibrationSeconds =
+        calibration_end - calibration_start;
+    report.kernelStats.loopSeconds =
+        std::max(0.0, report.kernelStats.loopSeconds -
+                          (calibration_end - calibration_warm));
 
     mergeReports(report, workload);
     return report;
@@ -1388,12 +1467,26 @@ FleetSimulator::run(const serving::SessionTrace &sessions)
         report.replicaNames.push_back(replica.name);
 
     const WorkloadShape shape = workloadShape(workload);
+    const double calibration_start = totalCalibrationSeconds();
     std::vector<sched::ReplicaModel> models =
         calibrateAll(shape.typicalPrompt, shape.typicalContext,
                      shape.maxPrompt, shape.maxContext);
+    // A session trace announces its whole context trajectory up
+    // front (every turn's prompt already carries its history):
+    // pre-warm the surface across the calibration pool instead of
+    // paying one cold bucket per growing turn inside the loop.
+    warmSessionCosts(shape.maxContext);
+    const double calibration_warm = totalCalibrationSeconds();
 
     runEventDriven(report, workload, std::move(models), *control,
                    &sessions, &workload);
+
+    const double calibration_end = totalCalibrationSeconds();
+    report.kernelStats.calibrationSeconds =
+        calibration_end - calibration_start;
+    report.kernelStats.loopSeconds =
+        std::max(0.0, report.kernelStats.loopSeconds -
+                          (calibration_end - calibration_warm));
 
     // Merge against the mutated copy, so served follow-up turns
     // carry their true arrival instants (turns whose predecessor

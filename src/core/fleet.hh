@@ -182,10 +182,23 @@ struct KernelStats
 
     /**
      * Wall-clock seconds spent inside the event loop itself —
-     * control-plane + bookkeeping overhead, excluding calibration.
-     * events.popped() / loopSeconds is the kernel's events/sec.
+     * control-plane + bookkeeping overhead.  Engine-simulation time
+     * for cold cost-cache buckets hit mid-loop is measured
+     * separately (calibrationSeconds) and subtracted here, so
+     * events.popped() / loopSeconds is the kernel's events/sec, not
+     * the calibration wall's.
      */
     double loopSeconds = 0.0;
+
+    /**
+     * Wall-clock seconds the run spent inside cost-model engine
+     * simulations, summed over cache groups: up-front router
+     * calibration and trajectory warming plus any cold buckets the
+     * loop still hit.  A bench tier where this exceeds loopSeconds
+     * is calibration-bound — grow the warmed surface or switch the
+     * tier to the interpolated cost model.
+     */
+    double calibrationSeconds = 0.0;
 };
 
 /** Fleet-level outcome of one run. */
@@ -296,6 +309,27 @@ class FleetSimulator
                  std::uint64_t typical_context,
                  std::uint64_t max_prompt,
                  std::uint64_t max_context);
+
+    /**
+     * Pre-warm every cache group's cost surface across the batch
+     * ramp and the full context trajectory a session trace will
+     * climb (columns 0..max_context/seqBucket), using the
+     * calibration thread pool.  Under the interpolated cost model
+     * the grid collapses to the log-spaced anchors; under the exact
+     * model oversized grids are skipped (the run would not touch
+     * most of them either).  Warming is observable only as
+     * wall-clock time — cache fills are order-independent and never
+     * latch saturation, so warmed runs stay bit-identical.
+     */
+    void warmSessionCosts(std::uint64_t max_context);
+
+    /**
+     * Engine-simulation seconds accumulated in the cost caches so
+     * far, summed over cache-group leaders (a shared cache counts
+     * once).  Snapshot deltas around the event loop split
+     * KernelStats::loopSeconds from calibrationSeconds.
+     */
+    double totalCalibrationSeconds() const;
 
     /**
      * The event-driven co-simulation core.  `sessions` (with its

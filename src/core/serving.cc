@@ -1,10 +1,14 @@
 #include "core/serving.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
 #include <string>
+#include <thread>
+#include <utility>
 
 #include "common/logging.hh"
 #include "common/rng.hh"
@@ -24,7 +28,51 @@ powerOfTwoAtLeast(std::uint32_t value)
     return bucket;
 }
 
+/**
+ * The Interp anchor schedule over context-bucket columns: every
+ * column up to 16, then geometric with ratio ~1.125 (each anchor
+ * adds an eighth of itself).  The engines' cost curves are mostly
+ * polynomial but carry discrete wrinkles (partitioning thresholds,
+ * offload boundaries), so the span is kept tight: chord
+ * interpolation across a 1.125x span stays well inside the pinned
+ * 2% bound on every engine, while a growing-context trajectory
+ * still touches only O(log context) anchors.
+ *
+ * Returns the bracketing anchors {lo, hi} with lo <= column <= hi;
+ * lo == hi exactly when `column` is itself an anchor.
+ */
+std::pair<std::uint64_t, std::uint64_t>
+anchorBracket(std::uint64_t column)
+{
+    if (column <= 4)
+        return {column, column};
+    std::uint64_t lo = 4;
+    std::uint64_t hi = 4;
+    while (hi < column) {
+        lo = hi;
+        hi += std::max<std::uint64_t>(1, hi / 8);
+    }
+    return {hi == column ? column : lo, hi};
+}
+
 } // namespace
+
+std::string
+costModelName(CostModel model)
+{
+    return model == CostModel::Interp ? "interp" : "exact";
+}
+
+CostModel
+costModelByName(const std::string &name)
+{
+    if (name == "exact")
+        return CostModel::Exact;
+    if (name == "interp")
+        return CostModel::Interp;
+    throw std::invalid_argument("unknown cost model: " + name +
+                                " (exact, interp)");
+}
 
 std::string
 requestStateName(RequestState state)
@@ -85,9 +133,25 @@ ServingSimulator::costs(std::uint32_t batch, std::uint64_t seq)
     const auto row =
         static_cast<std::size_t>(std::countr_zero(batch_bucket));
     const std::uint64_t column = seq / config_.seqBucket;
+
+    if (const StepCosts *hit = findCosts(row, column)) {
+        saturated_ |= hit->saturatedFallback;
+        return *hit;
+    }
     const std::uint64_t seq_bucket =
         (column + 1) * config_.seqBucket;
+    const StepCosts step =
+        config_.costModel == CostModel::Interp
+            ? interpolatedCosts(row, batch_bucket, column)
+            : exactCosts(batch_bucket, seq_bucket);
+    storeCosts(row, column, step);
+    saturated_ |= step.saturatedFallback;
+    return step;
+}
 
+const ServingSimulator::StepCosts *
+ServingSimulator::findCosts(std::size_t row, std::uint64_t column)
+{
     CostCache &cache = *cache_;
     if (cache.dense.size() <= row) {
         cache.dense.resize(row + 1);
@@ -97,69 +161,188 @@ ServingSimulator::costs(std::uint32_t batch, std::uint64_t seq)
         auto &cells = cache.dense[row];
         if (cells.size() <= column)
             cells.resize(column + 1);
-        if (cells[column].present) {
-            saturated_ |= cells[column].costs.saturatedFallback;
-            return cells[column].costs;
-        }
-    } else {
-        const auto &tail = cache.overflow[row];
-        const auto it = std::lower_bound(
-            tail.begin(), tail.end(), seq_bucket,
-            [](const std::pair<std::uint64_t, StepCosts> &entry,
-               std::uint64_t key) { return entry.first < key; });
-        if (it != tail.end() && it->first == seq_bucket) {
-            saturated_ |= it->second.saturatedFallback;
-            return it->second;
-        }
+        return cells[column].present ? &cells[column].costs
+                                     : nullptr;
     }
+    const auto &tail = cache.overflow[row];
+    const auto it = std::lower_bound(
+        tail.begin(), tail.end(), column,
+        [](const std::pair<std::uint64_t, StepCosts> &entry,
+           std::uint64_t key) { return entry.first < key; });
+    if (it != tail.end() && it->first == column)
+        return &it->second;
+    return nullptr;
+}
 
+void
+ServingSimulator::storeCosts(std::size_t row, std::uint64_t column,
+                             const StepCosts &step)
+{
+    CostCache &cache = *cache_;
+    if (column < CostCache::kMaxDenseColumns) {
+        cache.dense[row][column] = CostCache::Entry{step, true};
+        return;
+    }
+    auto &tail = cache.overflow[row];
+    const auto it = std::lower_bound(
+        tail.begin(), tail.end(), column,
+        [](const std::pair<std::uint64_t, StepCosts> &entry,
+           std::uint64_t key) { return entry.first < key; });
+    if (it != tail.end() && it->first == column)
+        it->second = step;
+    else
+        tail.insert(it, {column, step});
+}
+
+ServingSimulator::StepCosts
+ServingSimulator::simulateCosts(runtime::InferenceEngine &engine,
+                                const model::LlmConfig &llm,
+                                const ServingConfig &config,
+                                std::uint32_t batch_bucket,
+                                std::uint64_t seq_bucket)
+{
     // One engine simulation per bucket: the engine itself runs on the
     // shared decode pipeline, so serving latencies inherit the full
     // overlap model.
     runtime::InferenceRequest request;
-    request.llm = llm_;
+    request.llm = llm;
     request.batch = batch_bucket;
     request.promptTokens = static_cast<std::uint32_t>(
         std::min<std::uint64_t>(seq_bucket, UINT32_MAX));
-    request.generateTokens = config_.calibrationTokens;
+    request.generateTokens = config.calibrationTokens;
     request.profileTokens = 24;
-    request.seed = config_.seed;
+    request.seed = config.seed;
 
-    auto engine = runtime::makeEngine(config_.engine, system_);
-    runtime::InferenceResult result = engine->run(request);
+    runtime::InferenceResult result = engine.run(request);
 
     // A bucket can be unservable even when smaller ones are not (KV
     // cache grows with batch and context).  Fall back to the largest
-    // supported batch bucket and flag the run as saturated rather
+    // supported batch bucket and flag the bucket as saturated rather
     // than serving the step at a corrupt zero cost.
     StepCosts step;
     while (!result.supported && request.batch > 1) {
         request.batch /= 2;
-        result = engine->run(request);
+        result = engine.run(request);
         step.saturatedFallback = true;
-        saturated_ = true;
     }
 
     if (result.supported) {
         step.prefill = result.prefillTime;
         step.token =
-            result.generateTime / config_.calibrationTokens;
+            result.generateTime / config.calibrationTokens;
     } else {
         step.prefill = -1.0; // Sentinel: engine cannot serve this.
         step.token = -1.0;
     }
-    if (column < CostCache::kMaxDenseColumns) {
-        cache.dense[row][column] =
-            CostCache::Entry{step, true};
-    } else {
-        auto &tail = cache.overflow[row];
-        const auto it = std::lower_bound(
-            tail.begin(), tail.end(), seq_bucket,
-            [](const std::pair<std::uint64_t, StepCosts> &entry,
-               std::uint64_t key) { return entry.first < key; });
-        tail.insert(it, {seq_bucket, step});
-    }
     return step;
+}
+
+ServingSimulator::StepCosts
+ServingSimulator::exactCosts(std::uint32_t batch_bucket,
+                             std::uint64_t seq_bucket)
+{
+    CostCache &cache = *cache_;
+    if (!cache.engine)
+        cache.engine = runtime::makeEngine(config_.engine, system_);
+    const auto start = std::chrono::steady_clock::now();
+    const StepCosts step = simulateCosts(
+        *cache.engine, llm_, config_, batch_bucket, seq_bucket);
+    cache.engineSeconds +=
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    ++cache.engineRuns;
+    return step;
+}
+
+ServingSimulator::StepCosts
+ServingSimulator::anchorCosts(std::size_t row,
+                              std::uint32_t batch_bucket,
+                              std::uint64_t column)
+{
+    if (const StepCosts *hit = findCosts(row, column))
+        return *hit;
+    const StepCosts step =
+        exactCosts(batch_bucket, (column + 1) * config_.seqBucket);
+    storeCosts(row, column, step);
+    return step;
+}
+
+ServingSimulator::StepCosts
+ServingSimulator::interpolatedCosts(std::size_t row,
+                                    std::uint32_t batch_bucket,
+                                    std::uint64_t column)
+{
+    auto [lo, hi] = anchorBracket(column);
+    const std::uint64_t seq_bucket =
+        (column + 1) * config_.seqBucket;
+    if (lo == hi) // The column is itself an anchor: stay exact.
+        return exactCosts(batch_bucket, seq_bucket);
+    while (true) {
+        const StepCosts below = anchorCosts(row, batch_bucket, lo);
+        const StepCosts above = anchorCosts(row, batch_bucket, hi);
+        // Saturated or unservable anchors are never interpolated
+        // across: capacity cliffs are discontinuities, and a bucket
+        // on the near side of one may still be cleanly servable.
+        if (below.token < 0.0 || above.token < 0.0 ||
+            below.saturatedFallback || above.saturatedFallback)
+            return exactCosts(batch_bucket, seq_bucket);
+        // Resource-provisioning steps make the surface piecewise
+        // even when servable: a KV-driven extra GPU or DIMM divides
+        // every cost by the new device count, so cost can DROP as
+        // context grows, and an activated offload can jump it up.
+        // Across a 1.125x anchor span, smooth polynomial growth
+        // stays well under 1.35x; anchors outside that envelope
+        // straddle a regime boundary — compute exactly.
+        const auto smooth = [](double lo_cost, double hi_cost) {
+            return hi_cost >= lo_cost && hi_cost <= lo_cost * 1.35;
+        };
+        if (!smooth(below.prefill, above.prefill) ||
+            !smooth(below.token, above.token))
+            return exactCosts(batch_bucket, seq_bucket);
+        if (hi - lo == 1) // No interior column; defensive.
+            return exactCosts(batch_bucket, seq_bucket);
+        // Validate the chord against an exact simulation at the
+        // bracket midpoint before trusting it: a curvature knee
+        // between the anchors (a bandwidth ceiling kicking in, say)
+        // keeps costs monotone and inside the envelope yet pulls
+        // the true curve off the chord.  The midpoint cell is
+        // cached, so a bracket pays for its validation once.
+        const std::uint64_t mid = lo + (hi - lo) / 2;
+        const StepCosts at_mid = anchorCosts(row, batch_bucket, mid);
+        const auto lerp = [&](double lo_cost, double hi_cost,
+                              std::uint64_t at) {
+            const double t = static_cast<double>(at - lo) /
+                             static_cast<double>(hi - lo);
+            return lo_cost + (hi_cost - lo_cost) * t;
+        };
+        const auto validates = [&](double lo_cost, double hi_cost,
+                                   double mid_cost) {
+            return mid_cost >= 0.0 &&
+                   std::abs(lerp(lo_cost, hi_cost, mid) -
+                            mid_cost) <= mid_cost * 0.01;
+        };
+        if (!at_mid.saturatedFallback &&
+            validates(below.prefill, above.prefill,
+                      at_mid.prefill) &&
+            validates(below.token, above.token, at_mid.token)) {
+            if (column == mid)
+                return at_mid;
+            StepCosts step;
+            step.prefill =
+                lerp(below.prefill, above.prefill, column);
+            step.token = lerp(below.token, above.token, column);
+            return step;
+        }
+        // The chord misses the midpoint: bisect toward the column
+        // and re-validate on the tighter bracket.
+        if (column == mid)
+            return at_mid;
+        if (column < mid)
+            hi = mid;
+        else
+            lo = mid;
+    }
 }
 
 void
@@ -170,6 +353,143 @@ ServingSimulator::shareCostCacheWith(ServingSimulator &other)
                   "shareCostCacheWith across differing replica "
                   "configurations: costs would not be identical");
     cache_ = other.cache_;
+}
+
+double
+ServingSimulator::calibrationSeconds() const
+{
+    return cache_->engineSeconds;
+}
+
+std::uint64_t
+ServingSimulator::calibrationRuns() const
+{
+    return cache_->engineRuns;
+}
+
+void
+ServingSimulator::warmCosts(const std::vector<CostProbe> &probes,
+                            std::uint32_t threads)
+{
+    // Reduce the probes to the distinct cost-surface cells they
+    // touch.  A row determines its batch bucket (row == log2), so
+    // (row, column) is the cell identity.
+    struct Key
+    {
+        std::size_t row;
+        std::uint32_t batchBucket;
+        std::uint64_t column;
+    };
+    const auto before = [](const Key &a, const Key &b) {
+        return a.row != b.row ? a.row < b.row : a.column < b.column;
+    };
+    const auto same = [](const Key &a, const Key &b) {
+        return a.row == b.row && a.column == b.column;
+    };
+    std::vector<Key> cells;
+    cells.reserve(probes.size());
+    for (const CostProbe &probe : probes) {
+        const std::uint32_t batch_bucket = std::min(
+            powerOfTwoAtLeast(
+                std::max<std::uint32_t>(probe.batch, 1)),
+            powerOfTwoAtLeast(config_.maxBatch));
+        cells.push_back(Key{
+            static_cast<std::size_t>(
+                std::countr_zero(batch_bucket)),
+            batch_bucket, probe.seq / config_.seqBucket});
+    }
+    std::sort(cells.begin(), cells.end(), before);
+    cells.erase(std::unique(cells.begin(), cells.end(), same),
+                cells.end());
+
+    // The exact-simulation set those cells need: in Interp mode the
+    // bracketing anchors, in Exact mode the cells themselves.
+    std::vector<Key> needed;
+    needed.reserve(cells.size() * 2);
+    for (const Key &cell : cells) {
+        if (config_.costModel == CostModel::Interp) {
+            const auto [lo, hi] = anchorBracket(cell.column);
+            needed.push_back(Key{cell.row, cell.batchBucket, lo});
+            if (hi != lo)
+                needed.push_back(
+                    Key{cell.row, cell.batchBucket, hi});
+        } else {
+            needed.push_back(cell);
+        }
+    }
+    std::sort(needed.begin(), needed.end(), before);
+    needed.erase(std::unique(needed.begin(), needed.end(), same),
+                 needed.end());
+    std::erase_if(needed, [&](const Key &key) {
+        return findCosts(key.row, key.column) != nullptr;
+    });
+
+    const auto workers = static_cast<std::uint32_t>(std::min(
+        static_cast<std::size_t>(std::max(threads, 1u)),
+        needed.size()));
+    if (workers > 1) {
+        // Parallel fill: each worker owns a private engine and a
+        // private timing accumulator; results land in a slot array
+        // and are inserted sequentially afterwards, so the cache
+        // contents are independent of thread interleaving.
+        std::vector<StepCosts> computed(needed.size());
+        std::vector<double> seconds(workers, 0.0);
+        std::atomic<std::size_t> cursor{0};
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (std::uint32_t w = 0; w < workers; ++w) {
+            pool.emplace_back([&, w] {
+                auto engine =
+                    runtime::makeEngine(config_.engine, system_);
+                for (;;) {
+                    const std::size_t i =
+                        cursor.fetch_add(1,
+                                         std::memory_order_relaxed);
+                    if (i >= needed.size())
+                        break;
+                    const auto start =
+                        std::chrono::steady_clock::now();
+                    computed[i] = simulateCosts(
+                        *engine, llm_, config_,
+                        needed[i].batchBucket,
+                        (needed[i].column + 1) * config_.seqBucket);
+                    seconds[w] +=
+                        std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() -
+                            start)
+                            .count();
+                }
+            });
+        }
+        for (std::thread &thread : pool)
+            thread.join();
+        for (std::size_t i = 0; i < needed.size(); ++i)
+            storeCosts(needed[i].row, needed[i].column,
+                       computed[i]);
+        for (const double spent : seconds)
+            cache_->engineSeconds += spent;
+        cache_->engineRuns += needed.size();
+    } else {
+        for (const Key &key : needed)
+            storeCosts(key.row, key.column,
+                       exactCosts(key.batchBucket,
+                                  (key.column + 1) *
+                                      config_.seqBucket));
+    }
+
+    // Materialize the interpolated cells so the event loop's first
+    // touch of every probed bucket is a pure cache hit.  Cells whose
+    // anchors turned out saturated/unservable fall back to exact
+    // simulations here (sequential, pooled engine).
+    if (config_.costModel == CostModel::Interp) {
+        for (const Key &cell : cells) {
+            if (findCosts(cell.row, cell.column) != nullptr)
+                continue;
+            storeCosts(cell.row, cell.column,
+                       interpolatedCosts(cell.row, cell.batchBucket,
+                                         cell.column));
+        }
+    }
 }
 
 Seconds

@@ -178,6 +178,46 @@ struct RequestInfo
  */
 void sortByArrival(std::vector<ServedRequest> &workload);
 
+/**
+ * How the calibrated step-cost surface is filled.
+ *
+ * Exact runs one engine simulation per (batch, context) bucket — the
+ * historical behavior, bit-identical costs, required by the golden
+ * and kernel-equivalence tests.  Interp runs the engine only at a
+ * log-spaced set of anchor context buckets per batch bucket and
+ * serves intermediate buckets by piecewise-linear interpolation of
+ * the anchor costs (anchors themselves stay exact; saturated,
+ * unservable, or regime-straddling anchors — a cost drop or an
+ * outsized jump betrays a provisioning step between them — are
+ * never interpolated across: such buckets fall back to an exact
+ * simulation).  The anchor spacing grows by
+ * ~1.125x, which pins the worst-case relative error under 2% for
+ * the cost curves every engine produces; growing-context
+ * workloads (multi-turn conversations) pay O(log context) engine
+ * simulations instead of O(context / seqBucket).
+ */
+enum class CostModel
+{
+    Exact,
+    Interp,
+};
+
+/** Display name of a cost model ("exact" / "interp"). */
+std::string costModelName(CostModel model);
+
+/** Parse a display name back to a model; throws on unknown names. */
+CostModel costModelByName(const std::string &name);
+
+/**
+ * One (batch, context) operating point of the cost surface, used to
+ * pre-warm caches before an event loop (see warmCosts()).
+ */
+struct CostProbe
+{
+    std::uint32_t batch = 1;
+    std::uint64_t seq = 1;
+};
+
 /** Serving policy knobs. */
 struct ServingConfig
 {
@@ -206,6 +246,13 @@ struct ServingConfig
      * their next turn re-prefills its full context.
      */
     std::uint64_t kvCapacityTokens = 0;
+
+    /**
+     * Cost-surface fill strategy (see CostModel).  Exact — the
+     * default — keeps goldens and equivalence pins bit-identical;
+     * scale benches opt into Interp.
+     */
+    CostModel costModel = CostModel::Exact;
 
     bool operator==(const ServingConfig &) const = default;
 };
@@ -532,6 +579,32 @@ class ServingSimulator
     /** Whether any probed bucket fell back to a smaller batch. */
     bool saturated() const { return saturated_; }
 
+    /**
+     * Fill the cost cache for the given operating points before an
+     * event loop touches them.  In Interp mode the probe set is first
+     * reduced to the anchor buckets it needs, so warming a whole
+     * context trajectory costs only the log-spaced anchors.  With
+     * `threads` > 1 the missing engine simulations run on a local
+     * thread pool (each worker owns a private engine); results are
+     * inserted sequentially in a fixed order afterwards, and cache
+     * fills are order-independent, so warmed and unwarmed runs are
+     * bit-identical — warming changes wall-clock time and nothing
+     * else.  In particular it never latches saturated(): a warmed
+     * bucket's fallback flag is only observed when a run actually
+     * touches the bucket, exactly as if it had been a cold miss.
+     */
+    void warmCosts(const std::vector<CostProbe> &probes,
+                   std::uint32_t threads = 1);
+
+    /**
+     * Wall-clock seconds this simulator's (shared) cost cache spent
+     * inside engine simulations, and how many it ran.  The fleet
+     * layer subtracts this from kernel-loop time so events/sec
+     * measures the event loop, not the calibration wall.
+     */
+    double calibrationSeconds() const;
+    std::uint64_t calibrationRuns() const;
+
   private:
     struct StepCosts
     {
@@ -574,10 +647,71 @@ class ServingSimulator
         std::vector<std::vector<Entry>> dense;
         std::vector<std::vector<std::pair<std::uint64_t, StepCosts>>>
             overflow; ///< Per row, sorted by context bucket.
+
+        /**
+         * Pooled engine: constructed once per cache (== once per
+         * shareCostCacheWith group) and reused across misses.
+         * Engines are pure functions of their configuration — run()
+         * mutates nothing — so reuse is bit-identical to the old
+         * engine-per-miss behavior, minus the construction cost.
+         */
+        std::unique_ptr<runtime::InferenceEngine> engine;
+
+        /** Wall-clock spent in engine simulations, and how many. */
+        double engineSeconds = 0.0;
+        std::uint64_t engineRuns = 0;
     };
 
     /** Calibrated (batch bucket, seq bucket) -> step costs. */
     StepCosts costs(std::uint32_t batch, std::uint64_t seq);
+
+    /**
+     * Cached entry at (row, column), or nullptr on a miss.  Grows
+     * the cache's row tables as needed; never runs the engine.
+     */
+    const StepCosts *findCosts(std::size_t row, std::uint64_t column);
+
+    /** Insert `step` at (row, column); dense or sorted overflow. */
+    void storeCosts(std::size_t row, std::uint64_t column,
+                    const StepCosts &step);
+
+    /**
+     * One exact engine simulation of (batch_bucket, seq_bucket),
+     * including the batch-halving capacity fallback, on the pooled
+     * engine.  Does not touch the cache or saturated_.
+     */
+    StepCosts exactCosts(std::uint32_t batch_bucket,
+                         std::uint64_t seq_bucket);
+
+    /**
+     * The Interp miss path for (row, batch_bucket, column): ensure
+     * the bracketing anchor columns are cached (exact), validate
+     * the chord against an exact simulation at the bracket
+     * midpoint, and interpolate — bisecting toward the column when
+     * the midpoint disagrees (a curvature knee inside the bracket),
+     * or computing exactly when the column is itself an anchor or
+     * an anchor is saturated/unservable/regime-straddling.  Does
+     * not store the result or touch saturated_.
+     */
+    StepCosts interpolatedCosts(std::size_t row,
+                                std::uint32_t batch_bucket,
+                                std::uint64_t column);
+
+    /** Cached-or-computed exact costs at an anchor column. */
+    StepCosts anchorCosts(std::size_t row,
+                          std::uint32_t batch_bucket,
+                          std::uint64_t column);
+
+    /**
+     * The raw engine simulation behind exactCosts(), on a
+     * caller-supplied engine — what the parallel warming workers run
+     * with their thread-private engines.
+     */
+    static StepCosts simulateCosts(runtime::InferenceEngine &engine,
+                                   const model::LlmConfig &llm,
+                                   const ServingConfig &config,
+                                   std::uint32_t batch_bucket,
+                                   std::uint64_t seq_bucket);
 
     /** Entry `index` packaged for resume (counters as recorded —
      * preempt() adds its own increment). */

@@ -27,7 +27,17 @@ enum class EngineKind
     TensorRtLlm,
 };
 
-/** Instantiate an engine on the given platform. */
+/**
+ * Instantiate an engine on the given platform.
+ *
+ * Engines are pure cost models: construction captures only the
+ * platform configuration, and `run()` derives every result from the
+ * request plus that configuration — no mutable state survives a
+ * call.  The serving layer's cost caches rely on this contract to
+ * pool one engine per replica cache group and to run calibration on
+ * thread-private engines: any engine, constructed anywhere, must
+ * return identical results for identical requests.
+ */
 std::unique_ptr<InferenceEngine> makeEngine(EngineKind kind,
                                             const SystemConfig &config);
 

@@ -37,6 +37,13 @@
  * ControlPolicy objects; configuring a fleet by RouterPolicy enum
  * (FleetConfig::policy) is deprecated-but-stable — prefer
  * `controlPolicyByName` / `FleetConfig::control`.
+ *
+ * Calibration probes go through ServingSimulator's cost surface, so
+ * the router automatically shares whatever cost model the replica is
+ * configured with (ServingConfig::costModel): under the interpolated
+ * model its estimates are built from the same anchor surface the
+ * kernel serves steps from, and the shared per-cache-group cost
+ * cache means probing N replicas of one group costs one calibration.
  */
 
 #ifndef HERMES_SCHED_ROUTER_HH

@@ -1556,6 +1556,62 @@ TEST(Sessions, AffinityBeatsJsqOnMultiTurnTailLatency)
               latencyPercentile(jsq, 50.0));
 }
 
+TEST(Sessions, CalibrationTimeIsAccountedSeparatelyFromTheLoop)
+{
+    // Cost-cache engine simulations are real wall-clock but not
+    // kernel work: a session run bills them to
+    // kernelStats.calibrationSeconds and keeps loopSeconds clean
+    // of mid-loop cold-bucket fills, in both cost models.
+    const auto trace = conversationalTrace(6, 1.0, 11);
+    FleetConfig config = uniformFleet(
+        2, fastConfig(4), fastServing(2),
+        sched::RouterPolicy::JoinShortestQueue, 120.0);
+    for (const serving::CostModel model :
+         {serving::CostModel::Exact, serving::CostModel::Interp}) {
+        for (ReplicaConfig &replica : config.replicas)
+            replica.serving.costModel = model;
+        const auto report =
+            FleetSimulator(config, model::opt13b()).run(trace);
+        checkReportInvariants(report, trace.requests.size());
+        EXPECT_EQ(report.completed, trace.requests.size());
+        EXPECT_GT(report.kernelStats.calibrationSeconds, 0.0)
+            << serving::costModelName(model);
+        EXPECT_GE(report.kernelStats.loopSeconds, 0.0)
+            << serving::costModelName(model);
+    }
+}
+
+TEST(Sessions, CalibrationThreadsDoNotChangeThePhysics)
+{
+    // calibrationThreads controls only how fast shared cost caches
+    // fill (router calibration and pre-loop cost warming); the
+    // simulated physics of a session run is byte-identical at any
+    // thread count, in either cost model.
+    const auto trace = conversationalTrace(8, 0.5, 13);
+    for (const serving::CostModel model :
+         {serving::CostModel::Exact, serving::CostModel::Interp}) {
+        FleetConfig config = uniformFleet(
+            2, fastConfig(4), fastServing(2),
+            sched::RouterPolicy::JoinShortestQueue, 120.0);
+        for (ReplicaConfig &replica : config.replicas)
+            replica.serving.costModel = model;
+        config.calibrationThreads = 1;
+        const auto lazy =
+            FleetSimulator(config, model::opt13b()).run(trace);
+        config.calibrationThreads = 4;
+        const auto warmed =
+            FleetSimulator(config, model::opt13b()).run(trace);
+        checkReportInvariants(lazy, trace.requests.size());
+        EXPECT_EQ(lazy.assignment, warmed.assignment)
+            << serving::costModelName(model);
+        EXPECT_DOUBLE_EQ(lazy.makespan, warmed.makespan)
+            << serving::costModelName(model);
+        EXPECT_DOUBLE_EQ(latencyPercentile(lazy, 99.0),
+                         latencyPercentile(warmed, 99.0))
+            << serving::costModelName(model);
+    }
+}
+
 TEST(Sessions, AffinityFallsBackWhenTheStickyReplicaDrains)
 {
     // KV residency must not pin a conversation to a replica on its

@@ -45,12 +45,34 @@ def load(path):
         sys.exit(f"{path}: {error}")
 
 
+def flag_calibration_bound(tier, run):
+    """Warn when a tier spends more wall-clock calibrating cost
+    caches than running the kernel loop: its events/sec then
+    measures engine-simulation throughput, not kernel throughput,
+    and the tier should probably warm caches or use the interp
+    cost model.  Non-fatal — calibration cost is real but tracked
+    separately from the loop."""
+    loop_ms = run.get("loop_ms")
+    calibration_ms = run.get("calibration_ms")
+    if loop_ms is None or calibration_ms is None:
+        return False
+    if float(calibration_ms) <= float(loop_ms):
+        return False
+    print(
+        f"warning: tier {tier} is calibration-bound "
+        f"({float(calibration_ms):,.1f} ms calibrating vs "
+        f"{float(loop_ms):,.1f} ms in the loop)"
+    )
+    return True
+
+
 def check(args):
     current = load(args.current)
     baseline = load(args.baseline)
     tier = current.get("tier")
     if not tier:
         sys.exit(f"{args.current}: no 'tier' field")
+    flag_calibration_bound(tier, current)
     tiers = baseline.get("tiers", {})
     pinned = tiers.get(tier)
     if pinned is None:
@@ -98,6 +120,7 @@ def merge(args):
         tier = run.get("tier")
         if not tier:
             sys.exit(f"{path}: no 'tier' field")
+        flag_calibration_bound(tier, run)
         merged["tiers"][tier] = run
     with open(args.merge, "w", encoding="utf-8") as handle:
         json.dump(merged, handle, indent=2)
