@@ -19,6 +19,7 @@
 #include <cstdlib>
 #include <sstream>
 #include <string>
+#include <utility>
 
 namespace hermes {
 

@@ -1,8 +1,13 @@
 #include "common/table.hh"
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdio>
 #include <iomanip>
 #include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "common/logging.hh"
 

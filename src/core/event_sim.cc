@@ -1,6 +1,9 @@
 #include "core/event_sim.hh"
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <string>
 #include <tuple>
 
 #include "common/logging.hh"

@@ -39,6 +39,7 @@
 #ifndef HERMES_CORE_EVENT_SIM_HH
 #define HERMES_CORE_EVENT_SIM_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>

@@ -1,15 +1,21 @@
 #include "core/fleet.hh"
 
 #include <algorithm>
-#include <cstdio>
 #include <atomic>
 #include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
 #include <limits>
+#include <memory>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <utility>
+#include <vector>
 
 #include "common/logging.hh"
+#include "common/threads.hh"
 
 namespace hermes::fleet {
 
@@ -1095,13 +1101,9 @@ FleetSimulator::calibrateAll(std::uint64_t typical_prompt,
             leaders.push_back(i);
     }
 
-    unsigned hardware = std::thread::hardware_concurrency();
-    if (hardware == 0)
-        hardware = 1;
-    const std::size_t workers = std::min<std::size_t>(
-        leaders.size(), config_.calibrationThreads > 0
-                            ? config_.calibrationThreads
-                            : hardware);
+    const std::size_t workers = resolveWorkerCount(
+        config_.calibrationThreads, hardwareThreads(),
+        leaders.size());
     if (workers <= 1) {
         for (const std::size_t i : leaders)
             models[i] = calibrate(i, typical_prompt,
@@ -1163,13 +1165,8 @@ FleetSimulator::totalCalibrationSeconds() const
 void
 FleetSimulator::warmSessionCosts(std::uint64_t max_context)
 {
-    unsigned hardware = std::thread::hardware_concurrency();
-    if (hardware == 0)
-        hardware = 1;
-    const std::uint32_t threads =
-        config_.calibrationThreads > 0
-            ? config_.calibrationThreads
-            : static_cast<std::uint32_t>(hardware);
+    const std::uint32_t threads = effectiveThreads(
+        config_.calibrationThreads, hardwareThreads());
     // Warming the whole trajectory grid up front computes cells a
     // lazy run may never touch (e.g. full-batch decodes at the very
     // largest contexts); that trade only wins when the pool can

@@ -43,6 +43,7 @@
 #ifndef HERMES_CORE_FLEET_HH
 #define HERMES_CORE_FLEET_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>

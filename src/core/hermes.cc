@@ -1,5 +1,10 @@
 #include "core/hermes.hh"
 
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
 #include "runtime/hermes_engine.hh"
 
 namespace hermes {

@@ -19,6 +19,7 @@
 #ifndef HERMES_CORE_HERMES_HH
 #define HERMES_CORE_HERMES_HH
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>

@@ -5,13 +5,18 @@
 #include <bit>
 #include <chrono>
 #include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <thread>
 #include <utility>
+#include <vector>
 
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "common/threads.hh"
 #include "runtime/engine.hh"
 
 namespace hermes::serving {
@@ -424,9 +429,11 @@ ServingSimulator::warmCosts(const std::vector<CostProbe> &probes,
         return findCosts(key.row, key.column) != nullptr;
     });
 
-    const auto workers = static_cast<std::uint32_t>(std::min(
-        static_cast<std::size_t>(std::max(threads, 1u)),
-        needed.size()));
+    // `threads` arrives pre-resolved from the fleet layer, but a
+    // direct warmCosts(probes, 0) call must still get one worker,
+    // not a zero-thread pool.
+    const auto workers = static_cast<std::uint32_t>(
+        resolveWorkerCount(threads, 1, needed.size()));
     if (workers > 1) {
         // Parallel fill: each worker owns a private engine and a
         // private timing accumulator; results land in a slot array

@@ -53,9 +53,11 @@
 #ifndef HERMES_CORE_SERVING_HH
 #define HERMES_CORE_SERVING_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 

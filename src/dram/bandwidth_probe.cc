@@ -1,5 +1,8 @@
 #include "dram/bandwidth_probe.hh"
 
+#include <cstdint>
+#include <vector>
+
 #include "common/logging.hh"
 
 namespace hermes::dram {

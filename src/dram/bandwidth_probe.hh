@@ -17,6 +17,8 @@
 #include <cstdint>
 #include <map>
 #include <tuple>
+#include <utility>
+#include <vector>
 
 #include "common/rng.hh"
 #include "common/units.hh"

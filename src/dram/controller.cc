@@ -1,7 +1,10 @@
 #include "dram/controller.hh"
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
 #include <limits>
+#include <vector>
 
 #include "common/logging.hh"
 

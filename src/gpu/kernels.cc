@@ -1,6 +1,7 @@
 #include "gpu/kernels.hh"
 
 #include <algorithm>
+#include <cstdint>
 
 #include "common/logging.hh"
 

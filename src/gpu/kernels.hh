@@ -14,6 +14,7 @@
 #define HERMES_GPU_KERNELS_HH
 
 #include <cstdint>
+#include <utility>
 
 #include "common/units.hh"
 #include "gpu/gpu_spec.hh"

@@ -1,6 +1,8 @@
 #include "interconnect/dimm_link.hh"
 
 #include <algorithm>
+#include <cstdint>
+#include <vector>
 
 #include "common/logging.hh"
 

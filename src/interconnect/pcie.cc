@@ -1,5 +1,7 @@
 #include "interconnect/pcie.hh"
 
+#include <cstdint>
+
 #include "common/logging.hh"
 
 namespace hermes::interconnect {

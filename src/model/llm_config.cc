@@ -1,5 +1,9 @@
 #include "model/llm_config.hh"
 
+#include <cstdint>
+#include <string>
+#include <vector>
+
 #include "common/logging.hh"
 
 namespace hermes::model {

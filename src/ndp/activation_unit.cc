@@ -1,5 +1,7 @@
 #include "ndp/activation_unit.hh"
 
+#include <cstdint>
+
 namespace hermes::ndp {
 
 Cycles

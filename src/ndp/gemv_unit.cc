@@ -1,6 +1,7 @@
 #include "ndp/gemv_unit.hh"
 
 #include <cmath>
+#include <cstdint>
 
 #include "common/logging.hh"
 

@@ -1,6 +1,7 @@
 #include "ndp/ndp_dimm.hh"
 
 #include <algorithm>
+#include <cstdint>
 
 #include "common/logging.hh"
 

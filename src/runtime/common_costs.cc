@@ -1,6 +1,7 @@
 #include "runtime/common_costs.hh"
 
 #include <algorithm>
+#include <cstdint>
 
 #include "common/logging.hh"
 

@@ -7,6 +7,8 @@
 #ifndef HERMES_RUNTIME_COMMON_COSTS_HH
 #define HERMES_RUNTIME_COMMON_COSTS_HH
 
+#include <cstdint>
+
 #include "common/units.hh"
 #include "gpu/kernels.hh"
 #include "interconnect/pcie.hh"

@@ -1,5 +1,7 @@
 #include "runtime/cost_model.hh"
 
+#include <cstdint>
+
 #include "common/logging.hh"
 
 namespace hermes::runtime {

@@ -1,6 +1,9 @@
 #include "runtime/decode_pipeline.hh"
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
+#include <vector>
 
 namespace hermes::runtime {
 

@@ -1,6 +1,7 @@
 #include "runtime/dejavu_engine.hh"
 
 #include <algorithm>
+#include <cstdint>
 
 #include "gpu/kernels.hh"
 #include "interconnect/pcie.hh"

@@ -12,6 +12,10 @@
 #ifndef HERMES_RUNTIME_DEJAVU_ENGINE_HH
 #define HERMES_RUNTIME_DEJAVU_ENGINE_HH
 
+#include <cstdint>
+#include <string>
+#include <utility>
+
 #include "runtime/engine.hh"
 #include "runtime/system_config.hh"
 

@@ -10,6 +10,7 @@
 #ifndef HERMES_RUNTIME_ENGINE_HH
 #define HERMES_RUNTIME_ENGINE_HH
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>

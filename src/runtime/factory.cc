@@ -1,6 +1,10 @@
 #include "runtime/factory.hh"
 
+#include <cstdint>
+#include <memory>
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "common/logging.hh"
 #include "runtime/accelerate_engine.hh"

@@ -6,6 +6,7 @@
 #ifndef HERMES_RUNTIME_FACTORY_HH
 #define HERMES_RUNTIME_FACTORY_HH
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>

@@ -11,6 +11,9 @@
 #ifndef HERMES_RUNTIME_HERMES_BASE_ENGINE_HH
 #define HERMES_RUNTIME_HERMES_BASE_ENGINE_HH
 
+#include <string>
+#include <utility>
+
 #include "runtime/engine.hh"
 #include "runtime/system_config.hh"
 

@@ -1,7 +1,10 @@
 #include "runtime/hermes_engine.hh"
 
 #include <algorithm>
+#include <cstdint>
 #include <numeric>
+#include <utility>
+#include <vector>
 
 #include "common/logging.hh"
 #include "common/rng.hh"

@@ -1,7 +1,10 @@
 #include "runtime/hermes_host_engine.hh"
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
 #include <numeric>
+#include <vector>
 
 #include "gpu/kernels.hh"
 #include "interconnect/pcie.hh"

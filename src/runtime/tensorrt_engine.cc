@@ -1,6 +1,7 @@
 #include "runtime/tensorrt_engine.hh"
 
 #include <algorithm>
+#include <cstdint>
 
 #include "gpu/gpu_spec.hh"
 #include "gpu/kernels.hh"

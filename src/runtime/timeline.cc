@@ -1,6 +1,9 @@
 #include "runtime/timeline.hh"
 
 #include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "common/logging.hh"
 

@@ -20,6 +20,7 @@
 #define HERMES_RUNTIME_TIMELINE_HH
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>

@@ -1,8 +1,14 @@
 #include "sched/control_policy.hh"
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
 #include <limits>
+#include <memory>
 #include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
 
 namespace hermes::sched {
 

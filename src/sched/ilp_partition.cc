@@ -1,8 +1,12 @@
 #include "sched/ilp_partition.hh"
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
 #include <numeric>
 #include <queue>
+#include <utility>
+#include <vector>
 
 #include "common/logging.hh"
 

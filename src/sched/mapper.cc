@@ -1,6 +1,9 @@
 #include "sched/mapper.hh"
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
 
 #include "common/logging.hh"
 

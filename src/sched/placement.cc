@@ -1,5 +1,8 @@
 #include "sched/placement.hh"
 
+#include <cstdint>
+#include <utility>
+
 namespace hermes::sched {
 
 ModelPlacement

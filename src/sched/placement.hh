@@ -12,6 +12,7 @@
 #ifndef HERMES_SCHED_PLACEMENT_HH
 #define HERMES_SCHED_PLACEMENT_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

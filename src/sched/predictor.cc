@@ -1,6 +1,10 @@
 #include "sched/predictor.hh"
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "common/logging.hh"
 

@@ -25,6 +25,7 @@
 #define HERMES_SCHED_PREDICTOR_HH
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/units.hh"

@@ -1,8 +1,13 @@
 #include "sched/router.hh"
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
 #include <limits>
 #include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
 
 namespace hermes::sched {
 

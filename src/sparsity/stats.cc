@@ -1,7 +1,10 @@
 #include "sparsity/stats.hh"
 
 #include <algorithm>
+#include <cstddef>
+#include <cstdint>
 #include <numeric>
+#include <vector>
 
 #include "common/logging.hh"
 

@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
+#include <cstdint>
 #include <numeric>
+#include <utility>
+#include <vector>
 
 #include "common/logging.hh"
 

@@ -1,6 +1,7 @@
 /**
  * @file
- * Unit tests for the common substrate: units, RNG, stats, tables.
+ * Unit tests for the common substrate: units, RNG, stats, tables,
+ * and worker-pool sizing clamps.
  */
 
 #include <gtest/gtest.h>
@@ -11,6 +12,7 @@
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
+#include "common/threads.hh"
 #include "common/units.hh"
 
 namespace hermes {
@@ -167,6 +169,36 @@ TEST(Table, NumFormatsPrecision)
 {
     EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
     EXPECT_EQ(TextTable::num(2.0, 0), "2");
+}
+
+// The standard allows hardware_concurrency() to return 0 ("not
+// computable").  Every pool in the simulator sizes itself through
+// these helpers, so a zero probe must never produce a zero-thread
+// pool or a zero divisor.  The probe value is a parameter exactly so
+// this case is pinnable without mocking the standard library.
+TEST(Threads, ZeroHardwareProbeNeverYieldsZeroThreads)
+{
+    EXPECT_EQ(effectiveThreads(0, 0), 1u);
+    EXPECT_EQ(effectiveThreads(0, 8), 8u);
+    // An explicit request wins over any probe value, including 0.
+    EXPECT_EQ(effectiveThreads(4, 0), 4u);
+    EXPECT_EQ(effectiveThreads(4, 64), 4u);
+    EXPECT_GE(hardwareThreads(), 1u);
+}
+
+TEST(Threads, WorkerCountCappedByJobsAndNeverZeroWithWork)
+{
+    // Zero probe, no request: one worker as long as there is work.
+    EXPECT_EQ(resolveWorkerCount(0, 0, 100), 1u);
+    // No work at all is the only way to get zero workers (callers
+    // treat <= 1 as "run serially").
+    EXPECT_EQ(resolveWorkerCount(0, 0, 0), 0u);
+    EXPECT_EQ(resolveWorkerCount(8, 4, 0), 0u);
+    // Idle workers are never spawned: capped at the job count.
+    EXPECT_EQ(resolveWorkerCount(8, 4, 5), 5u);
+    EXPECT_EQ(resolveWorkerCount(2, 64, 100), 2u);
+    // Fallback path follows the probe when no request is given.
+    EXPECT_EQ(resolveWorkerCount(0, 6, 100), 6u);
 }
 
 } // namespace

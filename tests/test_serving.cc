@@ -795,8 +795,9 @@ TEST(Serving, ZeroTokenResumedEntrySurvivesRequeueOverflow)
             EXPECT_EQ(request.tokens, 8u);
             EXPECT_EQ(request.migrations, 1u);
         }
-        if (request.id == 3)
+        if (request.id == 3) {
             EXPECT_TRUE(request.rejected);
+        }
     }
 }
 

@@ -1,0 +1,359 @@
+#!/usr/bin/env python3
+"""Unit tests for determinism_lint.py (stdlib only).
+
+Seeded violation fixtures for every rule of the determinism
+contract, the suppression protocol (justified allow honoured,
+unjustified or unknown-rule allow rejected), per-path rule scoping,
+comment/string masking, and a clean run over the real src/ tree.
+"""
+
+import contextlib
+import importlib.util
+import io
+import os
+import sys
+import tempfile
+import unittest
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.dirname(HERE)
+
+
+def load_tool():
+    spec = importlib.util.spec_from_file_location(
+        "determinism_lint",
+        os.path.join(HERE, "determinism_lint.py"),
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+TOOL = load_tool()
+
+
+class LintRunner(unittest.TestCase):
+    """Helpers: write fixture files under a fake repo root and run
+    the linter's main() against them with the regex engine."""
+
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+        self.addCleanup(self.dir.cleanup)
+        self.root = self.dir.name
+
+    def write(self, relpath, text):
+        path = os.path.join(self.root, relpath)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        return path
+
+    def run_lint(self, *extra):
+        out, err = io.StringIO(), io.StringIO()
+        with contextlib.redirect_stdout(out), \
+                contextlib.redirect_stderr(err):
+            code = TOOL.main(["--root", self.root,
+                              "--engine", "regex", *extra])
+        return code, out.getvalue(), err.getvalue()
+
+    def assert_flags(self, relpath, text, rule):
+        self.write(relpath, text)
+        code, out, _err = self.run_lint()
+        self.assertEqual(code, 1, out)
+        self.assertIn("[%s]" % rule, out)
+
+    def assert_clean(self, relpath, text):
+        self.write(relpath, text)
+        code, out, _err = self.run_lint()
+        self.assertEqual(code, 0, out)
+
+
+class UnorderedIter(LintRunner):
+    def test_range_for_over_unordered_type_expression(self):
+        self.assert_flags(
+            "src/core/foo.cc",
+            "void f(const std::unordered_map<int, int> &m) {\n"
+            "    for (const auto &[k, v] : m.items()) {}\n"
+            "    for (auto &kv : std::unordered_map<int,int>{}) {}\n"
+            "}\n",
+            "unordered-iter")
+
+    def test_range_for_over_declared_unordered_variable(self):
+        self.assert_flags(
+            "src/core/foo.cc",
+            "std::unordered_map<int, double> cache;\n"
+            "void f() {\n"
+            "    for (const auto &kv : cache) { use(kv); }\n"
+            "}\n",
+            "unordered-iter")
+
+    def test_begin_on_declared_unordered_variable(self):
+        self.assert_flags(
+            "src/sched/bar.cc",
+            "std::unordered_set<int> seen;\n"
+            "auto it = seen.begin();\n",
+            "unordered-iter")
+
+    def test_unordered_lookup_without_iteration_is_clean(self):
+        self.assert_clean(
+            "src/core/foo.cc",
+            "std::unordered_map<int, double> cache;\n"
+            "double f(int k) { return cache.at(k); }\n")
+
+    def test_ordered_map_iteration_is_clean(self):
+        self.assert_clean(
+            "src/core/foo.cc",
+            "std::map<std::string, int> counters;\n"
+            "void f() { for (auto &kv : counters) use(kv); }\n")
+
+
+class PointerKey(LintRunner):
+    def test_pointer_keyed_map(self):
+        self.assert_flags(
+            "src/runtime/foo.cc",
+            "std::map<Replica *, int> backlog;\n",
+            "pointer-key")
+
+    def test_pointer_keyed_set_with_const(self):
+        self.assert_flags(
+            "src/core/foo.hh",
+            "std::set<const Request *> inflight;\n",
+            "pointer-key")
+
+    def test_value_keyed_map_is_clean(self):
+        self.assert_clean(
+            "src/core/foo.cc",
+            "std::map<std::uint64_t, Request> table;\n"
+            "std::map<std::pair<int, int>, double> cache;\n")
+
+
+class RawRandom(LintRunner):
+    def test_rand_call(self):
+        self.assert_flags("src/core/foo.cc",
+                          "int f() { return rand() % 6; }\n",
+                          "raw-random")
+
+    def test_std_rand_and_srand(self):
+        self.assert_flags("src/gpu/foo.cc",
+                          "void f() { std::srand(42); }\n",
+                          "raw-random")
+
+    def test_random_device(self):
+        self.assert_flags("src/model/foo.cc",
+                          "std::random_device entropy;\n",
+                          "raw-random")
+
+    def test_std_mersenne_twister(self):
+        self.assert_flags("src/core/foo.cc",
+                          "std::mt19937_64 gen(seed);\n",
+                          "raw-random")
+
+    def test_allowed_inside_common_rng(self):
+        # The seeded RNG implementation itself may touch <random>.
+        self.assert_clean("src/common/rng.hh",
+                          "inline std::mt19937 bootstrap(s);\n")
+
+    def test_identifier_containing_rand_is_clean(self):
+        self.assert_clean(
+            "src/core/foo.cc",
+            "double spread(double x) { return x; }\n"
+            "double operand(int i);\n"
+            "double y = fleet.operand(3);\n")
+
+
+class WallClock(LintRunner):
+    def test_system_clock(self):
+        self.assert_flags(
+            "src/core/foo.cc",
+            "auto t = std::chrono::system_clock::now();\n",
+            "wall-clock")
+
+    def test_time_null(self):
+        self.assert_flags("src/sched/foo.cc",
+                          "long t = time(NULL);\n",
+                          "wall-clock")
+
+    def test_std_time(self):
+        self.assert_flags("src/core/foo.cc",
+                          "auto t = std::time(nullptr);\n",
+                          "wall-clock")
+
+    def test_steady_clock_is_allowed(self):
+        # steady_clock only ever bills calibration wall time; it is
+        # explicitly outside the ban list.
+        self.assert_clean(
+            "src/core/foo.cc",
+            "auto t0 = std::chrono::steady_clock::now();\n")
+
+    def test_member_named_time_is_clean(self):
+        self.assert_clean(
+            "src/runtime/foo.cc",
+            "double t = event.time();\n"
+            "double u = timeline.time(3);\n"
+            "double v = sim_time(step);\n")
+
+
+class EnvRead(LintRunner):
+    def test_getenv(self):
+        self.assert_flags(
+            "src/core/foo.cc",
+            "const char *g = getenv(\"HERMES_SEED\");\n",
+            "env-read")
+
+    def test_std_getenv(self):
+        self.assert_flags("src/dram/foo.cc",
+                          "const char *g = std::getenv(\"X\");\n",
+                          "env-read")
+
+    def test_locale(self):
+        self.assert_flags("src/core/foo.cc",
+                          "std::locale::global(std::locale(\"\"));\n",
+                          "env-read")
+
+
+class MutableStatic(LintRunner):
+    def test_static_counter_in_core(self):
+        self.assert_flags("src/core/foo.cc",
+                          "static int counter = 0;\n",
+                          "mutable-static")
+
+    def test_function_local_static(self):
+        self.assert_flags(
+            "src/runtime/foo.cc",
+            "int next_id() {\n"
+            "    static std::uint64_t id;\n"
+            "    return ++id;\n"
+            "}\n",
+            "mutable-static")
+
+    def test_thread_local(self):
+        self.assert_flags("src/sched/foo.cc",
+                          "thread_local double scratch[8];\n",
+                          "mutable-static")
+
+    def test_static_const_is_clean(self):
+        self.assert_clean(
+            "src/core/foo.cc",
+            "static const int kTableSize = 64;\n"
+            "static constexpr double kEps = 1e-9;\n")
+
+    def test_static_member_function_declaration_is_clean(self):
+        self.assert_clean(
+            "src/core/foo.hh",
+            "struct S {\n"
+            "    static StepCosts simulate(Engine &engine,\n"
+            "                              int batch);\n"
+            "    static void reset(State &state);\n"
+            "};\n")
+
+    def test_static_cast_and_assert_are_clean(self):
+        self.assert_clean(
+            "src/core/foo.cc",
+            "static_assert(sizeof(int) == 4, \"abi\");\n"
+            "auto x = static_cast<double>(3);\n")
+
+    def test_rule_scoped_to_hot_layers_only(self):
+        # The same mutable static outside core/sched/runtime (e.g.
+        # a lazily-built lookup table in gpu/) is out of scope.
+        self.assert_clean("src/gpu/foo.cc",
+                          "static int counter = 0;\n")
+
+
+class Suppressions(LintRunner):
+    def test_justified_allow_on_same_line(self):
+        self.assert_clean(
+            "src/core/foo.cc",
+            "static int hits = 0; "
+            "// lint:allow(mutable-static): debug-only counter, "
+            "never read by physics\n")
+
+    def test_justified_allow_on_previous_line(self):
+        self.assert_clean(
+            "src/core/foo.cc",
+            "// lint:allow(mutable-static): guarded by call-once,\n"
+            "static int table_built = 0;\n")
+
+    def test_unjustified_allow_is_rejected(self):
+        self.write("src/core/foo.cc",
+                   "static int hits = 0; "
+                   "// lint:allow(mutable-static)\n")
+        code, out, _err = self.run_lint()
+        self.assertEqual(code, 1, out)
+        self.assertIn("[unjustified-suppression]", out)
+
+    def test_allow_for_unknown_rule_is_rejected(self):
+        self.write("src/core/foo.cc",
+                   "int x = 0; // lint:allow(no-such-rule): because\n")
+        code, out, _err = self.run_lint()
+        self.assertEqual(code, 1, out)
+        self.assertIn("[unknown-rule]", out)
+
+    def test_allow_for_wrong_rule_does_not_waive(self):
+        self.write("src/core/foo.cc",
+                   "static int hits = 0; "
+                   "// lint:allow(raw-random): wrong rule named\n")
+        code, out, _err = self.run_lint()
+        self.assertEqual(code, 1, out)
+        self.assertIn("[mutable-static]", out)
+
+
+class Masking(LintRunner):
+    def test_banned_tokens_in_comments_are_clean(self):
+        self.assert_clean(
+            "src/core/foo.cc",
+            "// unlike rand() or std::random_device, the seeded\n"
+            "/* generator avoids time(NULL) and getenv(\"X\") and\n"
+            "   std::chrono::system_clock entirely */\n"
+            "int x = 0;\n")
+
+    def test_banned_tokens_in_strings_are_clean(self):
+        self.assert_clean(
+            "src/core/foo.cc",
+            "const char *kHelp = \"never calls rand() or "
+            "getenv()\";\n")
+
+
+class Driver(LintRunner):
+    def test_multiple_findings_sorted_and_counted(self):
+        self.write("src/core/a.cc",
+                   "static int n = 0;\n"
+                   "int r = rand();\n")
+        code, out, err = self.run_lint()
+        self.assertEqual(code, 1)
+        lines = [l for l in out.splitlines() if l]
+        self.assertEqual(len(lines), 2)
+        self.assertIn("a.cc:1:", lines[0])
+        self.assertIn("a.cc:2:", lines[1])
+        self.assertIn("2 finding(s)", err)
+
+    def test_missing_src_root_is_usage_error(self):
+        with self.assertRaises(SystemExit):
+            TOOL.collect_files(self.root, [])
+
+    def test_list_rules(self):
+        out = io.StringIO()
+        with contextlib.redirect_stdout(out):
+            code = TOOL.main(["--list-rules"])
+        self.assertEqual(code, 0)
+        for rule in ("unordered-iter", "pointer-key", "raw-random",
+                     "wall-clock", "env-read", "mutable-static"):
+            self.assertIn(rule, out.getvalue())
+
+
+class RealTree(unittest.TestCase):
+    def test_real_src_tree_is_clean(self):
+        """The committed tree satisfies its own contract.  Any new
+        violation fails this test before it ever reaches the golden
+        suite."""
+        out, err = io.StringIO(), io.StringIO()
+        with contextlib.redirect_stdout(out), \
+                contextlib.redirect_stderr(err):
+            code = TOOL.main(["--root", REPO,
+                              "--engine", "regex", "--quiet"])
+        self.assertEqual(code, 0,
+                         "determinism lint found violations:\n%s%s"
+                         % (out.getvalue(), err.getvalue()))
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)
