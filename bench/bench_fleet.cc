@@ -168,6 +168,7 @@ main(int argc, char **argv)
         "scenario", huge ? "steady" : "all",
         "arrival scenario name, or 'all'");
     const bool multiturn = scenario_name == "multiturn";
+    const bool autoscale = scenario_name == "autoscale";
     const std::uint32_t replicas = args.u32(
         "replicas",
         huge    ? (smoke ? 64 : 1024)
@@ -178,6 +179,7 @@ main(int argc, char **argv)
         huge      ? (smoke ? 20000 : 1000000)
         : scale   ? (multiturn ? (smoke ? 256u : 10000u)
                                : (smoke ? 200u : 2000u))
+        : autoscale ? (smoke ? 128u : 512u)
         : (smoke ? 10 : 48);
     const std::uint32_t requests =
         args.u32("requests", default_requests, "trace length");
@@ -189,9 +191,10 @@ main(int argc, char **argv)
     // sessions/s per replica, scaled with the fleet at --scale.
     const double rate = args.f64(
         "rate",
-        multiturn ? (scale ? 19.2 : 0.6)
-        : huge    ? 384.0
-                  : 12.0,
+        multiturn   ? (scale ? 19.2 : 0.6)
+        : huge      ? 384.0
+        : autoscale ? 3.0
+                    : 12.0,
         "mean arrival rate (req/s; sessions/s for multiturn)");
     const std::uint64_t seed =
         args.u64("seed", 17, "trace seed (full 64-bit range)");
@@ -396,6 +399,158 @@ main(int argc, char **argv)
                 fleetRow(report) + " e2eP99=" +
                 TextTable::num(
                     fleet::latencyPercentile(report, 99.0), 4);
+            std::printf("trial %d: %s\n", trial, row.c_str());
+            if (trial == 0)
+                first = row;
+            else
+                identical = row == first;
+        }
+        std::printf("byte-identical: %s\n",
+                    identical ? "yes" : "NO");
+        return identical && json_ok ? 0 : 1;
+    }
+
+    if (autoscale) {
+        // The SLO-vs-cost frontier: a diurnal day served by fixed
+        // fleet sizes bracketing the peak, against the
+        // target-backlog scaler starting from one replica.  Fixed
+        // sizes pay for their capacity all day; the scaler pays
+        // for the peak only while it lasts.  Scored on total
+        // replica-seconds and cost per completed request, the
+        // autoscaling cost accounting the kernel now tracks.
+        if (fleet::fleetKernelByName(kernel_name) !=
+            fleet::FleetKernel::EventDriven) {
+            std::fprintf(stderr, "the autoscale tier needs "
+                                 "--kernel event\n");
+            return 2;
+        }
+        const auto llm = model::modelByName("OPT-13B");
+        const SystemConfig platform = benchPlatform();
+        serving::ScenarioConfig scenario =
+            serving::scenarioByName("diurnal", requests, rate,
+                                    seed);
+        scenario.prompt = {192, 64, 0.05, 3.0};
+        scenario.generate = {24, 8, 0.0, 1.0};
+        scenario.diurnalPeriodSeconds = 120.0;
+        scenario.diurnalDepth = 0.9;
+        const auto trace = serving::generateWorkload(scenario);
+        const Seconds deadline = 10.0;
+
+        banner("Fleet", "autoscale: target-backlog scaler vs "
+                        "fixed fleet sizes, diurnal day, OPT-13B");
+        std::printf("kernel: event; cost model: %s; %u requests "
+                    "at %.1f req/s mean (period %.0fs, depth "
+                    "%.1f); deadline: TTFT <= %.1fs\n",
+                    serving::costModelName(cost_model).c_str(),
+                    requests, rate,
+                    scenario.diurnalPeriodSeconds,
+                    scenario.diurnalDepth, deadline);
+
+        serving::ServingConfig serving_config;
+        serving_config.maxBatch = 8;
+        serving_config.calibrationTokens = 6;
+        serving_config.costModel = cost_model;
+        const auto run_fixed = [&](std::uint32_t fleet_size) {
+            fleet::FleetConfig config = fleet::uniformFleet(
+                fleet_size, platform, serving_config,
+                sched::RouterPolicy::TrueJsq, deadline);
+            config.control =
+                sched::controlPolicyByName("true-jsq");
+            return fleet::FleetSimulator(config, llm).run(trace);
+        };
+        const auto run_scaled = [&] {
+            fleet::FleetConfig config = fleet::uniformFleet(
+                1, platform, serving_config,
+                sched::RouterPolicy::TrueJsq, deadline);
+            config.control = sched::composeControlPolicies(
+                {sched::controlPolicyByName("true-jsq"),
+                 sched::makeTargetBacklogPolicy()});
+            return fleet::FleetSimulator(config, llm).run(trace);
+        };
+
+        LoopMeter meter;
+        TextTable table({"config", "done", "spawned", "retired",
+                         "replica-s", "cost/req (s)",
+                         "p99 TTFT (ms)", "SLO att."});
+        const auto add_row = [&](const std::string &label,
+                                 const fleet::FleetReport &report) {
+            meter.add(report);
+            table.addRow(
+                {label, std::to_string(report.completed),
+                 std::to_string(
+                     report.kernelStats.spawnedReplicas),
+                 std::to_string(
+                     report.kernelStats.retiredReplicas),
+                 TextTable::num(report.replicaSeconds, 1),
+                 TextTable::num(report.costPerRequest, 3),
+                 TextTable::num(report.p99Ttft * 1e3, 1),
+                 TextTable::num(report.sloAttainment, 3)});
+        };
+        const std::vector<std::uint32_t> sizes =
+            smoke ? std::vector<std::uint32_t>{1, 2}
+                  : std::vector<std::uint32_t>{1, 2, 3, 4};
+        for (const std::uint32_t fleet_size : sizes)
+            add_row("fixed-" + std::to_string(fleet_size),
+                    run_fixed(fleet_size));
+        const auto scaled = run_scaled();
+        add_row("scaler", scaled);
+        table.print();
+        meter.print("\nkernel loop");
+        std::printf("note: the scaler provisions replicas against "
+                    "backlog/(sustained rate x deadline) with "
+                    "hysteresis and a spawn cooldown; replica-s "
+                    "bills each replica from activation to "
+                    "retirement\n");
+
+        bool json_ok = true;
+        if (!json_path.empty()) {
+            JsonObject json;
+            json.set("bench", "bench_fleet");
+            json.set("tier",
+                     smoke ? "autoscale-smoke" : "autoscale");
+            json.set("kernel", "event");
+            json.set("model", "OPT-13B");
+            json.set("cost_model",
+                     serving::costModelName(cost_model));
+            json.setU64("replicas", 1);
+            json.setU64("requests", requests);
+            json.setF64("rate_per_sec", rate);
+            json.setU64("seed", seed);
+            json.set("scenario", scenario_name);
+            json.set("policy", "true-jsq+target-backlog");
+            json.setU64("events", meter.events);
+            json.setF64("loop_ms", meter.seconds * 1e3);
+            json.setF64("calibration_ms",
+                        meter.calibrationSeconds * 1e3);
+            json.setF64("events_per_sec",
+                        meter.seconds > 0.0
+                            ? static_cast<double>(meter.events) /
+                                  meter.seconds
+                            : 0.0);
+            // The autoscaling cost accounting: what the scaler
+            // run actually paid, so the frontier point is
+            // machine-readable alongside the kernel throughput.
+            json.setF64("replica_seconds", scaled.replicaSeconds);
+            json.setF64("cost_per_request",
+                        scaled.costPerRequest);
+            json.setU64("spawned_replicas",
+                        scaled.kernelStats.spawnedReplicas);
+            json.setU64("retired_replicas",
+                        scaled.kernelStats.retiredReplicas);
+            json.setU64("peak_rss_kib", peakRssKib());
+            json_ok = json.writeFile(json_path);
+        }
+
+        banner("Fleet", "determinism: same seed, fresh fleet");
+        std::string first;
+        bool identical = true;
+        for (int trial = 0; trial < 2; ++trial) {
+            const auto report = run_scaled();
+            const std::string row =
+                fleetRow(report) + " rs=" +
+                TextTable::num(report.replicaSeconds, 4) +
+                " cost=" +
+                TextTable::num(report.costPerRequest, 6);
             std::printf("trial %d: %s\n", trial, row.c_str());
             if (trial == 0)
                 first = row;

@@ -58,6 +58,8 @@ eventKindName(EventKind kind)
         return "resume-ready";
     case EventKind::SessionContinue:
         return "session-continue";
+    case EventKind::ReplicaReady:
+        return "replica-ready";
     }
     return "?";
 }
@@ -251,6 +253,9 @@ EventQueue::pop()
         break;
     case EventKind::SessionContinue:
         ++stats_.sessionContinues;
+        break;
+    case EventKind::ReplicaReady:
+        ++stats_.replicaReadies;
         break;
     }
     ++stats_.poppedEvents;

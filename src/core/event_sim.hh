@@ -85,6 +85,15 @@ enum class EventKind : std::uint8_t
      * what the open-loop two-phase path cannot express.
      */
     SessionContinue = 7,
+
+    /**
+     * A spawned replica finished one lifecycle phase: provisioning
+     * (it begins its batch-ramp warm-up) or warming (it goes Active
+     * and becomes routable).  Scheduled by the autoscaling verbs at
+     * spawn time + the modeled provisioning latency, then again at
+     * + the warm-up replay time (see core/fleet.cc).
+     */
+    ReplicaReady = 8,
 };
 
 /** Display name of an event kind. */
@@ -117,12 +126,13 @@ struct EventStats
     std::uint64_t ticks = 0;
     std::uint64_t resumes = 0;
     std::uint64_t sessionContinues = 0;
+    std::uint64_t replicaReadies = 0;
 
     /**
      * Total popped events, kept as its own counter bumped once per
      * pop() — the per-kind fields above always sum to it (pinned by
      * test), but the hot loop reads one field instead of re-adding
-     * seven.
+     * them.
      */
     std::uint64_t poppedEvents = 0;
 

@@ -47,6 +47,7 @@ struct WorkloadShape
 {
     std::uint64_t typicalPrompt = 1;
     std::uint64_t typicalContext = 1;
+    std::uint64_t typicalGenerate = 1;
     std::uint64_t maxPrompt = 0;
     std::uint64_t maxContext = 0;
 };
@@ -77,9 +78,127 @@ workloadShape(const std::vector<serving::ServedRequest> &workload)
         std::max<std::uint64_t>(median(std::move(prompts)), 1);
     // Decode runs at a context that grows from the prompt; half the
     // typical generation is the representative midpoint.
+    shape.typicalGenerate =
+        std::max<std::uint64_t>(median(std::move(generates)), 1);
     shape.typicalContext =
-        shape.typicalPrompt + median(std::move(generates)) / 2;
+        shape.typicalPrompt + shape.typicalGenerate / 2;
     return shape;
+}
+
+/** "s<k>", the default name of the k-th replica spawned mid-run. */
+std::string
+spawnedReplicaName(std::uint64_t index)
+{
+    char buffer[24];
+    std::snprintf(buffer, sizeof(buffer), "s%llu",
+                  static_cast<unsigned long long>(index));
+    return buffer;
+}
+
+/**
+ * Calibrate the router's view of one replica at the workload's
+ * typical operating point, and warm its cost cache across the
+ * batch ramp (see FleetSimulator::calibrate).  Shared between
+ * up-front fleet calibration and mid-run spawns: a replica stood
+ * up by the autoscaler gets the identical model a configured
+ * sibling would, from the identical probe set.
+ */
+sched::ReplicaModel
+calibrateReplicaModel(serving::ServingSimulator &simulator,
+                      std::uint32_t max_batch,
+                      const WorkloadShape &shape)
+{
+    sched::ReplicaModel model;
+    model.maxBatch = max_batch;
+    if (!simulator.servable(1, shape.typicalPrompt)) {
+        // Dead replica (platform cannot run the model): make it look
+        // infinitely slow, so the SLO-aware policy never picks it
+        // and backlog-aware policies back off once its never-
+        // draining queue estimate piles up.  Round-robin still hits
+        // it — by design.
+        model.prefillSeconds = 1.0e9;
+        model.slotTokensPerSecond = 1.0e-9;
+        model.prefillTokensPerSecond = 1.0e-9;
+        return model;
+    }
+    // The router's window model charges one joint prefill per
+    // admission group of up to maxBatch requests, so calibrate the
+    // prefill at the group's batch size, not at batch 1.
+    const Seconds step =
+        simulator.tokenSeconds(max_batch, shape.typicalContext);
+    if (step <= 0.0) {
+        // Zero is the unservable sentinel (real steps are strictly
+        // positive): the decode-context bucket exceeds the replica
+        // even though the prompt probe fit.  Same treatment as a
+        // dead replica — infinitely slow, never infinitely fast.
+        model.prefillSeconds = 1.0e9;
+        model.slotTokensPerSecond = 1.0e-9;
+        model.prefillTokensPerSecond = 1.0e-9;
+        return model;
+    }
+    model.prefillSeconds =
+        simulator.prefillSeconds(max_batch, shape.typicalPrompt);
+    model.slotTokensPerSecond = 1.0 / step;
+    // Prefill throughput in prompt tokens: what the affinity score
+    // converts a KV-resident prefix with (prefill is much cheaper
+    // per token than decode, so cached and backlog tokens must not
+    // compare 1:1).
+    model.prefillTokensPerSecond =
+        static_cast<double>(shape.typicalPrompt) /
+        std::max(model.prefillSeconds, 1.0e-12);
+    model.typicalGenerateTokens =
+        static_cast<double>(shape.typicalGenerate);
+    // Warm the cost cache across the whole batch ramp at both the
+    // workload-typical contexts and the workload maxima (heavy-
+    // tailed prompt distributions put a few requests one context
+    // bucket up): the admission loop touches every power-of-two
+    // batch bucket as batches grow, and probing the buckets here —
+    // outside the measured event loop, once per cache group —
+    // turns mid-run engine simulations into cache hits.
+    const std::uint64_t far_prompt =
+        std::max<std::uint64_t>(shape.maxPrompt, 1);
+    const std::uint64_t far_context =
+        std::max<std::uint64_t>(shape.maxContext, 1);
+    for (std::uint32_t ramp = 1;; ramp *= 2) {
+        const std::uint32_t batch = std::min(ramp, max_batch);
+        simulator.prefillSeconds(batch, shape.typicalPrompt);
+        simulator.tokenSeconds(batch, shape.typicalContext);
+        simulator.prefillSeconds(batch, far_prompt);
+        simulator.tokenSeconds(batch, far_context);
+        if (ramp >= max_batch)
+            break;
+    }
+    return model;
+}
+
+/**
+ * Virtual seconds a freshly spawned replica spends replaying the
+ * calibration batch ramp as its first steps — one joint prefill
+ * plus one decode step per power-of-two batch bucket, priced on the
+ * replica's own (just warmed) cost surface.  This is the Warming
+ * phase of the spawn lifecycle: the cold-start penalty a fixed
+ * fleet paid before the clock started, which a scaler pays on it.
+ */
+Seconds
+warmupReplaySeconds(serving::ServingSimulator &simulator,
+                    std::uint32_t max_batch,
+                    const WorkloadShape &shape)
+{
+    double total = 0.0;
+    for (std::uint32_t ramp = 1;; ramp *= 2) {
+        const std::uint32_t batch = std::min(ramp, max_batch);
+        // Unservable probes return the -1 sentinel; they add no
+        // warm-up time (the replica will calibrate dead anyway).
+        total += std::max(
+            0.0,
+            simulator.prefillSeconds(batch, shape.typicalPrompt));
+        total += std::max(
+            0.0,
+            simulator.tokenSeconds(batch, shape.typicalContext));
+        if (ramp >= max_batch)
+            break;
+    }
+    return total;
 }
 
 /**
@@ -175,20 +294,39 @@ class EventKernel final : public sched::FleetView,
         const FleetConfig &config, const model::LlmConfig &llm,
         std::vector<std::unique_ptr<serving::ServingSimulator>>
             &replicas,
-        const std::vector<sched::ReplicaModel> &models,
-        FleetReport &report,
+        std::vector<std::size_t> &cache_group_of,
+        std::vector<sched::ReplicaModel> models,
+        const WorkloadShape &shape, FleetReport &report,
         const std::vector<serving::ServedRequest> &workload,
         sched::ControlPolicy &control,
         const serving::SessionTrace *sessions = nullptr,
         std::vector<serving::ServedRequest> *mutable_workload =
             nullptr)
         : config_(config), llm_(llm), replicas_(replicas),
-          models_(models), report_(report), workload_(workload),
+          cacheGroupOf_(cache_group_of),
+          models_(std::move(models)), shape_(shape),
+          report_(report), workload_(workload),
           control_(control), wants_(control.wants()),
           sessions_(sessions), mutableWorkload_(mutable_workload),
           idIndex_(workload)
     {
         const std::size_t n = replicas_.size();
+        // The kernel owns a mutable replica table: spawnReplica
+        // appends to it mid-run, so every per-replica lookup reads
+        // specs_ (seeded from the configured fleet), never
+        // config_.replicas.
+        specs_.reserve(n);
+        for (const ReplicaConfig &replica : config_.replicas) {
+            sched::ReplicaSpec spec;
+            spec.name = replica.name;
+            spec.system = replica.system;
+            spec.serving = replica.serving;
+            specs_.push_back(std::move(spec));
+        }
+        lifecycle_.assign(n, sched::ReplicaLifecycle::Active);
+        activeStart_.assign(n, 0.0);
+        retiredAt_.assign(n, -1.0);
+        warmupSeconds_.assign(n, 0.0);
         wakeScheduled_.assign(n, 0);
         draining_.assign(n, 0);
         deadNotified_.assign(n, 0);
@@ -316,6 +454,11 @@ class EventKernel final : public sched::FleetView,
             case sim::EventKind::SessionContinue:
                 onSessionContinueEvent(event);
                 break;
+            case sim::EventKind::ReplicaReady:
+                onReplicaReadyEvent(
+                    static_cast<std::size_t>(event.replica),
+                    event.time);
+                break;
             }
         }
         report_.kernelStats.loopSeconds =
@@ -323,6 +466,22 @@ class EventKernel final : public sched::FleetView,
                 std::chrono::steady_clock::now() - wall_start)
                 .count();
         report_.kernelStats.events = queue_.stats();
+
+        // Cost accounting on the virtual clock: a replica bills
+        // from its spawn instant (0 for the configured fleet) to
+        // its retire instant, or to the end of the run when it was
+        // never retired.  Provisioning and warming time is billable
+        // — the instance is up.
+        const Seconds end = queue_.now();
+        report_.replicaActiveSeconds.reserve(replicas_.size());
+        for (std::size_t r = 0; r < replicas_.size(); ++r) {
+            const Seconds stop =
+                retiredAt_[r] >= 0.0 ? retiredAt_[r] : end;
+            report_.replicaActiveSeconds.push_back(
+                std::max(0.0, stop - activeStart_[r]));
+            report_.replicaSeconds +=
+                report_.replicaActiveSeconds.back();
+        }
 
         for (auto &replica : replicas_)
             report_.replicaReports.push_back(
@@ -346,7 +505,7 @@ class EventKernel final : public sched::FleetView,
     std::uint32_t
     maxBatch(std::uint32_t replica) const override
     {
-        return config_.replicas.at(replica).serving.maxBatch;
+        return specs_.at(replica).serving.maxBatch;
     }
 
     bool
@@ -371,6 +530,23 @@ class EventKernel final : public sched::FleetView,
     draining(std::uint32_t replica) const override
     {
         return draining_.at(replica) != 0;
+    }
+
+    sched::ReplicaLifecycle
+    lifecycle(std::uint32_t replica) const override
+    {
+        return lifecycle_.at(replica);
+    }
+
+    sched::ReplicaSpec
+    replicaSpec(std::uint32_t replica) const override
+    {
+        // The name identifies the instance, not the spec template:
+        // a scaler cloning this spec gets a fresh "s<k>" default
+        // instead of a report full of duplicate names.
+        sched::ReplicaSpec spec = specs_.at(replica);
+        spec.name.clear();
+        return spec;
     }
 
     std::uint32_t
@@ -435,6 +611,12 @@ class EventKernel final : public sched::FleetView,
         if (draining_[replica])
             throw std::logic_error(
                 "FleetActions::routeTo: replica is draining");
+        if (lifecycle_[replica] != sched::ReplicaLifecycle::Active)
+            throw std::logic_error(
+                "FleetActions::routeTo: replica is " +
+                sched::replicaLifecycleName(lifecycle_[replica]) +
+                ", not active — only Active replicas are "
+                "routable");
         decided_ = true;
         report_.assignment[arrivalIndex_] =
             static_cast<int>(replica);
@@ -477,6 +659,11 @@ class EventKernel final : public sched::FleetView,
             throw std::logic_error(
                 "FleetActions::steal: thief is draining — it "
                 "accepts no new work");
+        if (lifecycle_[thief] != sched::ReplicaLifecycle::Active)
+            throw std::logic_error(
+                "FleetActions::steal: thief is " +
+                sched::replicaLifecycleName(lifecycle_[thief]) +
+                ", not active — it accepts no new work");
         if (replicas_[victim]->queuedCount() == 0)
             throw std::logic_error(
                 "FleetActions::steal: victim has no queued "
@@ -537,6 +724,13 @@ class EventKernel final : public sched::FleetView,
             throw std::logic_error(
                 "FleetActions::migrate: destination is draining — "
                 "it accepts no new work");
+        if (lifecycle_[to_replica] !=
+            sched::ReplicaLifecycle::Active)
+            throw std::logic_error(
+                "FleetActions::migrate: destination is " +
+                sched::replicaLifecycleName(
+                    lifecycle_[to_replica]) +
+                ", not active — it accepts no new work");
         if (replicas_[to_replica]->knownDead())
             throw std::logic_error(
                 "FleetActions::migrate: destination is dead — the "
@@ -593,7 +787,7 @@ class EventKernel final : public sched::FleetView,
         // (zero-length context — a request that never started —
         // moves instantly).
         const Seconds transfer = kvMigrationSeconds(
-            config_.replicas[from].system, llm_,
+            specs_[from].system, llm_,
             resumed.tokensGenerated == 0 ? 0
                                          : resumed.contextLength());
         report_.kernelStats.kvTransferSeconds += transfer;
@@ -601,6 +795,87 @@ class EventKernel final : public sched::FleetView,
                     sim::EventKind::ResumeReady, -1, id);
         resumesInFlight_.push_back(
             {id, PendingResume{std::move(resumed), to_replica}});
+    }
+
+    std::uint32_t
+    spawnReplica(const sched::ReplicaSpec &spec) override
+    {
+        requireCapability(sched::ControlPolicy::kSpawn,
+                          "spawnReplica", "kSpawn");
+        const auto index =
+            static_cast<std::uint32_t>(replicas_.size());
+        sched::ReplicaSpec stored = spec;
+        if (stored.name.empty())
+            stored.name = spawnedReplicaName(
+                report_.kernelStats.spawnedReplicas);
+
+        // Construct the replica and join a matching cost-cache
+        // group, exactly like FleetSimulator's constructor: a spec
+        // cloned from an existing replica shares its calibrated
+        // surface bit-identically, so the calibration below is all
+        // warm hits.
+        replicas_.push_back(
+            std::make_unique<serving::ServingSimulator>(
+                stored.system, llm_, stored.serving));
+        serving::ServingSimulator &replica = *replicas_[index];
+        cacheGroupOf_.push_back(index);
+        for (std::size_t j = 0; j < index; ++j) {
+            if (cacheGroupOf_[j] == j &&
+                specs_[j].system == stored.system &&
+                specs_[j].serving == stored.serving) {
+                cacheGroupOf_[index] = j;
+                replica.shareCostCacheWith(*replicas_[j]);
+                break;
+            }
+        }
+        if (cacheGroupOf_[index] == index) {
+            // A novel spec still shares interpolation anchors with
+            // any replica whose physics match (same engine, model,
+            // seed — differing only in batch caps or bucketing),
+            // so even a cold spawn reuses every anchor simulation
+            // already paid for.
+            for (std::size_t j = 0; j < index; ++j) {
+                if (replica.shareAnchorStoreWith(*replicas_[j]))
+                    break;
+            }
+        }
+
+        // Calibrate now — cold engine simulations (if any) bill to
+        // the run's calibrationSeconds through the cache-group
+        // accounting — and price the Warming phase on the freshly
+        // warmed surface.
+        const std::uint32_t max_batch = std::max<std::uint32_t>(
+            stored.serving.maxBatch, 1);
+        models_.push_back(
+            calibrateReplicaModel(replica, max_batch, shape_));
+        const Seconds warmup =
+            warmupReplaySeconds(replica, max_batch, shape_);
+
+        report_.replicaNames.push_back(stored.name);
+        specs_.push_back(std::move(stored));
+        lifecycle_.push_back(sched::ReplicaLifecycle::Provisioning);
+        activeStart_.push_back(queue_.now());
+        retiredAt_.push_back(-1.0);
+        warmupSeconds_.push_back(warmup);
+        wakeScheduled_.push_back(0);
+        draining_.push_back(0);
+        deadNotified_.push_back(0);
+        if (!observedDirty_.empty()) {
+            observed_.push_back(sched::ReplicaObservation{});
+            observedDirty_.push_back(1);
+        }
+        replica.beginSession();
+        replica.reserveSession(16);
+        ++report_.kernelStats.spawnedReplicas;
+
+        // Phase one of the lifecycle walk: the instance stands up
+        // (provisioning), then ReplicaReady moves it to Warming and
+        // schedules the warm-up replay (onReplicaReadyEvent).
+        queue_.push(queue_.now() +
+                        std::max(spec.provisionSeconds, 0.0),
+                    sim::EventKind::ReplicaReady,
+                    static_cast<std::int32_t>(index), 0);
+        return index;
     }
 
     void
@@ -619,6 +894,13 @@ class EventKernel final : public sched::FleetView,
         if (!draining_[replica]) {
             draining_[replica] = 1;
             ++report_.kernelStats.drainRequests;
+            if (lifecycle_[replica] !=
+                sched::ReplicaLifecycle::Retired)
+                lifecycle_[replica] =
+                    sched::ReplicaLifecycle::Draining;
+            // An empty idle replica (or one drained mid-spawn,
+            // before it ever went Active) retires on the spot.
+            maybeRetire(replica, queue_.now());
         }
     }
 
@@ -652,6 +934,59 @@ class EventKernel final : public sched::FleetView,
                         static_cast<std::int32_t>(replica), 0);
             wakeScheduled_[replica] = 1;
         }
+    }
+
+    /** A spawned replica finished its current lifecycle phase. */
+    void
+    onReplicaReadyEvent(std::size_t replica, Seconds now)
+    {
+        switch (lifecycle_[replica]) {
+        case sched::ReplicaLifecycle::Provisioning:
+            // The instance is up: replay the batch-ramp warm-up as
+            // its first (virtual) steps, then go Active.
+            lifecycle_[replica] = sched::ReplicaLifecycle::Warming;
+            queue_.push(now + warmupSeconds_[replica],
+                        sim::EventKind::ReplicaReady,
+                        static_cast<std::int32_t>(replica), 0);
+            break;
+        case sched::ReplicaLifecycle::Warming:
+            lifecycle_[replica] = sched::ReplicaLifecycle::Active;
+            markObservedDirty(replica);
+            // The replica is routable from this instant; take an
+            // idle boundary now so onReplicaIdle subscribers
+            // (stealers, drain-migrate) see the fresh capacity
+            // immediately instead of at the next arrival.
+            wakeIfIdle(static_cast<std::uint32_t>(replica));
+            break;
+        default:
+            // Drained (and possibly retired) mid-spawn: the
+            // pending phase transition is void.
+            break;
+        }
+    }
+
+    /**
+     * Retire a draining replica once it holds nothing: no running
+     * batch, no queue, no undecided deliveries, and no migration
+     * KV in flight toward it.  Retiring stops the replica's
+     * active-seconds clock (FleetReport::replicaActiveSeconds).
+     */
+    void
+    maybeRetire(std::size_t replica, Seconds now)
+    {
+        if (lifecycle_[replica] !=
+            sched::ReplicaLifecycle::Draining)
+            return;
+        if (replicas_[replica]->busy() ||
+            replicas_[replica]->observedOutstanding() > 0)
+            return;
+        for (const auto &entry : resumesInFlight_) {
+            if (entry.second.destination == replica)
+                return; // Committed before the drain; wait for it.
+        }
+        lifecycle_[replica] = sched::ReplicaLifecycle::Retired;
+        retiredAt_[replica] = now;
+        ++report_.kernelStats.retiredReplicas;
     }
 
     /** Lifecycle verbs are capability-gated on wants() bits. */
@@ -834,9 +1169,15 @@ class EventKernel final : public sched::FleetView,
             if (wants_ & sched::ControlPolicy::kDead)
                 control_.onReplicaDead(r, now, *this, *this);
         }
-        if (action.kind == serving::StepKind::Idle &&
-            (wants_ & sched::ControlPolicy::kIdle))
-            control_.onReplicaIdle(r, now, *this, *this);
+        if (action.kind == serving::StepKind::Idle) {
+            if (wants_ & sched::ControlPolicy::kIdle)
+                control_.onReplicaIdle(r, now, *this, *this);
+            // After the idle hook, so an evacuation policy
+            // (drain-migrate) moves the replica's work out before
+            // the retire check runs — a drained replica that just
+            // went empty stops its clock at this boundary.
+            maybeRetire(replica, now);
+        }
     }
 
     void
@@ -857,9 +1198,23 @@ class EventKernel final : public sched::FleetView,
 
     const FleetConfig &config_;
     const model::LlmConfig &llm_;
+
+    /**
+     * The fleet's replica table and cost-cache grouping, owned by
+     * FleetSimulator and borrowed mutably: spawnReplica appends to
+     * both (the simulator trims spawned replicas after the run —
+     * they are run state, not configuration).
+     */
     std::vector<std::unique_ptr<serving::ServingSimulator>>
         &replicas_;
-    const std::vector<sched::ReplicaModel> &models_;
+    std::vector<std::size_t> &cacheGroupOf_;
+
+    /** Calibrated models; spawnReplica appends the new replica's. */
+    std::vector<sched::ReplicaModel> models_;
+
+    /** Calibration operating point, for spawn-time calibration. */
+    const WorkloadShape shape_;
+
     FleetReport &report_;
     const std::vector<serving::ServedRequest> &workload_;
     sched::ControlPolicy &control_;
@@ -884,6 +1239,21 @@ class EventKernel final : public sched::FleetView,
     std::vector<char> wakeScheduled_;
     std::vector<char> draining_;
     std::vector<char> deadNotified_;
+
+    /**
+     * Per-replica lifecycle (configured replicas are born Active;
+     * spawned ones walk Provisioning → Warming → Active) and its
+     * cost-accounting clock: the spawn instant, the retire instant
+     * (-1 while alive), and the Warming phase's replay length.
+     * specs_ mirrors the construction parameters so maxBatch /
+     * migrate / replicaSpec lookups cover spawned replicas too.
+     */
+    std::vector<sched::ReplicaSpec> specs_;
+    std::vector<sched::ReplicaLifecycle> lifecycle_;
+    std::vector<Seconds> activeStart_;
+    std::vector<Seconds> retiredAt_;
+    std::vector<Seconds> warmupSeconds_;
+
     std::vector<sched::ReplicaObservation> observed_;
 
     /** Which observed_ rows are stale (empty without
@@ -1014,6 +1384,18 @@ FleetSimulator::FleetSimulator(FleetConfig config,
                 break;
             }
         }
+        // A new group leader may still share *physics* with an
+        // earlier leader (differing only in serving-policy knobs
+        // like maxBatch or seqBucket): share the exact-anchor store
+        // so both groups pay for each engine simulation once.
+        if (cacheGroupOf_[i] == i) {
+            for (std::size_t j = 0; j < i; ++j) {
+                if (cacheGroupOf_[j] == j &&
+                    replicas_[i]->shareAnchorStoreWith(
+                        *replicas_[j]))
+                    break;
+            }
+        }
     }
 }
 
@@ -1024,60 +1406,16 @@ FleetSimulator::calibrate(std::size_t index,
                           std::uint64_t max_prompt,
                           std::uint64_t max_context)
 {
-    serving::ServingSimulator &simulator = *replicas_[index];
-    const std::uint32_t max_batch = std::max<std::uint32_t>(
-        config_.replicas[index].serving.maxBatch, 1);
-
-    sched::ReplicaModel model;
-    model.maxBatch = max_batch;
-    if (!simulator.servable(1, typical_prompt)) {
-        // Dead replica (platform cannot run the model): make it look
-        // infinitely slow, so the SLO-aware policy never picks it
-        // and backlog-aware policies back off once its never-
-        // draining queue estimate piles up.  Round-robin still hits
-        // it — by design.
-        model.prefillSeconds = 1.0e9;
-        model.slotTokensPerSecond = 1.0e-9;
-        return model;
-    }
-    // The router's window model charges one joint prefill per
-    // admission group of up to maxBatch requests, so calibrate the
-    // prefill at the group's batch size, not at batch 1.
-    const Seconds step =
-        simulator.tokenSeconds(max_batch, typical_context);
-    if (step <= 0.0) {
-        // Zero is the unservable sentinel (real steps are strictly
-        // positive): the decode-context bucket exceeds the replica
-        // even though the prompt probe fit.  Same treatment as a
-        // dead replica — infinitely slow, never infinitely fast.
-        model.prefillSeconds = 1.0e9;
-        model.slotTokensPerSecond = 1.0e-9;
-        return model;
-    }
-    model.prefillSeconds =
-        simulator.prefillSeconds(max_batch, typical_prompt);
-    model.slotTokensPerSecond = 1.0 / step;
-    // Warm the cost cache across the whole batch ramp at both the
-    // workload-typical contexts and the workload maxima (heavy-
-    // tailed prompt distributions put a few requests one context
-    // bucket up): the admission loop touches every power-of-two
-    // batch bucket as batches grow, and probing the buckets here —
-    // outside the measured event loop, once per cache group —
-    // turns mid-run engine simulations into cache hits.
-    const std::uint64_t far_prompt =
-        std::max<std::uint64_t>(max_prompt, 1);
-    const std::uint64_t far_context =
-        std::max<std::uint64_t>(max_context, 1);
-    for (std::uint32_t ramp = 1;; ramp *= 2) {
-        const std::uint32_t batch = std::min(ramp, max_batch);
-        simulator.prefillSeconds(batch, typical_prompt);
-        simulator.tokenSeconds(batch, typical_context);
-        simulator.prefillSeconds(batch, far_prompt);
-        simulator.tokenSeconds(batch, far_context);
-        if (ramp >= max_batch)
-            break;
-    }
-    return model;
+    WorkloadShape shape;
+    shape.typicalPrompt = typical_prompt;
+    shape.typicalContext = typical_context;
+    shape.maxPrompt = max_prompt;
+    shape.maxContext = max_context;
+    return calibrateReplicaModel(
+        *replicas_[index],
+        std::max<std::uint32_t>(
+            config_.replicas[index].serving.maxBatch, 1),
+        shape);
 }
 
 std::vector<sched::ReplicaModel>
@@ -1113,9 +1451,12 @@ FleetSimulator::calibrateAll(std::uint64_t typical_prompt,
         // Each worker claims whole representatives, so one cost
         // cache is only ever touched by one thread and the
         // calibrated models are identical to the serial loop
-        // regardless of scheduling.  Heterogeneous-fleet sweeps
-        // stop paying one engine simulation chain per group in
-        // series.
+        // regardless of scheduling.  (Physics-equal leaders share a
+        // mutex-guarded exact-anchor store across threads; its
+        // values are pure functions of the operating point, so the
+        // models stay interleaving-independent.)  Heterogeneous-
+        // fleet sweeps stop paying one engine simulation chain per
+        // group in series.
         std::atomic<std::size_t> next{0};
         std::vector<std::exception_ptr> errors(workers);
         std::vector<std::thread> pool;
@@ -1255,10 +1596,21 @@ FleetSimulator::runEventDriven(
     const std::vector<serving::ServedRequest> &workload,
     std::vector<sched::ReplicaModel> models,
     sched::ControlPolicy &control,
+    std::uint64_t typical_prompt, std::uint64_t typical_context,
+    std::uint64_t max_prompt, std::uint64_t max_context,
     const serving::SessionTrace *sessions,
     std::vector<serving::ServedRequest> *mutable_workload)
 {
-    EventKernel(config_, llm_, replicas_, models, report, workload,
+    // The kernel needs the calibration operating point so a replica
+    // spawned mid-run calibrates against the same workload shape
+    // the configured fleet did.
+    WorkloadShape shape;
+    shape.typicalPrompt = typical_prompt;
+    shape.typicalContext = typical_context;
+    shape.maxPrompt = max_prompt;
+    shape.maxContext = max_context;
+    EventKernel(config_, llm_, replicas_, cacheGroupOf_,
+                std::move(models), shape, report, workload,
                 control, sessions, mutable_workload)
         .run();
 }
@@ -1331,6 +1683,16 @@ FleetSimulator::mergeReports(
             ? 1.0
             : static_cast<double>(within_deadline) /
                   static_cast<double>(workload.size());
+
+    // The autoscaling scorecard: replica-seconds bought per request
+    // completed.  A scaler wins when it holds this below every fixed
+    // fleet size at equal-or-better SLO attainment.  Zero under the
+    // two-phase kernel, which does not meter replica lifetimes.
+    report.costPerRequest =
+        report.completed > 0
+            ? report.replicaSeconds /
+                  static_cast<double>(report.completed)
+            : 0.0;
 }
 
 FleetReport
@@ -1386,7 +1748,9 @@ FleetSimulator::run(std::vector<serving::ServedRequest> workload)
 
     if (config_.kernel == FleetKernel::EventDriven)
         runEventDriven(report, workload, std::move(models),
-                       *control);
+                       *control, shape.typicalPrompt,
+                       shape.typicalContext, shape.maxPrompt,
+                       shape.maxContext);
     else
         runTwoPhase(report, workload, std::move(models));
 
@@ -1399,6 +1763,15 @@ FleetSimulator::run(std::vector<serving::ServedRequest> workload)
     report.kernelStats.loopSeconds =
         std::max(0.0, report.kernelStats.loopSeconds -
                           (calibration_end - calibration_warm));
+
+    // Replicas spawned by the autoscaler are run state, not fleet
+    // configuration: drop them (after the calibration snapshot
+    // above, so a unique-spec spawn's calibration still bills) so
+    // later runs on this simulator start from the configured
+    // fleet.  Buckets a spawn contributed to a *shared* cost cache
+    // are pure-function values a rerun recomputes bit-identically.
+    replicas_.resize(config_.replicas.size());
+    cacheGroupOf_.resize(config_.replicas.size());
 
     mergeReports(report, workload);
     return report;
@@ -1476,7 +1849,9 @@ FleetSimulator::run(const serving::SessionTrace &sessions)
     const double calibration_warm = totalCalibrationSeconds();
 
     runEventDriven(report, workload, std::move(models), *control,
-                   &sessions, &workload);
+                   shape.typicalPrompt, shape.typicalContext,
+                   shape.maxPrompt, shape.maxContext, &sessions,
+                   &workload);
 
     const double calibration_end = totalCalibrationSeconds();
     report.kernelStats.calibrationSeconds =
@@ -1484,6 +1859,11 @@ FleetSimulator::run(const serving::SessionTrace &sessions)
     report.kernelStats.loopSeconds =
         std::max(0.0, report.kernelStats.loopSeconds -
                           (calibration_end - calibration_warm));
+
+    // Spawned replicas are run state, not configuration; trim after
+    // the calibration snapshot so their calibration still bills.
+    replicas_.resize(config_.replicas.size());
+    cacheGroupOf_.resize(config_.replicas.size());
 
     // Merge against the mutated copy, so served follow-up turns
     // carry their true arrival instants (turns whose predecessor

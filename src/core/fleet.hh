@@ -177,9 +177,20 @@ struct KernelStats
     /** Virtual seconds spent in DIMM-link KV transfers (migrate). */
     double kvTransferSeconds = 0.0;
 
-    /** Autoscaling intents recorded (physics land with ROADMAP). */
+    /**
+     * Autoscaling verbs.  spawnRequests counts the legacy
+     * requestSpawn intent (recorded, no physics); drainRequests
+     * counts requestDrain calls that actually started a drain.
+     * spawnedReplicas counts replicas stood up mid-run by
+     * spawnReplica (each walks Provisioning → Warming → Active on
+     * the virtual clock); retiredReplicas counts replicas whose
+     * drain completed — their active-seconds clock stopped at the
+     * retire instant (FleetReport::replicaActiveSeconds).
+     */
     std::uint64_t spawnRequests = 0;
     std::uint64_t drainRequests = 0;
+    std::uint64_t spawnedReplicas = 0;
+    std::uint64_t retiredReplicas = 0;
 
     /**
      * Wall-clock seconds spent inside the event loop itself —
@@ -209,9 +220,34 @@ struct FleetReport
     std::string kernel; ///< "event" or "two-phase".
     Seconds ttftDeadline = 0.0;
 
-    /** Per-replica serving reports, fleet order. */
+    /**
+     * Per-replica serving reports, fleet order.  Replicas spawned
+     * mid-run by the autoscaler append after the configured fleet,
+     * named "s<k>" by default (spawn order).
+     */
     std::vector<serving::ServingReport> replicaReports;
     std::vector<std::string> replicaNames;
+
+    /**
+     * Virtual seconds each replica was alive and billable, fleet
+     * order (parallel to replicaReports): from its spawn instant
+     * (0 for configured replicas) to its retire instant (end of
+     * run when never retired).  Provisioning and warming time is
+     * billable — the instance is up — which is exactly why a
+     * scaler that flaps pays for it.
+     */
+    std::vector<Seconds> replicaActiveSeconds;
+
+    /** Fleet cost: sum over replicaActiveSeconds. */
+    Seconds replicaSeconds = 0.0;
+
+    /**
+     * replicaSeconds per completed request — the autoscaling
+     * headline metric (0 when nothing completed).  A scaler beats a
+     * fixed fleet when it completes the same work within the SLO on
+     * fewer replica-seconds.
+     */
+    double costPerRequest = 0.0;
 
     /**
      * Request -> replica index, in arrival order (parallel to
@@ -333,7 +369,10 @@ class FleetSimulator
     double totalCalibrationSeconds() const;
 
     /**
-     * The event-driven co-simulation core.  `sessions` (with its
+     * The event-driven co-simulation core.  The workload-shape
+     * scalars carry the calibration operating point into the kernel
+     * so replicas spawned mid-run calibrate and warm against the
+     * same shape the configured fleet did.  `sessions` (with its
      * parallel mutable `workload` copy) switches the kernel into
      * session mode: first turns only are preloaded, follow-ups are
      * scheduled as SessionContinue events at done + think.
@@ -343,6 +382,8 @@ class FleetSimulator
         const std::vector<serving::ServedRequest> &workload,
         std::vector<sched::ReplicaModel> models,
         sched::ControlPolicy &control,
+        std::uint64_t typical_prompt, std::uint64_t typical_context,
+        std::uint64_t max_prompt, std::uint64_t max_context,
         const serving::SessionTrace *sessions = nullptr,
         std::vector<serving::ServedRequest> *mutable_workload =
             nullptr);

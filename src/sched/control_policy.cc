@@ -1,6 +1,7 @@
 #include "sched/control_policy.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <limits>
@@ -11,6 +12,24 @@
 #include <vector>
 
 namespace hermes::sched {
+
+std::string
+replicaLifecycleName(ReplicaLifecycle lifecycle)
+{
+    switch (lifecycle) {
+    case ReplicaLifecycle::Provisioning:
+        return "provisioning";
+    case ReplicaLifecycle::Warming:
+        return "warming";
+    case ReplicaLifecycle::Active:
+        return "active";
+    case ReplicaLifecycle::Draining:
+        return "draining";
+    case ReplicaLifecycle::Retired:
+        return "retired";
+    }
+    return "?";
+}
 
 namespace {
 
@@ -49,13 +68,33 @@ class RouterControlPolicy final : public ControlPolicy
                    const FleetView &view,
                    FleetActions &actions) override
     {
-        (void)view;
         if (!router_)
             throw std::logic_error(
                 "RouterControlPolicy: onArrival before begin()");
-        const RouteDecision decision =
-            router_->route(context.arrival, context.generateTokens,
-                           context.observed);
+        // An autoscaler may have grown the fleet since begin():
+        // give the router an (empty) queueing model for every new
+        // replica, and mask replicas that are not routable — still
+        // provisioning or warming, draining, or retired.  A fixed
+        // all-Active fleet passes no mask at all, so its decision
+        // sequence is bit-identical to the legacy router.  Dead
+        // replicas stay UNmasked on purpose: estimate policies have
+        // historically kept routing to them (only the feedback
+        // policies starve them), and that contract is pinned.
+        const std::uint32_t n = view.replicaCount();
+        while (router_->replicaCount() < n)
+            router_->addReplica(
+                view.model(router_->replicaCount()));
+        eligible_.assign(n, 1);
+        bool restricted = false;
+        for (std::uint32_t r = 0; r < n; ++r) {
+            if (view.lifecycle(r) != ReplicaLifecycle::Active) {
+                eligible_[r] = 0;
+                restricted = true;
+            }
+        }
+        const RouteDecision decision = router_->route(
+            context.arrival, context.generateTokens,
+            context.observed, restricted ? &eligible_ : nullptr);
         if (decision.replica < 0)
             actions.shed();
         else
@@ -66,6 +105,7 @@ class RouterControlPolicy final : public ControlPolicy
   private:
     RouterPolicy policy_;
     std::unique_ptr<Router> router_;
+    std::vector<char> eligible_; ///< Reused across arrivals.
 };
 
 /**
@@ -384,7 +424,11 @@ class DrainMigratePolicy final : public ControlPolicy
         const std::uint32_t n = view.replicaCount();
         std::uint32_t best = n;
         for (std::uint32_t r = 0; r < n; ++r) {
-            if (r == from || view.knownDead(r) || view.draining(r))
+            // Only Active replicas may receive migrations: a
+            // provisioning or warming spawn is not routable yet, a
+            // draining or retired one is on its way out.
+            if (r == from || view.knownDead(r) ||
+                view.lifecycle(r) != ReplicaLifecycle::Active)
                 continue;
             if (best == n || view.observedOutstanding(r) <
                                  view.observedOutstanding(best))
@@ -426,10 +470,15 @@ class AffinityPolicy final : public ControlPolicy
     {
         const std::uint32_t n = view.replicaCount();
         // Ground-truth JSQ over the routable replicas (first
-        // minimum wins, matching true-jsq's determinism).
+        // minimum wins, matching true-jsq's determinism).  Only
+        // Active replicas are routable — spawned replicas still
+        // provisioning or warming, and draining or retired ones,
+        // are skipped exactly like the kernel's routeTo would
+        // reject them.
         std::uint32_t least = n;
         for (std::uint32_t r = 0; r < n; ++r) {
-            if (view.draining(r) || view.knownDead(r))
+            if (view.knownDead(r) ||
+                view.lifecycle(r) != ReplicaLifecycle::Active)
                 continue;
             if (least == n ||
                 (*context.observed)[r].outstanding <
@@ -458,23 +507,186 @@ class AffinityPolicy final : public ControlPolicy
                 break;
             }
         }
-        if (holder == n || view.draining(holder) ||
-            view.knownDead(holder)) {
+        if (holder == n || view.knownDead(holder) ||
+            view.lifecycle(holder) != ReplicaLifecycle::Active) {
             // First turn, KV evicted, or the sticky replica cannot
             // take new work: plain JSQ.
             actions.routeTo(least);
             return;
         }
-        // Stick when the prefill tokens the resident prefix saves
-        // at least cover the extra token backlog the sticky replica
-        // carries over the least-loaded one.
+        // Stick when the prefill seconds the resident prefix saves
+        // at least cover the extra queueing seconds the sticky
+        // replica's deeper backlog costs.  The two token counts are
+        // not comparable 1:1: a cached token saves prefill work
+        // while a backlog token costs decode work, and calibrated
+        // prefill is typically an order of magnitude cheaper per
+        // token than decode — so both sides convert to seconds
+        // through the holder's calibrated model
+        // (prefillTokensPerSecond vs the full-batch drain rate).
+        // Under load this sticks less eagerly than a raw token
+        // comparison would: a modest resident prefix no longer
+        // outweighs a deep backlog.
+        const ReplicaModel &holder_model = view.model(holder);
+        const double saved_seconds =
+            static_cast<double>(cached) /
+            std::max(holder_model.prefillTokensPerSecond, 1.0e-9);
         const double gap =
             (*context.observed)[holder].backlogTokens -
             (*context.observed)[least].backlogTokens;
-        actions.routeTo(static_cast<double>(cached) >= gap
+        const double drain_rate =
+            std::max(holder_model.slotTokensPerSecond, 1.0e-9) *
+            static_cast<double>(std::max<std::uint32_t>(
+                holder_model.maxBatch, 1));
+        actions.routeTo(saved_seconds >= gap / drain_rate
                             ? holder
                             : least);
     }
+};
+
+/**
+ * Target-backlog autoscaler (see the factory doc in
+ * control_policy.hh): every tick, scale the provisioned replica
+ * count toward what the observed fleet-wide token backlog needs to
+ * drain within one TTFT deadline, damped by hysteresis and a
+ * post-action cooldown.
+ */
+class TargetBacklogScalerPolicy final : public ControlPolicy
+{
+  public:
+    std::string name() const override { return "target-backlog"; }
+
+    std::uint32_t wants() const override { return kTick | kSpawn; }
+
+    Seconds tickPeriod() const override { return 1.0; }
+
+    void begin(const ControlContext &context) override
+    {
+        deadline_ = context.ttftDeadline > 0.0
+                        ? context.ttftDeadline
+                        : 2.0;
+        upTicks_ = 0;
+        downTicks_ = 0;
+        cooldownUntil_ = 0.0;
+    }
+
+    void onTick(Seconds now, const FleetView &view,
+                FleetActions &actions) override
+    {
+        const std::uint32_t n = view.replicaCount();
+        // Provisioned capacity counts Provisioning + Warming +
+        // Active: warming capacity is already bought, and spawning
+        // again for the same backlog spike would oscillate.
+        // Draining replicas contribute their remaining backlog
+        // (someone still has to serve it) but no capacity.
+        std::uint32_t provisioned = 0;
+        std::uint32_t active = 0;
+        std::uint32_t reference = n;
+        double backlog = 0.0;
+        for (std::uint32_t r = 0; r < n; ++r) {
+            if (view.knownDead(r))
+                continue;
+            const ReplicaLifecycle lc = view.lifecycle(r);
+            if (lc == ReplicaLifecycle::Retired)
+                continue;
+            backlog += view.observedBacklogTokens(r);
+            if (lc == ReplicaLifecycle::Draining)
+                continue;
+            ++provisioned;
+            if (lc == ReplicaLifecycle::Active) {
+                ++active;
+                if (reference == n)
+                    reference = r;
+            }
+        }
+        // No Active replica to measure by or clone: a freshly
+        // spawned fleet is still warming — wait.
+        if (reference == n)
+            return;
+        const ReplicaModel &model = view.model(reference);
+        const double slot =
+            std::max(model.slotTokensPerSecond, 1.0e-9);
+        const double batch = static_cast<double>(
+            std::max<std::uint32_t>(model.maxBatch, 1));
+        // Sustained drain rate of one replica, in backlog (decode)
+        // tokens per second.  Each admission group of maxBatch
+        // requests pays one joint prefill before its G decode
+        // steps, so the sustained rate is mb*G/(prefill + G*step),
+        // which on prefill-heavy workloads is several times below
+        // the raw full-batch step rate slot*mb.  Fall back to the
+        // raw rate when the model carries no calibrated generate
+        // length (hand-built models predate the field).
+        double rate = slot * batch;
+        if (model.typicalGenerateTokens > 0.0) {
+            const double g = model.typicalGenerateTokens;
+            rate = batch * g /
+                   (std::max(model.prefillSeconds, 0.0) + g / slot);
+        }
+        // Replicas needed to drain the backlog within one deadline
+        // window at the reference replica's sustained rate.
+        const std::uint32_t desired = std::clamp<std::uint32_t>(
+            static_cast<std::uint32_t>(
+                std::ceil(backlog / (rate * deadline_))),
+            kMinReplicas, kMaxReplicas);
+
+        if (desired > provisioned) {
+            downTicks_ = 0;
+            ++upTicks_;
+            if (upTicks_ < kHysteresisTicks ||
+                now < cooldownUntil_)
+                return;
+            actions.spawnReplica(view.replicaSpec(reference));
+            upTicks_ = 0;
+            cooldownUntil_ = now + kCooldownSeconds;
+        } else if (desired < provisioned) {
+            upTicks_ = 0;
+            ++downTicks_;
+            if (downTicks_ < kHysteresisTicks ||
+                now < cooldownUntil_)
+                return;
+            // Never drain the last routable replica: replicas still
+            // warming are counted as provisioned but cannot take
+            // traffic yet, and an all-masked fleet sheds arrivals.
+            if (active <= 1)
+                return;
+            // Drain the least-loaded Active replica; ties break to
+            // the highest index so spawned replicas retire before
+            // the seed fleet.
+            std::uint32_t victim = n;
+            for (std::uint32_t r = 0; r < n; ++r) {
+                if (view.knownDead(r) ||
+                    view.lifecycle(r) != ReplicaLifecycle::Active)
+                    continue;
+                if (victim == n ||
+                    view.observedOutstanding(r) <=
+                        view.observedOutstanding(victim))
+                    victim = r;
+            }
+            if (victim == n)
+                return;
+            actions.requestDrain(victim);
+            downTicks_ = 0;
+            cooldownUntil_ = now + kCooldownSeconds;
+        } else {
+            upTicks_ = 0;
+            downTicks_ = 0;
+        }
+    }
+
+  private:
+    /** Fleet bounds: never below the seed's floor, capped growth. */
+    static constexpr std::uint32_t kMinReplicas = 1;
+    static constexpr std::uint32_t kMaxReplicas = 16;
+
+    /** Consecutive agreeing ticks required before acting. */
+    static constexpr std::uint32_t kHysteresisTicks = 2;
+
+    /** Quiet period after any scale action. */
+    static constexpr Seconds kCooldownSeconds = 5.0;
+
+    Seconds deadline_ = 2.0;
+    std::uint32_t upTicks_ = 0;
+    std::uint32_t downTicks_ = 0;
+    Seconds cooldownUntil_ = 0.0;
 };
 
 } // namespace
@@ -638,6 +850,12 @@ makeAffinityPolicy()
 }
 
 std::shared_ptr<ControlPolicy>
+makeTargetBacklogPolicy()
+{
+    return std::make_shared<TargetBacklogScalerPolicy>();
+}
+
+std::shared_ptr<ControlPolicy>
 composeControlPolicies(
     std::vector<std::shared_ptr<ControlPolicy>> children)
 {
@@ -658,6 +876,7 @@ controlPolicyNames()
     names.push_back("priority-preempt");
     names.push_back("drain-migrate");
     names.push_back("affinity");
+    names.push_back("target-backlog");
     return names;
 }
 
@@ -680,6 +899,8 @@ atomByName(const std::string &name)
         return makeDrainMigratePolicy();
     if (name == "affinity")
         return makeAffinityPolicy();
+    if (name == "target-backlog")
+        return makeTargetBacklogPolicy();
     throw std::invalid_argument(
         "controlPolicyByName: unknown policy '" + name + "'");
 }

@@ -21,8 +21,8 @@
  *
  * — observes ground truth through a read-only FleetView, and acts
  * through a capability-checked FleetActions surface (routeTo, shed,
- * steal, the request-lifecycle verbs preempt / migrate, and
- * requestSpawn / requestDrain for the coming autoscaler).  Illegal
+ * steal, the request-lifecycle verbs preempt / migrate, and the
+ * autoscaling verbs spawnReplica / requestDrain).  Illegal
  * actions — routing twice, routing to a draining replica, stealing
  * when the victim has only running requests, preempting a queued or
  * unknown request, migrating to a draining or dead replica — throw
@@ -59,6 +59,54 @@
 namespace hermes::sched {
 
 /**
+ * Where a replica is in its runtime lifecycle.  Replicas configured
+ * up front are born Active; replicas spawned mid-run by
+ * FleetActions::spawnReplica walk the whole machine:
+ *
+ *   Provisioning → Warming → Active → Draining → Retired
+ *
+ * Provisioning models the time to stand the instance up (container
+ * pull, model load — ReplicaSpec::provisionSeconds); Warming replays
+ * the batch-ramp warm-up every pre-configured replica pays during
+ * calibration, so a spawned replica's cost surface is hot before it
+ * serves.  Only Active replicas are routable (routeTo, steal-into,
+ * migrate-into all throw otherwise).  Draining replicas finish or
+ * hand off what they hold; Retired replicas have stopped their
+ * clock — they accrue no further active seconds (KernelStats).
+ */
+enum class ReplicaLifecycle : std::uint8_t
+{
+    Provisioning = 0,
+    Warming = 1,
+    Active = 2,
+    Draining = 3,
+    Retired = 4,
+};
+
+/** Display name ("provisioning", "warming", "active", ...). */
+std::string replicaLifecycleName(ReplicaLifecycle lifecycle);
+
+/**
+ * Everything needed to stand up one replica mid-run: the hardware
+ * system, the serving configuration, and the modeled provisioning
+ * latency paid before warm-up begins.  A scaler typically clones an
+ * existing replica's spec (FleetView::replicaSpec) rather than
+ * inventing one, so the spawned replica joins an existing cost-cache
+ * group instead of paying a full cold calibration.
+ */
+struct ReplicaSpec
+{
+    /** Report name; "" derives "s<index>" from the spawn order. */
+    std::string name;
+
+    runtime::SystemConfig system{};
+    serving::ServingConfig serving{};
+
+    /** Modeled instance stand-up time before warm-up starts. */
+    Seconds provisionSeconds = 0.5;
+};
+
+/**
  * Read-only ground truth the kernel exposes to policies, per
  * replica.  Implemented by the fleet kernel; probes are sampled
  * live at the instant of the hook call.
@@ -87,6 +135,17 @@ class FleetView
 
     /** A drain was requested; the replica accepts no new routes. */
     virtual bool draining(std::uint32_t replica) const = 0;
+
+    /** Lifecycle state (spawned replicas walk the whole machine). */
+    virtual ReplicaLifecycle
+    lifecycle(std::uint32_t replica) const = 0;
+
+    /**
+     * The spec `replica` was built from — what a scaler clones to
+     * spawn a compatible sibling (same cost-cache group, no cold
+     * calibration).
+     */
+    virtual ReplicaSpec replicaSpec(std::uint32_t replica) const = 0;
 
     /** Requests queued but not yet in the running batch. */
     virtual std::uint32_t queuedCount(std::uint32_t replica) const = 0;
@@ -139,13 +198,20 @@ class FleetView
  *    per arrival; routing to a draining or out-of-range replica
  *    throws;
  *  - steal: thief must differ from the victim, be known servable,
- *    and the victim must hold queued (never running) requests —
- *    asking to steal from a victim whose requests are all running
- *    throws;
- *  - requestSpawn / requestDrain: autoscaling intents.  The kernel
- *    records them (KernelStats) and marks drained replicas so the
- *    routing check above can enforce them; actual spawn/drain
- *    physics land with the autoscaler (see ROADMAP).
+ *    Active, and the victim must hold queued (never running)
+ *    requests — asking to steal from a victim whose requests are
+ *    all running throws;
+ *  - spawnReplica / requestDrain: the autoscaling verbs.  spawnReplica
+ *    (capability-gated on Wants::kSpawn) stands up a new replica
+ *    mid-run with real physics: it pays the spec's provisioning
+ *    latency, then replays the batch-ramp warm-up on the virtual
+ *    clock, and only then goes Active and routable.  requestDrain
+ *    walks a replica to Draining; compose with "drain-migrate" to
+ *    evacuate its work, and the kernel retires it (stopping its
+ *    active-seconds clock) once it holds nothing.
+ *  - requestSpawn: the legacy intent counter — records the wish in
+ *    KernelStats without physics.  Kept for observability;
+ *    policies that want an actual replica call spawnReplica.
  */
 class FleetActions
 {
@@ -203,15 +269,38 @@ class FleetActions
     virtual void migrate(std::uint64_t id,
                          std::uint32_t to_replica) = 0;
 
-    /** Ask for one more replica (recorded intent; see class doc). */
+    /**
+     * Stand up one more replica mid-run (capability-gated on
+     * Wants::kSpawn; throws std::logic_error without it).  Returns
+     * the new replica's index, visible immediately through
+     * FleetView in lifecycle Provisioning.  The replica becomes
+     * routable only after its modeled warm-up completes:
+     *
+     *   now + spec.provisionSeconds          Provisioning → Warming
+     *   ... + batch-ramp warm-up replay      Warming → Active
+     *
+     * The warm-up replay is the same power-of-two batch ramp every
+     * pre-configured replica pays during calibration, priced on the
+     * spawned replica's own cost surface.  A spec matching an
+     * existing replica's full serving config joins that replica's
+     * shared cost cache (warm — calibration already paid); a novel
+     * spec calibrates cold, billed to FleetReport::calibrationSeconds
+     * like any other calibration.
+     */
+    virtual std::uint32_t spawnReplica(const ReplicaSpec &spec) = 0;
+
+    /** Record a spawn wish (legacy intent counter; see class doc). */
     virtual void requestSpawn() = 0;
 
     /**
-     * Stop routing to `replica`; it drains what it holds.  Note
-     * that the built-in routing policies do not consult draining
-     * state (the calibrated Router has no exclusion mechanism
-     * yet), so a drain intent belongs in a policy that also owns
-     * the routing decision — routing to a drained replica throws.
+     * Stop routing to `replica`; it drains what it holds and the
+     * kernel retires it once nothing remains (lifecycle Draining →
+     * Retired, freezing its active-seconds clock).  Routing to a
+     * drained replica throws; the built-in routing policies mask
+     * non-Active replicas out of their rankings, so composing a
+     * router with a draining policy is safe.  Compose with
+     * "drain-migrate" to evacuate running and queued work instead
+     * of letting the replica finish it.
      */
     virtual void requestDrain(std::uint32_t replica) = 0;
 };
@@ -279,6 +368,9 @@ class ControlPolicy
 
         /** May call FleetActions::migrate (lifecycle capability). */
         kMigrate = 1u << 6,
+
+        /** May call FleetActions::spawnReplica (autoscaling). */
+        kSpawn = 1u << 7,
     };
 
     virtual ~ControlPolicy() = default;
@@ -474,6 +566,22 @@ std::shared_ptr<ControlPolicy> makeDrainMigratePolicy();
 std::shared_ptr<ControlPolicy> makeAffinityPolicy();
 
 /**
+ * Target-backlog autoscaler ("target-backlog") — the first policy
+ * to use the spawn/drain physics.  Every tick it compares the
+ * fleet-wide observed token backlog against what the currently
+ * provisioned replicas (Provisioning + Warming + Active — warming
+ * capacity is already bought, double-spawning for it would
+ * oscillate) can drain within the TTFT deadline, and scales toward
+ * the implied replica count: spawning a clone of an Active
+ * replica's spec when short, draining the least-loaded Active
+ * replica when over.  Hysteresis (consecutive ticks agreeing before
+ * acting) and a post-action cooldown damp flapping; min/max fleet
+ * bounds cap both directions.  Compose with a lifecycle-aware
+ * router and drain-migrate: "affinity+target-backlog+drain-migrate".
+ */
+std::shared_ptr<ControlPolicy> makeTargetBacklogPolicy();
+
+/**
  * Compose routing + auxiliary policies into one control plane.
  * Throws std::invalid_argument when `children` is empty.
  */
@@ -484,8 +592,8 @@ std::shared_ptr<ControlPolicy> composeControlPolicies(
  * Registry names of the built-in atoms, in display order: the six
  * router policies ("round-robin", "jsq", "least-tokens",
  * "slo-aware", "true-jsq", "least-backlog"), then "greedy-steal",
- * "slo-steal", "priority-preempt", "drain-migrate", and
- * "affinity".
+ * "slo-steal", "priority-preempt", "drain-migrate", "affinity",
+ * and "target-backlog".
  */
 std::vector<std::string> controlPolicyNames();
 

@@ -79,6 +79,19 @@ Router::Router(RouterPolicy policy,
     }
 }
 
+void
+Router::addReplica(const ReplicaModel &model)
+{
+    replicas_.push_back(model);
+    ReplicaModel &added = replicas_.back();
+    added.maxBatch = std::max<std::uint32_t>(added.maxBatch, 1);
+    added.slotTokensPerSecond =
+        std::max(added.slotTokensPerSecond, 1.0e-9);
+    added.prefillSeconds = std::max(added.prefillSeconds, 0.0);
+    state_.emplace_back();
+    state_.back().freeAt.assign(added.maxBatch, 0.0);
+}
+
 std::uint32_t
 Router::outstandingRequests(std::uint32_t replica, Seconds now) const
 {
@@ -181,7 +194,8 @@ Router::commit(std::uint32_t replica, Seconds arrival,
 
 RouteDecision
 Router::route(Seconds arrival, std::uint32_t generate_tokens,
-              const std::vector<ReplicaObservation> *observed)
+              const std::vector<ReplicaObservation> *observed,
+              const std::vector<char> *eligible)
 {
     const auto n =
         static_cast<std::uint32_t>(replicas_.size());
@@ -195,14 +209,38 @@ Router::route(Seconds arrival, std::uint32_t generate_tokens,
                      ? RouterPolicy::JoinShortestQueue
                      : RouterPolicy::LeastOutstandingTokens;
     }
+    // With a mask and no eligible replica there is nowhere legal to
+    // send the request: shed.  (With at least one eligible replica
+    // every ranking below finds a candidate, since the first
+    // eligible entry always beats the infinite initial best.)
+    const auto allowed = [eligible](std::uint32_t i) {
+        return eligible == nullptr || (*eligible)[i] != 0;
+    };
+    if (eligible != nullptr) {
+        bool any = false;
+        for (std::uint32_t i = 0; i < n && !any; ++i)
+            any = (*eligible)[i] != 0;
+        if (!any) {
+            ++routed_;
+            return RouteDecision{
+                -1, std::numeric_limits<double>::infinity()};
+        }
+    }
     std::uint32_t chosen = 0;
     switch (policy) {
     case RouterPolicy::RoundRobin:
         chosen = static_cast<std::uint32_t>(routed_ % n);
+        // The cursor position may be masked: take the next eligible
+        // replica at or after it, preserving the interleave over
+        // the eligible set.
+        while (!allowed(chosen))
+            chosen = (chosen + 1) % n;
         break;
     case RouterPolicy::TrueJsq: {
         std::uint32_t best = std::numeric_limits<std::uint32_t>::max();
         for (std::uint32_t i = 0; i < n; ++i) {
+            if (!allowed(i))
+                continue;
             const std::uint32_t depth = (*observed)[i].outstanding;
             if (depth < best) {
                 best = depth;
@@ -214,6 +252,8 @@ Router::route(Seconds arrival, std::uint32_t generate_tokens,
     case RouterPolicy::LeastActualBacklog: {
         double best = std::numeric_limits<double>::infinity();
         for (std::uint32_t i = 0; i < n; ++i) {
+            if (!allowed(i))
+                continue;
             const double backlog = (*observed)[i].backlogTokens;
             if (backlog < best) {
                 best = backlog;
@@ -225,6 +265,8 @@ Router::route(Seconds arrival, std::uint32_t generate_tokens,
     case RouterPolicy::JoinShortestQueue: {
         std::uint32_t best = std::numeric_limits<std::uint32_t>::max();
         for (std::uint32_t i = 0; i < n; ++i) {
+            if (!allowed(i))
+                continue;
             const std::uint32_t depth =
                 outstandingRequests(i, arrival);
             if (depth < best) {
@@ -237,6 +279,8 @@ Router::route(Seconds arrival, std::uint32_t generate_tokens,
     case RouterPolicy::LeastOutstandingTokens: {
         double best = std::numeric_limits<double>::infinity();
         for (std::uint32_t i = 0; i < n; ++i) {
+            if (!allowed(i))
+                continue;
             const double backlog = outstandingTokens(i, arrival);
             if (backlog < best) {
                 best = backlog;
@@ -254,6 +298,8 @@ Router::route(Seconds arrival, std::uint32_t generate_tokens,
         double best_backlog =
             std::numeric_limits<double>::infinity();
         for (std::uint32_t i = 0; i < n; ++i) {
+            if (!allowed(i))
+                continue;
             const Seconds ttft = estimateTtft(i, arrival);
             const double backlog = outstandingTokens(i, arrival);
             if (ttft < best - 1.0e-12 ||

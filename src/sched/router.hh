@@ -111,6 +111,30 @@ struct ReplicaModel
      * is full (aggregate tokens/s divided by maxBatch).
      */
     double slotTokensPerSecond = 10.0;
+
+    /**
+     * Calibrated prefill throughput (prompt tokens per second at
+     * the full-batch joint prefill): typical prompt length over
+     * prefillSeconds.  What converts a KV-resident prefix into the
+     * prefill seconds it saves — prefill is typically an order of
+     * magnitude cheaper per token than decode, which is exactly why
+     * affinity scores must not compare cached tokens against
+     * backlog tokens 1:1.
+     */
+    double prefillTokensPerSecond = 2560.0;
+
+    /**
+     * Median generate length of the calibration workload, in
+     * tokens.  Lets capacity planners amortize the joint prefill
+     * over a request's decode phase: a full admission group pays
+     * prefillSeconds once before emitting maxBatch tokens per
+     * decode step, so the *sustained* drain rate is
+     * maxBatch * G / (prefillSeconds + G / slotTokensPerSecond),
+     * far below slotTokensPerSecond * maxBatch on prefill-heavy
+     * workloads.  Zero means uncalibrated — consumers fall back to
+     * the raw full-batch step rate.
+     */
+    double typicalGenerateTokens = 0.0;
 };
 
 /** One routing decision. */
@@ -145,10 +169,28 @@ class Router
      * (TrueJsq, LeastActualBacklog) rank by it and every other
      * policy ignores it.  A feedback policy routed without
      * observations falls back to its estimate twin.
+     *
+     * `eligible`, when provided, restricts every ranking to the
+     * replicas whose entry is non-zero — how the control plane
+     * masks replicas that exist but are not routable (still
+     * provisioning or warming after an autoscaler spawn, draining,
+     * retired).  With no eligible replica at all the request is
+     * shed (replica < 0).  Passing nullptr (or an all-true mask)
+     * reproduces the unmasked decision sequence bit for bit.
      */
     RouteDecision
     route(Seconds arrival, std::uint32_t generate_tokens,
-          const std::vector<ReplicaObservation> *observed = nullptr);
+          const std::vector<ReplicaObservation> *observed = nullptr,
+          const std::vector<char> *eligible = nullptr);
+
+    /**
+     * Append a replica to the routed set with an empty queueing
+     * model — how the control plane keeps the router in sync when
+     * an autoscaler spawns a replica mid-run.  Existing replicas'
+     * committed backlogs are untouched, so decisions over the old
+     * set stay bit-identical.
+     */
+    void addReplica(const ReplicaModel &model);
 
     std::uint32_t replicaCount() const
     {

@@ -131,6 +131,8 @@ TEST(EventSim, KindNamesAreStable)
               "resume-ready");
     EXPECT_EQ(eventKindName(EventKind::SessionContinue),
               "session-continue");
+    EXPECT_EQ(eventKindName(EventKind::ReplicaReady),
+              "replica-ready");
 }
 
 TEST(EventSim, TicksCountInStatsAndSortAsFleetEvents)
@@ -252,7 +254,7 @@ TEST(EventSim, SortedStreamMergesWithHeapEvents)
 
 TEST(EventSim, PerKindCountersSumToPopped)
 {
-    // popped() is a single counter bumped in pop(); the eight
+    // popped() is a single counter bumped in pop(); the nine
     // per-kind counters must partition it exactly.
     EventQueue queue;
     queue.shard(4);
@@ -266,9 +268,10 @@ TEST(EventSim, PerKindCountersSumToPopped)
         EventKind::Arrival,      EventKind::RequestDone,
         EventKind::PrefillComplete, EventKind::StepComplete,
         EventKind::Wake,         EventKind::Tick,
-        EventKind::ResumeReady,  EventKind::SessionContinue};
+        EventKind::ResumeReady,  EventKind::SessionContinue,
+        EventKind::ReplicaReady};
     for (int i = 0; i < 100; ++i) {
-        const EventKind kind = kinds[next() % 8];
+        const EventKind kind = kinds[next() % 9];
         const std::int32_t replica =
             kind == EventKind::Arrival ||
                     kind == EventKind::Tick ||
@@ -285,7 +288,7 @@ TEST(EventSim, PerKindCountersSumToPopped)
     EXPECT_EQ(stats.arrivals + stats.requestsDone +
                   stats.prefills + stats.decodeSteps +
                   stats.wakes + stats.ticks + stats.resumes +
-                  stats.sessionContinues,
+                  stats.sessionContinues + stats.replicaReadies,
               stats.popped());
     EXPECT_EQ(stats.popped(), 100u);
 }

@@ -610,7 +610,7 @@ TEST(ControlPlane, ExplicitStealingMatchesTheDeprecatedBool)
 TEST(ControlPlane, RegistryRoundTripsAndComposes)
 {
     const auto names = sched::controlPolicyNames();
-    ASSERT_EQ(names.size(), 11u);
+    ASSERT_EQ(names.size(), 12u);
     for (const std::string &name : names)
         EXPECT_EQ(sched::controlPolicyByName(name)->name(), name);
 
@@ -883,9 +883,10 @@ TEST(ControlPlane, StealingIntoTheCompletingReplicaIsLegal)
 
 TEST(ControlPlane, AutoscalingIntentsAreRecorded)
 {
-    // requestSpawn / requestDrain are intents today: the kernel
-    // records them and enforces the drain on routing, and the
-    // autoscaler (ROADMAP) turns them into physics later.
+    // requestSpawn stays the legacy intent counter (recorded, no
+    // physics); requestDrain walks the lifecycle machine — both
+    // intents land in KernelStats, and the drain is enforced on
+    // routing.  The physics verb is spawnReplica (test_autoscale).
     class DrainSecondReplicaPolicy final
         : public sched::ControlPolicy
     {
